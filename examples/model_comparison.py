@@ -1,0 +1,124 @@
+"""Model comparison: the same problems across QSM, s-QSM, GSM and BSP.
+
+The paper's motivating question is how general-purpose model choice changes
+the complexity of basic problems.  This example runs parity and OR on all
+four models over sweeps of the machine parameters and prints the measured
+simulated costs next to each model's Table 1 bound, making the structural
+differences visible:
+
+* the QSM's cheap queue contention lets OR tournaments use fan-in g
+  (time ~ g log n / log g), while the s-QSM pays g per contention unit
+  (time ~ g log n);
+* the BSP's latency L shows up as a per-superstep floor, so its costs step
+  in units of L;
+* the GSM (the paper's lower-bound model) is the cheapest of all — which is
+  exactly why bounds proved on it transfer upward.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro.algorithms.or_ import or_bsp, or_tree_writes
+from repro.algorithms.parity import parity_bsp, parity_tree
+from repro.analysis import render_table
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.lowerbounds.formulas import (
+    bsp_or_det_time,
+    bsp_parity_det_time,
+    qsm_or_det_time,
+    qsm_parity_det_time,
+    sqsm_or_det_time,
+    sqsm_parity_det_time,
+)
+from repro.problems import gen_bits, verify_or, verify_parity
+
+
+def parity_rows(n: int, g: float, L: float, p: int):
+    bits = gen_bits(n, seed=1)
+    rows = []
+
+    m = QSM(QSMParams(g=g))
+    r = parity_tree(m, bits)
+    assert verify_parity(bits, r.value)
+    rows.append(["QSM", f"g={g:g}", r.time, round(qsm_parity_det_time(n, g), 1)])
+
+    m = SQSM(SQSMParams(g=g))
+    r = parity_tree(m, bits)
+    rows.append(["s-QSM", f"g={g:g}", r.time, round(sqsm_parity_det_time(n, g), 1)])
+
+    m = GSM(GSMParams(alpha=g, beta=g))
+    r = parity_tree(m, bits)
+    rows.append(["GSM", f"a=b={g:g}", r.time, "-"])
+
+    b = BSP(p, BSPParams(g=g, L=L))
+    r = parity_bsp(b, bits)
+    rows.append([
+        "BSP", f"g={g:g},L={L:g},p={p}", r.time, round(bsp_parity_det_time(n, g, L, p), 1)
+    ])
+    return rows
+
+
+def or_rows(n: int, g: float, L: float, p: int):
+    bits = gen_bits(n, density=0.05, seed=2)
+    rows = []
+    for name, machine in (
+        ("QSM", QSM(QSMParams(g=g))),
+        ("s-QSM", SQSM(SQSMParams(g=g))),
+        ("GSM", GSM(GSMParams(alpha=g, beta=g))),
+    ):
+        r = or_tree_writes(machine, bits)
+        assert verify_or(bits, r.value)
+        bound = {
+            "QSM": qsm_or_det_time(n, g),
+            "s-QSM": sqsm_or_det_time(n, g),
+            "GSM": None,
+        }[name]
+        rows.append([name, f"fan-in {r.extra['fan_in']}", r.time,
+                     round(bound, 1) if bound else "-"])
+    b = BSP(p, BSPParams(g=g, L=L))
+    r = or_bsp(b, bits)
+    rows.append(["BSP", f"fan-in {r.extra['fan_in']}", r.time,
+                 round(bsp_or_det_time(n, g, L, p), 1)])
+    return rows
+
+
+def main() -> None:
+    n, g, L, p = 4096, 8.0, 32.0, 64
+    print(render_table(
+        ["model", "params", "simulated time", "Table 1 bound"],
+        parity_rows(n, g, L, p),
+        title=f"Parity of n={n} bits across the four models",
+    ))
+    print()
+    print(render_table(
+        ["model", "tournament", "simulated time", "Table 1 bound"],
+        or_rows(n, g, L, p),
+        title=f"OR of n={n} bits across the four models",
+    ))
+    print()
+    print("Gap-parameter sweep (parity, n=4096): the QSM/s-QSM split")
+    print("(QSM runs the depth-2 circuit emulation, which exploits the QSM's")
+    print(" cheap queue contention; the s-QSM must stick to the binary tree)")
+    print(f"  {'g':>4} | {'QSM time':>9} | {'s-QSM time':>10} | ratio")
+    from repro.algorithms.parity import parity_blocks
+
+    for g_ in (2.0, 4.0, 8.0, 16.0, 32.0):
+        bits = gen_bits(4096, seed=3)
+        tq = parity_blocks(QSM(QSMParams(g=g_)), bits).time
+        ts = parity_tree(SQSM(SQSMParams(g=g_)), bits).time
+        print(f"  {g_:4g} | {tq:9g} | {ts:10g} | {ts/tq:5.2f}")
+
+    # The PRAM lineage behind the paper's techniques: forbidden ->
+    # charged -> free concurrency.
+    from repro.algorithms.pram_algos import or_crcw, parity_crcw, parity_erew
+    from repro.core import PRAM, PRAMParams
+
+    bits = gen_bits(1024, seed=4)
+    print("\nThe model lineage at n=1024 (steps / simulated time):")
+    print(f"  parity  EREW PRAM        : {parity_erew(PRAM(PRAMParams('EREW')), bits).time:6.0f}   (Theta(log n))")
+    print(f"  parity  QRQW (QSM g=1)   : {parity_blocks(QSM(QSMParams(g=1)), bits, block_size=4).time:6.0f}   (contention charged)")
+    print(f"  parity  CRCW PRAM        : {parity_crcw(PRAM(PRAMParams('CRCW', 'common')), bits).time:6.0f}   (Theta(log n/loglog n))")
+    print(f"  OR      CRCW PRAM        : {or_crcw(PRAM(PRAMParams('CRCW', 'common')), bits).time:6.0f}   (O(1))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — executable reproduction of MacKenzie & Ramachandran (SPAA 1998).
+
+"Computational Bounds for Fundamental Problems on General-Purpose Parallel
+Models" proves time and round lower bounds for Linear Approximate
+Compaction, OR and Parity on the QSM, s-QSM, BSP and GSM models, with
+matching or near-matching upper bounds.  This package makes the paper
+executable:
+
+* :mod:`repro.core` — the four cost models as discrete-event simulators;
+* :mod:`repro.boolfn` — Boolean multilinear-polynomial algebra (Facts 2.1–2.3);
+* :mod:`repro.algorithms` — every Section 8 upper-bound algorithm, running on
+  the simulators;
+* :mod:`repro.lowerbounds` — the Table 1 bound formulas plus the paper's
+  proof machinery (degree arguments, the Random Adversary, Yao's principle)
+  as runnable engines;
+* :mod:`repro.problems` — instance generators and output verifiers;
+* :mod:`repro.analysis` — parameter sweeps, growth-shape fitting, table
+  rendering for the benchmark harness.
+
+Quickstart::
+
+    from repro.core import SQSM, SQSMParams
+    from repro.algorithms.parity import parity_tree
+
+    machine = SQSM(SQSMParams(g=4))
+    result = parity_tree(machine, [1, 0, 1, 1, 0, 0, 1, 0])
+    print(result.value, machine.time)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — regenerate the paper's tables (see repro.cli)."""
+
+from repro.cli import main
+
+raise SystemExit(main())

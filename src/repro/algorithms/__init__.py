@@ -1,0 +1,42 @@
+"""Upper-bound algorithms (Section 8) running on the core simulators.
+
+Each module implements one problem family, on whichever of the QSM, s-QSM,
+GSM and BSP models the paper gives bounds for.  All functions share the same
+shape: they take a machine, the input, and tuning knobs (fan-in, seeds),
+execute real phases/supersteps on the machine, and return a
+:class:`~repro.algorithms.common.RunResult` carrying the answer plus the
+simulated cost accounting.  Correctness of every algorithm is checked by the
+verifiers in :mod:`repro.problems`.
+
+Algorithm-to-claim map (Section 8):
+
+========================  ====================================================
+Module / function          Paper claim
+========================  ====================================================
+``parity.parity_tree``     O(g log n) on s-QSM (tight: Theta(g log n));
+                           O(L log n / log(L/g)) on BSP via fan-in L/g
+``parity.parity_blocks``   O(g log n / log log g) on QSM (depth-2 circuit
+                           emulation); O(g log n / log g) with unit-time
+                           concurrent reads — matches Theorem 3.1
+``or_.or_tree_writes``     O((g / log g) log n) on QSM via fan-in-g write
+                           tournament; O(g log n) on s-QSM with fan-in 2
+``broadcast.broadcast``    Theta(g log n / log g) on QSM, Theta(g log n) on
+                           s-QSM, O(L log p / log(L/g)) on BSP (from [1])
+``prefix.prefix_sums``     O(g log n) shared-memory scan; the rounds-mode
+                           variant matches the round lower bounds of Table 1
+``compaction.lac_*``       LAC: randomized dart throwing (QRQW adaptation of
+                           [9]) and deterministic prefix-sum compaction
+``load_balance``           O(1 + h/n) per-processor redistribution
+``padded_sort``            padded U[0,1] sort via bucketing + compaction
+``sorting.sample_sort``    BSP sample sort ('sorting' of Section 3's
+                           reductions)
+``list_ranking``           pointer-jumping list ranking ('related problem'
+                           of parity)
+``reductions``             size-preserving reductions parity -> list ranking
+                           and parity -> sorting (Section 3, closing note)
+========================  ====================================================
+"""
+
+from repro.algorithms.common import Allocator, RunResult
+
+__all__ = ["Allocator", "RunResult"]

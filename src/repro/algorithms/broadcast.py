@@ -1,0 +1,130 @@
+"""Broadcasting one value to n processors / cells.
+
+The tight bound for broadcasting is Theta(g log n / log g) on the QSM and
+Theta(g log n) on the s-QSM (Adler, Gibbons, Matias & Ramachandran [1]), and
+O(L log p / log(L/g)) on the BSP.  The matching algorithms are fan-out trees
+whose fan-out is tuned to the model's contention charge:
+
+* **QSM** — *read*-based doubling with fan-in ``k = g``: each new processor
+  reads the source cell of its group; a phase has ``m_rw = 1`` and
+  contention ``k``, so it costs ``max(g, k) = g``, and ``log_k n`` phases
+  suffice.
+* **s-QSM** — contention costs ``g`` per unit, so fan-in 2 is optimal:
+  ``O(g log n)``.
+* **BSP** — fan-out ``L/g`` sends per holder: ``h = L/g`` so each superstep
+  costs ``L``; ``log_{L/g} p`` supersteps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.algorithms.common import Allocator, CostMeter, RunResult, bsp_fanin
+from repro.core.bsp import BSP
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = ["broadcast_shared", "broadcast_bsp"]
+
+SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def _shared_fanout(machine: SharedMachine, fan_in: Optional[int]) -> int:
+    if fan_in is not None:
+        if fan_in < 2:
+            raise ValueError(f"fan-in must be >= 2, got {fan_in}")
+        return fan_in
+    if isinstance(machine, SQSM):
+        return 2
+    if isinstance(machine, QSM):
+        # Reads are charged raw contention: fan-in g keeps each phase at cost g.
+        return max(2, int(machine.params.g))
+    if isinstance(machine, GSM):
+        prm = machine.params
+        return max(2, int(prm.beta))
+    raise TypeError(f"unsupported machine: {type(machine)!r}")
+
+
+def broadcast_shared(
+    machine: SharedMachine,
+    value: Any,
+    n: int,
+    fan_in: Optional[int] = None,
+    base: int = 0,
+) -> RunResult:
+    """Broadcast ``value`` into cells ``base .. base+n-1`` by read-doubling.
+
+    After the run every one of the ``n`` cells holds ``value`` (on the GSM,
+    a tuple containing it).  Returns the list of final cell values.
+
+    Phase structure: cells ``[0, have)`` already hold the value; each of the
+    next ``(k-1) * have`` processors reads one holder cell (``k-1`` readers
+    per cell, plus conceptually the holder keeping its copy: contention
+    ``k-1 < k``) and writes its own cell in the next phase.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = _shared_fanout(machine, fan_in)
+    meter = CostMeter(machine)
+
+    # Seed: processor 0 writes the value into the first cell.
+    with machine.phase() as ph:
+        ph.write(0, base, value)
+
+    have = 1
+    while have < n:
+        new = min(n - have, (k - 1) * have)
+        # Reader j (0-based among the new ones) reads holder cell j % have.
+        handles = []
+        with machine.phase() as ph:
+            for j in range(new):
+                proc = have + j
+                src = base + (j % have)
+                handles.append((proc, ph.read(proc, src)))
+        with machine.phase() as ph:
+            for idx, (proc, handle) in enumerate(handles):
+                got = handle.value
+                if isinstance(machine, GSM) and isinstance(got, tuple):
+                    got = got[0]
+                ph.write(proc, base + have + idx, got)
+        have += new
+
+    final = [machine.peek(base + i) for i in range(n)]
+    return meter.result(final, fan_in=k)
+
+
+def broadcast_bsp(machine: BSP, value: Any, fan_out: Optional[int] = None) -> RunResult:
+    """Broadcast ``value`` from component 0 to all ``p`` components.
+
+    Each holder sends to ``k`` new components per superstep (``h = k``, cost
+    ``max(g*k, L)``); with the default ``k = L/g`` each superstep costs
+    exactly ``L`` and ``ceil(log_{k+1} p)`` supersteps suffice.
+
+    On return every component's store has ``store[i]['bcast'] = value``.
+    """
+    k = fan_out if fan_out is not None else bsp_fanin(machine)
+    if k < 1:
+        raise ValueError(f"fan-out must be >= 1, got {k}")
+    meter = CostMeter(machine)
+    p = machine.p
+    machine.store[0]["bcast"] = value
+
+    have = 1
+    while have < p:
+        with machine.superstep() as ss:
+            sends = 0
+            for holder in range(have):
+                for j in range(k):
+                    target = have + holder * k + j
+                    if target < p:
+                        ss.send(holder, target, machine.store[holder]["bcast"])
+                        sends += 1
+        for target in range(have, min(p, have + have * k)):
+            inbox = machine.inbox(target)
+            if inbox:
+                machine.store[target]["bcast"] = inbox[0][1]
+        have = min(p, have + have * k)
+
+    values = [machine.store[i].get("bcast") for i in range(p)]
+    return meter.result(values, fan_out=k)

@@ -1,0 +1,169 @@
+"""Shared plumbing for the algorithm implementations.
+
+* :class:`RunResult` — what every algorithm returns: the answer plus the
+  simulated cost delta it incurred on its machine.
+* :class:`Allocator` — a bump allocator over the machine's address space so
+  algorithms can lay out inputs and scratch arrays without clashing.
+* Fan-in selection helpers — the Section 8 algorithms pick tree fan-ins as a
+  function of the machine's parameters (``g`` on the QSM, 2 on the s-QSM,
+  ``L/g`` on the BSP); centralising the choice makes the fan-in ablation
+  (`ABL-fanin`) a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.core.bsp import BSP
+from repro.core.gsm import GSM
+from repro.core.machine import SharedMemoryMachine
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = [
+    "RunResult",
+    "Allocator",
+    "default_tree_fanin",
+    "bsp_fanin",
+    "model_name",
+    "CostMeter",
+]
+
+Machine = Union[QSM, SQSM, GSM, BSP]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Answer plus the cost the algorithm added to its machine.
+
+    Attributes
+    ----------
+    value:
+        The algorithm's output (problem-specific shape).
+    time:
+        Simulated model time consumed by this run (delta, not machine total).
+    phases:
+        Number of phases (shared-memory) or supersteps (BSP) executed.
+    extra:
+        Free-form per-algorithm diagnostics (iteration counts, contention
+        peaks, retries...).
+    """
+
+    value: Any
+    time: float
+    phases: int
+    extra: dict = field(default_factory=dict)
+
+
+class CostMeter:
+    """Snapshot a machine's cost counters; measure the delta of one run."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._time0 = machine.time
+        self._phases0 = self._phase_count()
+
+    def _phase_count(self) -> int:
+        if isinstance(self.machine, BSP):
+            return self.machine.superstep_count
+        return self.machine.phase_count
+
+    def result(self, value: Any, **extra: Any) -> RunResult:
+        return RunResult(
+            value=value,
+            time=self.machine.time - self._time0,
+            phases=self._phase_count() - self._phases0,
+            extra=dict(extra),
+        )
+
+
+class Allocator:
+    """Bump allocator over a shared-memory machine's address space."""
+
+    def __init__(self, base: int = 0) -> None:
+        if base < 0:
+            raise ValueError(f"base address must be non-negative, got {base}")
+        self._next = base
+
+    def alloc(self, size: int) -> int:
+        """Reserve ``size`` consecutive cells; returns the base address."""
+        if size < 0:
+            raise ValueError(f"allocation size must be non-negative, got {size}")
+        base = self._next
+        self._next += size
+        return base
+
+    @property
+    def watermark(self) -> int:
+        """One past the highest address handed out."""
+        return self._next
+
+
+def fresh_allocator(machine: Machine) -> Allocator:
+    """An allocator starting above everything the machine has written.
+
+    Lets several algorithm invocations share one machine without address
+    collisions; pass an explicit allocator to control layout instead.
+    """
+    if isinstance(machine, BSP):
+        return Allocator()
+    return Allocator(base=machine.next_free_address())
+
+
+def model_name(machine: Machine) -> str:
+    """Short model tag for result tables (checks subclasses before bases)."""
+    from repro.core.qsm_gd import QSMGD
+
+    if isinstance(machine, SQSM):
+        return "s-QSM"
+    if isinstance(machine, QSMGD):
+        return "QSM(g,d)"
+    if isinstance(machine, QSM):
+        return "QSM"
+    if isinstance(machine, GSM):
+        return "GSM"
+    if isinstance(machine, BSP):
+        return "BSP"
+    raise TypeError(f"unsupported machine type: {type(machine)!r}")
+
+
+def default_tree_fanin(machine: Machine, contention_cheap: bool = False) -> int:
+    """The fan-in the Section 8 algorithms use for reduction trees.
+
+    * QSM with contention-cheap combining (OR-style write tournaments, or
+      any read-based step whose contention is charged raw): fan-in ``g`` —
+      the per-phase cost stays ``max(g, kappa) = g`` while the tree height
+      shrinks to ``log n / log g``.
+    * s-QSM (contention costs ``g`` each) and read-combining on the QSM
+      (``m_rw`` costs ``g`` each): fan-in 2; larger fan-ins only raise the
+      per-phase cost proportionally.
+    * GSM: ``alpha`` reads per processor and ``beta`` contention fit in one
+      big-step, so fan-in ``max(2, min(alpha, beta))``.
+    """
+    from repro.core.qsm_gd import QSMGD
+
+    if isinstance(machine, SQSM):
+        return 2
+    if isinstance(machine, QSMGD):
+        if contention_cheap:
+            # Cost max(g, d*k) is flat until k = g/d.
+            return max(2, int(machine.params.g / machine.params.d))
+        return 2
+    if isinstance(machine, QSM):
+        if contention_cheap:
+            return max(2, int(machine.params.g))
+        return 2
+    if isinstance(machine, GSM):
+        prm = machine.params
+        return max(2, int(min(prm.alpha, prm.beta)))
+    raise TypeError(f"tree fan-in undefined for machine type: {type(machine)!r}")
+
+
+def bsp_fanin(machine: BSP) -> int:
+    """BSP reduction fan-in ``max(2, L/g)``: receiving ``L/g`` messages costs
+    ``g * (L/g) = L``, no more than the superstep floor ``L`` already charged."""
+    if not isinstance(machine, BSP):
+        raise TypeError(f"expected BSP, got {type(machine)!r}")
+    prm = machine.params
+    return max(2, int(prm.L // prm.g))

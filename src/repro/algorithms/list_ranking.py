@@ -1,0 +1,102 @@
+"""List ranking by pointer jumping — a 'related problem' of parity.
+
+**Problem:** a linked list is given as a ``next`` array (``next[i]`` is the
+successor of node ``i``, ``None`` at the tail) with optional node weights;
+compute for every node the weighted distance to the tail (with unit weights,
+the classic rank).
+
+Pointer jumping runs ``ceil(log2 n)`` iterations.  Each iteration, every
+unfinished node reads its successor's ``(next, dist)`` cell and composes:
+``dist[i] += dist[next[i]]; next[i] = next[next[i]]``.  Successor pointers
+stay injective among active nodes (a node whose successor is the tail stops
+jumping), so read contention stays 1 — this is the EREW-style algorithm, and
+its QSM/s-QSM cost is ``O(g log n)``: exactly the regime the paper's parity
+lower bound family addresses, since parity reduces to list ranking
+size-preservingly (see :mod:`repro.algorithms.reductions`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = ["list_rank"]
+
+SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def list_rank(
+    machine: SharedMachine,
+    next_ptrs: Sequence[Optional[int]],
+    weights: Optional[Sequence[float]] = None,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Weighted distance-to-tail for every node of the list.
+
+    ``weights[i]`` is the weight *of node i itself*; the returned rank of
+    node ``i`` is the sum of weights of ``i`` and all nodes after it (so the
+    head's rank is the total weight).  Unit weights give position-from-tail
+    counting from 1.
+    """
+    n = len(next_ptrs)
+    if n == 0:
+        return RunResult(value=[], time=0.0, phases=0)
+    w = list(weights) if weights is not None else [1] * n
+    if len(w) != n:
+        raise ValueError(f"weights length {len(w)} != list length {n}")
+    seen = set()
+    for i, nxt in enumerate(next_ptrs):
+        if nxt is not None:
+            if not 0 <= nxt < n:
+                raise ValueError(f"next[{i}]={nxt} out of range")
+            if nxt in seen:
+                raise ValueError(f"node {nxt} has two predecessors; not a list")
+            if nxt == i:
+                raise ValueError(f"node {i} points to itself")
+            seen.add(nxt)
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+
+    # Cell i holds the pair (next, dist): dist = accumulated weight of the
+    # covered sublist starting at i (excluding the current target's own tail
+    # segment).  Initially dist[i] = weight[i].
+    base = alloc.alloc(n)
+    state: List[tuple] = [(next_ptrs[i], w[i]) for i in range(n)]
+    with machine.phase() as ph:
+        for i in range(n):
+            ph.write(i, base + i, state[i])
+
+    iterations = 0
+    while any(nxt is not None for nxt, _ in state):
+        handles = []
+        with machine.phase() as ph:
+            read_any = False
+            for i in range(n):
+                nxt, _ = state[i]
+                if nxt is not None:
+                    handles.append((i, ph.read(i, base + nxt)))
+                    read_any = True
+            if not read_any:  # pragma: no cover - loop guard makes this unreachable
+                break
+        updates = {}
+        for i, handle in handles:
+            got = handle.value
+            if isinstance(machine, GSM) and isinstance(got, tuple) and got and isinstance(got[0], tuple):
+                got = got[-1]  # strong queuing: latest write is last
+            nxt_i, dist_i = state[i]
+            nxt_j, dist_j = got
+            updates[i] = (nxt_j, dist_i + dist_j)
+        with machine.phase() as ph:
+            for i, new_state in updates.items():
+                ph.write(i, base + i, new_state)
+                state[i] = new_state
+        iterations += 1
+        if iterations > 2 * n + 4:
+            raise RuntimeError("pointer jumping failed to converge; cyclic input?")
+
+    ranks = [dist for _, dist in state]
+    return meter.result(ranks, iterations=iterations)

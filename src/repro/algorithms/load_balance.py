@@ -1,0 +1,87 @@
+"""Load balancing (Section 6.2 problem statement).
+
+**Problem:** ``h`` objects distributed among ``n`` processors; redistribute
+so that every processor holds ``O(1 + h/n)`` objects.
+
+The implementation is the classic prefix-sums redistribution: rank every
+object globally (scan over per-processor counts), then write object ``r`` to
+shared cell ``r`` and let processor ``j`` collect cells
+``j*ceil(h/n) .. (j+1)*ceil(h/n)-1``.  Each processor holds *exactly*
+``ceil(h/n)`` or fewer objects afterwards — stronger than the O() contract.
+
+Cost: ``O(g * (maxload + h/n + log n))`` where ``maxload`` is the largest
+initial per-processor load (a processor must issue one write per object it
+holds, and one read per object it receives).  The randomized lower bound for
+this problem is Theorem 6.1's ``Omega(g log log n / log g)`` on the QSM —
+the gap between this simple algorithm and that bound is what the `T1a` bench
+row shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.algorithms.prefix import prefix_sums
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = ["load_balance"]
+
+SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def load_balance(
+    machine: SharedMachine,
+    loads: Sequence[Sequence[Any]],
+    fan_in: int = 2,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Redistribute ``loads[i]`` (processor i's objects) evenly.
+
+    Returns the new per-processor assignment as a list of lists, with
+    ``extra['per_proc_max']`` reporting the achieved maximum load.
+    """
+    n = len(loads)
+    if n == 0:
+        return RunResult(value=[], time=0.0, phases=0)
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    counts = [len(objs) for objs in loads]
+    h = sum(counts)
+    if h == 0:
+        return meter.result([[] for _ in range(n)], per_proc_max=0)
+
+    # Global ranks via a scan over the counts.
+    scan = prefix_sums(machine, counts, fan_in=fan_in, alloc=alloc)
+    offsets = [incl - c for incl, c in zip(scan.value, counts)]
+
+    # Every processor writes its objects to their ranked cells.
+    staging = alloc.alloc(h)
+    with machine.phase() as ph:
+        for i, objs in enumerate(loads):
+            if objs:
+                ph.local(i, len(objs))
+            for j, obj in enumerate(objs):
+                ph.write(i, staging + offsets[i] + j, obj)
+
+    # Every processor collects its quota of ceil(h/n) consecutive cells.
+    quota = -(-h // n)
+    handles: List[List[Any]] = []
+    with machine.phase() as ph:
+        for i in range(n):
+            lo, hi = i * quota, min((i + 1) * quota, h)
+            handles.append([ph.read(i, staging + r) for r in range(lo, hi)])
+
+    result: List[List[Any]] = []
+    for hs in handles:
+        got = []
+        for hnd in hs:
+            v = hnd.value
+            if isinstance(machine, GSM) and isinstance(v, tuple):
+                v = v[0]
+            got.append(v)
+        result.append(got)
+    per_proc_max = max((len(r) for r in result), default=0)
+    return meter.result(result, per_proc_max=per_proc_max, quota=quota, h=h)

@@ -1,0 +1,203 @@
+"""Padded sort of uniform [0,1] values (Section 6.2 problem statement).
+
+**Problem (Padded U[0,1] Sort):** given ``n`` values drawn uniformly from
+``[0,1]``, arrange them in sorted order in an array of size ``n + o(n)``
+with NULL (``None``) in the unfilled cells.
+
+Implementation: value-range bucketing with per-bucket padding.
+
+1. Split ``[0,1]`` into ``B = ceil(n / b)`` equal sub-intervals
+   (``b = ceil(log2^2 n)`` expected items per bucket) and give bucket ``j``
+   a region of ``b + slack`` output cells, ``slack = ceil(4 * sqrt(b ln n))``,
+   so the total size is ``n + O(n / sqrt(b) * sqrt(ln n)) = n + o(n)`` and
+   each bucket overflows only with polynomially small probability.
+2. Every value's processor computes its bucket locally and darts into the
+   bucket's staging region (collisions retried, as in
+   :func:`repro.algorithms.compaction.lac_dart`).
+3. One processor per bucket reads its region (``m_rw = O(b)``), sorts
+   locally, and writes the values back in order, left-justified, NULLs after.
+
+If any bucket receives more than its region holds (probability ``o(1)``;
+adversarial non-uniform inputs can force it) the run *restarts* with doubled
+slack; ``extra['restarts']`` counts these, and the verifier checks both the
+ordering contract and the ``n + o(n)`` size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = ["padded_sort"]
+
+SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def padded_sort(
+    machine: SharedMachine,
+    values: Sequence[float],
+    seed: RngLike = None,
+    bucket_expected: Optional[int] = None,
+    alloc: Optional[Allocator] = None,
+    max_restarts: int = 8,
+) -> RunResult:
+    """Sort uniform [0,1] ``values`` into an ``n + o(n)`` padded array."""
+    n = len(values)
+    for v in values:
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"padded sort expects values in [0,1], got {v}")
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    if n == 0:
+        return meter.result([], restarts=0, output_size=0)
+    rng = derive_rng(seed)
+
+    log_n = max(2.0, math.log2(n))
+    b = bucket_expected if bucket_expected is not None else max(4, int(math.ceil(log_n**2)))
+    B = -(-n // b)
+
+    restarts = 0
+    slack = max(2, int(math.ceil(4.0 * math.sqrt(b * max(1.0, math.log(n))))))
+    while True:
+        region = b + slack
+        ok, out = _attempt(machine, values, alloc, rng, B, region)
+        if ok:
+            return meter.result(
+                out,
+                restarts=restarts,
+                output_size=len(out),
+                buckets=B,
+                region=region,
+            )
+        restarts += 1
+        if restarts > max_restarts:
+            raise RuntimeError(
+                f"padded_sort exceeded {max_restarts} restarts; input is far "
+                f"from uniform (bucket overflow persists)"
+            )
+        slack *= 2
+
+
+def _attempt(
+    machine: SharedMachine,
+    values: Sequence[float],
+    alloc: Allocator,
+    rng,
+    B: int,
+    region: int,
+) -> Tuple[bool, Optional[List[Any]]]:
+    """One bucketing attempt; False when some bucket overflows its region."""
+    n = len(values)
+    buckets: List[List[float]] = [[] for _ in range(B)]
+    for v in values:
+        j = min(B - 1, int(v * B))
+        buckets[j].append(v)
+    if any(len(bk) > region for bk in buckets):
+        # Overflow is detectable in-model: the bucket leader sees more darts
+        # than cells.  We charge the darting phases that discover it.
+        _dart_phase_cost_only(machine, values, alloc, rng, B, region)
+        return False, None
+
+    staging = alloc.alloc(B * region)
+    # Dart each value into its bucket region until every value is placed.
+    # Probe-write-verify protocol (no processor uses knowledge it does not
+    # have in-model):
+    #   A. probe: read the chosen random slot,
+    #   B. claim: write own tag iff the probe found the slot empty,
+    #   C. verify: read back; the surviving tag owns the slot,
+    #   D. deposit: the owner writes its payload (making the slot non-empty
+    #      for all later probes).
+    live: List[Tuple[int, float]] = list(enumerate(values))
+    guard = 0
+    while live:
+        probes = []
+        with machine.phase() as ph:
+            for vid, v in live:
+                j = min(B - 1, int(v * B))
+                slot = staging + j * region + int(rng.integers(0, region))
+                probes.append((vid, v, slot, ph.read(vid, slot)))
+        claimers = []
+        with machine.phase() as ph:
+            for vid, v, slot, probe in probes:
+                if probe.value is None:
+                    ph.write(vid, slot, vid)
+                    claimers.append((vid, v, slot))
+        handles = []
+        with machine.phase() as ph:
+            for vid, v, slot in claimers:
+                handles.append((vid, v, slot, ph.read(vid, slot)))
+        blocked = {(vid, v) for vid, v, slot, probe in probes if probe.value is not None}
+        next_live = [pair for pair in blocked]
+        winners = []
+        for vid, v, slot, handle in handles:
+            got = handle.value
+            if isinstance(machine, GSM) and isinstance(got, tuple):
+                ints = [x for x in got if isinstance(x, int)]
+                got = min(ints) if ints else None
+            if got == vid:
+                winners.append((vid, v, slot))
+            else:
+                next_live.append((vid, v))
+        if winners:
+            with machine.phase() as ph:
+                for vid, v, slot in winners:
+                    ph.write(vid, slot, v)
+        live = sorted(next_live)
+        guard += 1
+        if guard > 10 * (n + 10):
+            raise RuntimeError("padded_sort darting failed to converge")  # pragma: no cover
+
+    # Bucket leaders: read region, sort locally, write back padded.
+    out_base = alloc.alloc(B * region)
+    handles_by_bucket = []
+    with machine.phase() as ph:
+        for j in range(B):
+            hs = [ph.read(n + j, staging + j * region + t) for t in range(region)]
+            handles_by_bucket.append(hs)
+    with machine.phase() as ph:
+        for j, hs in enumerate(handles_by_bucket):
+            got = []
+            for hnd in hs:
+                v = hnd.value
+                if isinstance(machine, GSM) and isinstance(v, tuple):
+                    v = next((x for x in v if isinstance(x, float)), None)
+                if isinstance(v, float):
+                    got.append(v)
+            got.sort()
+            ph.local(n + j, max(1, region))
+            for t, v in enumerate(got):
+                ph.write(n + j, out_base + j * region + t, v)
+
+    out: List[Any] = []
+    for j in range(B):
+        vals = [machine.peek(out_base + j * region + t) for t in range(region)]
+        if isinstance(machine, GSM):
+            vals = [
+                (next((x for x in v if isinstance(x, float)), None) if isinstance(v, tuple) else v)
+                for v in vals
+            ]
+        out.extend(vals)
+    return True, out
+
+
+def _dart_phase_cost_only(
+    machine: SharedMachine,
+    values: Sequence[float],
+    alloc: Allocator,
+    rng,
+    B: int,
+    region: int,
+) -> None:
+    """Charge one dart phase (the work of discovering an overflow)."""
+    staging = alloc.alloc(B * region)
+    with machine.phase() as ph:
+        for vid, v in enumerate(values):
+            j = min(B - 1, int(v * B))
+            slot = staging + j * region + int(rng.integers(0, region))
+            ph.write(vid, slot, vid)

@@ -1,0 +1,228 @@
+"""General sorting — the 'sorting' of Section 3's parity reductions.
+
+The paper's parity lower bounds imply lower bounds for sorting via simple
+size-preserving reductions; the complementary upper-bound algorithm on the
+BSP is communication-efficient sample sort (in the spirit of Goodrich [11]):
+
+1. one superstep: local sort + pick ``s`` evenly spaced local samples,
+2. one superstep: samples to component 0, which sorts them and selects
+   ``p - 1`` splitters,
+3. ``O(log p / log(L/g))`` supersteps: broadcast splitters,
+4. one superstep: route every element to its splitter bucket's owner
+   (w.h.p. an ``O(n/p)``-relation for random inputs; measured, not assumed),
+5. one superstep: local merge.
+
+A shared-memory counterpart (:func:`sort_shared`) does splitter-bucket
+routing through shared memory, with the bucket-count scan done by
+:func:`~repro.algorithms.prefix.prefix_sums`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.algorithms.broadcast import broadcast_bsp
+from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.algorithms.prefix import prefix_sums
+from repro.core.bsp import BSP
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = ["sample_sort_bsp", "sort_shared"]
+
+SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def sample_sort_bsp(
+    machine: BSP,
+    values: Sequence[Any],
+    oversampling: int = 4,
+) -> RunResult:
+    """BSP sample sort; returns the globally sorted list.
+
+    ``extra['max_bucket']`` reports the largest routed bucket so benches can
+    check the h-relation stayed near ``n/p``.
+    """
+    n = len(values)
+    p = machine.p
+    meter = CostMeter(machine)
+    if n == 0:
+        return meter.result([])
+    if oversampling < 1:
+        raise ValueError(f"oversampling must be >= 1, got {oversampling}")
+    machine.scatter(list(values), key="sort_in")
+
+    # Superstep 1: local sort + sample.
+    locals_sorted: List[List[Any]] = []
+    with machine.superstep() as ss:
+        for i in range(p):
+            block = sorted(machine.store[i]["sort_in"])
+            machine.store[i]["sorted"] = block
+            cost = max(1, int(len(block) * max(1, len(block)).bit_length()))
+            ss.local(i, cost)
+            locals_sorted.append(block)
+            s = min(len(block), oversampling)
+            if s:
+                step = max(1, len(block) // s)
+                samples = block[::step][:s]
+            else:
+                samples = []
+            if i != 0:
+                ss.send(i, 0, ("samples", samples))
+            else:
+                machine.store[0].setdefault("all_samples", []).extend(samples)
+
+    # Superstep 2 (at component 0): collect samples, pick splitters.
+    all_samples = list(machine.store[0].get("all_samples", []))
+    for _, payload in machine.inbox(0):
+        all_samples.extend(payload[1])
+    all_samples.sort()
+    splitters: List[Any] = []
+    if all_samples and p > 1:
+        step = max(1, len(all_samples) // p)
+        splitters = all_samples[step::step][: p - 1]
+    with machine.superstep() as ss:
+        ss.local(0, max(1, len(all_samples)))
+
+    # Supersteps 3..: broadcast splitters from component 0.
+    broadcast_bsp(machine, tuple(splitters))
+
+    # Superstep 4: route elements to bucket owners.
+    incoming: List[List[Any]] = [[] for _ in range(p)]
+    max_bucket = 0
+    with machine.superstep() as ss:
+        for i in range(p):
+            block = machine.store[i]["sorted"]
+            ss.local(i, max(1, len(block)))
+            for v in block:
+                owner = bisect_right(splitters, v) if splitters else 0
+                if owner == i:
+                    incoming[i].append(v)
+                else:
+                    ss.send(i, owner, ("elem", v))
+    for i in range(p):
+        for _, payload in machine.inbox(i):
+            if payload[0] == "elem":
+                incoming[i].append(payload[1])
+        max_bucket = max(max_bucket, len(incoming[i]))
+
+    # Superstep 5: local merge.
+    out: List[Any] = []
+    with machine.superstep() as ss:
+        for i in range(p):
+            bucket = sorted(incoming[i])
+            cost = max(1, int(len(bucket) * max(1, len(bucket)).bit_length()))
+            ss.local(i, cost)
+            machine.store[i]["sort_out"] = bucket
+            out.extend(bucket)
+    return meter.result(out, max_bucket=max_bucket, splitters=len(splitters))
+
+
+def sort_shared(
+    machine: SharedMachine,
+    values: Sequence[Any],
+    p: Optional[int] = None,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Shared-memory sample sort with p (default sqrt(n)) virtual groups.
+
+    Splitter buckets are ranked with a prefix-sums scan and routed through
+    shared memory; bucket leaders sort locally.  Returns the sorted list.
+    """
+    n = len(values)
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    if n == 0:
+        return meter.result([])
+    if p is None:
+        p = max(1, int(n**0.5))
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+
+    # Stage 0: input into memory; each of p group leaders reads its block.
+    base = alloc.alloc(n)
+    machine.load(list(values), base=base)
+    block = -(-n // p)
+    handles = []
+    with machine.phase() as ph:
+        for i in range(p):
+            lo, hi = i * block, min((i + 1) * block, n)
+            handles.append([ph.read(i, base + j) for j in range(lo, hi)])
+    groups: List[List[Any]] = []
+    for i, hs in enumerate(handles):
+        got = []
+        for hnd in hs:
+            v = hnd.value
+            if isinstance(machine, GSM) and isinstance(v, tuple):
+                v = v[0]
+            got.append(v)
+        got.sort()
+        groups.append(got)
+
+    # Stage 1: leader 0 gathers evenly spaced samples (one write per leader,
+    # one scan read by leader 0) and picks p-1 splitters.
+    sample_base = alloc.alloc(p)
+    with machine.phase() as ph:
+        for i, grp in enumerate(groups):
+            ph.local(i, max(1, len(grp)))
+            sample = grp[len(grp) // 2] if grp else None
+            ph.write(i, sample_base + i, sample)
+    with machine.phase() as ph:
+        sample_handles = [ph.read(0, sample_base + i) for i in range(p)]
+    samples = []
+    for hnd in sample_handles:
+        v = hnd.value
+        if isinstance(machine, GSM) and isinstance(v, tuple):
+            v = v[0]
+        if v is not None:
+            samples.append(v)
+    samples.sort()
+    splitters = samples[1:] if len(samples) > 1 else []
+
+    # Stage 2: bucket counts per (group, bucket), scan for destinations.
+    counts: List[int] = [0] * (p * p)
+    routed: List[List[List[Any]]] = [[[] for _ in range(p)] for _ in range(p)]
+    for i, grp in enumerate(groups):
+        for v in grp:
+            bkt = bisect_right(splitters, v) if splitters else 0
+            bkt = min(bkt, p - 1)
+            routed[i][bkt].append(v)
+            counts[bkt * p + i] += 1
+    scan = prefix_sums(machine, counts, fan_in=2, alloc=alloc)
+    offsets = [incl - c for incl, c in zip(scan.value, counts)]
+
+    # Stage 3: leaders write their bucketed elements to ranked cells.
+    staging = alloc.alloc(n)
+    with machine.phase() as ph:
+        for i in range(p):
+            wrote = 0
+            for bkt in range(p):
+                off = offsets[bkt * p + i]
+                for j, v in enumerate(routed[i][bkt]):
+                    ph.write(i, staging + off + j, v)
+                    wrote += 1
+            ph.local(i, max(1, wrote))
+
+    # Stage 4: bucket leaders read their ranges and sort locally.
+    bucket_lo = [offsets[bkt * p] for bkt in range(p)]
+    bucket_hi = bucket_lo[1:] + [n]
+    handles2 = []
+    with machine.phase() as ph:
+        for bkt in range(p):
+            hs = [ph.read(bkt, staging + j) for j in range(bucket_lo[bkt], bucket_hi[bkt])]
+            handles2.append(hs)
+    out: List[Any] = []
+    max_bucket = 0
+    for bkt, hs in enumerate(handles2):
+        got = []
+        for hnd in hs:
+            v = hnd.value
+            if isinstance(machine, GSM) and isinstance(v, tuple):
+                v = v[0]
+            got.append(v)
+        got.sort()
+        max_bucket = max(max_bucket, len(got))
+        out.extend(got)
+    return meter.result(out, p=p, max_bucket=max_bucket)

@@ -1,0 +1,24 @@
+"""Measurement plumbing for the benchmark harness.
+
+* :mod:`repro.analysis.sweep` — run an algorithm/machine factory over a
+  parameter grid, collecting simulated cost and verifier verdicts.
+* :mod:`repro.analysis.fit` — growth-shape checking: fit a single constant
+  against a reference curve and test dominance / boundedness / monotone
+  trends, the executable meaning of Omega/Theta at finite n (DESIGN.md
+  "Shape expectations").
+* :mod:`repro.analysis.tables` — fixed-width table rendering for the
+  paper-style output of each bench.
+"""
+
+from repro.analysis.fit import bounded_ratio, dominance_constant, ratio_trend
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "sweep",
+    "SweepPoint",
+    "dominance_constant",
+    "bounded_ratio",
+    "ratio_trend",
+    "render_table",
+]

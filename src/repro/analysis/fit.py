@@ -1,0 +1,96 @@
+"""Growth-shape checks — the finite-n meaning of Omega / Theta / O.
+
+Given measured costs and a reference curve (a lower- or upper-bound formula
+evaluated at the same parameters), three questions matter:
+
+* **Dominance** (Omega): is there one constant ``c`` such that
+  ``measured >= c * reference`` across the sweep?  The witness is
+  ``dominance_constant = min(measured / reference)``; any positive value is
+  a valid Omega constant for the observed range.
+* **Boundedness** (Theta tightness): does ``measured / reference`` stay in a
+  bounded band, i.e. no growth trend across the sweep?
+  :func:`bounded_ratio` checks max/min ratio spread; :func:`ratio_trend`
+  reports the log-log slope of the ratio against ``n`` (near 0 for Theta).
+* **Upper-bound tracking** (O): same as dominance with the roles swapped.
+
+These are deliberately simple statistics: the benches print them next to
+the raw rows so a reader can audit the claim, and EXPERIMENTS.md records
+them per table cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["dominance_constant", "bounded_ratio", "ratio_trend", "loglog_slope"]
+
+
+def dominance_constant(measured: Sequence[float], reference: Sequence[float]) -> float:
+    """``min_i measured_i / reference_i`` — the largest valid Omega constant.
+
+    Positive iff the measurement dominates the reference everywhere (with
+    constant = the returned value).
+    """
+    if len(measured) != len(reference) or not measured:
+        raise ValueError("need equal-length, non-empty sequences")
+    worst = math.inf
+    for m, r in zip(measured, reference):
+        if r <= 0:
+            raise ValueError(f"reference values must be positive, got {r}")
+        worst = min(worst, m / r)
+    return worst
+
+
+def bounded_ratio(
+    measured: Sequence[float],
+    reference: Sequence[float],
+    band: float = 4.0,
+) -> Tuple[bool, float]:
+    """Is ``measured/reference`` confined to a multiplicative band?
+
+    Returns ``(within_band, spread)`` where spread = max ratio / min ratio.
+    ``spread <= band`` is the executable reading of "Theta up to constants"
+    over the sweep range.
+    """
+    if band < 1.0:
+        raise ValueError(f"band must be >= 1, got {band}")
+    ratios = []
+    for m, r in zip(measured, reference):
+        if r <= 0 or m <= 0:
+            raise ValueError("bounded_ratio needs positive values")
+        ratios.append(m / r)
+    if not ratios:
+        raise ValueError("empty input")
+    spread = max(ratios) / min(ratios)
+    return spread <= band, spread
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need >= 2 paired points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    denom = sum((a - mx) ** 2 for a in lx)
+    if denom == 0:
+        raise ValueError("x values are all equal")
+    return sum((a - mx) * (b - my) for a, b in zip(lx, ly)) / denom
+
+
+def ratio_trend(
+    ns: Sequence[float],
+    measured: Sequence[float],
+    reference: Sequence[float],
+) -> float:
+    """Log-log slope of measured/reference against n.
+
+    ~0: the reference captures the growth (Theta-like).
+    >0: measurement grows faster (reference is a strict lower bound).
+    <0: measurement grows slower (reference would be violated at scale —
+    a red flag the tests treat as failure).
+    """
+    ratios = [m / r for m, r in zip(measured, reference)]
+    return loglog_slope(ns, ratios)

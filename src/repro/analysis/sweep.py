@@ -1,0 +1,65 @@
+"""Parameter-sweep engine.
+
+A sweep runs one experiment configuration per grid point: build a fresh
+machine, run the algorithm, verify the answer, record the simulated cost
+next to the matching lower-bound formula value.  Sweeps are plain data in /
+plain data out so benches stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's outcome."""
+
+    params: Mapping[str, Any]
+    measured: float  # simulated time or round count
+    bound: Optional[float]  # lower-bound formula value at these params
+    correct: bool
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / bound (None when no bound applies)."""
+        if self.bound is None or self.bound == 0:
+            return None
+        return self.measured / self.bound
+
+
+def sweep(
+    grid: Mapping[str, Sequence[Any]],
+    run: Callable[..., Dict[str, Any]],
+) -> List[SweepPoint]:
+    """Run ``run(**point)`` for every point of the cartesian grid.
+
+    ``run`` must return a dict with keys ``measured`` (float), ``correct``
+    (bool), optionally ``bound`` (float) and anything else (kept in
+    ``extra``).
+    """
+    keys = list(grid.keys())
+    points: List[SweepPoint] = []
+    for combo in product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        outcome = run(**params)
+        if "measured" not in outcome or "correct" not in outcome:
+            raise ValueError("run() must return 'measured' and 'correct'")
+        extra = {
+            k: v for k, v in outcome.items() if k not in ("measured", "correct", "bound")
+        }
+        points.append(
+            SweepPoint(
+                params=params,
+                measured=float(outcome["measured"]),
+                bound=(float(outcome["bound"]) if outcome.get("bound") is not None else None),
+                correct=bool(outcome["correct"]),
+                extra=extra,
+            )
+        )
+    return points

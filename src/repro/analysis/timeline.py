@@ -1,0 +1,79 @@
+"""Phase-history inspection: render what a machine was charged, and why.
+
+``explain(machine)`` produces a per-phase table showing the quantities the
+Section 2 cost formulas consumed — ``m_op``, ``m_rw``, ``kappa`` (split
+into read and write queues), the big-step count on the GSM, and which term
+of the max() dominated the charge.  This is the first thing to look at when
+an algorithm costs more than expected on some model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.analysis.tables import render_table
+from repro.core.bsp import BSP
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = ["explain", "dominant_term"]
+
+Machine = Union[QSM, SQSM, GSM, BSP]
+
+
+def dominant_term(machine: Machine, index: int) -> str:
+    """Which term of the phase-cost max() set the charge for phase ``index``."""
+    if isinstance(machine, BSP):
+        rec = machine.history[index]
+        prm = machine.params
+        cost = machine.step_costs[index]
+        if cost == prm.L and prm.L >= max(rec.w, prm.g * rec.h):
+            return "L (latency floor)"
+        if cost == prm.g * rec.h:
+            return "g*h (communication)"
+        return "w (local work)"
+    rec = machine.history[index]
+    cost = machine.phase_costs[index]
+    if isinstance(machine, GSM):
+        return "m_rw/alpha" if rec.m_rw / machine.params.alpha >= rec.kappa / machine.params.beta else "kappa/beta"
+    prm = machine.params
+    g = prm.g
+    if cost == rec.m_op and rec.m_op >= g * rec.m_rw:
+        return "m_op (local)"
+    contention_charge = getattr(prm, "d", None)
+    if isinstance(machine, SQSM):
+        contention_cost = g * rec.kappa
+    elif contention_charge is not None:
+        contention_cost = contention_charge * rec.kappa
+    else:
+        contention_cost = float(rec.kappa)
+    if contention_cost > g * rec.m_rw:
+        return "kappa (contention)"
+    return "g*m_rw (requests)"
+
+
+def explain(machine: Machine, limit: int = 50) -> str:
+    """Render the machine's phase history as an aligned table (first
+    ``limit`` phases)."""
+    rows: List[list] = []
+    if isinstance(machine, BSP):
+        for rec, cost in list(zip(machine.history, machine.step_costs))[:limit]:
+            rows.append([rec.index, rec.w, rec.h, rec.total_messages, cost,
+                         dominant_term(machine, rec.index)])
+        return render_table(
+            ["step", "w", "h", "msgs", "cost", "dominated by"],
+            rows,
+            title=f"BSP superstep history (showing {min(limit, len(rows))} of {machine.superstep_count})",
+        )
+    for rec, cost in list(zip(machine.history, machine.phase_costs))[:limit]:
+        read_q = max(rec.read_queue.values(), default=0)
+        write_q = max(rec.write_queue.values(), default=0)
+        rows.append([rec.index, rec.m_op, rec.m_rw, read_q, write_q, cost,
+                     dominant_term(machine, rec.index)])
+    title = f"{type(machine).__name__} phase history (showing {min(limit, len(rows))} of {machine.phase_count})"
+    return render_table(
+        ["phase", "m_op", "m_rw", "read q", "write q", "cost", "dominated by"],
+        rows,
+        title=title,
+    )

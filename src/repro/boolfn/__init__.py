@@ -1,0 +1,55 @@
+"""Boolean function algebra over integer multilinear polynomials.
+
+Section 2.5 of the paper rests on three facts:
+
+* **Fact 2.1 (Smolensky):** every ``f : {0,1}^n -> {0,1}`` is a unique
+  integer combination of positive monomials ``m_S = prod_{i in S} x_i``.
+* **Fact 2.2 (Dietzfelbinger et al.):** degree composition bounds —
+  ``deg(f AND g) <= deg f + deg g``, ``deg(NOT f) = deg f``,
+  ``deg(f OR g) <= deg f + deg g``, and restriction never raises degree.
+* **Fact 2.3:** certificate complexity obeys ``C(f) <= deg(f)^4``.
+
+This package implements all of it executably: the unique multilinear
+representation (via the Möbius transform over the subset lattice), degree,
+certificate complexity, and a library of standard functions (PARITY has
+degree exactly ``n``; OR has full degree too — these drive the paper's
+Theorem 3.1 / 7.2 degree arguments).
+"""
+
+from repro.boolfn.certificate import certificate_complexity, certificate_for_input
+from repro.boolfn.degree import (
+    and_degree_bound,
+    degree,
+    not_degree,
+    or_degree_bound,
+    restriction_degree_ok,
+)
+from repro.boolfn.functions import (
+    AND,
+    MAJORITY,
+    OR,
+    PARITY,
+    THRESHOLD,
+    from_truth_table,
+    random_function,
+)
+from repro.boolfn.multilinear import BooleanFunction, MultilinearPolynomial
+
+__all__ = [
+    "BooleanFunction",
+    "MultilinearPolynomial",
+    "certificate_complexity",
+    "certificate_for_input",
+    "degree",
+    "and_degree_bound",
+    "or_degree_bound",
+    "not_degree",
+    "restriction_degree_ok",
+    "AND",
+    "OR",
+    "PARITY",
+    "MAJORITY",
+    "THRESHOLD",
+    "from_truth_table",
+    "random_function",
+]

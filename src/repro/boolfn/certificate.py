@@ -1,0 +1,85 @@
+"""Certificate complexity (Nisan) and the Fact 2.3 relation to degree.
+
+``C_a(f)`` is the size of the smallest set ``S`` of variables such that
+fixing them to their values under ``a`` forces ``f``; ``C(f)`` is the
+maximum over all inputs ``a``.  Fact 2.3 (via Nisan / Dietzfelbinger et al.)
+states ``C(f) <= deg(f)^4``, which Claim 5.2 of the paper uses to argue
+every processor/cell state has a small certificate and therefore
+non-negligible probability.
+
+The computation enumerates variable subsets in order of size, so it is
+exponential in ``n``; it is intended for the small instances the
+lower-bound machinery and the tests run on (``n <= ~12``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Tuple
+
+from repro.boolfn.multilinear import BooleanFunction
+
+__all__ = ["certificate_for_input", "certificate_complexity", "fact_2_3_holds"]
+
+
+def _forces(f: BooleanFunction, assignment: int, subset_mask: int) -> bool:
+    """True iff fixing the variables in ``subset_mask`` to their values under
+    ``assignment`` makes ``f`` constant."""
+    n = f.n
+    free = [i for i in range(n) if not subset_mask & (1 << i)]
+    base = assignment & subset_mask
+    target = f(assignment)
+    # Enumerate all settings of the free variables.
+    for combo in range(1 << len(free)):
+        point = base
+        for j, var in enumerate(free):
+            if combo & (1 << j):
+                point |= 1 << var
+        # Free variables also keep assignment's values on S only; others vary.
+        if f(point) != target:
+            return False
+    return True
+
+
+def certificate_for_input(f: BooleanFunction, assignment: int) -> Tuple[int, int]:
+    """Smallest certificate for ``f`` at ``assignment``.
+
+    Returns ``(size, subset_mask)`` where ``subset_mask`` is the
+    lexicographically smallest minimum certificate (matching the paper's
+    tie-break for ``Cert``).
+    """
+    n = f.n
+    if not 0 <= assignment < (1 << n):
+        raise ValueError(f"assignment {assignment} out of range for n={n}")
+    for size in range(n + 1):
+        best: Optional[int] = None
+        for subset in combinations(range(n), size):
+            mask = 0
+            for var in subset:
+                mask |= 1 << var
+            if _forces(f, assignment, mask):
+                if best is None or mask < best:
+                    best = mask
+        if best is not None:
+            return size, best
+    raise AssertionError("the full variable set always certifies")  # pragma: no cover
+
+
+def certificate_complexity(f: BooleanFunction) -> int:
+    """``C(f) = max_a C_a(f)``."""
+    worst = 0
+    for assignment in range(1 << f.n):
+        size, _ = certificate_for_input(f, assignment)
+        worst = max(worst, size)
+        if worst == f.n:
+            break  # cannot get larger
+    return worst
+
+
+def fact_2_3_holds(f: BooleanFunction) -> bool:
+    """Check ``C(f) <= deg(f)^4`` (trivially true when f is constant)."""
+    d = f.degree
+    c = certificate_complexity(f)
+    if d == 0:
+        return c == 0
+    return c <= d**4

@@ -1,0 +1,48 @@
+"""Degree and the Fact 2.2 composition bounds.
+
+These are the inequalities the paper's degree arguments (Theorems 3.1, 7.2
+and Lemma 5.1) chain together phase by phase.  Each helper returns both the
+exact degree of the composed function and the Fact 2.2 upper bound, so tests
+and the degree-argument engine can check ``exact <= bound`` on arbitrary
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.boolfn.multilinear import BooleanFunction
+
+__all__ = [
+    "degree",
+    "and_degree_bound",
+    "or_degree_bound",
+    "not_degree",
+    "restriction_degree_ok",
+]
+
+
+def degree(f: BooleanFunction) -> int:
+    """``deg(f)``: the degree of the unique multilinear representation."""
+    return f.degree
+
+
+def and_degree_bound(f: BooleanFunction, g: BooleanFunction) -> Tuple[int, int]:
+    """Fact 2.2(1): returns ``(deg(f AND g), deg(f) + deg(g))``."""
+    return (f & g).degree, f.degree + g.degree
+
+
+def or_degree_bound(f: BooleanFunction, g: BooleanFunction) -> Tuple[int, int]:
+    """Fact 2.2(3): returns ``(deg(f OR g), deg(f) + deg(g))``."""
+    return (f | g).degree, f.degree + g.degree
+
+
+def not_degree(f: BooleanFunction) -> Tuple[int, int]:
+    """Fact 2.2(2): returns ``(deg(NOT f), deg(f))`` — these are equal
+    unless ``f`` is constant (deg 0 either way)."""
+    return (~f).degree, f.degree
+
+
+def restriction_degree_ok(f: BooleanFunction, fixed: Dict[int, int]) -> bool:
+    """Fact 2.2(4): fixing inputs to constants never raises degree."""
+    return f.restrict(fixed).degree <= f.degree

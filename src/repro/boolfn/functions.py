@@ -1,0 +1,90 @@
+"""Standard Boolean functions used throughout the paper.
+
+PARITY and OR are the paper's protagonists: PARITY of ``r`` bits has
+multilinear degree exactly ``r`` (the fact powering Theorem 3.1), and OR has
+degree ``r`` as well (powering Theorem 7.2).  AND, THRESHOLD and MAJORITY
+round out the library for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.boolfn.multilinear import BooleanFunction
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = [
+    "PARITY",
+    "OR",
+    "AND",
+    "THRESHOLD",
+    "MAJORITY",
+    "from_truth_table",
+    "random_function",
+]
+
+
+def _weights(n: int) -> np.ndarray:
+    """Popcount of every assignment mask ``0..2^n - 1``."""
+    idx = np.arange(1 << n, dtype=np.int64)
+    w = np.zeros_like(idx)
+    for bit in range(n):
+        w += (idx >> bit) & 1
+    return w
+
+
+def PARITY(n: int) -> BooleanFunction:
+    """1 iff the number of ones in the input is odd.  ``deg = n``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return BooleanFunction(n, (_weights(n) & 1).astype(np.int8))
+
+
+def OR(n: int) -> BooleanFunction:
+    """1 iff at least one input is 1.  ``deg = n``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return BooleanFunction(n, (_weights(n) >= 1).astype(np.int8))
+
+
+def AND(n: int) -> BooleanFunction:
+    """1 iff all inputs are 1.  ``deg = n``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return BooleanFunction(n, (_weights(n) == n).astype(np.int8))
+
+
+def THRESHOLD(n: int, k: int) -> BooleanFunction:
+    """1 iff at least ``k`` inputs are 1.
+
+    ``THRESHOLD(n, 1) == OR(n)``, ``THRESHOLD(n, n) == AND(n)``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0 <= k <= n + 1:
+        raise ValueError(f"threshold k must be in [0, n+1], got {k}")
+    return BooleanFunction(n, (_weights(n) >= k).astype(np.int8))
+
+
+def MAJORITY(n: int) -> BooleanFunction:
+    """1 iff more than half the inputs are 1 (strict majority)."""
+    return THRESHOLD(n, n // 2 + 1)
+
+
+def from_truth_table(values: Sequence[int]) -> BooleanFunction:
+    """Build a :class:`BooleanFunction` from a 0/1 table of length ``2^n``."""
+    size = len(values)
+    if size == 0 or size & (size - 1):
+        raise ValueError(f"truth table length {size} is not a power of two")
+    return BooleanFunction(size.bit_length() - 1, values)
+
+
+def random_function(n: int, seed: RngLike = None, bias: float = 0.5) -> BooleanFunction:
+    """A uniformly random Boolean function (entries iid Bernoulli(bias))."""
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError(f"bias must be in [0, 1], got {bias}")
+    rng = derive_rng(seed)
+    table = (rng.random(1 << n) < bias).astype(np.int8)
+    return BooleanFunction(n, table)

@@ -1,0 +1,306 @@
+"""Unique integer multilinear representation of Boolean functions (Fact 2.1).
+
+Every ``f : {0,1}^n -> Z`` equals ``sum_S alpha_S(f) * m_S`` for unique
+integer coefficients, where ``m_S = prod_{i in S} x_i``.  The coefficients
+are the Möbius transform of the truth table over the subset lattice:
+``alpha_S = sum_{T subseteq S} (-1)^{|S|-|T|} f(1_T)``, computed here with
+the standard in-place subset-sum sweep in ``O(n * 2^n)``.
+
+Conventions: an *assignment* is an integer bitmask where bit ``i`` is the
+value of ``x_i``; a truth table is a length-``2^n`` sequence indexed by
+assignment; a monomial is the bitmask of its variable set ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MultilinearPolynomial", "BooleanFunction", "popcount"]
+
+MAX_VARS = 24  # 2^24 truth-table entries; beyond this the dense transform is unreasonable.
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (size of the variable set a mask denotes)."""
+    return bin(mask).count("1")
+
+
+class MultilinearPolynomial:
+    """Integer multilinear polynomial on ``n`` Boolean variables.
+
+    Stored sparsely as ``{monomial_mask: coefficient}`` with zero
+    coefficients omitted.  Construction from a truth table performs the
+    Möbius transform; :meth:`truth_table` inverts it (zeta transform), and
+    the round-trip is exact — that is Fact 2.1's uniqueness, and the
+    property tests rely on it.
+    """
+
+    __slots__ = ("n", "coeffs")
+
+    def __init__(self, n: int, coeffs: Optional[Dict[int, int]] = None) -> None:
+        if not 0 <= n <= MAX_VARS:
+            raise ValueError(f"variable count must be in [0, {MAX_VARS}], got {n}")
+        self.n = n
+        clean: Dict[int, int] = {}
+        if coeffs:
+            limit = 1 << n
+            for mask, coeff in coeffs.items():
+                if not 0 <= mask < limit:
+                    raise ValueError(f"monomial mask {mask} out of range for n={n}")
+                if coeff != 0:
+                    clean[mask] = int(coeff)
+        self.coeffs = clean
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_truth_table(cls, values: Sequence[int], n: Optional[int] = None) -> "MultilinearPolynomial":
+        """Möbius-transform a truth table into monomial coefficients."""
+        size = len(values)
+        if n is None:
+            if size == 0 or size & (size - 1):
+                raise ValueError(f"truth table length {size} is not a power of two")
+            n = size.bit_length() - 1
+        if size != 1 << n:
+            raise ValueError(f"truth table length {size} != 2^{n}")
+        work: List[int] = [int(v) for v in values]
+        for i in range(n):
+            bit = 1 << i
+            for mask in range(size):
+                if mask & bit:
+                    work[mask] -= work[mask ^ bit]
+        coeffs = {mask: c for mask, c in enumerate(work) if c != 0}
+        return cls(n, coeffs)
+
+    @classmethod
+    def from_function(cls, fn: Callable[[Tuple[int, ...]], int], n: int) -> "MultilinearPolynomial":
+        """Tabulate ``fn`` on all of ``{0,1}^n`` then transform."""
+        table = [int(fn(tuple((a >> i) & 1 for i in range(n)))) for a in range(1 << n)]
+        return cls.from_truth_table(table, n)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, assignment: int) -> int:
+        """Evaluate at the assignment bitmask (monomial m_S is 1 iff S ⊆ assignment)."""
+        if not 0 <= assignment < (1 << self.n):
+            raise ValueError(f"assignment {assignment} out of range for n={self.n}")
+        total = 0
+        for mask, coeff in self.coeffs.items():
+            if mask & assignment == mask:
+                total += coeff
+        return total
+
+    def truth_table(self) -> List[int]:
+        """Zeta-transform the coefficients back to a full truth table."""
+        size = 1 << self.n
+        work = [0] * size
+        for mask, coeff in self.coeffs.items():
+            work[mask] = coeff
+        for i in range(self.n):
+            bit = 1 << i
+            for mask in range(size):
+                if mask & bit:
+                    work[mask] += work[mask ^ bit]
+        return work
+
+    # -- algebra ---------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """``deg(f) = max{|S| : alpha_S != 0}``; the zero polynomial has degree 0."""
+        if not self.coeffs:
+            return 0
+        return max(popcount(mask) for mask in self.coeffs)
+
+    def __add__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        self._check_compatible(other)
+        merged = dict(self.coeffs)
+        for mask, coeff in other.coeffs.items():
+            merged[mask] = merged.get(mask, 0) + coeff
+        return MultilinearPolynomial(self.n, merged)
+
+    def __sub__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        self._check_compatible(other)
+        merged = dict(self.coeffs)
+        for mask, coeff in other.coeffs.items():
+            merged[mask] = merged.get(mask, 0) - coeff
+        return MultilinearPolynomial(self.n, merged)
+
+    def __neg__(self) -> "MultilinearPolynomial":
+        return MultilinearPolynomial(self.n, {m: -c for m, c in self.coeffs.items()})
+
+    def __mul__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        """Pointwise product on the cube (multilinearised: x_i^2 = x_i)."""
+        self._check_compatible(other)
+        merged: Dict[int, int] = {}
+        # Multilinearisation over {0,1}: m_S * m_T = m_{S ∪ T}.
+        for m1, c1 in self.coeffs.items():
+            for m2, c2 in other.coeffs.items():
+                key = m1 | m2
+                merged[key] = merged.get(key, 0) + c1 * c2
+        return MultilinearPolynomial(self.n, merged)
+
+    def scale(self, k: int) -> "MultilinearPolynomial":
+        return MultilinearPolynomial(self.n, {m: k * c for m, c in self.coeffs.items()})
+
+    def restrict(self, fixed: Dict[int, int]) -> "MultilinearPolynomial":
+        """Fix variables ``{index: 0 or 1}``; remaining variables keep indices.
+
+        By Fact 2.2(4), degree never increases under restriction; the
+        property tests assert this on random polynomials.
+        """
+        for var, val in fixed.items():
+            if not 0 <= var < self.n:
+                raise ValueError(f"variable index {var} out of range for n={self.n}")
+            if val not in (0, 1):
+                raise ValueError(f"restriction value must be 0 or 1, got {val}")
+        merged: Dict[int, int] = {}
+        zero_mask = 0
+        one_mask = 0
+        for var, val in fixed.items():
+            if val == 0:
+                zero_mask |= 1 << var
+            else:
+                one_mask |= 1 << var
+        for mask, coeff in self.coeffs.items():
+            if mask & zero_mask:
+                continue  # monomial contains a variable fixed to 0: vanishes
+            reduced = mask & ~one_mask  # variables fixed to 1 drop out
+            merged[reduced] = merged.get(reduced, 0) + coeff
+        return MultilinearPolynomial(self.n, merged)
+
+    def _check_compatible(self, other: "MultilinearPolynomial") -> None:
+        if not isinstance(other, MultilinearPolynomial):
+            raise TypeError(f"expected MultilinearPolynomial, got {type(other)!r}")
+        if self.n != other.n:
+            raise ValueError(f"variable counts differ: {self.n} vs {other.n}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultilinearPolynomial):
+            return NotImplemented
+        return self.n == other.n and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.n, frozenset(self.coeffs.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self.coeffs:
+            return f"MultilinearPolynomial(n={self.n}, 0)"
+        terms = []
+        for mask in sorted(self.coeffs, key=lambda m: (popcount(m), m)):
+            coeff = self.coeffs[mask]
+            vars_ = "*".join(f"x{i}" for i in range(self.n) if mask & (1 << i)) or "1"
+            terms.append(f"{coeff:+d}*{vars_}")
+        return f"MultilinearPolynomial(n={self.n}, {' '.join(terms)})"
+
+
+class BooleanFunction:
+    """A total Boolean function given by its truth table, with algebra on top.
+
+    The truth table is a numpy ``int8`` array of length ``2^n`` indexed by
+    assignment bitmask.  Boolean operations compose tables; :attr:`degree`
+    and certificate complexity go through the polynomial representation.
+    """
+
+    __slots__ = ("n", "table", "_poly")
+
+    def __init__(self, n: int, table: Sequence[int]) -> None:
+        if not 0 <= n <= MAX_VARS:
+            raise ValueError(f"variable count must be in [0, {MAX_VARS}], got {n}")
+        arr = np.asarray(table, dtype=np.int8)
+        if arr.shape != (1 << n,):
+            raise ValueError(f"truth table must have length 2^{n}, got shape {arr.shape}")
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError("truth table entries must be 0 or 1")
+        self.n = n
+        self.table = arr
+        self._poly: Optional[MultilinearPolynomial] = None
+
+    @classmethod
+    def from_function(cls, fn: Callable[[Tuple[int, ...]], int], n: int) -> "BooleanFunction":
+        table = [1 if fn(tuple((a >> i) & 1 for i in range(n))) else 0 for a in range(1 << n)]
+        return cls(n, table)
+
+    def __call__(self, assignment: int) -> int:
+        if not 0 <= assignment < (1 << self.n):
+            raise ValueError(f"assignment {assignment} out of range for n={self.n}")
+        return int(self.table[assignment])
+
+    def evaluate_bits(self, bits: Iterable[int]) -> int:
+        """Evaluate at an explicit bit sequence ``(x_0, x_1, ..., x_{n-1})``."""
+        mask = 0
+        count = 0
+        for i, b in enumerate(bits):
+            if b not in (0, 1):
+                raise ValueError(f"input bits must be 0/1, got {b}")
+            mask |= b << i
+            count += 1
+        if count != self.n:
+            raise ValueError(f"expected {self.n} bits, got {count}")
+        return int(self.table[mask])
+
+    @property
+    def polynomial(self) -> MultilinearPolynomial:
+        if self._poly is None:
+            self._poly = MultilinearPolynomial.from_truth_table(self.table.tolist(), self.n)
+        return self._poly
+
+    @property
+    def degree(self) -> int:
+        return self.polynomial.degree
+
+    # -- Boolean algebra ---------------------------------------------------
+
+    def __and__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self.n, self.table & other.table)
+
+    def __or__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self.n, self.table | other.table)
+
+    def __xor__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self.n, self.table ^ other.table)
+
+    def __invert__(self) -> "BooleanFunction":
+        return BooleanFunction(self.n, 1 - self.table)
+
+    def restrict(self, fixed: Dict[int, int]) -> "BooleanFunction":
+        """Fix some variables; the result keeps ``n`` variables with the fixed
+        ones now irrelevant (their table slices are duplicated), matching the
+        paper's ``g ⊆ f`` notion where ``g`` results from fixing inputs."""
+        table = self.table
+        for var, val in fixed.items():
+            if not 0 <= var < self.n:
+                raise ValueError(f"variable index {var} out of range for n={self.n}")
+            if val not in (0, 1):
+                raise ValueError(f"restriction value must be 0 or 1, got {val}")
+            bit = 1 << var
+            idx = np.arange(1 << self.n)
+            source = (idx & ~bit) | (bit if val else 0)
+            table = table[source]
+        return BooleanFunction(self.n, table)
+
+    def is_constant(self) -> bool:
+        return bool((self.table == self.table[0]).all())
+
+    def _check_compatible(self, other: "BooleanFunction") -> None:
+        if not isinstance(other, BooleanFunction):
+            raise TypeError(f"expected BooleanFunction, got {type(other)!r}")
+        if self.n != other.n:
+            raise ValueError(f"variable counts differ: {self.n} vs {other.n}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return self.n == other.n and bool((self.table == other.table).all())
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.table.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bits = "".join(str(int(v)) for v in self.table) if self.n <= 5 else "..."
+        return f"BooleanFunction(n={self.n}, table={bits})"

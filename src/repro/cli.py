@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+``python -m repro`` runs every experiment of DESIGN.md's index (the four
+Table 1 sub-tables, the Section 8 upper-bound tracking table, the
+lower-bound machinery demonstrations and the ablations) and prints the
+combined report.  ``python -m repro t1a`` (etc.) runs a single experiment.
+
+This is the same code path the pytest benches assert on; the CLI just
+prints without asserting, so it is the cheapest way to regenerate
+EXPERIMENTS.md's numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _t1a() -> None:
+    from benchmarks.bench_table1_qsm_time import main
+
+    main()
+
+
+def _t1b() -> None:
+    from benchmarks.bench_table1_sqsm_time import main
+
+    main()
+
+
+def _t1c() -> None:
+    from benchmarks.bench_table1_bsp_time import main
+
+    main()
+
+
+def _t1d() -> None:
+    from benchmarks.bench_table1_rounds import main
+
+    main()
+
+
+def _s8() -> None:
+    from benchmarks.bench_s8_upper_bounds import main
+
+    main()
+
+
+def _lb() -> None:
+    from benchmarks.bench_lb_machinery import main
+
+    main()
+
+
+def _abl() -> None:
+    from benchmarks.bench_ablations import main
+
+    main()
+
+
+def _rel() -> None:
+    from benchmarks.bench_related_problems import main
+
+    main()
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "t1a": _t1a,
+    "t1b": _t1b,
+    "t1c": _t1c,
+    "t1d": _t1d,
+    "s8": _s8,
+    "rel": _rel,
+    "lb": _lb,
+    "abl": _abl,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")
+        return 0
+    chosen = argv or list(EXPERIMENTS)
+    unknown = [a for a in chosen if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; know {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for i, name in enumerate(chosen):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        print(f"### experiment {name}\n")
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

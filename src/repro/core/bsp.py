@@ -1,0 +1,182 @@
+"""The BSP simulator (Valiant's model, as specified in Section 2.1).
+
+``p`` processor/memory components communicate by point-to-point messages.
+A computation is a sequence of supersteps; messages sent in superstep *t*
+are delivered before superstep *t+1* begins, and each component's sends must
+be a function of its state at the start of the superstep (enforced the same
+way the shared-memory machines enforce read latency: inboxes swap at commit).
+
+Superstep cost is ``max(w, g * h, L)`` where ``w`` is the maximum local work
+and ``h = max_i max(s_i, r_i)`` is the routed h-relation.  The paper assumes
+``L >= g``; :class:`~repro.core.params.BSPParams` enforces it.
+
+The input convention of Section 2.1 — an input of size ``n`` is partitioned
+uniformly so each component holds ``ceil(n/p)`` or ``floor(n/p)`` items —
+is provided by :meth:`BSP.scatter`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import bsp_superstep_cost
+from repro.core.machine import PhaseClosedError
+from repro.core.params import BSPParams
+from repro.core.phase import SuperstepRecord
+
+__all__ = ["BSP", "Superstep"]
+
+
+class Superstep:
+    """One open BSP superstep; use via ``with bsp.superstep() as ss:``."""
+
+    def __init__(self, machine: "BSP") -> None:
+        self._machine = machine
+        self._open = True
+        self._outgoing: List[Tuple[int, int, Any]] = []  # (src, dst, payload)
+        self._sent: Dict[int, int] = {}
+        self._work: Dict[int, int] = {}
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Component ``src`` sends ``payload`` to component ``dst``.
+
+        Delivery happens when the superstep commits; the message appears in
+        ``bsp.inbox(dst)`` during the next superstep.
+        """
+        self._check_open()
+        self._machine._check_component(src)
+        self._machine._check_component(dst)
+        self._outgoing.append((src, dst, payload))
+        self._sent[src] = self._sent.get(src, 0) + 1
+
+    def local(self, proc: int, ops: int = 1) -> None:
+        """Charge ``ops`` units of local work to component ``proc``."""
+        self._check_open()
+        self._machine._check_component(proc)
+        if ops < 0:
+            raise ValueError(f"ops must be non-negative, got {ops}")
+        self._work[proc] = self._work.get(proc, 0) + ops
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise PhaseClosedError("superstep already committed")
+
+    def __enter__(self) -> "Superstep":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._machine._commit(self)
+        else:
+            self._machine._step_open = False
+        self._open = False
+        return False
+
+
+class BSP:
+    """Bulk-Synchronous Parallel machine with ``p`` components."""
+
+    def __init__(
+        self,
+        p: int,
+        params: Optional[BSPParams] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if p < 1:
+            raise ValueError(f"BSP needs at least one component, got p={p}")
+        self.p = p
+        self.params = params if params is not None else BSPParams()
+        # Local stores are plain dicts owned by the orchestrating algorithm.
+        self.store: List[Dict[Any, Any]] = [dict() for _ in range(p)]
+        self._inboxes: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+        self.history: List[SuperstepRecord] = []
+        self.step_costs: List[float] = []
+        self.time: float = 0.0
+        self._step_open = False
+
+    # -- data movement helpers (uncharged setup) -----------------------------
+
+    def scatter(self, values: Sequence[Any], key: Any = "input") -> None:
+        """Partition ``values`` uniformly across components (Section 2.1).
+
+        Component ``i`` receives a contiguous slice of size ``ceil(n/p)`` or
+        ``floor(n/p)``; the slice is stored under ``store[i][key]`` together
+        with its global offset under ``store[i][(key, 'offset')]``.  Input
+        placement is part of the model's initial condition and is not
+        charged.
+        """
+        n = len(values)
+        base, extra = divmod(n, self.p)
+        start = 0
+        for i in range(self.p):
+            size = base + (1 if i < extra else 0)
+            self.store[i][key] = list(values[start : start + size])
+            self.store[i][(key, "offset")] = start
+            start += size
+
+    def gather(self, key: Any = "input") -> List[Any]:
+        """Concatenate each component's ``store[key]`` list (verifier use)."""
+        out: List[Any] = []
+        for i in range(self.p):
+            out.extend(self.store[i].get(key, []))
+        return out
+
+    # -- superstep protocol ---------------------------------------------------
+
+    def superstep(self) -> Superstep:
+        if self._step_open:
+            raise PhaseClosedError("a superstep is already open; they cannot nest")
+        self._step_open = True
+        return Superstep(self)
+
+    def inbox(self, proc: int) -> List[Tuple[int, Any]]:
+        """Messages delivered to ``proc`` at the end of the previous superstep.
+
+        Each entry is ``(src, payload)``.  Order is deterministic: sorted by
+        sender id, ties broken by send order.  (The BSP does not guarantee
+        arrival order; algorithms must not rely on it, and the deterministic
+        order here merely makes runs reproducible.  Tests shuffle inboxes to
+        check order-independence.)
+        """
+        self._check_component(proc)
+        return list(self._inboxes[proc])
+
+    @property
+    def superstep_count(self) -> int:
+        return len(self.history)
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_component(self, proc: int) -> None:
+        if not isinstance(proc, int) or isinstance(proc, bool):
+            raise TypeError(f"component id must be an int, got {proc!r}")
+        if not 0 <= proc < self.p:
+            raise ValueError(f"component id {proc} out of range for p={self.p}")
+
+    def _commit(self, step: Superstep) -> None:
+        received: Dict[int, int] = {}
+        new_inboxes: List[List[Tuple[int, Any]]] = [[] for _ in range(self.p)]
+        # Deterministic delivery order: by sender, then send order.
+        ordered = sorted(range(len(step._outgoing)), key=lambda i: (step._outgoing[i][0], i))
+        for i in ordered:
+            src, dst, payload = step._outgoing[i]
+            new_inboxes[dst].append((src, payload))
+            received[dst] = received.get(dst, 0) + 1
+        record = SuperstepRecord(
+            index=len(self.history),
+            work_per_proc=dict(step._work),
+            sent_per_proc=dict(step._sent),
+            received_per_proc=received,
+        )
+        cost = bsp_superstep_cost(record, self.params)
+        self._inboxes = new_inboxes
+        self.history.append(record)
+        self.step_costs.append(cost)
+        self.time += cost
+        self._step_open = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BSP(p={self.p}, g={self.params.g}, L={self.params.L}, "
+            f"supersteps={self.superstep_count}, time={self.time})"
+        )

@@ -1,0 +1,66 @@
+"""The Section 2 cost formulas, as pure functions of phase records.
+
+Keeping the formulas separate from the machines lets the ablation bench
+(`ABL-queue` in DESIGN.md) charge the *same* program under different cost
+rules, and lets tests pin each formula against hand-computed values.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.core.params import BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.phase import PhaseRecord, SuperstepRecord
+
+__all__ = [
+    "qsm_phase_cost",
+    "sqsm_phase_cost",
+    "gsm_big_steps",
+    "gsm_phase_cost",
+    "bsp_superstep_cost",
+]
+
+
+def qsm_phase_cost(record: PhaseRecord, params: QSMParams) -> float:
+    """QSM phase cost ``max(m_op, g * m_rw, kappa)`` (Section 2.1).
+
+    With ``params.unit_time_concurrent_reads`` only write queues contribute
+    to the contention term (concurrent reads are unit-time), the variant
+    against which Theorem 3.1's lower bound and the matching upper bound are
+    stated.
+    """
+    if params.unit_time_concurrent_reads:
+        kappa = float(max(1, max(record.write_queue.values(), default=0)))
+    else:
+        kappa = float(record.kappa)
+    return max(float(record.m_op), params.g * record.m_rw, kappa)
+
+
+def sqsm_phase_cost(record: PhaseRecord, params: SQSMParams) -> float:
+    """s-QSM phase cost ``max(m_op, g * m_rw, g * kappa)`` (Section 2.1)."""
+    return max(float(record.m_op), params.g * record.m_rw, params.g * record.kappa)
+
+
+def gsm_big_steps(record: PhaseRecord, params: GSMParams) -> int:
+    """Number of big-steps ``b = max(ceil(m_rw/alpha), ceil(kappa/beta))``.
+
+    A phase always takes at least one big-step (``m_rw >= 1`` and
+    ``kappa >= 1`` by definition of the records).
+    """
+    b_rw = ceil(record.m_rw / params.alpha)
+    b_cont = ceil(record.kappa / params.beta)
+    return max(1, b_rw, b_cont)
+
+
+def gsm_phase_cost(record: PhaseRecord, params: GSMParams) -> float:
+    """GSM phase cost ``mu * b`` (Section 2.2).
+
+    Local computation is free on the GSM (it is a lower-bound model), so
+    ``m_op`` does not appear.
+    """
+    return params.mu * gsm_big_steps(record, params)
+
+
+def bsp_superstep_cost(record: SuperstepRecord, params: BSPParams) -> float:
+    """BSP superstep cost ``max(w, g * h, L)`` (Section 2.1)."""
+    return max(float(record.w), params.g * record.h, params.L)

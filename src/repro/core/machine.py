@@ -1,0 +1,345 @@
+"""Bulk-synchronous shared-memory machine base (QSM / s-QSM / GSM).
+
+Algorithms drive a machine in orchestrator style: the algorithm code plays
+every processor, issuing reads, writes and local-op charges through a
+:class:`Phase` context manager.  The machine enforces the model's semantics:
+
+* **Read latency** — a value read in phase *t* is only available after the
+  phase commits (returned through a :class:`ReadHandle` that stays sealed
+  until then), matching "the value returned by a shared-memory read can only
+  be used in a subsequent phase".
+* **No concurrent read+write** — a location may be read by many processors
+  or written by many processors in one phase, but not both; violations raise
+  :class:`MemoryConflictError`.
+* **Queue accounting** — per-cell reader/writer queue lengths feed the
+  contention term ``kappa`` of the cost formulas.
+* **Write resolution** — model-specific: the QSM/s-QSM pick one arbitrary
+  winner per cell; the GSM's strong queuing merges all written values into
+  the cell (see subclasses).
+
+Costs are charged per phase by the subclass's cost formula and accumulated
+in ``machine.time``; the full phase history is kept as
+:class:`~repro.core.phase.PhaseRecord` objects for the round auditor and the
+lower-bound engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.phase import PhaseRecord
+from repro.util.seeding import derive_rng
+
+__all__ = [
+    "MemoryConflictError",
+    "PhaseClosedError",
+    "ReadHandle",
+    "Phase",
+    "SharedMemoryMachine",
+]
+
+
+class MemoryConflictError(RuntimeError):
+    """A location was both read and written in the same phase."""
+
+
+class PhaseClosedError(RuntimeError):
+    """An operation was issued against a phase that has already committed."""
+
+
+class ReadHandle:
+    """Deferred result of a shared-memory read.
+
+    The handle is *sealed* while its phase is open; accessing ``.value``
+    raises then.  After the phase commits the handle resolves to the value
+    the cell held at the start of the phase.
+    """
+
+    __slots__ = ("proc", "addr", "_value", "_resolved")
+
+    def __init__(self, proc: int, addr: int) -> None:
+        self.proc = proc
+        self.addr = addr
+        self._value: Any = None
+        self._resolved = False
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._resolved = True
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        if not self._resolved:
+            raise PhaseClosedError(
+                "read value used before its phase committed: the QSM/GSM read "
+                "rule only makes values available in a subsequent phase"
+            )
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = repr(self._value) if self._resolved else "<sealed>"
+        return f"ReadHandle(proc={self.proc}, addr={self.addr}, value={state})"
+
+
+class Phase:
+    """One open phase of a shared-memory machine.
+
+    Use via ``with machine.phase() as ph:``; operations are recorded and the
+    phase commits (applying writes, resolving reads, charging cost) when the
+    context exits without an exception.
+    """
+
+    def __init__(self, machine: "SharedMemoryMachine") -> None:
+        self._machine = machine
+        self._open = True
+        self._reads: List[ReadHandle] = []
+        # addr -> list of (proc, value) in issue order
+        self._writes: Dict[int, List[Tuple[int, Any]]] = {}
+        self._read_queue: Dict[int, int] = {}
+        self._reads_per_proc: Dict[int, int] = {}
+        self._writes_per_proc: Dict[int, int] = {}
+        self._ops_per_proc: Dict[int, int] = {}
+
+    # -- operations -------------------------------------------------------
+
+    def read(self, proc: int, addr: int) -> ReadHandle:
+        """Processor ``proc`` requests the contents of cell ``addr``.
+
+        Returns a sealed :class:`ReadHandle`; the value is available after
+        the phase commits.
+        """
+        self._check_open()
+        self._machine._check_proc(proc)
+        self._machine._check_addr(addr)
+        if addr in self._writes:
+            raise MemoryConflictError(
+                f"cell {addr} is being written this phase; concurrent read and "
+                f"write to one location in a phase is forbidden"
+            )
+        handle = ReadHandle(proc, addr)
+        self._reads.append(handle)
+        self._read_queue[addr] = self._read_queue.get(addr, 0) + 1
+        self._reads_per_proc[proc] = self._reads_per_proc.get(proc, 0) + 1
+        return handle
+
+    def write(self, proc: int, addr: int, value: Any) -> None:
+        """Processor ``proc`` writes ``value`` to cell ``addr``.
+
+        ``value`` must be a concrete value computed from state available
+        before this phase.  Passing a sealed :class:`ReadHandle` from the
+        current phase raises; resolved handles from earlier phases are
+        unwrapped for convenience.
+        """
+        self._check_open()
+        self._machine._check_proc(proc)
+        self._machine._check_addr(addr)
+        if isinstance(value, ReadHandle):
+            if not value.resolved:
+                raise PhaseClosedError(
+                    "attempted to write a value read in the same phase; reads "
+                    "only deliver in a subsequent phase"
+                )
+            value = value.value
+        if addr in self._read_queue:
+            raise MemoryConflictError(
+                f"cell {addr} is being read this phase; concurrent read and "
+                f"write to one location in a phase is forbidden"
+            )
+        self._writes.setdefault(addr, []).append((proc, value))
+        self._writes_per_proc[proc] = self._writes_per_proc.get(proc, 0) + 1
+
+    def local(self, proc: int, ops: int = 1) -> None:
+        """Charge ``ops`` units of local RAM computation to processor ``proc``."""
+        self._check_open()
+        self._machine._check_proc(proc)
+        if ops < 0:
+            raise ValueError(f"ops must be non-negative, got {ops}")
+        self._ops_per_proc[proc] = self._ops_per_proc.get(proc, 0) + ops
+
+    # -- commit machinery --------------------------------------------------
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise PhaseClosedError("phase already committed")
+
+    def _build_record(self, index: int) -> PhaseRecord:
+        write_queue = {addr: len(entries) for addr, entries in self._writes.items()}
+        return PhaseRecord(
+            index=index,
+            reads_per_proc=dict(self._reads_per_proc),
+            writes_per_proc=dict(self._writes_per_proc),
+            ops_per_proc=dict(self._ops_per_proc),
+            read_queue=dict(self._read_queue),
+            write_queue=write_queue,
+        )
+
+    def __enter__(self) -> "Phase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            if exc_type is None:
+                self._machine._commit(self)
+        finally:
+            # Whether the phase aborted or the commit itself raised (e.g. a
+            # PRAM concurrency violation), release the machine so callers
+            # can continue after asserting on the error.
+            self._machine._phase_open = False
+            self._open = False
+        return False
+
+
+class SharedMemoryMachine:
+    """Base class for the QSM, s-QSM and GSM simulators.
+
+    Parameters
+    ----------
+    num_processors:
+        Upper bound on processor ids, or ``None`` for the paper's
+        "unlimited number of processors" setting.
+    memory_size:
+        Upper bound on addresses, or ``None`` for unbounded memory.
+    seed:
+        Seed for the machine's internal generator.  The QSM/s-QSM use it to
+        pick the "arbitrary" winner among concurrent writers, so a seed pins
+        an entire execution.
+    record_trace:
+        When true, the machine additionally stores per-phase read/write
+        address detail (see :mod:`repro.core.trace`) for the lower-bound
+        engines.  Off by default because it is memory-heavy on large runs.
+    """
+
+    def __init__(
+        self,
+        num_processors: Optional[int] = None,
+        memory_size: Optional[int] = None,
+        seed: Optional[int] = 0,
+        record_trace: bool = False,
+        record_snapshots: bool = False,
+    ) -> None:
+        if num_processors is not None and num_processors < 1:
+            raise ValueError(f"num_processors must be >= 1, got {num_processors}")
+        if memory_size is not None and memory_size < 1:
+            raise ValueError(f"memory_size must be >= 1, got {memory_size}")
+        self.num_processors = num_processors
+        self.memory_size = memory_size
+        self._memory: Dict[int, Any] = {}
+        self._rng = derive_rng(seed)
+        self.record_trace = record_trace
+        self.record_snapshots = record_snapshots
+        self.history: List[PhaseRecord] = []
+        self.phase_costs: List[float] = []
+        self.traces: List["PhaseTrace"] = []
+        self.snapshots: List[Dict[int, Any]] = []
+        self.time: float = 0.0
+        self._phase_open = False
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _phase_cost(self, record: PhaseRecord) -> float:
+        raise NotImplementedError
+
+    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
+        """Apply this phase's writes to memory (model-specific)."""
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+
+    def phase(self) -> Phase:
+        """Open a new phase.  Phases may not be nested."""
+        if self._phase_open:
+            raise PhaseClosedError("a phase is already open; phases cannot nest")
+        self._phase_open = True
+        return Phase(self)
+
+    def peek(self, addr: int) -> Any:
+        """Read committed memory without charging cost (test/verifier use only)."""
+        self._check_addr(addr)
+        return self._memory.get(addr)
+
+    def poke(self, addr: int, value: Any) -> None:
+        """Set committed memory without charging cost (input loading)."""
+        self._check_addr(addr)
+        self._memory[addr] = value
+
+    def load(self, values: Sequence[Any], base: int = 0) -> None:
+        """Place ``values`` into consecutive cells starting at ``base`` for free.
+
+        Input placement is not charged in any of the models; the input is
+        assumed to reside in shared memory (or be distributed, on the BSP)
+        at time zero.
+        """
+        for offset, value in enumerate(values):
+            self.poke(base + offset, value)
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.history)
+
+    @property
+    def memory_in_use(self) -> int:
+        """Number of distinct cells ever written (footprint measure)."""
+        return len(self._memory)
+
+    def next_free_address(self) -> int:
+        """One past the highest address ever written.
+
+        Algorithms that lay out scratch arrays start their allocators here
+        so that several algorithm invocations can share one machine without
+        address collisions.
+        """
+        if not self._memory:
+            return 0
+        return max(self._memory) + 1
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_proc(self, proc: int) -> None:
+        # Hot path: one exact-type test covers the common case (profiling
+        # showed per-operation validation dominating large sweeps; `type is
+        # int` also rejects bool, unlike isinstance).
+        if type(proc) is not int:
+            raise TypeError(f"processor id must be an int, got {proc!r}")
+        if proc < 0:
+            raise ValueError(f"processor id must be non-negative, got {proc}")
+        if self.num_processors is not None and proc >= self.num_processors:
+            raise ValueError(
+                f"processor id {proc} out of range for machine with "
+                f"{self.num_processors} processors"
+            )
+
+    def _check_addr(self, addr: int) -> None:
+        if type(addr) is not int:
+            raise TypeError(f"address must be an int, got {addr!r}")
+        if addr < 0:
+            raise ValueError(f"address must be non-negative, got {addr}")
+        if self.memory_size is not None and addr >= self.memory_size:
+            raise ValueError(
+                f"address {addr} out of range for memory of size {self.memory_size}"
+            )
+
+    def _commit(self, phase: Phase) -> None:
+        record = phase._build_record(len(self.history))
+        cost = self._phase_cost(record)
+        # Resolve reads against pre-phase memory, then apply writes.
+        for handle in phase._reads:
+            handle._resolve(self._read_cell(handle.addr))
+        self._resolve_writes(phase._writes)
+        self.history.append(record)
+        self.phase_costs.append(cost)
+        self.time += cost
+        if self.record_trace:
+            from repro.core.trace import PhaseTrace
+
+            self.traces.append(PhaseTrace.from_phase(record.index, phase))
+        if self.record_snapshots:
+            self.snapshots.append(dict(self._memory))
+        self._phase_open = False
+
+    def _read_cell(self, addr: int) -> Any:
+        """Value delivered by a read of ``addr`` (subclasses may override)."""
+        return self._memory.get(addr)

@@ -1,0 +1,105 @@
+"""Machine-parameter dataclasses for the four models of Section 2.
+
+Every simulator takes one of these frozen dataclasses.  Validation happens at
+construction so an invalid machine cannot be built; derived quantities used
+by the cost formulas (``mu``/``lam`` on the GSM) are exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QSMParams", "SQSMParams", "GSMParams", "BSPParams"]
+
+
+@dataclass(frozen=True)
+class QSMParams:
+    """QSM gap parameter.
+
+    The time cost of a phase with max contention ``kappa``, max per-processor
+    local ops ``m_op`` and max per-processor read/write count ``m_rw`` is
+    ``max(m_op, g * m_rw, kappa)``.  With ``g == 1`` the model is the QRQW
+    PRAM of Gibbons, Matias & Ramachandran.
+
+    ``unit_time_concurrent_reads`` selects the CRQW-style variant used in
+    Theorem 3.1 and the matching Section 8 parity upper bound: read queues
+    are not charged to contention (only write queues are), i.e. concurrent
+    reads take unit time.
+    """
+
+    g: float = 1.0
+    unit_time_concurrent_reads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise ValueError(f"QSM gap parameter must be >= 1, got {self.g}")
+
+
+@dataclass(frozen=True)
+class SQSMParams:
+    """s-QSM gap parameter.
+
+    Identical to the QSM except contention is also charged the gap:
+    phase cost is ``max(m_op, g * m_rw, g * kappa)``.
+    """
+
+    g: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise ValueError(f"s-QSM gap parameter must be >= 1, got {self.g}")
+
+
+@dataclass(frozen=True)
+class GSMParams:
+    """GSM parameters ``(alpha, beta, gamma)`` from Section 2.2.
+
+    A phase with max per-processor read/write count ``m_rw`` and max
+    contention ``kappa`` consists of
+    ``b = max(ceil(m_rw / alpha), ceil(kappa / beta))`` big-steps, each of
+    duration ``mu = max(alpha, beta)``; the phase costs ``mu * b``.
+    ``gamma`` is the number of inputs packed into each cell initially.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: int = 1
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1:
+            raise ValueError(f"GSM alpha must be >= 1, got {self.alpha}")
+        if self.beta < 1:
+            raise ValueError(f"GSM beta must be >= 1, got {self.beta}")
+        if self.gamma < 1:
+            raise ValueError(f"GSM gamma must be >= 1, got {self.gamma}")
+
+    @property
+    def mu(self) -> float:
+        """Big-step duration ``mu = max(alpha, beta)``."""
+        return max(self.alpha, self.beta)
+
+    @property
+    def lam(self) -> float:
+        """``lambda = min(alpha, beta)`` (used in round definitions)."""
+        return min(self.alpha, self.beta)
+
+
+@dataclass(frozen=True)
+class BSPParams:
+    """BSP bandwidth gap ``g`` and latency ``L``.
+
+    Superstep cost is ``max(w, g * h, L)`` where ``w`` is the max local work
+    and ``h`` the max number of messages sent or received by any component.
+    The paper assumes ``L >= g`` throughout; we enforce it.
+    """
+
+    g: float = 1.0
+    L: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise ValueError(f"BSP g must be >= 1, got {self.g}")
+        if self.L < self.g:
+            raise ValueError(
+                f"paper assumes L >= g throughout; got L={self.L} < g={self.g}"
+            )

@@ -1,0 +1,65 @@
+"""The QSM simulator (Section 2.1).
+
+Memory semantics: queue-read queue-write.  Concurrent reads of a cell all
+receive the cell's pre-phase value; among concurrent writers to a cell, an
+*arbitrary* one succeeds.  "Arbitrary" is adversarial from the algorithm's
+point of view, so the simulator picks the winner with its seeded generator —
+a correct algorithm must produce the right answer for every seed, and the
+test suite exercises several.
+
+Cost: ``max(m_op, g * m_rw, kappa)`` per phase.  With ``g == 1`` this is the
+QRQW PRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.cost import qsm_phase_cost
+from repro.core.machine import SharedMemoryMachine
+from repro.core.params import QSMParams
+from repro.core.phase import PhaseRecord
+
+__all__ = ["QSM"]
+
+
+class QSM(SharedMemoryMachine):
+    """Queuing Shared Memory machine."""
+
+    def __init__(
+        self,
+        params: Optional[QSMParams] = None,
+        num_processors: Optional[int] = None,
+        memory_size: Optional[int] = None,
+        seed: Optional[int] = 0,
+        record_trace: bool = False,
+        record_snapshots: bool = False,
+    ) -> None:
+        super().__init__(
+            num_processors=num_processors,
+            memory_size=memory_size,
+            seed=seed,
+            record_trace=record_trace,
+            record_snapshots=record_snapshots,
+        )
+        self.params = params if params is not None else QSMParams()
+
+    def _phase_cost(self, record: PhaseRecord) -> float:
+        return qsm_phase_cost(record, self.params)
+
+    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
+        for addr, entries in writes.items():
+            if len(entries) == 1:
+                self._memory[addr] = entries[0][1]
+            else:
+                # Arbitrary-winner concurrent write: the value present at the
+                # end of the phase is one of the written values, chosen by
+                # the machine, not the algorithm.
+                winner = int(self._rng.integers(0, len(entries)))
+                self._memory[addr] = entries[winner][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QSM(g={self.params.g}, p={self.num_processors}, "
+            f"phases={self.phase_count}, time={self.time})"
+        )

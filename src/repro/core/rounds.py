@@ -1,0 +1,174 @@
+"""Round accounting (Section 2.3).
+
+A *round* is a phase/superstep whose cost stays within a per-round budget
+that depends on the model, the input size ``n`` and the processor count
+``p``:
+
+* QSM / s-QSM: a phase taking ``O(g n / p)`` time,
+* BSP: a superstep routing an ``O(n/p)``-relation with ``O(g n/p + L)``
+  local computation,
+* GSM (``p <= n``, ``gamma <= n/p``): a phase taking ``O(mu n / (lambda p))``
+  time.
+
+The auditor wraps a machine, checks each committed phase against the budget
+(with an explicit constant, default 1, because O(·) constants must be pinned
+to be executable), and counts rounds.  Algorithms "compute in rounds" iff
+the auditor records no violations.  A ``p``-processor QSM/s-QSM algorithm
+performs *linear work* iff ``p * time = O(g n)``; :func:`linear_work_ratio`
+reports that ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.bsp import BSP
+from repro.core.gsm import GSM
+from repro.core.machine import SharedMemoryMachine
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+
+__all__ = [
+    "round_budget",
+    "RoundViolation",
+    "RoundAuditor",
+    "linear_work_ratio",
+    "total_work",
+    "round_work_bound",
+    "gsm_h_round_budget",
+]
+
+Machine = Union[QSM, SQSM, GSM, BSP]
+
+
+def round_budget(machine: Machine, n: int, p: int, constant: float = 1.0) -> float:
+    """The maximum cost one phase/superstep may have to count as a round."""
+    if n < 1 or p < 1:
+        raise ValueError(f"need n >= 1 and p >= 1, got n={n}, p={p}")
+    if isinstance(machine, GSM):
+        prm = machine.params
+        return constant * prm.mu * n / (prm.lam * p)
+    if isinstance(machine, (QSM, SQSM)):
+        return constant * machine.params.g * n / p
+    if isinstance(machine, BSP):
+        prm = machine.params
+        return constant * (prm.g * n / p + prm.L)
+    raise TypeError(f"unsupported machine type: {type(machine)!r}")
+
+
+@dataclass(frozen=True)
+class RoundViolation:
+    """A phase that exceeded the round budget."""
+
+    phase_index: int
+    cost: float
+    budget: float
+
+    def __str__(self) -> str:
+        return (
+            f"phase {self.phase_index} cost {self.cost:g} exceeds round "
+            f"budget {self.budget:g}"
+        )
+
+
+class RoundAuditor:
+    """Counts rounds and flags budget violations on a machine's history.
+
+    The auditor is retrospective: call :meth:`audit` after (or during) a run
+    and it scans any phases committed since the previous call.  This keeps
+    the machines unaware of round bookkeeping.
+    """
+
+    def __init__(self, machine: Machine, n: int, p: int, constant: float = 1.0) -> None:
+        self.machine = machine
+        self.n = n
+        self.p = p
+        self.budget = round_budget(machine, n, p, constant)
+        self.rounds = 0
+        self.violations: List[RoundViolation] = []
+        self._cursor = 0
+
+    def audit(self) -> int:
+        """Scan new phases; returns the total round count so far."""
+        costs = (
+            self.machine.step_costs
+            if isinstance(self.machine, BSP)
+            else self.machine.phase_costs
+        )
+        while self._cursor < len(costs):
+            cost = costs[self._cursor]
+            if cost > self.budget:
+                self.violations.append(
+                    RoundViolation(phase_index=self._cursor, cost=cost, budget=self.budget)
+                )
+            self.rounds += 1
+            self._cursor += 1
+        return self.rounds
+
+    @property
+    def computes_in_rounds(self) -> bool:
+        """True iff every audited phase fit in the round budget."""
+        return not self.violations
+
+
+def linear_work_ratio(machine: Machine, n: int, p: int) -> float:
+    """``(p * time) / (g * n)`` — 1.0 or below means linear work (QSM/s-QSM).
+
+    On the GSM the denominator is ``mu * n / lambda`` per Section 2.3; on the
+    BSP we use ``g * n + L * p``, the work bound of an O(1)-round BSP
+    computation.
+    """
+    if n < 1 or p < 1:
+        raise ValueError(f"need n >= 1 and p >= 1, got n={n}, p={p}")
+    if isinstance(machine, GSM):
+        prm = machine.params
+        return (p * machine.time) / (prm.mu * n / prm.lam)
+    if isinstance(machine, (QSM, SQSM)):
+        return (p * machine.time) / (machine.params.g * n)
+    if isinstance(machine, BSP):
+        prm = machine.params
+        return (p * machine.time) / (prm.g * n + prm.L * p)
+    raise TypeError(f"unsupported machine type: {type(machine)!r}")
+
+
+def total_work(machine: Machine, p: int) -> float:
+    """Processor-time product ``p * T`` for a p-processor computation."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return p * machine.time
+
+
+def round_work_bound(machine: Machine, n: int, p: int, rounds: int) -> float:
+    """Section 2.3's work ceiling for an ``r``-round computation.
+
+    "an r-round computation on an input of size n performs at most O(rgn)
+    work on a GSM, QSM or s-QSM.  On a p-processor BSP this computation has
+    an upper bound of O(r(gn + Lp))".  Returned with the O-constant at 1;
+    by construction ``total_work <= round_budget * p * rounds`` whenever the
+    round auditor reports no violations, which is exactly this quantity.
+    """
+    if n < 1 or p < 1 or rounds < 0:
+        raise ValueError(f"need n, p >= 1 and rounds >= 0; got {n}, {p}, {rounds}")
+    if isinstance(machine, GSM):
+        prm = machine.params
+        return rounds * prm.mu * n / prm.lam
+    if isinstance(machine, (QSM, SQSM)):
+        return rounds * machine.params.g * n
+    if isinstance(machine, BSP):
+        prm = machine.params
+        return rounds * (prm.g * n + prm.L * p)
+    raise TypeError(f"unsupported machine type: {type(machine)!r}")
+
+
+def gsm_h_round_budget(params, h: float, constant: float = 1.0) -> float:
+    """Section 6.3's relaxed round for the GSM(h): ``O(mu * h / lambda)`` time.
+
+    Theorem 6.3 measures rounds of a GSM(h) — a GSM whose round is a phase
+    of at most this cost regardless of the processor count.  In one such
+    round a processor may issue at most ``O(alpha h / lambda)`` reads/writes
+    and a cell may be hit by at most ``O(beta h / lambda)`` processors.
+    """
+    if h < 1:
+        raise ValueError(f"h must be >= 1, got {h}")
+    return constant * params.mu * h / params.lam

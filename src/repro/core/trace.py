@@ -1,0 +1,74 @@
+"""Detailed per-phase execution traces.
+
+The cost formulas only need counts, but the lower-bound engines in
+:mod:`repro.lowerbounds` need to know *which* cells each processor touched:
+the degree-argument engine (Theorems 3.1 / 7.2) replays traces to maintain
+its per-phase degree recurrence, and the Random Adversary inspects access
+patterns to build its conflict graphs.  Machines record these traces when
+constructed with ``record_trace=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+__all__ = ["PhaseTrace"]
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Who read and wrote what during one phase.
+
+    Attributes
+    ----------
+    index:
+        Phase number.
+    reads:
+        processor id -> tuple of addresses read.
+    writes:
+        processor id -> tuple of ``(address, value)`` pairs written.
+    """
+
+    index: int
+    reads: Mapping[int, Tuple[int, ...]]
+    writes: Mapping[int, Tuple[Tuple[int, Any], ...]]
+
+    @classmethod
+    def from_phase(cls, index: int, phase: "Phase") -> "PhaseTrace":  # noqa: F821
+        reads: Dict[int, list] = {}
+        for handle in phase._reads:
+            reads.setdefault(handle.proc, []).append(handle.addr)
+        writes: Dict[int, list] = {}
+        for addr, entries in phase._writes.items():
+            for proc, value in entries:
+                writes.setdefault(proc, []).append((addr, value))
+        return cls(
+            index=index,
+            reads={p: tuple(a) for p, a in reads.items()},
+            writes={p: tuple(w) for p, w in writes.items()},
+        )
+
+    def cells_read(self) -> Tuple[int, ...]:
+        """All distinct addresses read this phase, sorted."""
+        out = set()
+        for addrs in self.reads.values():
+            out.update(addrs)
+        return tuple(sorted(out))
+
+    def cells_written(self) -> Tuple[int, ...]:
+        """All distinct addresses written this phase, sorted."""
+        out = set()
+        for pairs in self.writes.values():
+            out.update(addr for addr, _ in pairs)
+        return tuple(sorted(out))
+
+    def readers_of(self, addr: int) -> Tuple[int, ...]:
+        """Processor ids that read ``addr`` this phase, sorted."""
+        return tuple(sorted(p for p, addrs in self.reads.items() if addr in addrs))
+
+    def writers_of(self, addr: int) -> Tuple[int, ...]:
+        """Processor ids that wrote ``addr`` this phase, sorted."""
+        return tuple(
+            sorted(p for p, pairs in self.writes.items() if any(a == addr for a, _ in pairs))
+        )

@@ -1,0 +1,31 @@
+"""The paper's lower bounds, executable.
+
+Three layers:
+
+* :mod:`repro.lowerbounds.formulas` — every Omega/Theta entry of the four
+  Table 1 sub-tables (and the underlying GSM theorems) as plain functions of
+  the machine parameters, plus a registry the bench harness iterates over.
+* Proof machinery, runnable on concrete algorithms at small ``n``:
+
+  - :mod:`repro.lowerbounds.degree_argument` — the polynomial-degree
+    recurrence of Theorems 3.1 / 7.2 / 7.3, replayed over real GSM traces;
+  - :mod:`repro.lowerbounds.adversary` — the Section 4 Random Adversary
+    framework (partial input maps, RANDOMSET, GENERATE);
+  - :mod:`repro.lowerbounds.refine_lac` — the Section 5 general GSM
+    engine (Know / AffProc / AffCell tracking, t-goodness);
+  - :mod:`repro.lowerbounds.refine_or` — the Section 7 modified adversary
+    (input-map *sets*, the H_i distributions, RANDOMRESTRICT / RANDOMFIX);
+  - :mod:`repro.lowerbounds.influence` — trace-based influence cones: the
+    Theorem 3.3 counting argument ("at most g^T processors can obtain
+    information about an input bit"), checkable on full-scale runs;
+  - :mod:`repro.lowerbounds.yao` — Theorem 2.1 as an exactly evaluable
+    distributional game over decision strategies.
+
+* :mod:`repro.lowerbounds.clb` — Section 6's Chromatic Load Balancing:
+  the problem, the ECLB strengthening (Claim 6.1) and the Theorem 6.1
+  reductions to Load Balancing, LAC and Padded Sort.
+"""
+
+from repro.lowerbounds.formulas import ALL_BOUNDS, Bound, bounds_for
+
+__all__ = ["ALL_BOUNDS", "Bound", "bounds_for"]

@@ -1,0 +1,421 @@
+"""The Random Adversary framework (Section 4), executable.
+
+The framework has four moving parts, each implemented here exactly as the
+paper defines it:
+
+* **Partial input maps** (Section 4.1) — :class:`PartialInputMap`, a map
+  from input indices to ``{0, 1}`` or unset (``*``), ordered by refinement.
+* **RANDOMSET** (Section 4.2) — :func:`random_set` fixes a set of unset
+  inputs one at a time according to the chosen distribution conditioned on
+  the partial map so far; by Fact 4.1 the composition of RANDOMSET calls
+  samples the distribution exactly (the statistical tests check this).
+* **REFINE** — problem-specific; supplied by the caller as a callable
+  ``refine(t, f, rng) -> (f', x)``.  Section 5's and Section 7's instances
+  live in :mod:`repro.lowerbounds.refine_lac` / ``refine_or``.
+* **GENERATE** (Section 4.3) — :func:`generate` drives REFINE until the
+  claimed time bound ``T`` is reached, then completes the input with
+  RANDOMSET, returning the full input map plus the trajectory of partial
+  maps (for Lemma 4.2-style goodness auditing).
+
+The white-box execution oracle (:class:`GSMOracle`) that the REFINE
+instances query — Trace / States / Know / AffProc / AffCell / Cert of
+Section 5.1 — is also here, implemented by brute-force enumeration over all
+inputs of a small instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.gsm import GSM
+from repro.core.params import GSMParams
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = [
+    "UNSET",
+    "PartialInputMap",
+    "InputDistribution",
+    "IIDBernoulli",
+    "random_set",
+    "generate",
+    "GSMOracle",
+]
+
+UNSET = "*"
+
+
+class PartialInputMap:
+    """An assignment of some of ``n`` binary inputs; the rest are ``*``.
+
+    Immutable.  ``f2 <= f1`` (refinement) iff f2 agrees with f1 on
+    everything f1 sets.
+    """
+
+    __slots__ = ("n", "_mask", "_values")
+
+    def __init__(self, n: int, assignments: Optional[Dict[int, int]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.n = n
+        mask = 0
+        values = 0
+        if assignments:
+            for idx, val in assignments.items():
+                if not 0 <= idx < n:
+                    raise ValueError(f"input index {idx} out of range for n={n}")
+                if val not in (0, 1):
+                    raise ValueError(f"input values must be 0/1, got {val}")
+                mask |= 1 << idx
+                if val:
+                    values |= 1 << idx
+        self._mask = mask
+        self._values = values
+
+    # -- queries -----------------------------------------------------------
+
+    def __getitem__(self, idx: int):
+        if not 0 <= idx < self.n:
+            raise IndexError(idx)
+        if not self._mask & (1 << idx):
+            return UNSET
+        return (self._values >> idx) & 1
+
+    @property
+    def set_mask(self) -> int:
+        return self._mask
+
+    @property
+    def set_count(self) -> int:
+        return bin(self._mask).count("1")
+
+    def unset_indices(self) -> List[int]:
+        return [i for i in range(self.n) if not self._mask & (1 << i)]
+
+    def set_indices(self) -> List[int]:
+        return [i for i in range(self.n) if self._mask & (1 << i)]
+
+    def is_complete(self) -> bool:
+        return self._mask == (1 << self.n) - 1
+
+    def refine(self, assignments: Dict[int, int]) -> "PartialInputMap":
+        """New map with extra inputs fixed; refusing to change set inputs."""
+        merged: Dict[int, int] = {i: self[i] for i in self.set_indices()}
+        for idx, val in assignments.items():
+            if idx in merged and merged[idx] != val:
+                raise ValueError(
+                    f"refinement would change input {idx} from {merged[idx]} to {val}"
+                )
+            merged[idx] = val
+        return PartialInputMap(self.n, merged)
+
+    def refines(self, other: "PartialInputMap") -> bool:
+        """True iff self <= other (self agrees with everything other sets)."""
+        if self.n != other.n:
+            return False
+        if other._mask & ~self._mask:
+            return False
+        return (self._values & other._mask) == other._values
+
+    def consistent_masks(self) -> Iterable[int]:
+        """All complete assignments (as bitmasks) refining this map."""
+        unset = self.unset_indices()
+        for combo in range(1 << len(unset)):
+            mask = self._values
+            for j, idx in enumerate(unset):
+                if combo & (1 << j):
+                    mask |= 1 << idx
+            yield mask
+
+    def as_mask(self) -> int:
+        """The complete assignment this map denotes; requires completeness."""
+        if not self.is_complete():
+            raise ValueError("partial map is not complete")
+        return self._values
+
+    @classmethod
+    def blank(cls, n: int) -> "PartialInputMap":
+        """``f_*``: everything unset."""
+        return cls(n)
+
+    @classmethod
+    def from_mask(cls, n: int, mask: int) -> "PartialInputMap":
+        return cls(n, {i: (mask >> i) & 1 for i in range(n)})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialInputMap):
+            return NotImplemented
+        return (self.n, self._mask, self._values) == (other.n, other._mask, other._values)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._mask, self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chars = []
+        for i in range(self.n):
+            v = self[i]
+            chars.append(UNSET if v == UNSET else str(v))
+        return f"PartialInputMap({''.join(chars)})"
+
+
+class InputDistribution:
+    """A distribution over complete 0/1 input maps, with conditional access."""
+
+    n: int
+
+    def probability(self, mask: int) -> float:
+        """P[input == mask]."""
+        raise NotImplementedError
+
+    def conditional_bit(self, f: PartialInputMap, idx: int) -> float:
+        """P[input_idx = 1 | input refines f] (default: by enumeration)."""
+        num = 0.0
+        den = 0.0
+        bit = 1 << idx
+        for mask in f.consistent_masks():
+            p = self.probability(mask)
+            den += p
+            if mask & bit:
+                num += p
+        if den == 0.0:
+            raise ValueError("conditioning event has probability zero")
+        return num / den
+
+
+class IIDBernoulli(InputDistribution):
+    """Inputs iid Bernoulli(q) — the Section 5 hypothesis class.
+
+    Section 5 requires every input map possible and every conditional bit
+    probability at least ``q >= 1/log n``; iid bits satisfy it trivially.
+    """
+
+    def __init__(self, n: int, q: float = 0.5) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0,1), got {q}")
+        self.n = n
+        self.q = q
+
+    def probability(self, mask: int) -> float:
+        ones = bin(mask & ((1 << self.n) - 1)).count("1")
+        return (self.q**ones) * ((1.0 - self.q) ** (self.n - ones))
+
+    def conditional_bit(self, f: PartialInputMap, idx: int) -> float:
+        return self.q  # independence
+
+
+def random_set(
+    dist: InputDistribution,
+    f: PartialInputMap,
+    indices: Sequence[int],
+    rng: RngLike = None,
+) -> PartialInputMap:
+    """RANDOMSET (Section 4.2): fix ``indices`` one at a time, each according
+    to the conditional distribution given the refinement so far."""
+    rng = derive_rng(rng)
+    current = f
+    for idx in indices:
+        if current[idx] != UNSET:
+            continue  # already set; conditioning makes this a no-op
+        p1 = dist.conditional_bit(current, idx)
+        val = 1 if rng.random() < p1 else 0
+        current = current.refine({idx: val})
+    return current
+
+
+@dataclass(frozen=True)
+class GenerateResult:
+    """Output of :func:`generate`."""
+
+    final_map: PartialInputMap  # complete
+    trajectory: Tuple[Tuple[float, PartialInputMap], ...]  # (t, f_t) pairs
+    total_steps: float
+
+
+def generate(
+    refine: Callable[[float, PartialInputMap, Any], Tuple[PartialInputMap, float]],
+    dist: InputDistribution,
+    n: int,
+    T: float,
+    rng: RngLike = None,
+) -> GenerateResult:
+    """GENERATE (Section 4.3).
+
+    Repeatedly calls ``refine(t, f, rng)`` until the accumulated step count
+    reaches ``T``, then completes the input with RANDOMSET.  By Lemma 4.1
+    (all fixing goes through RANDOMSET) the returned complete input map is
+    distributed exactly according to ``dist`` — the tests check this.
+    """
+    rng = derive_rng(rng)
+    f = PartialInputMap.blank(n)
+    t = 0.0
+    trajectory: List[Tuple[float, PartialInputMap]] = [(0.0, f)]
+    guard = 0
+    while t <= T:
+        f, x = refine(t, f, rng)
+        if x < 0:
+            raise ValueError(f"REFINE returned negative step count {x}")
+        t += max(x, 1.0)  # a phase takes at least one big-step
+        trajectory.append((t, f))
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("GENERATE failed to reach T; REFINE stalled")
+    final = random_set(dist, f, f.unset_indices(), rng)
+    return GenerateResult(final_map=final, trajectory=tuple(trajectory), total_steps=t)
+
+
+# ---------------------------------------------------------------------------
+# White-box execution oracle (Section 5.1 definitions)
+# ---------------------------------------------------------------------------
+
+class GSMOracle:
+    """Brute-force oracle for Trace / States / Know / Aff / Cert.
+
+    ``algorithm(machine, bits)`` must be a *deterministic* function of its
+    input bits (fix any internal seeds) running on the provided GSM.  The
+    oracle executes it on all ``2^n`` inputs up front (so keep ``n <= ~12``)
+    and answers the Section 5.1 queries by set computations over the stored
+    traces.
+
+    Traces follow the paper's definitions:
+
+    * ``Trace(p, t, f)`` for a processor: the tuple of per-phase read
+      observations (sets of (cell, contents) pairs) up to big-step ``t``;
+    * ``Trace(c, t, f)`` for a cell: its contents at big-step ``t``.
+
+    Phases are used as the time unit (each phase here is >= 1 big-step;
+    using phases makes the oracle exact for algorithms whose phases are
+    single big-steps, which all the shipped demos are).
+    """
+
+    def __init__(
+        self,
+        algorithm: Callable[[GSM, List[int]], Any],
+        n: int,
+        params: Optional[GSMParams] = None,
+    ) -> None:
+        if not 1 <= n <= 14:
+            raise ValueError(f"GSMOracle needs 1 <= n <= 14, got {n}")
+        self.n = n
+        self.params = params if params is not None else GSMParams()
+        self.n_phases = 0
+        # proc_traces[mask][p] = tuple over phases of frozenset((cell, repr(content)))
+        self.proc_traces: List[Dict[int, Tuple]] = []
+        # cell_contents[mask][t][cell] = repr(content) after phase t
+        self.cell_contents: List[List[Dict[int, str]]] = []
+        self.processors: set = set()
+        self.cells: set = set()
+
+        for mask in range(1 << n):
+            bits = [(mask >> i) & 1 for i in range(n)]
+            machine = GSM(self.params, record_trace=True, record_snapshots=True, seed=0)
+            algorithm(machine, bits)
+            self.n_phases = max(self.n_phases, len(machine.traces))
+            per_proc: Dict[int, List[FrozenSet]] = {}
+            for t, trace in enumerate(machine.traces):
+                snapshot_before = machine.snapshots[t - 1] if t > 0 else {}
+                for proc, addrs in trace.reads.items():
+                    obs = frozenset(
+                        (addr, repr(snapshot_before.get(addr))) for addr in addrs
+                    )
+                    per_proc.setdefault(proc, [None] * len(machine.traces))[t] = obs
+                for proc in trace.writes:
+                    per_proc.setdefault(proc, [None] * len(machine.traces))
+            self.proc_traces.append(
+                {p: tuple(obs_list) for p, obs_list in per_proc.items()}
+            )
+            self.cell_contents.append(
+                [
+                    {addr: repr(val) for addr, val in snap.items()}
+                    for snap in machine.snapshots
+                ]
+            )
+            self.processors.update(per_proc.keys())
+            for snap in machine.snapshots:
+                self.cells.update(snap.keys())
+
+    # -- trace accessors -----------------------------------------------------
+
+    def proc_trace(self, proc: int, t: int, mask: int) -> Tuple:
+        """Trace(p, t, f): read observations of ``proc`` through phase t.
+
+        Per the paper's definition a processor's trace is its *read*
+        observations only; a processor that issued no reads has the all-null
+        trace whether or not it wrote anything.
+        """
+        full = self.proc_traces[mask].get(proc, ())
+        padded = tuple(full) + (None,) * max(0, t - len(full))
+        return (proc,) + padded[:t]
+
+    def cell_trace(self, cell: int, t: int, mask: int) -> Tuple:
+        """Trace(c, t, f): contents of ``cell`` after phase t (t >= 1)."""
+        if t == 0:
+            return (cell, None)
+        snaps = self.cell_contents[mask]
+        idx = min(t, len(snaps)) - 1
+        return (cell, snaps[idx].get(cell))
+
+    def _trace(self, v: Tuple[str, int], t: int, mask: int) -> Tuple:
+        kind, ident = v
+        if kind == "proc":
+            return self.proc_trace(ident, t, mask)
+        if kind == "cell":
+            return self.cell_trace(ident, t, mask)
+        raise ValueError(f"entity must be ('proc', id) or ('cell', id), got {v}")
+
+    # -- Section 5.1 queries ---------------------------------------------------
+
+    def states(self, v: Tuple[str, int], t: int, f: PartialInputMap) -> Dict[Tuple, List[int]]:
+        """States(v, t, e): distinct traces of v over refinements of f,
+        mapped to the input masks producing each trace."""
+        out: Dict[Tuple, List[int]] = {}
+        for mask in f.consistent_masks():
+            out.setdefault(self._trace(v, t, mask), []).append(mask)
+        return out
+
+    def know(self, v: Tuple[str, int], t: int, f: PartialInputMap) -> FrozenSet[int]:
+        """Know(v, t, e): the minimal junta support of v's trace over
+        refinements of f — input i belongs iff flipping i alone (within the
+        refinement set) can change the trace."""
+        support = set()
+        unset = f.unset_indices()
+        masks = list(f.consistent_masks())
+        traces = {mask: self._trace(v, t, mask) for mask in masks}
+        for idx in unset:
+            bit = 1 << idx
+            for mask in masks:
+                if mask & bit:
+                    continue
+                if traces[mask] != traces[mask | bit]:
+                    support.add(idx)
+                    break
+        return frozenset(support)
+
+    def aff_proc(self, i: int, t: int, f: PartialInputMap) -> FrozenSet[int]:
+        """AffProc(i, t, e): processors whose Know set contains input i."""
+        return frozenset(
+            p for p in self.processors if i in self.know(("proc", p), t, f)
+        )
+
+    def aff_cell(self, i: int, t: int, f: PartialInputMap) -> FrozenSet[int]:
+        """AffCell(i, t, e): cells whose Know set contains input i."""
+        return frozenset(
+            c for c in self.cells if i in self.know(("cell", c), t, f)
+        )
+
+    def cert(self, v: Tuple[str, int], t: int, full: PartialInputMap) -> FrozenSet[int]:
+        """Cert(v, t, f): minimal (lexicographically smallest) input set whose
+        values under the complete map f force v's trace."""
+        if not full.is_complete():
+            raise ValueError("Cert requires a complete input map")
+        target_mask = full.as_mask()
+        target = self._trace(v, t, target_mask)
+        for size in range(self.n + 1):
+            for subset in combinations(range(self.n), size):
+                fixed = {i: (target_mask >> i) & 1 for i in subset}
+                partial = PartialInputMap(self.n, fixed)
+                if all(
+                    self._trace(v, t, m) == target for m in partial.consistent_masks()
+                ):
+                    return frozenset(subset)
+        raise AssertionError("full set always certifies")  # pragma: no cover

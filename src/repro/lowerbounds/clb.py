@@ -1,0 +1,254 @@
+"""Chromatic Load Balancing (Section 6) and the Theorem 6.1 reductions.
+
+**CLB**: an ``n x 4m`` input array holds ``n`` groups of ``4m`` objects;
+every group is independently assigned a uniform color from a palette of
+``8m``.  A solution picks any color ``q`` and distributes *all* objects of
+color ``q`` into an ``n x m`` output array (groups of at most ``m``; output
+grouping need not respect input grouping).
+
+**ECLB** (enhanced): additionally, every input cell of the chosen color must
+hold a pointer to its object's destination row.  Claim 6.1: a CLB solution
+yields an ECLB solution in ``m`` extra GSM steps — implemented by
+:func:`eclb_from_clb`, which charges those steps on the machine.
+
+**Theorem 6.1 reductions** (run forward as algorithms): CLB solves via a
+Load-Balancing solver, an h-LAC solver, or a Padded-Sort solver, each with
+the bookkeeping the proof describes.  Their executability is what transfers
+the CLB lower bound of Lemma 6.2 to those three problems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.algorithms.compaction import lac_dart
+from repro.algorithms.load_balance import load_balance
+from repro.algorithms.padded_sort import padded_sort
+from repro.core.gsm import GSM
+from repro.core.qsm import QSM
+from repro.core.sqsm import SQSM
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = [
+    "CLBInstance",
+    "gen_clb",
+    "verify_clb",
+    "eclb_from_clb",
+    "clb_via_load_balance",
+    "clb_via_lac",
+    "clb_via_padded_sort",
+]
+
+
+@dataclass(frozen=True)
+class CLBInstance:
+    """One CLB input: group colors plus tagged objects.
+
+    ``colors[i]`` is group i's color (0..8m-1); the objects of group i are
+    the tags ``(i, 0) .. (i, 4m-1)`` per the paper's WLOG tagging.
+    """
+
+    n: int
+    m: int
+    colors: Tuple[int, ...]
+
+    @property
+    def palette(self) -> int:
+        return 8 * self.m
+
+    def objects_of_color(self, q: int) -> List[Tuple[int, int]]:
+        return [
+            (i, r)
+            for i in range(self.n)
+            if self.colors[i] == q
+            for r in range(4 * self.m)
+        ]
+
+
+def gen_clb(n: int, m: int, seed: RngLike = None) -> CLBInstance:
+    """Random CLB instance: each group color uniform over 8m."""
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1; got n={n}, m={m}")
+    rng = derive_rng(seed)
+    colors = tuple(int(c) for c in rng.integers(0, 8 * m, size=n))
+    return CLBInstance(n=n, m=m, colors=colors)
+
+
+def verify_clb(
+    instance: CLBInstance,
+    chosen_color: int,
+    output_groups: Sequence[Sequence[Tuple[int, int]]],
+) -> bool:
+    """Check the CLB contract: n output groups of <= m objects covering
+    exactly the objects of the chosen color."""
+    if not 0 <= chosen_color < instance.palette:
+        return False
+    if len(output_groups) != instance.n:
+        return False
+    if any(len(grp) > instance.m for grp in output_groups):
+        return False
+    want = sorted(instance.objects_of_color(chosen_color))
+    got = sorted(obj for grp in output_groups for obj in grp)
+    return want == got
+
+
+def eclb_from_clb(
+    machine: GSM,
+    instance: CLBInstance,
+    chosen_color: int,
+    output_groups: Sequence[Sequence[Tuple[int, int]]],
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Claim 6.1: pointers from input cells to destination rows, in m steps.
+
+    One processor per destination row walks its (at most m) objects, writing
+    each object's row number into the input array at the object's original
+    (group, rank) cell — ``m`` phases, each with ``m_rw = 1`` per processor
+    and contention 1.  Returns the pointer map ``{(group, rank): row}``.
+    """
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    n, m = instance.n, instance.m
+    input_base = alloc.alloc(n * 4 * m)
+    pointers: Dict[Tuple[int, int], int] = {}
+    for step in range(m):
+        with machine.phase() as ph:
+            for row, grp in enumerate(output_groups):
+                if step < len(grp):
+                    group, rank = grp[step]
+                    ph.write(row, input_base + group * 4 * m + rank, row)
+                    pointers[(group, rank)] = row
+    return meter.result(pointers, steps=m)
+
+
+def _pack_groups(objects: Sequence[Tuple[int, int]], n: int, m: int) -> List[List[Tuple[int, int]]]:
+    """Greedy packing of <= n*m objects into n groups of <= m (local)."""
+    groups: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for idx, obj in enumerate(objects):
+        groups[idx // m].append(obj)
+    return groups
+
+
+def clb_via_load_balance(
+    machine,
+    instance: CLBInstance,
+    chosen_color: int = 0,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Theorem 6.1, Load-Balancing arm.
+
+    The objects of the chosen color start at their groups' processors (one
+    processor per input row); the Load-Balancing solver redistributes them
+    to O(1 + h/n) per processor; each processor then claims destination
+    groups for its quota.  Fails (per the proof, with small probability)
+    only if some processor ends with more than m objects.
+    """
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    n, m = instance.n, instance.m
+    loads: List[List[Tuple[int, int]]] = [
+        [(i, r) for r in range(4 * m)] if instance.colors[i] == chosen_color else []
+        for i in range(n)
+    ]
+    lb = load_balance(machine, loads, alloc=alloc)
+    per_proc = lb.value
+    if any(len(objs) > m for objs in per_proc):
+        return meter.result(None, failed=True, reason="processor exceeded m objects")
+    # Each processor j owns destination group j.
+    groups = [list(objs) for objs in per_proc]
+    ok = verify_clb(instance, chosen_color, groups)
+    return meter.result(groups if ok else None, failed=not ok)
+
+
+def clb_via_lac(
+    machine,
+    instance: CLBInstance,
+    chosen_color: int = 0,
+    seed: RngLike = None,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Theorem 6.1, LAC arm.
+
+    An *item* is a whole group of the chosen color (4m objects).  The items
+    sit sparsely in an n-cell array; the LAC solver compacts them into O(h)
+    cells with ``h = n / 4m``; compacted item k then claims destination
+    groups ``4k .. 4k+3`` (4m objects over 4 groups of m).
+    """
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    n, m = instance.n, instance.m
+    h = max(1, n // (4 * m))
+    sparse: List[Optional[int]] = [
+        i if instance.colors[i] == chosen_color else None for i in range(n)
+    ]
+    count = sum(1 for v in sparse if v is not None)
+    if count > h:
+        return meter.result(None, failed=True, reason=f"{count} items exceed h={h}")
+    lac = lac_dart(machine, sparse, h=h, seed=seed, alloc=alloc)
+    compacted = [v for v in lac.value if v is not None]
+    groups: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for k, group_idx in enumerate(compacted):
+        for r in range(4 * m):
+            dest = 4 * k + r // m
+            if dest >= n:
+                return meter.result(None, failed=True, reason="destination overflow")
+            groups[dest].append((group_idx, r))
+    ok = verify_clb(instance, chosen_color, groups)
+    return meter.result(groups if ok else None, failed=not ok, h=h)
+
+
+def clb_via_padded_sort(
+    machine,
+    instance: CLBInstance,
+    seed: RngLike = None,
+    alloc: Optional[Allocator] = None,
+) -> RunResult:
+    """Theorem 6.1, Padded-Sort arm.
+
+    Each group with color ``i`` draws a uniform real from
+    ``(i/8m, (i+1)/8m]``; padded-sorting those reals clusters every color
+    into a contiguous run of the output.  The decode then picks a color
+    whose run maps to at most m objects per destination group (the proof
+    guarantees one exists w.h.p.) and assigns objects round-robin.
+    """
+    alloc = alloc or fresh_allocator(machine)
+    meter = CostMeter(machine)
+    rng = derive_rng(seed)
+    n, m = instance.n, instance.m
+    palette = instance.palette
+    keys = []
+    for i in range(n):
+        c = instance.colors[i]
+        keys.append((c + 1 - float(rng.random())) / palette)  # in (c/8m, (c+1)/8m]
+    ps = padded_sort(machine, keys, seed=rng, alloc=alloc)
+    out = ps.value
+    kn = len(out)
+    # Decode: for each color, collect the sorted positions of its groups.
+    key_to_group = {}
+    for i, key in enumerate(keys):
+        key_to_group[key] = i
+    positions_by_color: Dict[int, List[Tuple[int, int]]] = {}
+    for pos, v in enumerate(out):
+        if v is None:
+            continue
+        grp = key_to_group[v]
+        positions_by_color.setdefault(instance.colors[grp], []).append((pos, grp))
+    # Pick the color with the fewest groups (<= m per destination for sure
+    # when count*4m <= n*m i.e. count <= n/4).
+    best_color = None
+    for color, entries in sorted(positions_by_color.items()):
+        if len(entries) * 4 <= n:
+            best_color = color
+            break
+    if best_color is None:
+        return meter.result(None, failed=True, reason="every color too popular")
+    chosen_groups = [grp for _, grp in sorted(positions_by_color[best_color])]
+    objects = [(grp, r) for grp in chosen_groups for r in range(4 * m)]
+    groups = _pack_groups(objects, n, m)
+    ok = verify_clb(instance, best_color, groups)
+    return meter.result(
+        (best_color, groups) if ok else None, failed=not ok, color=best_color
+    )

@@ -1,0 +1,197 @@
+"""The polynomial-degree argument of Theorems 3.1, 7.2 and 7.3, executable.
+
+The proof of Theorem 3.1 maintains, phase by phase, an upper bound on the
+degree of every function describing a processor state or cell content:
+
+    ``b_i = (3 + tau_i + 2*tau'_i) * b_{i-1}``,  ``b_0 = gamma``,
+
+where ``tau_i`` is the maximum number of read/write requests by any
+processor in phase ``i`` and ``tau'_i`` the maximum queue length.  Since
+computing parity of ``r`` bits requires the output cell's function to reach
+degree ``r``, any algorithm must run until the envelope reaches ``r``; the
+chain of inequalities in the proof then yields
+
+    ``r <= (6 mu)^(T / mu)``,  i.e.  ``T >= mu * log r / log(6 mu)``.
+
+This module makes both halves runnable:
+
+* :func:`degree_envelope` replays a machine's phase history and produces
+  the ``b_i`` sequence (using the *measured* ``tau_i``/``tau'_i``, so the
+  envelope is exactly what the adversary would certify for that run);
+* :func:`certified_time_bound` turns a target degree into the proof's time
+  bound;
+* :func:`check_run` asserts the two consistency facts the theorem needs on
+  a *correct* run: the envelope reached the target degree, and the measured
+  time is at least the certified bound;
+* :func:`measure_cell_degrees` brute-forces the *actual* degree of every
+  cell's content function by running a (deterministic) algorithm on all
+  ``2^r`` inputs at small ``r`` and building
+  :class:`~repro.boolfn.multilinear.BooleanFunction` objects per (cell,
+  phase) — the tests verify actual degree <= envelope, which is the
+  induction of the proof observed live.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.boolfn.multilinear import MultilinearPolynomial
+from repro.core.gsm import GSM
+from repro.core.params import GSMParams
+from repro.core.phase import PhaseRecord
+
+__all__ = [
+    "degree_envelope",
+    "certified_time_bound",
+    "check_run",
+    "measure_cell_degrees",
+    "DegreeCertificate",
+]
+
+
+def degree_envelope(
+    history: Sequence[PhaseRecord],
+    initial_degree: float = 1.0,
+) -> List[float]:
+    """The ``b_i`` sequence for a recorded phase history.
+
+    ``b_0 = initial_degree`` (``gamma`` when each input cell packs ``gamma``
+    bits); ``b_i = (3 + tau_i + 2 tau'_i) b_{i-1}`` per Theorem 3.1's
+    induction.
+    """
+    if initial_degree < 1:
+        raise ValueError(f"initial degree must be >= 1, got {initial_degree}")
+    env = [float(initial_degree)]
+    for record in history:
+        tau = record.m_rw
+        tau_prime = record.kappa
+        env.append((3.0 + tau + 2.0 * tau_prime) * env[-1])
+    return env
+
+
+def certified_time_bound(target_degree: float, params: GSMParams) -> float:
+    """``T >= mu * log(target_degree) / log(6 mu)`` — the Theorem 3.1 bound.
+
+    Derived from ``r <= (6 mu)^(T/mu)``.  Returns 0 for degree <= 1.
+    """
+    if target_degree <= 1.0:
+        return 0.0
+    mu = params.mu
+    return mu * math.log(target_degree) / math.log(6.0 * mu)
+
+
+@dataclass(frozen=True)
+class DegreeCertificate:
+    """Outcome of :func:`check_run` on one GSM execution."""
+
+    envelope: Tuple[float, ...]
+    target_degree: float
+    reached: bool  # final envelope >= target (necessary for correctness)
+    certified_bound: float  # mu log r / log 6mu
+    measured_time: float
+    satisfies_bound: bool  # measured_time >= certified_bound (up to epsilon)
+
+    @property
+    def slack(self) -> float:
+        """measured_time / certified_bound (>= 1 when the bound holds)."""
+        if self.certified_bound == 0.0:
+            return float("inf")
+        return self.measured_time / self.certified_bound
+
+
+def check_run(machine: GSM, target_degree: float) -> DegreeCertificate:
+    """Certify one finished GSM run against the degree argument.
+
+    ``target_degree`` is the degree the output function must reach (``r``
+    for parity or OR of ``r`` independent cells).  For a *correct* algorithm
+    both ``reached`` and ``satisfies_bound`` must be true; an algorithm that
+    terminates with ``reached == False`` cannot be computing the target
+    function on all inputs (that is the contrapositive the lower bound
+    rests on).
+    """
+    env = degree_envelope(machine.history, initial_degree=machine.params.gamma)
+    bound = certified_time_bound(target_degree, machine.params)
+    return DegreeCertificate(
+        envelope=tuple(env),
+        target_degree=float(target_degree),
+        reached=env[-1] >= target_degree,
+        certified_bound=bound,
+        measured_time=machine.time,
+        satisfies_bound=machine.time + 1e-9 >= bound,
+    )
+
+
+def measure_cell_degrees(
+    algorithm: Callable[[GSM, List[int]], Any],
+    r: int,
+    params: Optional[GSMParams] = None,
+    cell_predicate: Optional[Callable[[int], bool]] = None,
+) -> Dict[int, List[int]]:
+    """Actual per-phase degrees of every cell's content function.
+
+    Runs ``algorithm(machine, bits)`` on *all* ``2^r`` bit inputs with
+    snapshot recording, encodes each cell's per-input content as an integer
+    function on the cube, and returns ``{phase_index: [deg(cell) ...]}``
+    (one list entry per distinct cell seen at that phase, sorted by address,
+    filtered by ``cell_predicate``).
+
+    Exponential in ``r`` by construction — intended for ``r <= 10``.
+
+    Raises if the algorithm's phase structure is input-dependent (the
+    adversary framework of Section 5 exists precisely to handle that; this
+    brute-force harness requires oblivious phase counts).
+    """
+    if r < 1 or r > 14:
+        raise ValueError(f"measure_cell_degrees needs 1 <= r <= 14, got {r}")
+    if params is None:
+        params = GSMParams()
+
+    # snapshots[input_mask] = list of per-phase memory dicts
+    all_snapshots: List[List[Dict[int, Any]]] = []
+    n_phases: Optional[int] = None
+    for mask in range(1 << r):
+        bits = [(mask >> i) & 1 for i in range(r)]
+        machine = GSM(params, record_snapshots=True, seed=0)
+        algorithm(machine, bits)
+        if n_phases is None:
+            n_phases = len(machine.snapshots)
+        elif len(machine.snapshots) != n_phases:
+            raise ValueError(
+                "algorithm phase count varies with the input; "
+                "measure_cell_degrees requires an oblivious phase structure"
+            )
+        all_snapshots.append(machine.snapshots)
+    assert n_phases is not None
+
+    result: Dict[int, List[int]] = {}
+    for t in range(n_phases):
+        addrs = sorted({a for snaps in all_snapshots for a in snaps[t]})
+        if cell_predicate is not None:
+            addrs = [a for a in addrs if cell_predicate(a)]
+        degrees = []
+        for addr in addrs:
+            # Encode the cell's content across inputs as integers; distinct
+            # contents get distinct codes.  The degree of the 0/1 indicator
+            # of any single content value lower-bounds nothing by itself, so
+            # we take the max degree over indicator functions of each
+            # distinct content — this equals the paper's "degree of the
+            # function describing the contents" for functions into a finite
+            # range (each state's characteristic function is what Section 5
+            # bounds).
+            contents = [snaps[t].get(addr) for snaps in all_snapshots]
+            codes: Dict[Any, int] = {}
+            encoded = []
+            for c in contents:
+                key = repr(c)
+                codes.setdefault(key, len(codes))
+                encoded.append(codes[key])
+            max_deg = 0
+            for state_code in range(len(codes)):
+                table = [1 if e == state_code else 0 for e in encoded]
+                poly = MultilinearPolynomial.from_truth_table(table, r)
+                max_deg = max(max_deg, poly.degree)
+            degrees.append(max_deg)
+        result[t] = degrees
+    return result

@@ -1,0 +1,155 @@
+"""Information-spread tracking (the counting argument of Theorem 3.3).
+
+Theorem 3.3 bounds how fast knowledge of one input bit can spread: "in a
+sequence of T memory request steps ... at most ``g^T`` processors can
+obtain information about any single input bit".  The underlying object is
+the *influence cone* of an input — the set of processors and cells whose
+state could possibly depend on it — which grows per phase only through
+reads of affected cells and writes by affected processors.
+
+This module computes the influence cone from recorded
+:class:`~repro.core.trace.PhaseTrace` objects by forward data-flow.  For an
+algorithm whose access pattern does not depend on the input (oblivious,
+like the combining trees) the single-run cone over-approximates the
+oracle's semantic ``AffProc`` / ``AffCell`` sets (Section 5.1).  For
+input-dependent algorithms (e.g. write tournaments, where only 1-holders
+write) compute the cone over the *superposition* of all inputs' traces —
+:func:`merge_traces` — since one run only witnesses the accesses that
+input actually made, and a write's absence carries information too.  Either way the computation is linear in the
+trace size, so ``g^T``-style growth ceilings can be checked on full-scale
+executions far beyond the exhaustive oracle's reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.trace import PhaseTrace
+
+__all__ = ["InfluenceCone", "influence_cone", "merge_traces", "spread_ceiling_ok"]
+
+
+@dataclass(frozen=True)
+class InfluenceCone:
+    """Per-phase affected processor / cell sets for one input."""
+
+    cells: Tuple[FrozenSet[int], ...]  # cells[t] = affected cells after phase t
+    procs: Tuple[FrozenSet[int], ...]  # procs[t] = affected processors after phase t
+
+    @property
+    def phases(self) -> int:
+        return len(self.cells) - 1
+
+    def growth_factors(self) -> List[float]:
+        """Per-phase growth of |cells| + |procs| (>= 1; the g^T argument
+        bounds their product)."""
+        sizes = [len(c) + len(p) for c, p in zip(self.cells, self.procs)]
+        out = []
+        for a, b in zip(sizes, sizes[1:]):
+            out.append(b / a if a else float(b if b else 1.0))
+        return out
+
+
+def influence_cone(
+    traces: Sequence[PhaseTrace],
+    initial_cells: Iterable[int],
+    initial_procs: Iterable[int] = (),
+) -> InfluenceCone:
+    """Forward data-flow of influence from the initial cells/processors.
+
+    ``initial_cells`` holds the input (e.g. the input's memory cell);
+    ``initial_procs`` are processors that know the input ab initio (the
+    models let a processor hold its own input without a read — the
+    tournament algorithms use this).  Per phase: a processor becomes
+    affected by reading an affected cell (the cell's pre-phase content may
+    depend on the input); a cell becomes affected when an affected
+    processor writes it.  Reads and writes within one phase see pre-phase
+    state, so reads are processed against the incoming cell set and writes
+    extend the outgoing one.
+    """
+    cells = set(initial_cells)
+    procs = set(initial_procs)
+    cells_hist = [frozenset(cells)]
+    procs_hist = [frozenset(procs)]
+    for trace in traces:
+        new_procs = set(procs)
+        for proc, addrs in trace.reads.items():
+            if any(a in cells for a in addrs):
+                new_procs.add(proc)
+        new_cells = set(cells)
+        for proc, pairs in trace.writes.items():
+            if proc in new_procs:
+                new_cells.update(addr for addr, _ in pairs)
+        procs = new_procs
+        cells = new_cells
+        cells_hist.append(frozenset(cells))
+        procs_hist.append(frozenset(procs))
+    return InfluenceCone(cells=tuple(cells_hist), procs=tuple(procs_hist))
+
+
+def merge_traces(trace_runs: Sequence[Sequence[PhaseTrace]]) -> List[PhaseTrace]:
+    """Superpose several runs' traces phase-wise (union of reads and writes).
+
+    For an input-dependent algorithm the influence cone must be computed on
+    the superposition of all runs, not per run: a write that happens on
+    *some* inputs but not others carries information through its absence
+    too, so a reader of that cell is affected even on runs where nothing
+    was written.  Propagating over the merged trace captures exactly that
+    (and is the reason the Section 5 proofs quantify MaxCell/MaxProc over
+    all refinements rather than one input).
+
+    Runs of different lengths are aligned at phase 0; missing phases
+    contribute nothing.
+    """
+    if not trace_runs:
+        raise ValueError("need at least one run")
+    phases = max(len(run) for run in trace_runs)
+    merged: List[PhaseTrace] = []
+    for t in range(phases):
+        reads: dict = {}
+        writes: dict = {}
+        for run in trace_runs:
+            if t >= len(run):
+                continue
+            for proc, addrs in run[t].reads.items():
+                seen = reads.setdefault(proc, [])
+                for a in addrs:
+                    if a not in seen:
+                        seen.append(a)
+            for proc, pairs in run[t].writes.items():
+                seen = writes.setdefault(proc, [])
+                for pair in pairs:
+                    if pair not in seen:
+                        seen.append(pair)
+        merged.append(
+            PhaseTrace(
+                index=t,
+                reads={p: tuple(a) for p, a in reads.items()},
+                writes={p: tuple(w) for p, w in writes.items()},
+            )
+        )
+    return merged
+
+
+def spread_ceiling_ok(
+    cone: InfluenceCone,
+    per_phase_factor: float,
+    initial: int = 1,
+    slack: float = 1.0,
+) -> bool:
+    """Check the Theorem 3.3-style ceiling
+    ``|affected(t)| <= slack * initial * (1 + factor)^t``.
+
+    ``per_phase_factor`` should be the maximum per-phase fan-out the
+    machine's cost budget admits (e.g. reads per processor + readers per
+    cell within one phase of the algorithm's phase cost).
+    """
+    if per_phase_factor < 0:
+        raise ValueError(f"factor must be non-negative, got {per_phase_factor}")
+    bound = float(initial)
+    for t in range(1, cone.phases + 1):
+        bound *= 1.0 + per_phase_factor
+        if len(cone.cells[t]) + len(cone.procs[t]) > slack * bound:
+            return False
+    return True

@@ -1,0 +1,313 @@
+"""The Section 7 modified Random Adversary for the OR lower bound.
+
+Differences from the Section 5 adversary, implemented here as the paper
+specifies:
+
+* the adversary restricts a *set of input maps* (no inputs are fixed until
+  the end) — we track the set of remaining *components* of the special
+  mixture distribution;
+* the input distribution ``D`` is the mixture of Section 7.3: the all-zeros
+  map with probability 1/2, and for each level ``i`` the distribution
+  ``H_i`` (every gamma-group of inputs set to all-ones independently with
+  probability ``1/d_i``) with probability ``2 / log*_{mu+1}(n/gamma)``;
+* RANDOMRESTRICT decides, with the correct conditional probability, whether
+  the input comes from a named component; RANDOMFIX samples a complete map
+  from the remaining mixture;
+* REFINE (Section 7.3 pseudocode) tests the algorithm's maximum fan-out and
+  maximum cell contention against the ``alpha d_t^{d_t+2} log*`` thresholds,
+  gives up (fully fixing the input) when they are exceeded, and otherwise
+  peels off ``H_t`` and continues.
+
+At demo scale the d-sequence towers overflow immediately, so the
+constructor accepts an explicit ``d_sequence`` for experiments; the default
+follows the paper's recurrence with saturation.  The quantity the
+Theorem 7.1 check needs — the exact success probability of the algorithm's
+output cell over ``D`` — is computed by :func:`or_success_probability` by
+full enumeration of the mixture's support.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lowerbounds.adversary import GSMOracle, PartialInputMap
+from repro.util.mathfn import log_star_base
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = [
+    "ORMixture",
+    "ORAdversary",
+    "or_success_probability",
+    "default_d_sequence",
+]
+
+
+def default_d_sequence(n: int, gamma: int, mu: float, levels: int) -> List[float]:
+    """The Section 7.3 ``d_i`` recurrence with float saturation.
+
+    ``d_0 = log^{(3/4 log* r)}_{mu+1}(r)`` (iterated log applied
+    ``3/4 log* r`` times), ``d_{i+1} = (mu+1)^{(mu+1)^{d_i}}``.
+    """
+    r = max(n / gamma, 2.0)
+    base = mu + 1.0
+    iterations = max(1, (3 * log_star_base(r, base)) // 4)
+    d0 = r
+    for _ in range(iterations):
+        d0 = max(math.log(max(d0, base)) / math.log(base), 1.0 + 1e-9)
+    ds = [max(d0, 1.0 + 1e-6)]
+    for _ in range(levels - 1):
+        prev = ds[-1]
+        exponent = base**prev if prev < 64 else float("inf")
+        ds.append(base**exponent if exponent < 1024 else float("inf"))
+    return ds
+
+
+class ORMixture:
+    """The Section 7.3 input distribution over ``n = groups * gamma`` bits.
+
+    Components: ``('zero',)`` with probability 1/2; ``('H', i)`` for
+    ``i = 0..levels-1`` each with probability ``2 / log*_{mu+1}(r)``
+    (renormalised so the total is exactly 1, as any leftover mass would sit
+    on deeper, effectively-all-zero levels).
+    """
+
+    def __init__(
+        self,
+        groups: int,
+        gamma: int,
+        mu: float = 1.0,
+        levels: Optional[int] = None,
+        d_sequence: Optional[Sequence[float]] = None,
+    ) -> None:
+        if groups < 1 or gamma < 1:
+            raise ValueError(f"need groups, gamma >= 1; got {groups}, {gamma}")
+        self.groups = groups
+        self.gamma = gamma
+        self.n = groups * gamma
+        if self.n > 16:
+            raise ValueError(f"ORMixture enumerates 2^n masks; n={self.n} too large")
+        self.mu = mu
+        r = max(self.n / gamma, 2.0)
+        star = max(1, log_star_base(r, mu + 1.0))
+        if levels is None:
+            levels = max(1, star // 4)
+        self.levels = levels
+        if d_sequence is not None:
+            if len(d_sequence) != levels:
+                raise ValueError("d_sequence length must equal levels")
+            self.d = [float(d) for d in d_sequence]
+        else:
+            self.d = default_d_sequence(self.n, gamma, mu, levels)
+        if any(d < 1.0 for d in self.d):
+            raise ValueError(f"d_i must be >= 1, got {self.d}")
+        # Component probabilities: 1/2 zeros, rest split evenly over levels
+        # (the paper's 2/log* shares, renormalised).
+        self.components: List[Tuple] = [("zero",)] + [("H", i) for i in range(levels)]
+        level_share = 0.5 / levels
+        self.comp_prob: Dict[Tuple, float] = {("zero",): 0.5}
+        for i in range(levels):
+            self.comp_prob[("H", i)] = level_share
+
+    # -- per-component mask distributions ------------------------------------
+
+    def group_mask(self, j: int) -> int:
+        lo = j * self.gamma
+        return ((1 << self.gamma) - 1) << lo
+
+    def mask_prob_in_component(self, comp: Tuple, mask: int) -> float:
+        """P[mask | component]."""
+        if comp == ("zero",):
+            return 1.0 if mask == 0 else 0.0
+        _, i = comp
+        p1 = 1.0 / self.d[i]
+        prob = 1.0
+        for j in range(self.groups):
+            gm = self.group_mask(j)
+            part = mask & gm
+            if part == gm:
+                prob *= p1
+            elif part == 0:
+                prob *= 1.0 - p1
+            else:
+                return 0.0  # groups are set atomically
+        return prob
+
+    def mask_prob(self, mask: int) -> float:
+        """P[mask] under the full mixture."""
+        return sum(
+            self.comp_prob[comp] * self.mask_prob_in_component(comp, mask)
+            for comp in self.components
+        )
+
+    def support(self, comps: Optional[Sequence[Tuple]] = None) -> FrozenSet[int]:
+        """All masks with positive probability under the given components."""
+        comps = list(comps) if comps is not None else self.components
+        out = set()
+        for mask in range(1 << self.n):
+            if any(self.mask_prob_in_component(c, mask) > 0.0 for c in comps):
+                out.add(mask)
+        return frozenset(out)
+
+    def sample(self, comps: Sequence[Tuple], rng: RngLike = None) -> int:
+        """RANDOMFIX: sample a complete mask from the renormalised mixture."""
+        rng = derive_rng(rng)
+        weights = [self.comp_prob[c] for c in comps]
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("no probability mass left")
+        u = rng.random() * total
+        acc = 0.0
+        comp = comps[-1]
+        for c, w in zip(comps, weights):
+            acc += w
+            if u <= acc:
+                comp = c
+                break
+        if comp == ("zero",):
+            return 0
+        _, i = comp
+        p1 = 1.0 / self.d[i]
+        mask = 0
+        for j in range(self.groups):
+            if rng.random() < p1:
+                mask |= self.group_mask(j)
+        return mask
+
+
+@dataclass
+class ORRefineOutcome:
+    """Result of one Section 7 REFINE call."""
+
+    remaining: Tuple[Tuple, ...]  # components still possible
+    fixed_mask: Optional[int]  # set when the adversary RANDOMFIXed
+    x: float  # certified big-steps for the phase
+    done: bool
+    reason: str  # 'fanout' | 'contention' | 'restricted-to-H' | 'continue'
+
+
+class ORAdversary:
+    """Drives the Section 7 REFINE against a white-box GSM algorithm."""
+
+    def __init__(self, oracle: GSMOracle, mixture: ORMixture) -> None:
+        if oracle.n != mixture.n:
+            raise ValueError(
+                f"oracle has {oracle.n} inputs but mixture has {mixture.n}"
+            )
+        self.oracle = oracle
+        self.mix = mixture
+
+    def threshold(self, t: int) -> float:
+        """``d_t^{d_t+2} * log*_{mu+1}(n/gamma)`` (the alpha/beta factor is
+        applied by the caller per the pseudocode's two uses)."""
+        d_t = self.mix.d[min(t, len(self.mix.d) - 1)]
+        r = max(self.mix.n / self.mix.gamma, 2.0)
+        star = max(1, log_star_base(r, self.mix.mu + 1.0))
+        if d_t > 32:
+            return float("inf")
+        return (d_t ** (d_t + 2.0)) * star
+
+    def _max_fanout_and_contention(
+        self, t: int, masks: FrozenSet[int]
+    ) -> Tuple[int, int]:
+        max_fan = 0
+        max_cont = 0
+        for mask in masks:
+            traces = self.oracle.proc_traces[mask]
+            readers: Dict[int, int] = {}
+            for p, obs in traces.items():
+                if t < len(obs) and obs[t] is not None:
+                    max_fan = max(max_fan, len(obs[t]))
+                    for cell, _ in obs[t]:
+                        readers[cell] = readers.get(cell, 0) + 1
+            if readers:
+                max_cont = max(max_cont, max(readers.values()))
+        return max_fan, max_cont
+
+    def refine(
+        self,
+        t: int,
+        remaining: Sequence[Tuple],
+        rng: RngLike = None,
+    ) -> ORRefineOutcome:
+        """One Section 7.3 REFINE call at phase t."""
+        rng = derive_rng(rng)
+        remaining = list(remaining)
+        masks = self.mix.support(remaining)
+        alpha = self.oracle.params.alpha
+        beta = self.oracle.params.beta
+        fan, cont = self._max_fanout_and_contention(t, masks)
+        thr = self.threshold(t)
+
+        if fan >= alpha * thr:
+            mask = self.mix.sample(remaining, rng)
+            x = max(1.0, math.ceil(fan / alpha))
+            return ORRefineOutcome((), mask, x, True, "fanout")
+        if cont >= beta * thr:
+            mask = self.mix.sample(remaining, rng)
+            x = max(1.0, math.ceil(cont / beta))
+            return ORRefineOutcome((), mask, x, True, "contention")
+
+        # RANDOMRESTRICT(F, H_t): is the input drawn from level t?
+        target = ("H", t) if ("H", t) in remaining else None
+        if target is not None:
+            p_target = self.mix.comp_prob[target]
+            p_total = sum(self.mix.comp_prob[c] for c in remaining)
+            if derive_rng(rng).random() < p_target / p_total:
+                mask = self.mix.sample([target], rng)
+                return ORRefineOutcome((), mask, 1.0, True, "restricted-to-H")
+            remaining = [c for c in remaining if c != target]
+        return ORRefineOutcome(tuple(remaining), None, 1.0, False, "continue")
+
+    def run(self, T: int, rng: RngLike = None) -> Tuple[Optional[int], List[ORRefineOutcome]]:
+        """Drive REFINE for up to T phases; RANDOMFIX at the end if needed.
+
+        Returns (final complete mask, outcome list).
+        """
+        rng = derive_rng(rng)
+        remaining: Sequence[Tuple] = tuple(self.mix.components)
+        outcomes: List[ORRefineOutcome] = []
+        t = 0
+        phase = 0
+        while t < T and phase < self.oracle.n_phases:
+            out = self.refine(phase, remaining, rng)
+            outcomes.append(out)
+            if out.done:
+                return out.fixed_mask, outcomes
+            remaining = out.remaining
+            if not remaining:
+                break
+            t += int(out.x)
+            phase += 1
+        mask = self.mix.sample(list(remaining) or list(self.mix.components), rng)
+        return mask, outcomes
+
+
+def or_success_probability(
+    oracle: GSMOracle,
+    output_cell: int,
+    mixture: ORMixture,
+    decode=None,
+) -> float:
+    """Exact success probability of the algorithm's OR answer over ``D``.
+
+    ``decode`` maps the output cell's final repr string to 0/1 (default:
+    content ``repr(1)``/containing a 1 means answer 1).  This is the
+    quantity Theorem 7.1 bounds by ``(1+eps)/2`` for fast algorithms.
+    """
+    if decode is None:
+        def decode(content_repr: str) -> int:
+            return 1 if "1" in content_repr.replace("(", "").replace(",", " ").split() else 0
+
+    total = 0.0
+    for mask in range(1 << mixture.n):
+        p = mixture.mask_prob(mask)
+        if p == 0.0:
+            continue
+        want = 1 if mask != 0 else 0
+        _, content = oracle.cell_trace(output_cell, oracle.n_phases, mask)
+        got = decode(content if content is not None else "")
+        if got == want:
+            total += p
+    return total

@@ -1,0 +1,165 @@
+"""Theorem 2.1 (Yao's principle) as an exactly evaluable game.
+
+The theorem: the worst-case success probability ``S1`` of any ``T``-step
+randomized algorithm is at most the best distributional success ``S2`` of a
+``T``-step deterministic algorithm against any fixed input distribution.
+
+To make both sides computable we use the query model that underlies all the
+paper's step-counting arguments: a *depth-d decision strategy* adaptively
+inspects at most ``d`` of the ``n`` input bits and then answers.  (Every
+``T``-step GSM/QSM computation induces such a strategy for the processor
+writing the output, with ``d`` = the information it can have gathered —
+which is exactly how the paper's adversaries count knowledge.)
+
+* :func:`optimal_deterministic_success` computes ``S2`` *exactly* by
+  game-tree dynamic programming over knowledge states — no enumeration of
+  trees is needed: the optimal value recurses as
+  ``V(state, d) = max_i E_{b ~ D|state}[ V(state + (i=b), d-1) ]`` with leaf
+  value ``max_a P[f(x) = a | state]``.
+* :func:`randomized_worst_success` evaluates any randomized strategy's
+  worst-case success exactly (enumerating inputs) or approximately.
+* :func:`yao_gap` returns ``S2 - S1`` for a given strategy; Theorem 2.1
+  says it is always >= 0, and the property tests hammer this.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lowerbounds.adversary import InputDistribution, PartialInputMap
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = [
+    "optimal_deterministic_success",
+    "randomized_worst_success",
+    "yao_gap",
+    "RandomizedStrategy",
+]
+
+
+def optimal_deterministic_success(
+    f: Callable[[int], int],
+    n: int,
+    depth: int,
+    dist: InputDistribution,
+) -> float:
+    """``S2``: the best success probability of any depth-``depth`` strategy
+    against distribution ``dist``, computed exactly.
+
+    ``f(mask)`` is the target function on complete assignments.
+    """
+    if n < 0 or n > 16:
+        raise ValueError(f"need 0 <= n <= 16, got {n}")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+
+    # Precompute P[mask] once.
+    probs = [dist.probability(mask) for mask in range(1 << n)]
+    total = sum(probs)
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+
+    @lru_cache(maxsize=None)
+    def value(known_mask: int, known_values: int, d: int) -> float:
+        # Mass and per-answer mass of inputs consistent with the knowledge.
+        mass: Dict[int, float] = {}
+        total_mass = 0.0
+        for mask in range(1 << n):
+            if (mask & known_mask) != known_values:
+                continue
+            p = probs[mask]
+            if p == 0.0:
+                continue
+            total_mass += p
+            ans = f(mask)
+            mass[ans] = mass.get(ans, 0.0) + p
+        if total_mass == 0.0:
+            return 0.0  # unreachable state contributes nothing
+        best_answer = max(mass.values())
+        if d == 0:
+            return best_answer
+        best = best_answer  # querying is never forced
+        for i in range(n):
+            bit = 1 << i
+            if known_mask & bit:
+                continue
+            v0 = value(known_mask | bit, known_values, d - 1)
+            v1 = value(known_mask | bit, known_values | bit, d - 1)
+            # v0/v1 are already conditional *expected masses* scaled by the
+            # branch mass: we recurse on absolute mass to avoid dividing.
+            best = max(best, v0 + v1)
+        return best
+
+    # value() returns probability mass of success; normalise by total mass.
+    return value(0, 0, depth) / total
+
+
+class RandomizedStrategy:
+    """A randomized depth-d strategy: a distribution over deterministic ones.
+
+    Supplied as a callable ``play(mask, rng) -> int`` that may read at most
+    ``depth`` bits of ``mask`` through the provided ``reveal`` helper; for
+    exactness we instead accept a list of deterministic strategies with
+    weights (the general form by convexity).
+    Each deterministic strategy is ``(query_fn, answer_fn)`` where
+    ``query_fn(known: dict) -> Optional[int]`` picks the next index (or None
+    to stop) and ``answer_fn(known: dict) -> int`` answers.
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[Tuple[Callable, Callable]],
+        weights: Optional[Sequence[float]] = None,
+        depth: int = 0,
+    ) -> None:
+        if not strategies:
+            raise ValueError("need at least one deterministic strategy")
+        self.strategies = list(strategies)
+        if weights is None:
+            weights = [1.0 / len(strategies)] * len(strategies)
+        if len(weights) != len(strategies):
+            raise ValueError("weights/strategies length mismatch")
+        s = sum(weights)
+        if s <= 0 or any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative with positive sum")
+        self.weights = [w / s for w in weights]
+        self.depth = depth
+
+    def success_on(self, f: Callable[[int], int], n: int, mask: int) -> float:
+        """Probability of answering ``f(mask)`` correctly on input ``mask``."""
+        want = f(mask)
+        total = 0.0
+        for (query_fn, answer_fn), w in zip(self.strategies, self.weights):
+            known: Dict[int, int] = {}
+            for _ in range(self.depth):
+                idx = query_fn(dict(known))
+                if idx is None:
+                    break
+                known[idx] = (mask >> idx) & 1
+            if answer_fn(dict(known)) == want:
+                total += w
+        return total
+
+
+def randomized_worst_success(
+    strategy: RandomizedStrategy,
+    f: Callable[[int], int],
+    n: int,
+) -> float:
+    """``S1``: the strategy's success probability on its worst input."""
+    if n < 0 or n > 16:
+        raise ValueError(f"need 0 <= n <= 16, got {n}")
+    return min(strategy.success_on(f, n, mask) for mask in range(1 << n))
+
+
+def yao_gap(
+    strategy: RandomizedStrategy,
+    f: Callable[[int], int],
+    n: int,
+    dist: InputDistribution,
+) -> float:
+    """``S2 - S1`` for the given strategy and distribution (>= 0 by Thm 2.1)."""
+    s1 = randomized_worst_success(strategy, f, n)
+    s2 = optimal_deterministic_success(f, n, strategy.depth, dist)
+    return s2 - s1

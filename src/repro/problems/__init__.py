@@ -1,0 +1,36 @@
+"""Problem instance generators and output verifiers.
+
+One module per problem family from the paper.  Generators produce inputs
+under the distributions the paper's arguments use (uniform bits for
+parity/OR, sparse item arrays for LAC, uniform [0,1] reals for padded sort,
+random colorings for chromatic load balancing); verifiers check algorithm
+outputs against the problem contracts, independently of how the algorithms
+work.  The test-suite and the bench harness only trust these verifiers.
+"""
+
+from repro.problems.boolean import gen_bits, verify_or, verify_parity
+from repro.problems.compaction import gen_sparse_array, verify_lac
+from repro.problems.listrank import gen_list, verify_list_ranks
+from repro.problems.loadbal import gen_loads, verify_load_balance
+from repro.problems.sortprob import (
+    gen_padded_sort_input,
+    gen_sort_input,
+    verify_padded_sort,
+    verify_sorted,
+)
+
+__all__ = [
+    "gen_bits",
+    "verify_parity",
+    "verify_or",
+    "gen_sparse_array",
+    "verify_lac",
+    "gen_loads",
+    "verify_load_balance",
+    "gen_padded_sort_input",
+    "gen_sort_input",
+    "verify_padded_sort",
+    "verify_sorted",
+    "gen_list",
+    "verify_list_ranks",
+]

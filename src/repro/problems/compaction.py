@@ -1,0 +1,53 @@
+"""LAC instances and the linear-approximate-compaction contract."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = ["gen_sparse_array", "verify_lac"]
+
+
+def gen_sparse_array(
+    n: int,
+    h: int,
+    seed: RngLike = None,
+    exact: bool = False,
+) -> List[Optional[str]]:
+    """An n-cell array holding at most (or, with ``exact``, exactly) h items.
+
+    Items are distinct strings tagged with their original position, so
+    verifiers can detect loss or duplication.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0 <= h <= n:
+        raise ValueError(f"need 0 <= h <= n, got h={h}, n={n}")
+    rng = derive_rng(seed)
+    count = h if exact else int(rng.integers(0, h + 1))
+    arr: List[Optional[str]] = [None] * n
+    for idx in rng.choice(n, size=count, replace=False) if count else []:
+        arr[int(idx)] = f"item@{int(idx)}"
+    return arr
+
+
+def verify_lac(
+    input_array: Sequence[Any],
+    output_array: Sequence[Any],
+    h: int,
+    expansion_limit: float = 16.0,
+) -> bool:
+    """Check the h-LAC contract.
+
+    1. Every input item appears in the output exactly once, nothing else.
+    2. The output array has size ``O(h)``: at most ``expansion_limit * h``
+       cells (plus a small additive allowance for the h=0 edge).
+    """
+    in_items = [v for v in input_array if v is not None]
+    out_items = [v for v in output_array if v is not None]
+    if sorted(map(str, in_items)) != sorted(map(str, out_items)):
+        return False
+    if len(output_array) > expansion_limit * max(h, 1) + 8:
+        return False
+    return True

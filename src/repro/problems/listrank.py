@@ -1,0 +1,71 @@
+"""List-ranking instances and contract."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = ["gen_list", "verify_list_ranks"]
+
+
+def gen_list(n: int, seed: RngLike = None) -> Tuple[List[Optional[int]], List[int]]:
+    """A random n-node linked list.
+
+    Returns ``(next_ptrs, order)`` where ``order`` is the head-to-tail node
+    sequence (ground truth for verification).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = derive_rng(seed)
+    order = [int(i) for i in rng.permutation(n)]
+    next_ptrs: List[Optional[int]] = [None] * n
+    for a, b in zip(order, order[1:]):
+        next_ptrs[a] = b
+    return next_ptrs, order
+
+
+def verify_list_ranks(
+    next_ptrs: Sequence[Optional[int]],
+    ranks: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> bool:
+    """Check ranks against a sequential traversal.
+
+    ``ranks[i]`` must equal the sum of weights of node i and everything
+    after it (unit weights by default).
+    """
+    n = len(next_ptrs)
+    if len(ranks) != n:
+        return False
+    w = list(weights) if weights is not None else [1] * n
+    # Find the head: the node with no predecessor.
+    has_pred = [False] * n
+    for nxt in next_ptrs:
+        if nxt is not None:
+            if not 0 <= nxt < n:
+                return False
+            has_pred[nxt] = True
+    heads = [i for i in range(n) if not has_pred[i]]
+    if n == 0:
+        return True
+    if len(heads) != 1:
+        return False
+    # Sequential suffix sums along the list.
+    chain = []
+    node: Optional[int] = heads[0]
+    seen = set()
+    while node is not None:
+        if node in seen:
+            return False  # cycle
+        seen.add(node)
+        chain.append(node)
+        node = next_ptrs[node]
+    if len(chain) != n:
+        return False
+    suffix = 0.0
+    expected = {}
+    for node in reversed(chain):
+        suffix += w[node]
+        expected[node] = suffix
+    return all(abs(ranks[i] - expected[i]) < 1e-9 for i in range(n))

@@ -1,0 +1,60 @@
+"""Load-balancing instances and contract."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.util.seeding import RngLike, derive_rng
+
+__all__ = ["gen_loads", "verify_load_balance"]
+
+
+def gen_loads(
+    n: int,
+    h: int,
+    skew: float = 1.0,
+    seed: RngLike = None,
+) -> List[List[str]]:
+    """``h`` distinct objects over ``n`` processors.
+
+    ``skew=1`` places objects uniformly; larger skews concentrate them on
+    low-numbered processors (Zipf-like), the adversarial shape for
+    redistribution.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if h < 0:
+        raise ValueError(f"h must be non-negative, got {h}")
+    if skew < 1.0:
+        raise ValueError(f"skew must be >= 1, got {skew}")
+    rng = derive_rng(seed)
+    weights = 1.0 / (1.0 + rng.permutation(n)) ** skew
+    weights = weights / weights.sum()
+    out: List[List[str]] = [[] for _ in range(n)]
+    owners = rng.choice(n, size=h, p=weights)
+    for k, owner in enumerate(owners):
+        out[int(owner)].append(f"obj#{k}")
+    return out
+
+
+def verify_load_balance(
+    before: Sequence[Sequence[Any]],
+    after: Sequence[Sequence[Any]],
+    max_per_proc_constant: float = 2.0,
+) -> bool:
+    """Check the redistribution contract.
+
+    1. Same multiset of objects, same number of processors.
+    2. Every processor ends with at most
+       ``max_per_proc_constant * (1 + h/n)`` objects.
+    """
+    n = len(before)
+    if len(after) != n or n == 0:
+        return False
+    flat_before = sorted(str(x) for objs in before for x in objs)
+    flat_after = sorted(str(x) for objs in after for x in objs)
+    if flat_before != flat_after:
+        return False
+    h = len(flat_before)
+    cap = max_per_proc_constant * (1.0 + h / n)
+    return all(len(objs) <= cap for objs in after)

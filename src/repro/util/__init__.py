@@ -1,0 +1,36 @@
+"""Small numeric helpers shared across the reproduction.
+
+The paper's bound formulas are built from a handful of slowly growing
+functions (``log``, ``log log``, ``log*``) evaluated at machine-parameter
+combinations.  These helpers centralise those evaluations so that the
+formula library in :mod:`repro.lowerbounds.formulas` reads like the paper.
+"""
+
+from repro.util.mathfn import (
+    ceil_div,
+    clamp,
+    ilog2,
+    log2p,
+    loglog2p,
+    log_base,
+    log_star,
+    log_star_base,
+    safe_ratio,
+    sqrt_ratio,
+)
+from repro.util.seeding import derive_rng, spawn_rngs
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "ilog2",
+    "log2p",
+    "loglog2p",
+    "log_base",
+    "log_star",
+    "log_star_base",
+    "safe_ratio",
+    "sqrt_ratio",
+    "derive_rng",
+    "spawn_rngs",
+]

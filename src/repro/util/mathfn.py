@@ -1,0 +1,115 @@
+"""Slow-growing functions used throughout the paper's bound formulas.
+
+All logarithms are base 2 unless a base is given explicitly.  The paper's
+formulas frequently divide by ``log g`` or ``log log n``; at small parameter
+values those terms vanish or go negative, so every helper here is clamped to
+stay positive and finite.  The clamping convention is documented per
+function; the formula library relies on it, and the tests in
+``tests/util/test_mathfn.py`` pin it down.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "ilog2",
+    "log2p",
+    "loglog2p",
+    "log_base",
+    "log_star",
+    "log_star_base",
+    "safe_ratio",
+    "sqrt_ratio",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires non-negative dividend, got {a}")
+    return -(-a // b)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into the closed interval ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    return max(lo, min(hi, x))
+
+
+def ilog2(n: int) -> int:
+    """Floor of log2(n) for positive integer ``n``."""
+    if n <= 0:
+        raise ValueError(f"ilog2 requires a positive integer, got {n}")
+    return n.bit_length() - 1
+
+
+def log2p(x: float) -> float:
+    """``max(1, log2 x)`` — the paper's ``log`` clamped away from zero.
+
+    Bound formulas such as ``g * log n / log g`` are only meaningful when the
+    denominators are positive; for ``x <= 2`` we return 1 so that ratios stay
+    finite and the formula degrades to the numerator, matching the usual
+    asymptotic convention that ``log`` means ``max(1, log)``.
+    """
+    if x <= 2.0:
+        return 1.0
+    return math.log2(x)
+
+
+def loglog2p(x: float) -> float:
+    """``max(1, log2 log2 x)`` with the same clamping convention as :func:`log2p`."""
+    return log2p(log2p(x) if x > 2.0 else 1.0) if x > 4.0 else 1.0
+
+
+def log_base(x: float, base: float) -> float:
+    """``max(1, log_base(x))`` for ``base > 1``; clamped like :func:`log2p`."""
+    if base <= 1.0:
+        raise ValueError(f"log_base requires base > 1, got {base}")
+    if x <= base:
+        return 1.0
+    return math.log(x) / math.log(base)
+
+
+def log_star(x: float) -> int:
+    """Iterated logarithm ``log* x`` base 2.
+
+    The number of times ``log2`` must be applied before the value drops to
+    at most 1.  ``log_star(x) == 0`` for ``x <= 1``.
+    """
+    return log_star_base(x, 2.0)
+
+
+def log_star_base(x: float, base: float) -> int:
+    """Iterated logarithm with the given base (> 1).
+
+    The paper uses ``log*_{mu+1}`` in the OR lower bound (Section 7); this is
+    that quantity.  Defined as the number of applications of ``log_base``
+    needed to bring ``x`` down to at most 1.
+    """
+    if base <= 1.0:
+        raise ValueError(f"log_star_base requires base > 1, got {base}")
+    count = 0
+    # log* grows so slowly that this loop runs at most ~6 times for any
+    # representable float; guard anyway against pathological bases near 1.
+    while x > 1.0:
+        x = math.log(x) / math.log(base)
+        count += 1
+        if count > 128:
+            raise OverflowError("log_star_base failed to converge")
+    return count
+
+
+def safe_ratio(num: float, den: float) -> float:
+    """``num / max(den, 1)`` — division guarded against tiny denominators."""
+    return num / max(den, 1.0)
+
+
+def sqrt_ratio(num: float, den: float) -> float:
+    """``sqrt(num / max(den, 1))`` with the numerator clamped non-negative."""
+    return math.sqrt(max(num, 0.0) / max(den, 1.0))

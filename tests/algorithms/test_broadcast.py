@@ -1,0 +1,72 @@
+"""Broadcast correctness and cost shape on all models."""
+
+import pytest
+
+from repro.algorithms.broadcast import broadcast_bsp, broadcast_shared
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+
+
+class TestSharedBroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 33, 100])
+    def test_all_cells_filled(self, n):
+        m = QSM(QSMParams(g=4))
+        r = broadcast_shared(m, "tok", n)
+        assert r.value == ["tok"] * n
+
+    def test_sqsm(self):
+        m = SQSM(SQSMParams(g=2))
+        assert broadcast_shared(m, 5, 20).value == [5] * 20
+
+    def test_gsm(self):
+        m = GSM(GSMParams(alpha=1, beta=4))
+        r = broadcast_shared(m, "v", 10)
+        # GSM cells are tuples.
+        assert all(v == ("v",) for v in r.value)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            broadcast_shared(QSM(), "x", 0)
+
+    def test_explicit_fanin_validated(self):
+        with pytest.raises(ValueError):
+            broadcast_shared(QSM(), "x", 4, fan_in=1)
+
+    def test_qsm_faster_than_sqsm_at_large_g(self):
+        # QSM reads are contention-cheap: fan-in g beats the s-QSM's binary tree.
+        n, g = 256, 16
+        q = QSM(QSMParams(g=g))
+        s = SQSM(SQSMParams(g=g))
+        tq = broadcast_shared(q, 0, n).time
+        ts = broadcast_shared(s, 0, n).time
+        assert tq < ts
+
+    def test_cost_grows_with_n(self):
+        times = []
+        for n in [16, 256, 4096]:
+            m = QSM(QSMParams(g=4))
+            times.append(broadcast_shared(m, 0, n).time)
+        assert times[0] < times[1] < times[2]
+
+
+class TestBSPBroadcast:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 17])
+    def test_all_components_receive(self, p):
+        b = BSP(p, BSPParams(g=2, L=8))
+        assert broadcast_bsp(b, "msg").value == ["msg"] * p
+
+    def test_superstep_cost_is_L_each(self):
+        b = BSP(64, BSPParams(g=2, L=8))
+        r = broadcast_bsp(b, 1)
+        # Default fan-out L/g = 4: each superstep costs exactly L.
+        assert all(c == 8.0 for c in b.step_costs)
+
+    def test_larger_L_over_g_fewer_supersteps(self):
+        b1 = BSP(256, BSPParams(g=2, L=4))
+        b2 = BSP(256, BSPParams(g=2, L=32))
+        r1 = broadcast_bsp(b1, 1)
+        r2 = broadcast_bsp(b2, 1)
+        assert r2.phases < r1.phases
+
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            broadcast_bsp(BSP(4), 1, fan_out=0)

@@ -1,0 +1,101 @@
+"""LAC: dart throwing and deterministic prefix compaction."""
+
+import pytest
+
+from repro.algorithms.compaction import lac_dart, lac_prefix
+from repro.core import GSM, QSM, SQSM, GSMParams, QSMParams, SQSMParams
+from repro.problems import gen_sparse_array, verify_lac
+
+
+class TestLacDart:
+    @pytest.mark.parametrize("n,h", [(16, 4), (64, 16), (200, 20), (50, 50)])
+    def test_contract(self, n, h):
+        arr = gen_sparse_array(n, h, seed=n + h, exact=True)
+        r = lac_dart(QSM(QSMParams(g=4)), arr, h=h, seed=1)
+        assert verify_lac(arr, r.value, h)
+
+    def test_empty_array(self):
+        r = lac_dart(QSM(), [None] * 10, seed=0)
+        assert r.value == []
+        assert r.extra["rounds"] == 0
+
+    def test_single_item(self):
+        arr = [None, "x", None]
+        r = lac_dart(QSM(), arr, seed=0)
+        assert [v for v in r.value if v is not None] == ["x"]
+
+    def test_h_defaults_to_count(self):
+        arr = gen_sparse_array(40, 10, seed=2, exact=True)
+        r = lac_dart(QSM(QSMParams(g=2)), arr, seed=3)
+        assert verify_lac(arr, r.value, 10)
+
+    def test_h_too_small_rejected(self):
+        arr = gen_sparse_array(20, 10, seed=1, exact=True)
+        with pytest.raises(ValueError):
+            lac_dart(QSM(), arr, h=2)
+
+    def test_expansion_validated(self):
+        with pytest.raises(ValueError):
+            lac_dart(QSM(), [None, "a"], expansion=1)
+
+    def test_destination_linear_in_h(self):
+        # Segments sum to <= 2 * expansion * h + small tail.
+        n, h = 256, 32
+        arr = gen_sparse_array(n, h, seed=9, exact=True)
+        r = lac_dart(QSM(QSMParams(g=2)), arr, h=h, expansion=4, seed=4)
+        assert r.extra["destination_size"] <= 8 * h + 4 * h
+
+    def test_gsm_strong_queuing_winner_convention(self):
+        arr = gen_sparse_array(40, 12, seed=5, exact=True)
+        r = lac_dart(GSM(GSMParams(alpha=2, beta=2)), arr, seed=6)
+        assert verify_lac(arr, r.value, 12)
+
+    def test_reproducible(self):
+        arr = gen_sparse_array(60, 15, seed=7, exact=True)
+        r1 = lac_dart(QSM(seed=0), arr, seed=8)
+        r2 = lac_dart(QSM(seed=0), arr, seed=8)
+        assert r1.value == r2.value and r1.time == r2.time
+
+    def test_rounds_loglog_scale(self):
+        # Dart rounds grow very slowly with n (doubly-exponential decay).
+        arr = gen_sparse_array(4096, 1024, seed=10, exact=True)
+        r = lac_dart(QSM(QSMParams(g=2)), arr, seed=11)
+        assert r.extra["rounds"] <= 12
+
+    def test_forced_fallback_still_correct(self):
+        arr = gen_sparse_array(64, 32, seed=12, exact=True)
+        r = lac_dart(QSM(QSMParams(g=2)), arr, seed=13, max_rounds=1)
+        assert verify_lac(arr, r.value, 32)
+        # With one dart round some items usually remain for the fallback.
+        assert r.extra["fallback_items"] >= 0
+
+
+class TestLacPrefix:
+    @pytest.mark.parametrize("n,h", [(16, 4), (64, 16), (100, 1), (10, 10)])
+    def test_exact_compaction(self, n, h):
+        arr = gen_sparse_array(n, h, seed=n * h + 1, exact=True)
+        r = lac_prefix(SQSM(SQSMParams(g=2)), arr)
+        items = [v for v in arr if v is not None]
+        assert r.value == items  # order-preserving, exactly packed
+
+    def test_empty(self):
+        assert lac_prefix(QSM(), [None] * 8).value == []
+
+    def test_h_check(self):
+        arr = gen_sparse_array(20, 10, seed=3, exact=True)
+        with pytest.raises(ValueError):
+            lac_prefix(QSM(), arr, h=1)
+
+    def test_gsm(self):
+        arr = gen_sparse_array(30, 7, seed=4, exact=True)
+        r = lac_prefix(GSM(GSMParams()), arr)
+        assert r.value == [v for v in arr if v is not None]
+
+    def test_dart_cheaper_than_prefix_for_large_sparse(self):
+        # The randomized algorithm's advantage (O(g loglog) vs O(g log)).
+        n, h = 4096, 64
+        arr = gen_sparse_array(n, h, seed=5, exact=True)
+        t_dart = lac_dart(QSM(QSMParams(g=4)), arr, h=h, seed=6).time
+        arr2 = gen_sparse_array(n, h, seed=5, exact=True)
+        t_prefix = lac_prefix(QSM(QSMParams(g=4)), arr2).time
+        assert t_dart < t_prefix

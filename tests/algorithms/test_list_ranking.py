@@ -1,0 +1,68 @@
+"""Pointer-jumping list ranking."""
+
+import pytest
+
+from repro.algorithms.list_ranking import list_rank
+from repro.core import GSM, QSM, SQSM, GSMParams, QSMParams, SQSMParams
+from repro.problems import gen_list, verify_list_ranks
+
+
+class TestListRank:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 33, 100])
+    def test_unit_weights(self, n):
+        next_ptrs, order = gen_list(n, seed=n)
+        r = list_rank(QSM(QSMParams(g=2)), next_ptrs)
+        assert verify_list_ranks(next_ptrs, r.value)
+
+    def test_identity_list(self):
+        n = 10
+        nxt = [i + 1 for i in range(n - 1)] + [None]
+        r = list_rank(SQSM(SQSMParams(g=2)), nxt)
+        assert r.value == list(range(n, 0, -1))
+
+    def test_weighted(self):
+        nxt = [1, 2, None]
+        r = list_rank(QSM(), nxt, weights=[5, 7, 11])
+        assert r.value == [23, 18, 11]
+
+    def test_zero_weights(self):
+        nxt = [1, None]
+        r = list_rank(QSM(), nxt, weights=[0, 0])
+        assert r.value == [0, 0]
+
+    def test_empty(self):
+        assert list_rank(QSM(), []).value == []
+
+    def test_single_node(self):
+        assert list_rank(QSM(), [None]).value == [1]
+
+    def test_gsm(self):
+        next_ptrs, _ = gen_list(20, seed=3)
+        r = list_rank(GSM(GSMParams(alpha=2, beta=2)), next_ptrs)
+        assert verify_list_ranks(next_ptrs, r.value)
+
+    def test_logarithmic_iterations(self):
+        next_ptrs, _ = gen_list(128, seed=4)
+        r = list_rank(QSM(QSMParams(g=1)), next_ptrs)
+        assert r.extra["iterations"] <= 8  # ceil(log2 128) = 7 (+ slack)
+
+    def test_erew_contention_stays_one(self):
+        next_ptrs, _ = gen_list(64, seed=5)
+        m = QSM(QSMParams(g=1))
+        list_rank(m, next_ptrs)
+        assert all(rec.kappa == 1 for rec in m.history)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list_rank(QSM(), [1, None], weights=[1])
+        with pytest.raises(ValueError):
+            list_rank(QSM(), [5, None])  # out of range
+        with pytest.raises(ValueError):
+            list_rank(QSM(), [1, 1, None])  # two predecessors
+        with pytest.raises(ValueError):
+            list_rank(QSM(), [0, None])  # self loop
+
+    def test_cycle_detected(self):
+        # 0 -> 1 -> 2 -> 0 is not a list; converge guard trips.
+        with pytest.raises((RuntimeError, ValueError)):
+            list_rank(QSM(), [1, 2, 0])

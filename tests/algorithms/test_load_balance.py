@@ -1,0 +1,46 @@
+"""Load balancing: content preservation and the O(1 + h/n) contract."""
+
+import pytest
+
+from repro.algorithms.load_balance import load_balance
+from repro.core import GSM, QSM, SQSM, GSMParams, QSMParams, SQSMParams
+from repro.problems import gen_loads, verify_load_balance
+
+
+class TestLoadBalance:
+    @pytest.mark.parametrize("n,h,skew", [(4, 8, 1.0), (8, 64, 2.0), (16, 16, 3.0), (10, 0, 1.0)])
+    def test_contract(self, n, h, skew):
+        loads = gen_loads(n, h, skew=skew, seed=n + h)
+        r = load_balance(QSM(QSMParams(g=2)), loads)
+        assert verify_load_balance(loads, r.value)
+
+    def test_exact_quota(self):
+        loads = gen_loads(8, 33, skew=4.0, seed=1)
+        r = load_balance(QSM(QSMParams(g=2)), loads)
+        assert r.extra["per_proc_max"] <= -(-33 // 8)  # ceil(h/n)
+
+    def test_all_on_one_processor(self):
+        loads = [[f"o{k}" for k in range(20)]] + [[] for _ in range(4)]
+        r = load_balance(SQSM(SQSMParams(g=2)), loads)
+        assert verify_load_balance(loads, r.value)
+        assert r.extra["per_proc_max"] == 4  # ceil(20/5)
+
+    def test_empty_everything(self):
+        r = load_balance(QSM(), [[], [], []])
+        assert r.value == [[], [], []]
+
+    def test_no_processors(self):
+        assert load_balance(QSM(), []).value == []
+
+    def test_gsm(self):
+        loads = gen_loads(6, 18, seed=2)
+        r = load_balance(GSM(GSMParams(alpha=2, beta=2)), loads)
+        assert verify_load_balance(loads, r.value)
+
+    def test_cost_charged_for_heavy_sender(self):
+        # A processor holding k objects must issue k writes: cost >= g*k.
+        k = 32
+        loads = [["x%d" % i for i in range(k)], []]
+        m = QSM(QSMParams(g=3))
+        load_balance(m, loads)
+        assert m.time >= 3 * k

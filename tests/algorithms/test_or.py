@@ -1,0 +1,124 @@
+"""OR algorithms: correctness and the QSM-vs-s-QSM fan-in split."""
+
+import pytest
+
+from repro.algorithms.or_ import or_bsp, or_rounds, or_sparse_random, or_tree_writes
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import RoundAuditor
+from repro.problems import gen_bits, verify_or
+
+
+class TestOrTreeWrites:
+    @pytest.mark.parametrize("n", [1, 2, 3, 9, 50, 128])
+    @pytest.mark.parametrize("density", [0.0, 0.05, 1.0])
+    def test_correct(self, n, density):
+        bits = gen_bits(n, density=density, seed=n)
+        r = or_tree_writes(QSM(QSMParams(g=4)), bits)
+        assert verify_or(bits, r.value)
+
+    def test_single_one_found(self):
+        bits = [0] * 100
+        bits[73] = 1
+        assert or_tree_writes(QSM(QSMParams(g=2)), bits).value == 1
+
+    def test_all_zeros(self):
+        assert or_tree_writes(QSM(QSMParams(g=2)), [0] * 64).value == 0
+
+    def test_gsm_strong_queuing_handled(self):
+        bits = gen_bits(40, seed=4)
+        r = or_tree_writes(GSM(GSMParams(alpha=2, beta=3)), bits)
+        assert verify_or(bits, r.value)
+
+    def test_default_fanin_is_g_on_qsm(self):
+        r = or_tree_writes(QSM(QSMParams(g=8)), [1] * 32)
+        assert r.extra["fan_in"] == 8
+
+    def test_default_fanin_is_2_on_sqsm(self):
+        r = or_tree_writes(SQSM(SQSMParams(g=8)), [1] * 32)
+        assert r.extra["fan_in"] == 2
+
+    def test_qsm_advantage_grows_with_g(self):
+        # QSM: O(g log n / log g); s-QSM: O(g log n).  The ratio grows with g.
+        bits = [0] * 1024
+        ratios = []
+        for g in [4, 16, 64]:
+            tq = or_tree_writes(QSM(QSMParams(g=g)), bits).time
+            ts = or_tree_writes(SQSM(SQSMParams(g=g)), bits).time
+            ratios.append(ts / tq)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_fanin_validated(self):
+        with pytest.raises(ValueError):
+            or_tree_writes(QSM(), [1, 0], fan_in=1)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            or_tree_writes(QSM(), [0, None])
+
+
+class TestOrSparseRandom:
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.5, 1.0])
+    def test_correct(self, density):
+        bits = gen_bits(120, density=density, seed=int(density * 100))
+        m = QSM(QSMParams(g=4, unit_time_concurrent_reads=True))
+        r = or_sparse_random(m, bits, seed=7)
+        assert verify_or(bits, r.value)
+
+    def test_requires_concurrent_read_variant(self):
+        with pytest.raises(ValueError):
+            or_sparse_random(QSM(QSMParams(g=4)), [1, 0])
+
+    def test_rejects_sqsm(self):
+        with pytest.raises(TypeError):
+            or_sparse_random(SQSM(), [1, 0])
+
+    def test_reproducible_with_seed(self):
+        bits = gen_bits(64, seed=11)
+        m1 = QSM(QSMParams(g=2, unit_time_concurrent_reads=True))
+        m2 = QSM(QSMParams(g=2, unit_time_concurrent_reads=True))
+        t1 = or_sparse_random(m1, bits, seed=3).time
+        t2 = or_sparse_random(m2, bits, seed=3).time
+        assert t1 == t2
+
+
+class TestOrBSP:
+    @pytest.mark.parametrize("n,p", [(16, 4), (100, 8), (5, 5), (64, 1)])
+    def test_correct(self, n, p):
+        bits = gen_bits(n, density=0.1, seed=n - p)
+        r = or_bsp(BSP(p, BSPParams(g=2, L=8)), bits)
+        assert verify_or(bits, r.value)
+
+    def test_all_zero_no_messages_after_local(self):
+        b = BSP(8, BSPParams(g=2, L=8))
+        or_bsp(b, [0] * 64)
+        # Combine supersteps route 0 messages: every superstep costs L.
+        assert all(c == 8.0 for c in b.step_costs)
+
+
+class TestOrRounds:
+    @pytest.mark.parametrize("n,p", [(64, 8), (256, 16), (100, 4)])
+    def test_correct(self, n, p):
+        bits = gen_bits(n, density=0.03, seed=p)
+        r = or_rounds(QSM(QSMParams(g=2)), bits, p=p)
+        assert verify_or(bits, r.value)
+
+    def test_computes_in_rounds_on_qsm(self):
+        n, p = 256, 16
+        m = QSM(QSMParams(g=4))
+        aud = RoundAuditor(m, n=n, p=p)
+        or_rounds(m, gen_bits(n, seed=0), p=p)
+        aud.audit()
+        assert aud.computes_in_rounds, [str(v) for v in aud.violations]
+
+    def test_qsm_uses_bigger_fanin_than_sqsm(self):
+        # The QSM round budget allows fan-in g*n/p; the s-QSM only n/p.
+        n, p = 256, 16
+        rq = or_rounds(QSM(QSMParams(g=8)), [0] * n, p=p)
+        rs = or_rounds(SQSM(SQSMParams(g=8)), [0] * n, p=p)
+        assert rq.extra["fan_in"] > rs.extra["fan_in"]
+
+    def test_fewer_rounds_on_qsm_at_large_g(self):
+        n, p = 4096, 1024
+        rq = or_rounds(QSM(QSMParams(g=64)), [0] * n, p=p)
+        rs = or_rounds(SQSM(SQSMParams(g=64)), [0] * n, p=p)
+        assert rq.phases <= rs.phases

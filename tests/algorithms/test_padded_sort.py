@@ -1,0 +1,66 @@
+"""Padded U[0,1] sort: ordering contract and padding discipline."""
+
+import pytest
+
+from repro.algorithms.padded_sort import padded_sort
+from repro.core import GSM, QSM, SQSM, GSMParams, QSMParams, SQSMParams
+from repro.problems import gen_padded_sort_input, verify_padded_sort
+
+
+class TestPaddedSort:
+    @pytest.mark.parametrize("n", [1, 5, 32, 100, 300])
+    def test_contract(self, n):
+        vals = gen_padded_sort_input(n, seed=n)
+        r = padded_sort(QSM(QSMParams(g=2)), vals, seed=n + 1)
+        assert verify_padded_sort(vals, r.value)
+
+    def test_empty(self):
+        assert padded_sort(QSM(), []).value == []
+
+    def test_duplicates_tolerated(self):
+        vals = [0.5] * 10 + [0.25] * 5
+        r = padded_sort(QSM(QSMParams(g=2)), vals, seed=0)
+        non_null = [v for v in r.value if v is not None]
+        assert non_null == sorted(vals)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            padded_sort(QSM(), [0.5, 1.5])
+
+    def test_sqsm(self):
+        vals = gen_padded_sort_input(64, seed=3)
+        r = padded_sort(SQSM(SQSMParams(g=2)), vals, seed=4)
+        assert verify_padded_sort(vals, r.value)
+
+    def test_gsm(self):
+        vals = gen_padded_sort_input(48, seed=5)
+        r = padded_sort(GSM(GSMParams(alpha=2, beta=2)), vals, seed=6)
+        assert verify_padded_sort(vals, r.value)
+
+    def test_reproducible(self):
+        vals = gen_padded_sort_input(50, seed=7)
+        r1 = padded_sort(QSM(seed=0), vals, seed=8)
+        r2 = padded_sort(QSM(seed=0), vals, seed=8)
+        assert r1.value == r2.value
+
+    def test_adversarial_input_restarts_then_succeeds(self):
+        # All values in one bucket: guaranteed overflow at default slack,
+        # resolved by restarting with doubled slack.
+        vals = [0.5 + i * 1e-6 for i in range(60)]
+        r = padded_sort(QSM(QSMParams(g=2)), vals, seed=9, bucket_expected=4)
+        non_null = [v for v in r.value if v is not None]
+        assert non_null == sorted(vals)
+        assert r.extra["restarts"] >= 1
+
+    def test_restart_cap(self):
+        vals = [0.5] * 40
+        with pytest.raises(RuntimeError):
+            padded_sort(
+                QSM(QSMParams(g=2)), vals, seed=10, bucket_expected=4, max_restarts=0
+            )
+
+    def test_output_size_linear(self):
+        n = 256
+        vals = gen_padded_sort_input(n, seed=11)
+        r = padded_sort(QSM(QSMParams(g=2)), vals, seed=12)
+        assert r.extra["output_size"] <= 3 * n + 256

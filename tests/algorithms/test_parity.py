@@ -1,0 +1,141 @@
+"""Parity algorithms: correctness on all models, Section 8 cost shapes."""
+
+import pytest
+
+from repro.algorithms.parity import parity_blocks, parity_bsp, parity_rounds, parity_tree
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import RoundAuditor
+from repro.problems import gen_bits, verify_parity
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64, 100])
+    def test_correct(self, n):
+        bits = gen_bits(n, seed=n)
+        r = parity_tree(SQSM(SQSMParams(g=2)), bits)
+        assert verify_parity(bits, r.value)
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 4, 7])
+    def test_fanins(self, fan_in):
+        bits = gen_bits(50, seed=fan_in)
+        r = parity_tree(QSM(QSMParams(g=2)), bits, fan_in=fan_in)
+        assert verify_parity(bits, r.value)
+
+    def test_gsm_default_fanin_alpha(self):
+        bits = gen_bits(32, seed=1)
+        m = GSM(GSMParams(alpha=4, beta=4))
+        r = parity_tree(m, bits)
+        assert verify_parity(bits, r.value)
+        assert r.extra["fan_in"] == 4
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            parity_tree(QSM(), [0, 2, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parity_tree(QSM(), [])
+
+    def test_sqsm_cost_matches_g_log_n_shape(self):
+        # Theta(g log n): doubling g doubles time; squaring n doubles time.
+        bits = [1] * 256
+        t_g2 = parity_tree(SQSM(SQSMParams(g=2)), bits).time
+        t_g4 = parity_tree(SQSM(SQSMParams(g=4)), bits).time
+        assert t_g4 == pytest.approx(2 * t_g2)
+        t_n2 = parity_tree(SQSM(SQSMParams(g=2)), [1] * 16).time
+        t_n4 = parity_tree(SQSM(SQSMParams(g=2)), [1] * 256).time
+        assert t_n4 == pytest.approx(2 * t_n2)
+
+
+class TestParityBlocks:
+    @pytest.mark.parametrize("n", [2, 3, 9, 33, 100])
+    def test_correct_plain(self, n):
+        bits = gen_bits(n, seed=n + 5)
+        r = parity_blocks(QSM(QSMParams(g=8)), bits)
+        assert verify_parity(bits, r.value)
+
+    @pytest.mark.parametrize("n", [2, 5, 40, 100])
+    def test_correct_concurrent_reads(self, n):
+        bits = gen_bits(n, seed=n)
+        m = QSM(QSMParams(g=8, unit_time_concurrent_reads=True))
+        r = parity_blocks(m, bits)
+        assert verify_parity(bits, r.value)
+
+    def test_single_bit(self):
+        r = parity_blocks(QSM(QSMParams(g=4)), [1])
+        assert r.value == 1
+
+    def test_rejects_sqsm(self):
+        with pytest.raises(TypeError):
+            parity_blocks(SQSM(), [1, 0])
+
+    def test_block_size_respects_contention_budget(self):
+        # Plain QSM: read contention 2^b must stay <= g.
+        m = QSM(QSMParams(g=16))
+        r = parity_blocks(m, gen_bits(64, seed=0))
+        b = r.extra["block_size"]
+        assert 2 ** (b - 1) <= 16 or b == 2
+
+    def test_beats_binary_tree_at_large_g(self):
+        bits = [1] * 1024
+        g = 64
+        t_tree = parity_tree(QSM(QSMParams(g=g)), bits).time
+        t_blocks = parity_blocks(QSM(QSMParams(g=g)), bits).time
+        assert t_blocks < t_tree
+
+    def test_concurrent_reads_never_slower(self):
+        bits = [1] * 512
+        g = 16
+        t_plain = parity_blocks(QSM(QSMParams(g=g)), bits).time
+        t_cr = parity_blocks(
+            QSM(QSMParams(g=g, unit_time_concurrent_reads=True)), bits
+        ).time
+        assert t_cr <= t_plain
+
+    def test_explicit_block_size(self):
+        bits = gen_bits(30, seed=2)
+        r = parity_blocks(QSM(QSMParams(g=4)), bits, block_size=3)
+        assert verify_parity(bits, r.value)
+        with pytest.raises(ValueError):
+            parity_blocks(QSM(QSMParams(g=4)), bits, block_size=1)
+
+
+class TestParityBSP:
+    @pytest.mark.parametrize("n,p", [(16, 4), (100, 8), (7, 7), (64, 1)])
+    def test_correct(self, n, p):
+        bits = gen_bits(n, seed=n * p)
+        r = parity_bsp(BSP(p, BSPParams(g=2, L=8)), bits)
+        assert verify_parity(bits, r.value)
+
+    def test_larger_L_over_g_fewer_supersteps(self):
+        bits = [1] * 256
+        s1 = parity_bsp(BSP(64, BSPParams(g=2, L=4)), bits).phases
+        s2 = parity_bsp(BSP(64, BSPParams(g=2, L=32)), bits).phases
+        assert s2 < s1
+
+
+class TestParityRounds:
+    @pytest.mark.parametrize("n,p", [(16, 4), (256, 16), (100, 10), (64, 64)])
+    def test_correct(self, n, p):
+        bits = gen_bits(n, seed=n + p)
+        r = parity_rounds(QSM(QSMParams(g=2)), bits, p=p)
+        assert verify_parity(bits, r.value)
+
+    def test_computes_in_rounds(self):
+        n, p = 256, 16
+        m = SQSM(SQSMParams(g=2))
+        aud = RoundAuditor(m, n=n, p=p)
+        parity_rounds(m, gen_bits(n, seed=3), p=p)
+        aud.audit()
+        assert aud.computes_in_rounds, [str(v) for v in aud.violations]
+
+    def test_round_count_shape(self):
+        # rounds ~ log n / log(n/p): larger blocks -> fewer rounds.
+        n = 4096
+        r1 = parity_rounds(QSM(QSMParams(g=1)), [1] * n, p=n // 2).phases
+        r2 = parity_rounds(QSM(QSMParams(g=1)), [1] * n, p=n // 256).phases
+        assert r2 < r1
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            parity_rounds(QSM(), [1, 0], p=3)

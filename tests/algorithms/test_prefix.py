@@ -1,0 +1,99 @@
+"""Prefix sums on all models: correctness, rounds discipline, cost shape."""
+
+from itertools import accumulate
+
+import pytest
+
+from repro.algorithms.prefix import prefix_sums, prefix_sums_bsp, prefix_sums_rounds
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import RoundAuditor
+
+
+def expected(vals):
+    return list(accumulate(vals))
+
+
+class TestSharedScan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 31, 64, 100])
+    def test_correct_for_sizes(self, n):
+        vals = [(i * 7 + 3) % 11 for i in range(n)]
+        m = QSM(QSMParams(g=2))
+        assert prefix_sums(m, vals).value == expected(vals)
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 4, 8])
+    def test_correct_for_fanins(self, fan_in):
+        vals = list(range(37))
+        m = SQSM(SQSMParams(g=2))
+        assert prefix_sums(m, vals, fan_in=fan_in).value == expected(vals)
+
+    def test_empty_input(self):
+        assert prefix_sums(QSM(), []).value == []
+
+    def test_gsm(self):
+        vals = [2, 4, 6, 8, 10]
+        assert prefix_sums(GSM(GSMParams(alpha=2, beta=2)), vals).value == expected(vals)
+
+    def test_non_numeric_monoid(self):
+        vals = ["a", "b", "c", "d"]
+        m = QSM()
+        assert prefix_sums(m, vals).value == ["a", "ab", "abc", "abcd"]
+
+    def test_rejects_fanin_one(self):
+        with pytest.raises(ValueError):
+            prefix_sums(QSM(), [1, 2], fan_in=1)
+
+    def test_cost_scales_log_n(self):
+        # Doubling n adds O(1) levels: time grows by an additive constant.
+        t = {}
+        for n in [64, 128, 256]:
+            m = SQSM(SQSMParams(g=1))
+            t[n] = prefix_sums(m, [1] * n).value and m.time
+        assert t[128] - t[64] == pytest.approx(t[256] - t[128], abs=t[64])
+
+
+class TestRoundsScan:
+    @pytest.mark.parametrize("n,p", [(16, 4), (64, 8), (100, 10), (37, 5), (8, 8)])
+    def test_correct(self, n, p):
+        vals = [(i * 13 + 1) % 7 for i in range(n)]
+        m = QSM(QSMParams(g=2))
+        assert prefix_sums_rounds(m, vals, p=p).value == expected(vals)
+
+    def test_computes_in_rounds(self):
+        n, p = 256, 16
+        m = QSM(QSMParams(g=2))
+        aud = RoundAuditor(m, n=n, p=p, constant=1.0)
+        prefix_sums_rounds(m, [1] * n, p=p)
+        aud.audit()
+        assert aud.computes_in_rounds, [str(v) for v in aud.violations]
+
+    def test_round_count_shrinks_with_larger_blocks(self):
+        # More items per processor (smaller p) -> fewer rounds.
+        n = 4096
+        r_small_block = prefix_sums_rounds(QSM(QSMParams(g=1)), [1] * n, p=n // 2).phases
+        r_big_block = prefix_sums_rounds(QSM(QSMParams(g=1)), [1] * n, p=n // 64).phases
+        assert r_big_block < r_small_block
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            prefix_sums_rounds(QSM(), [1, 2], p=0)
+        with pytest.raises(ValueError):
+            prefix_sums_rounds(QSM(), [1, 2], p=3)
+
+
+class TestBSPScan:
+    @pytest.mark.parametrize("n,p", [(10, 4), (64, 8), (5, 8), (100, 7), (1, 1)])
+    def test_correct(self, n, p):
+        vals = [(3 * i + 2) % 9 for i in range(n)]
+        b = BSP(p, BSPParams(g=2, L=8))
+        assert prefix_sums_bsp(b, vals).value == expected(vals)
+
+    def test_empty(self):
+        assert prefix_sums_bsp(BSP(2), []).value == []
+
+    def test_superstep_count_shrinks_with_L_over_g(self):
+        n = 512
+        b1 = BSP(64, BSPParams(g=2, L=4))
+        b2 = BSP(64, BSPParams(g=2, L=64))
+        s1 = prefix_sums_bsp(b1, [1] * n).phases
+        s2 = prefix_sums_bsp(b2, [1] * n).phases
+        assert s2 <= s1

@@ -1,0 +1,81 @@
+"""Sample sort on BSP and shared memory."""
+
+import pytest
+
+from repro.algorithms.sorting import sample_sort_bsp, sort_shared
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.problems import gen_sort_input, verify_sorted
+
+
+class TestSampleSortBSP:
+    @pytest.mark.parametrize("n,p", [(1, 1), (10, 4), (100, 8), (64, 64), (97, 5)])
+    def test_correct(self, n, p):
+        vals = gen_sort_input(n, universe=50, seed=n * p)
+        r = sample_sort_bsp(BSP(p, BSPParams(g=2, L=8)), vals)
+        assert verify_sorted(vals, r.value)
+
+    def test_empty(self):
+        assert sample_sort_bsp(BSP(4), []).value == []
+
+    def test_all_equal_values(self):
+        vals = [7] * 40
+        r = sample_sort_bsp(BSP(8, BSPParams(g=2, L=4)), vals)
+        assert r.value == vals
+
+    def test_already_sorted(self):
+        vals = list(range(50))
+        r = sample_sort_bsp(BSP(4, BSPParams(g=2, L=4)), vals)
+        assert verify_sorted(vals, r.value)
+
+    def test_reverse_sorted(self):
+        vals = list(range(50))[::-1]
+        r = sample_sort_bsp(BSP(4, BSPParams(g=2, L=4)), vals)
+        assert verify_sorted(vals, r.value)
+
+    def test_oversampling_validated(self):
+        with pytest.raises(ValueError):
+            sample_sort_bsp(BSP(2), [1, 2], oversampling=0)
+
+    def test_bucket_balance_reported(self):
+        vals = gen_sort_input(400, seed=1)
+        r = sample_sort_bsp(BSP(8, BSPParams(g=2, L=8)), vals, oversampling=8)
+        assert r.extra["max_bucket"] >= 400 // 8
+        # Random input with oversampling: no bucket should be wildly off.
+        assert r.extra["max_bucket"] <= 400
+
+    def test_output_also_distributed(self):
+        vals = gen_sort_input(60, seed=2)
+        b = BSP(4, BSPParams(g=2, L=4))
+        sample_sort_bsp(b, vals)
+        assert sorted(vals) == [v for i in range(4) for v in b.store[i]["sort_out"]]
+
+
+class TestSortShared:
+    @pytest.mark.parametrize("n", [1, 2, 10, 100, 257])
+    def test_correct(self, n):
+        vals = gen_sort_input(n, universe=40, seed=n)
+        r = sort_shared(QSM(QSMParams(g=2)), vals)
+        assert verify_sorted(vals, r.value)
+
+    def test_empty(self):
+        assert sort_shared(QSM(), []).value == []
+
+    def test_explicit_p(self):
+        vals = gen_sort_input(64, seed=3)
+        r = sort_shared(SQSM(SQSMParams(g=2)), vals, p=4)
+        assert verify_sorted(vals, r.value)
+        assert r.extra["p"] == 4
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            sort_shared(QSM(), [1], p=0)
+
+    def test_gsm(self):
+        vals = gen_sort_input(40, universe=10, seed=4)
+        r = sort_shared(GSM(GSMParams(alpha=2, beta=2)), vals)
+        assert verify_sorted(vals, r.value)
+
+    def test_duplicates_heavy(self):
+        vals = [1, 1, 1, 2, 2, 0] * 10
+        r = sort_shared(QSM(QSMParams(g=2)), vals)
+        assert verify_sorted(vals, r.value)

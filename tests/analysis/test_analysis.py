@@ -1,0 +1,116 @@
+"""Sweep engine, shape fitting, and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SweepPoint,
+    bounded_ratio,
+    dominance_constant,
+    ratio_trend,
+    render_table,
+    sweep,
+)
+from repro.analysis.fit import loglog_slope
+
+
+class TestSweep:
+    def test_grid_cartesian(self):
+        pts = sweep(
+            {"n": [1, 2], "g": [3, 4]},
+            lambda n, g: {"measured": n * g, "correct": True, "bound": n},
+        )
+        assert len(pts) == 4
+        assert {(p.params["n"], p.params["g"]) for p in pts} == {(1, 3), (1, 4), (2, 3), (2, 4)}
+
+    def test_ratio(self):
+        pts = sweep({"n": [4]}, lambda n: {"measured": 8.0, "correct": True, "bound": 2.0})
+        assert pts[0].ratio == 4.0
+
+    def test_no_bound_means_no_ratio(self):
+        pts = sweep({"n": [4]}, lambda n: {"measured": 8.0, "correct": True})
+        assert pts[0].ratio is None
+
+    def test_extra_captured(self):
+        pts = sweep({"n": [1]}, lambda n: {"measured": 1, "correct": True, "note": "hi"})
+        assert pts[0].extra == {"note": "hi"}
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({"n": [1]}, lambda n: {"measured": 1})
+
+
+class TestDominance:
+    def test_constant(self):
+        assert dominance_constant([10, 12], [5, 4]) == 2.0
+
+    def test_violation_shows_below_one(self):
+        assert dominance_constant([3, 10], [5, 5]) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominance_constant([], [])
+        with pytest.raises(ValueError):
+            dominance_constant([1], [0])
+
+
+class TestBoundedRatio:
+    def test_tight_family(self):
+        ok, spread = bounded_ratio([10, 20, 40], [5, 10, 20])
+        assert ok and spread == 1.0
+
+    def test_growing_ratio_detected(self):
+        ok, spread = bounded_ratio([1, 10, 100], [1, 1, 1], band=4.0)
+        assert not ok and spread == 100.0
+
+    def test_band_validated(self):
+        with pytest.raises(ValueError):
+            bounded_ratio([1], [1], band=0.5)
+
+
+class TestTrend:
+    def test_loglog_slope_of_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_ratio_trend_zero_for_matching_growth(self):
+        ns = [16, 64, 256]
+        measured = [4 * math.log2(n) for n in ns]
+        reference = [math.log2(n) for n in ns]
+        assert ratio_trend(ns, measured, reference) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ratio_trend_positive_when_measured_grows_faster(self):
+        ns = [16, 64, 256]
+        measured = [n * 1.0 for n in ns]
+        reference = [math.log2(n) for n in ns]
+        assert ratio_trend(ns, measured, reference) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([2, 2], [1, 2])
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(["col", "x"], [[1, 2.0], [333, None]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert "-" in lines[1]
+        assert lines[3].startswith("333")
+        assert lines[3].rstrip().endswith("-")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 1a")
+        assert out.splitlines()[0] == "Table 1a"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[12345.678]])
+        assert "1.23e+04" in out

@@ -1,0 +1,106 @@
+"""Phase-history inspection (analysis.timeline)."""
+
+import pytest
+
+from repro.analysis.timeline import dominant_term, explain
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+
+
+class TestDominantTerm:
+    def test_request_dominated(self):
+        m = QSM(QSMParams(g=4))
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+        assert dominant_term(m, 0) == "g*m_rw (requests)"
+
+    def test_contention_dominated(self):
+        m = QSM(QSMParams(g=2))
+        m.load([0])
+        with m.phase() as ph:
+            for i in range(9):
+                ph.read(i, 0)
+        assert dominant_term(m, 0) == "kappa (contention)"
+
+    def test_local_dominated(self):
+        m = QSM(QSMParams(g=2))
+        with m.phase() as ph:
+            ph.local(0, 500)
+            ph.write(0, 0, 1)
+        assert dominant_term(m, 0) == "m_op (local)"
+
+    def test_sqsm_contention_charged_with_gap(self):
+        m = SQSM(SQSMParams(g=4))
+        m.load([0])
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(1, 0)
+        assert dominant_term(m, 0) == "kappa (contention)"
+
+    def test_bsp_latency_floor(self):
+        b = BSP(2, BSPParams(g=2, L=50))
+        with b.superstep() as ss:
+            ss.local(0, 1)
+        assert dominant_term(b, 0) == "L (latency floor)"
+
+    def test_bsp_communication(self):
+        b = BSP(4, BSPParams(g=4, L=4))
+        with b.superstep() as ss:
+            for dst in range(1, 4):
+                ss.send(0, dst, "m")
+        assert dominant_term(b, 0) == "g*h (communication)"
+
+    def test_gsm_terms(self):
+        g = GSM(GSMParams(alpha=1, beta=8))
+        with g.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+        assert dominant_term(g, 0) == "m_rw/alpha"
+
+
+class TestExplain:
+    def test_shared_memory_table(self):
+        m = QSM(QSMParams(g=2))
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        out = explain(m)
+        assert "QSM phase history" in out
+        assert "dominated by" in out
+
+    def test_bsp_table(self):
+        b = BSP(2, BSPParams(g=1, L=4))
+        with b.superstep() as ss:
+            ss.send(0, 1, "x")
+        out = explain(b)
+        assert "BSP superstep history" in out
+
+    def test_limit_respected(self):
+        m = QSM()
+        for _ in range(10):
+            with m.phase() as ph:
+                ph.write(0, 0, 1)
+        out = explain(m, limit=3)
+        assert "showing 3 of 10" in out
+
+
+class TestQSMGDBranch:
+    def test_qsm_gd_contention_term(self):
+        from repro.core import QSMGD, QSMGDParams
+
+        m = QSMGD(QSMGDParams(g=2, d=4))
+        m.load([0])
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(1, 0)
+            ph.read(2, 0)
+        # d*kappa = 12 > g*m_rw = 2.
+        assert dominant_term(m, 0) == "kappa (contention)"
+
+    def test_qsm_gd_request_term(self):
+        from repro.core import QSMGD, QSMGDParams
+
+        m = QSMGD(QSMGDParams(g=8, d=1))
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+        assert dominant_term(m, 0) == "g*m_rw (requests)"

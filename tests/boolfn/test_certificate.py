@@ -1,0 +1,70 @@
+"""Certificate complexity and Fact 2.3 (C(f) <= deg(f)^4)."""
+
+import pytest
+
+from repro.boolfn import AND, MAJORITY, OR, PARITY, random_function
+from repro.boolfn.certificate import (
+    certificate_complexity,
+    certificate_for_input,
+    fact_2_3_holds,
+)
+from repro.boolfn.multilinear import BooleanFunction
+
+
+class TestCertificateForInput:
+    def test_or_on_a_one_input_needs_one_bit(self):
+        f = OR(3)
+        size, mask = certificate_for_input(f, 0b010)
+        assert size == 1
+        assert mask == 0b010  # that single 1 certifies OR = 1
+
+    def test_or_on_all_zeros_needs_everything(self):
+        f = OR(3)
+        size, _ = certificate_for_input(f, 0)
+        assert size == 3
+
+    def test_constant_function_needs_nothing(self):
+        f = BooleanFunction(2, [1, 1, 1, 1])
+        size, mask = certificate_for_input(f, 0b01)
+        assert size == 0 and mask == 0
+
+    def test_lexicographically_smallest_tie_break(self):
+        # f = x0 OR x1: on input 11 both single bits certify; pick x0.
+        f = OR(2)
+        size, mask = certificate_for_input(f, 0b11)
+        assert size == 1 and mask == 0b01
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            certificate_for_input(OR(2), 4)
+
+
+class TestCertificateComplexity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_or_full(self, n):
+        assert certificate_complexity(OR(n)) == n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_parity_full(self, n):
+        assert certificate_complexity(PARITY(n)) == n
+
+    def test_constant_zero(self):
+        assert certificate_complexity(BooleanFunction(3, [0] * 8)) == 0
+
+    def test_dictator_is_one(self):
+        # f = x1
+        f = BooleanFunction.from_function(lambda b: b[1], 3)
+        assert certificate_complexity(f) == 1
+
+
+class TestFact23:
+    @pytest.mark.parametrize("f_builder", [
+        lambda: OR(4), lambda: AND(4), lambda: PARITY(4), lambda: MAJORITY(5),
+        lambda: BooleanFunction(3, [0] * 8),
+    ])
+    def test_named_functions(self, f_builder):
+        assert fact_2_3_holds(f_builder())
+
+    def test_random_functions(self):
+        for seed in range(15):
+            assert fact_2_3_holds(random_function(4, seed=seed))

@@ -1,0 +1,70 @@
+"""Fact 2.2's degree composition bounds, verified on concrete functions."""
+
+import pytest
+
+from repro.boolfn import AND, MAJORITY, OR, PARITY, random_function
+from repro.boolfn.degree import (
+    and_degree_bound,
+    degree,
+    not_degree,
+    or_degree_bound,
+    restriction_degree_ok,
+)
+
+
+class TestFundamentalDegrees:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_parity_has_full_degree(self, n):
+        # The fact Theorems 3.1/3.2 rest on: deg(PARITY_n) = n.
+        assert degree(PARITY(n)) == n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_or_has_full_degree(self, n):
+        # The fact Theorem 7.2 rests on: deg(OR_n) = n.
+        assert degree(OR(n)) == n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_and_has_full_degree(self, n):
+        assert degree(AND(n)) == n
+
+    def test_majority_degree_positive(self):
+        assert degree(MAJORITY(5)) >= 3
+
+
+class TestFact22:
+    def test_and_bound(self):
+        f, g = PARITY(4), OR(4)
+        exact, bound = and_degree_bound(f, g)
+        assert exact <= bound
+
+    def test_or_bound(self):
+        f, g = PARITY(4), AND(4)
+        exact, bound = or_degree_bound(f, g)
+        assert exact <= bound
+
+    def test_not_preserves_degree(self):
+        for f in [PARITY(4), OR(4), MAJORITY(5)]:
+            exact, original = not_degree(f)
+            assert exact == original
+
+    def test_restriction_never_raises_degree(self):
+        f = MAJORITY(5)
+        for var in range(5):
+            for val in (0, 1):
+                assert restriction_degree_ok(f, {var: val})
+
+    def test_random_functions_obey_all_bounds(self):
+        for seed in range(10):
+            f = random_function(4, seed=seed)
+            g = random_function(4, seed=seed + 100)
+            e1, b1 = and_degree_bound(f, g)
+            e2, b2 = or_degree_bound(f, g)
+            assert e1 <= b1 and e2 <= b2
+            assert restriction_degree_ok(f, {0: 1, 2: 0})
+
+    def test_bound_is_tight_somewhere(self):
+        # AND of two ANDs on disjoint-ish supports: degrees genuinely add.
+        f = AND(4).restrict({2: 1, 3: 1})  # effectively x0 AND x1
+        g = AND(4).restrict({0: 1, 1: 1})  # effectively x2 AND x3
+        exact, bound = and_degree_bound(f, g)
+        assert exact == 4 == bound

@@ -1,0 +1,80 @@
+"""The standard function constructors."""
+
+import pytest
+
+from repro.boolfn import AND, MAJORITY, OR, PARITY, THRESHOLD, from_truth_table, random_function
+
+
+class TestParity:
+    def test_small_tables(self):
+        assert PARITY(2).table.tolist() == [0, 1, 1, 0]
+
+    def test_counts_ones_mod_two(self):
+        f = PARITY(5)
+        for mask in range(32):
+            assert f(mask) == bin(mask).count("1") % 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PARITY(-1)
+
+
+class TestOrAnd:
+    def test_or_table(self):
+        assert OR(2).table.tolist() == [0, 1, 1, 1]
+
+    def test_and_table(self):
+        assert AND(2).table.tolist() == [0, 0, 0, 1]
+
+    def test_duality(self):
+        n = 4
+        f = OR(n)
+        g = AND(n)
+        for mask in range(1 << n):
+            flipped = mask ^ ((1 << n) - 1)
+            assert f(mask) == 1 - g(flipped)
+
+
+class TestThreshold:
+    def test_extremes(self):
+        assert THRESHOLD(3, 1) == OR(3)
+        assert THRESHOLD(3, 3) == AND(3)
+
+    def test_always_true_at_zero(self):
+        f = THRESHOLD(3, 0)
+        assert f.is_constant() and f(0) == 1
+
+    def test_never_true_above_n(self):
+        f = THRESHOLD(3, 4)
+        assert f.is_constant() and f(0b111) == 0
+
+    def test_majority(self):
+        f = MAJORITY(3)
+        assert f(0b011) == 1 and f(0b001) == 0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            THRESHOLD(3, 5)
+
+
+class TestFromTruthTable:
+    def test_roundtrip(self):
+        f = from_truth_table([0, 1, 1, 0])
+        assert f.n == 2 and f(0b01) == 1
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            from_truth_table([0, 1, 0])
+
+
+class TestRandomFunction:
+    def test_reproducible(self):
+        assert random_function(4, seed=9) == random_function(4, seed=9)
+
+    def test_bias_extremes(self):
+        assert random_function(3, seed=0, bias=0.0).is_constant()
+        assert random_function(3, seed=0, bias=1.0).is_constant()
+
+    def test_bias_validated(self):
+        with pytest.raises(ValueError):
+            random_function(3, bias=1.5)

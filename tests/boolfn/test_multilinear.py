@@ -1,0 +1,184 @@
+"""The unique multilinear representation (Fact 2.1) and its algebra."""
+
+import pytest
+
+from repro.boolfn.multilinear import BooleanFunction, MultilinearPolynomial, popcount
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+
+class TestConstruction:
+    def test_xor_coefficients(self):
+        # x0 XOR x1 = x0 + x1 - 2 x0 x1, the textbook example.
+        p = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        assert p.coeffs == {0b01: 1, 0b10: 1, 0b11: -2}
+
+    def test_and_coefficients(self):
+        p = MultilinearPolynomial.from_truth_table([0, 0, 0, 1])
+        assert p.coeffs == {0b11: 1}
+
+    def test_or_coefficients(self):
+        p = MultilinearPolynomial.from_truth_table([0, 1, 1, 1])
+        assert p.coeffs == {0b01: 1, 0b10: 1, 0b11: -1}
+
+    def test_constant_one(self):
+        p = MultilinearPolynomial.from_truth_table([1, 1, 1, 1])
+        assert p.coeffs == {0: 1}
+        assert p.degree == 0
+
+    def test_zero_polynomial(self):
+        p = MultilinearPolynomial.from_truth_table([0, 0])
+        assert p.coeffs == {}
+        assert p.degree == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            MultilinearPolynomial.from_truth_table([0, 1, 0])
+
+    def test_rejects_mismatched_n(self):
+        with pytest.raises(ValueError):
+            MultilinearPolynomial.from_truth_table([0, 1], n=2)
+
+    def test_from_function(self):
+        p = MultilinearPolynomial.from_function(lambda bits: bits[0] & bits[1], 2)
+        assert p.coeffs == {0b11: 1}
+
+    def test_mask_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MultilinearPolynomial(1, {4: 1})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("table", [
+        [0, 1, 1, 0],
+        [1, 0, 0, 0, 0, 0, 0, 1],
+        [0, 1, 1, 1, 1, 0, 0, 1],
+        [3, -1, 2, 0],  # integer-valued functions are fine too
+    ])
+    def test_truth_table_roundtrip(self, table):
+        p = MultilinearPolynomial.from_truth_table(table)
+        assert p.truth_table() == [int(v) for v in table]
+
+    def test_evaluate_matches_table(self):
+        table = [0, 1, 1, 1, 1, 0, 0, 1]
+        p = MultilinearPolynomial.from_truth_table(table)
+        assert [p.evaluate(a) for a in range(8)] == table
+
+    def test_evaluate_out_of_range(self):
+        p = MultilinearPolynomial.from_truth_table([0, 1])
+        with pytest.raises(ValueError):
+            p.evaluate(2)
+
+
+class TestAlgebra:
+    def test_addition_pointwise(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        b = MultilinearPolynomial.from_truth_table([1, 1, 0, 0])
+        assert (a + b).truth_table() == [1, 2, 1, 0]
+
+    def test_subtraction_and_negation(self):
+        a = MultilinearPolynomial.from_truth_table([2, 3, 5, 7])
+        assert (a - a).coeffs == {}
+        assert (-a).truth_table() == [-2, -3, -5, -7]
+
+    def test_multiplication_pointwise_on_cube(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        b = MultilinearPolynomial.from_truth_table([0, 1, 0, 1])
+        prod = a * b
+        assert prod.truth_table() == [0, 1, 0, 0]
+
+    def test_multiplication_is_multilinear(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1])
+        sq = a * a  # x0^2 collapses to x0
+        assert sq.coeffs == {0b1: 1}
+
+    def test_scale(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        assert a.scale(3).truth_table() == [0, 3, 3, 0]
+
+    def test_incompatible_sizes_rejected(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1])
+        b = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_equality_and_hash(self):
+        a = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        b = MultilinearPolynomial.from_truth_table([0, 1, 1, 0])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestRestriction:
+    def test_restrict_to_zero_kills_monomials(self):
+        p = MultilinearPolynomial.from_truth_table([0, 0, 0, 1])  # x0 x1
+        assert p.restrict({0: 0}).coeffs == {}
+
+    def test_restrict_to_one_drops_variable(self):
+        p = MultilinearPolynomial.from_truth_table([0, 0, 0, 1])  # x0 x1
+        assert p.restrict({0: 1}).coeffs == {0b10: 1}
+
+    def test_restriction_matches_pointwise(self):
+        table = [0, 1, 1, 1, 1, 0, 0, 1]
+        p = MultilinearPolynomial.from_truth_table(table)
+        r = p.restrict({1: 1})
+        for a in range(8):
+            if (a >> 1) & 1:
+                assert r.evaluate(a & ~0b010) == p.evaluate(a)
+
+    def test_invalid_restriction(self):
+        p = MultilinearPolynomial.from_truth_table([0, 1])
+        with pytest.raises(ValueError):
+            p.restrict({0: 2})
+        with pytest.raises(ValueError):
+            p.restrict({5: 0})
+
+
+class TestBooleanFunction:
+    def test_call_by_mask(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])
+        assert [f(a) for a in range(4)] == [0, 1, 1, 0]
+
+    def test_evaluate_bits(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])
+        assert f.evaluate_bits([1, 0]) == 1
+        assert f.evaluate_bits([1, 1]) == 0
+
+    def test_evaluate_bits_length_checked(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])
+        with pytest.raises(ValueError):
+            f.evaluate_bits([1])
+
+    def test_rejects_non_boolean_table(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(1, [0, 2])
+
+    def test_boolean_ops(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])
+        g = BooleanFunction(2, [0, 0, 1, 1])
+        assert (f & g).table.tolist() == [0, 0, 1, 0]
+        assert (f | g).table.tolist() == [0, 1, 1, 1]
+        assert (f ^ g).table.tolist() == [0, 1, 0, 1]
+        assert (~f).table.tolist() == [1, 0, 0, 1]
+
+    def test_restrict_keeps_arity(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])  # XOR
+        r = f.restrict({0: 1})  # = NOT x1, as a 2-var function
+        assert r.n == 2
+        assert r(0b00) == 1 and r(0b10) == 0
+
+    def test_is_constant(self):
+        assert BooleanFunction(2, [1, 1, 1, 1]).is_constant()
+        assert not BooleanFunction(2, [1, 0, 1, 1]).is_constant()
+
+    def test_polynomial_cached(self):
+        f = BooleanFunction(2, [0, 1, 1, 0])
+        assert f.polynomial is f.polynomial
+
+    def test_equality_hash(self):
+        a = BooleanFunction(1, [0, 1])
+        b = BooleanFunction(1, [0, 1])
+        assert a == b and hash(a) == hash(b)

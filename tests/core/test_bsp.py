@@ -1,0 +1,111 @@
+"""BSP semantics: scatter, message delivery, superstep costing."""
+
+import pytest
+
+from repro.core import BSP, BSPParams, PhaseClosedError
+
+
+class TestScatter:
+    def test_uniform_partition_sizes(self):
+        b = BSP(4)
+        b.scatter(list(range(10)))
+        sizes = [len(b.store[i]["input"]) for i in range(4)]
+        # ceil(10/4)=3 or floor=2, per Section 2.1.
+        assert sorted(sizes) == [2, 2, 3, 3]
+        assert sum(sizes) == 10
+
+    def test_offsets_recorded(self):
+        b = BSP(3)
+        b.scatter(list("abcdefg"))
+        offsets = [b.store[i][("input", "offset")] for i in range(3)]
+        assert offsets == [0, 3, 5]
+
+    def test_gather_roundtrip(self):
+        b = BSP(5)
+        data = list(range(13))
+        b.scatter(data)
+        assert b.gather() == data
+
+    def test_fewer_items_than_components(self):
+        b = BSP(8)
+        b.scatter([1, 2])
+        assert b.gather() == [1, 2]
+        assert len(b.store[7]["input"]) == 0
+
+
+class TestMessaging:
+    def test_delivery_next_superstep_only(self):
+        b = BSP(2)
+        with b.superstep() as ss:
+            ss.send(0, 1, "hello")
+        assert b.inbox(1) == [(0, "hello")]
+        with b.superstep() as ss:
+            ss.local(0, 1)
+        assert b.inbox(1) == []  # inboxes swap every superstep
+
+    def test_deterministic_delivery_order(self):
+        b = BSP(3)
+        with b.superstep() as ss:
+            ss.send(2, 0, "from2")
+            ss.send(1, 0, "from1a")
+            ss.send(1, 0, "from1b")
+        assert b.inbox(0) == [(1, "from1a"), (1, "from1b"), (2, "from2")]
+
+    def test_self_send_allowed(self):
+        b = BSP(2)
+        with b.superstep() as ss:
+            ss.send(0, 0, "note")
+        assert b.inbox(0) == [(0, "note")]
+
+    def test_component_bounds(self):
+        b = BSP(2)
+        with pytest.raises(ValueError):
+            with b.superstep() as ss:
+                ss.send(0, 2, "x")
+
+    def test_nested_superstep_rejected(self):
+        b = BSP(2)
+        ss = b.superstep()
+        with pytest.raises(PhaseClosedError):
+            b.superstep()
+        with ss:
+            pass
+
+    def test_usable_after_aborted_superstep(self):
+        b = BSP(2)
+        with pytest.raises(ValueError):
+            with b.superstep() as ss:
+                ss.send(0, 5, "bad")
+        with b.superstep() as ss:
+            ss.send(0, 1, "good")
+        assert b.inbox(1) == [(0, "good")]
+
+
+class TestCosting:
+    def test_latency_floor(self):
+        b = BSP(2, BSPParams(g=2, L=40))
+        with b.superstep() as ss:
+            ss.local(0, 3)
+        assert b.step_costs == [40.0]
+
+    def test_h_relation_cost(self):
+        b = BSP(4, BSPParams(g=3, L=3))
+        with b.superstep() as ss:
+            for dst in range(1, 4):
+                ss.send(0, dst, "m")  # s_0 = 3
+        assert b.step_costs == [9.0]  # g*h = 3*3
+
+    def test_receive_side_counts(self):
+        b = BSP(4, BSPParams(g=2, L=2))
+        with b.superstep() as ss:
+            for src in range(1, 4):
+                ss.send(src, 0, "m")  # r_0 = 3
+        assert b.step_costs == [6.0]
+
+    def test_time_accumulates(self):
+        b = BSP(2, BSPParams(g=1, L=5))
+        for _ in range(3):
+            with b.superstep() as ss:
+                ss.local(0, 1)
+        assert b.time == 15.0
+        assert b.superstep_count == 3

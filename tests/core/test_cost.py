@@ -1,0 +1,98 @@
+"""The Section 2 cost formulas, pinned against hand-computed values."""
+
+import pytest
+
+from repro.core import BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.cost import (
+    bsp_superstep_cost,
+    gsm_big_steps,
+    gsm_phase_cost,
+    qsm_phase_cost,
+    sqsm_phase_cost,
+)
+from repro.core.phase import PhaseRecord, SuperstepRecord
+
+
+def phase(reads=None, writes=None, ops=None, rq=None, wq=None):
+    return PhaseRecord(0, reads or {}, writes or {}, ops or {}, rq or {}, wq or {})
+
+
+class TestQSMCost:
+    def test_gap_times_mrw_dominates(self):
+        r = phase(reads={0: 5}, rq={1: 1})
+        assert qsm_phase_cost(r, QSMParams(g=3)) == 15
+
+    def test_contention_dominates(self):
+        r = phase(reads={i: 1 for i in range(20)}, rq={7: 20})
+        assert qsm_phase_cost(r, QSMParams(g=2)) == 20
+
+    def test_local_ops_dominate(self):
+        r = phase(ops={0: 99}, reads={0: 1}, rq={0: 1})
+        assert qsm_phase_cost(r, QSMParams(g=2)) == 99
+
+    def test_minimum_cost_is_g(self):
+        # Even an idle phase charges g * m_rw = g (m_rw clamps to 1).
+        assert qsm_phase_cost(phase(), QSMParams(g=4)) == 4
+
+    def test_unit_time_concurrent_reads_ignore_read_queue(self):
+        r = phase(reads={i: 1 for i in range(50)}, rq={3: 50})
+        assert qsm_phase_cost(r, QSMParams(g=2, unit_time_concurrent_reads=True)) == 2
+        assert qsm_phase_cost(r, QSMParams(g=2)) == 50
+
+    def test_unit_time_concurrent_reads_still_charge_write_queue(self):
+        r = phase(writes={i: 1 for i in range(50)}, wq={3: 50})
+        assert qsm_phase_cost(r, QSMParams(g=2, unit_time_concurrent_reads=True)) == 50
+
+
+class TestSQSMCost:
+    def test_contention_charged_with_gap(self):
+        r = phase(reads={i: 1 for i in range(8)}, rq={7: 8})
+        assert sqsm_phase_cost(r, SQSMParams(g=3)) == 24
+
+    def test_same_as_qsm_when_mrw_dominates(self):
+        r = phase(reads={0: 5}, rq={1: 1})
+        assert sqsm_phase_cost(r, SQSMParams(g=3)) == qsm_phase_cost(r, QSMParams(g=3))
+
+    def test_qrqw_is_g_equals_one(self):
+        r = phase(reads={i: 1 for i in range(8)}, rq={7: 8})
+        assert sqsm_phase_cost(r, SQSMParams(g=1)) == 8
+
+
+class TestGSMCost:
+    def test_big_steps_from_mrw(self):
+        r = phase(reads={0: 10}, rq={0: 1})
+        assert gsm_big_steps(r, GSMParams(alpha=3, beta=1)) == 4  # ceil(10/3)
+
+    def test_big_steps_from_contention(self):
+        r = phase(reads={i: 1 for i in range(9)}, rq={0: 9})
+        assert gsm_big_steps(r, GSMParams(alpha=1, beta=2)) == 5  # ceil(9/2)
+
+    def test_minimum_one_big_step(self):
+        assert gsm_big_steps(phase(), GSMParams(alpha=4, beta=4)) == 1
+
+    def test_phase_cost_is_mu_times_b(self):
+        r = phase(reads={0: 10}, rq={0: 1})
+        prm = GSMParams(alpha=3, beta=5)
+        assert gsm_phase_cost(r, prm) == 5 * 4  # mu=5, b=ceil(10/3)=4
+
+    def test_local_ops_free(self):
+        r = phase(ops={0: 1000})
+        assert gsm_phase_cost(r, GSMParams()) == 1.0
+
+
+class TestBSPCost:
+    def test_latency_floor(self):
+        r = SuperstepRecord(0, {0: 1}, {0: 1}, {1: 1})
+        assert bsp_superstep_cost(r, BSPParams(g=2, L=50)) == 50
+
+    def test_communication_dominates(self):
+        r = SuperstepRecord(0, {0: 1}, {0: 40}, {1: 40})
+        assert bsp_superstep_cost(r, BSPParams(g=2, L=10)) == 80
+
+    def test_work_dominates(self):
+        r = SuperstepRecord(0, {0: 500}, {0: 1}, {1: 1})
+        assert bsp_superstep_cost(r, BSPParams(g=2, L=10)) == 500
+
+    def test_empty_superstep_costs_L(self):
+        r = SuperstepRecord(0, {}, {}, {})
+        assert bsp_superstep_cost(r, BSPParams(g=2, L=7)) == 7

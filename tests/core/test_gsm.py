@@ -1,0 +1,89 @@
+"""GSM-specific semantics: strong queuing, gamma packing, big-steps."""
+
+import pytest
+
+from repro.core import GSM, GSMParams
+
+
+class TestStrongQueuing:
+    def test_all_writes_accumulate(self):
+        m = GSM()
+        with m.phase() as ph:
+            ph.write(0, 5, "a")
+            ph.write(1, 5, "b")
+            ph.write(2, 5, "c")
+        assert m.peek(5) == ("a", "b", "c")
+
+    def test_accumulation_across_phases(self):
+        m = GSM()
+        with m.phase() as ph:
+            ph.write(0, 5, "x")
+        with m.phase() as ph:
+            ph.write(1, 5, "y")
+        assert m.peek(5) == ("x", "y")
+
+    def test_accumulation_order_by_processor_id(self):
+        m = GSM()
+        with m.phase() as ph:
+            ph.write(3, 0, "late")
+            ph.write(1, 0, "early")
+        assert m.peek(0) == ("early", "late")
+
+    def test_poke_wraps_in_tuple(self):
+        m = GSM()
+        m.poke(0, 42)
+        assert m.peek(0) == (42,)
+
+    def test_read_delivers_whole_cell(self):
+        m = GSM()
+        with m.phase() as ph:
+            ph.write(0, 7, 1)
+            ph.write(1, 7, 2)
+        with m.phase() as ph:
+            h = ph.read(0, 7)
+        assert h.value == (1, 2)
+
+
+class TestGammaPacking:
+    def test_load_packed_cell_count(self):
+        m = GSM(GSMParams(gamma=3))
+        used = m.load_packed([1, 2, 3, 4, 5, 6, 7])
+        assert used == 3
+        assert m.peek(0) == (1, 2, 3)
+        assert m.peek(2) == (7,)
+
+    def test_gamma_one_is_one_per_cell(self):
+        m = GSM(GSMParams(gamma=1))
+        assert m.load_packed(list("abc")) == 3
+        assert m.peek(1) == ("b",)
+
+    def test_load_packed_with_base(self):
+        m = GSM(GSMParams(gamma=2))
+        m.load_packed([1, 2, 3], base=10)
+        assert m.peek(10) == (1, 2)
+        assert m.peek(11) == (3,)
+
+
+class TestBigSteps:
+    def test_big_steps_accumulate(self):
+        m = GSM(GSMParams(alpha=2, beta=2))
+        with m.phase() as ph:
+            for a in range(4):
+                ph.read(0, a)  # m_rw = 4 -> ceil(4/2) = 2 big-steps
+        with m.phase() as ph:
+            ph.write(0, 9, 1)  # 1 big-step
+        assert m.big_steps == 3
+
+    def test_time_is_mu_per_big_step(self):
+        m = GSM(GSMParams(alpha=2, beta=6))
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        assert m.time == 6.0  # mu = 6, one big-step
+
+    def test_contention_big_steps(self):
+        m = GSM(GSMParams(alpha=1, beta=3))
+        m.poke(0, 0)
+        with m.phase() as ph:
+            for i in range(7):
+                ph.read(i, 0)  # kappa = 7 -> ceil(7/3) = 3 big-steps
+        assert m.big_steps == 3

@@ -1,0 +1,185 @@
+"""Shared-memory machine semantics: read latency, conflicts, accounting."""
+
+import pytest
+
+from repro.core import (
+    GSM,
+    QSM,
+    MemoryConflictError,
+    PhaseClosedError,
+    QSMParams,
+)
+
+
+class TestReadLatency:
+    def test_read_value_sealed_during_phase(self):
+        m = QSM()
+        m.load([7])
+        with m.phase() as ph:
+            h = ph.read(0, 0)
+            with pytest.raises(PhaseClosedError):
+                _ = h.value
+        assert h.value == 7
+
+    def test_cannot_write_same_phase_read_value(self):
+        m = QSM()
+        m.load([7])
+        with pytest.raises(PhaseClosedError):
+            with m.phase() as ph:
+                h = ph.read(0, 0)
+                ph.write(1, 5, h)
+
+    def test_resolved_handle_unwrapped_on_write(self):
+        m = QSM()
+        m.load([7])
+        with m.phase() as ph:
+            h = ph.read(0, 0)
+        with m.phase() as ph:
+            ph.write(0, 5, h)  # resolved handle from a previous phase: ok
+        assert m.peek(5) == 7
+
+    def test_read_sees_pre_phase_value(self):
+        m = QSM()
+        m.load([1])
+        with m.phase() as ph:
+            ph.write(0, 1, 99)
+            h = ph.read(1, 0)
+        assert h.value == 1
+        # A read in the NEXT phase sees the write.
+        with m.phase() as ph:
+            h2 = ph.read(0, 1)
+        assert h2.value == 99
+
+
+class TestConflicts:
+    def test_read_then_write_same_cell_rejected(self):
+        m = QSM()
+        with pytest.raises(MemoryConflictError):
+            with m.phase() as ph:
+                ph.read(0, 3)
+                ph.write(1, 3, "x")
+
+    def test_write_then_read_same_cell_rejected(self):
+        m = QSM()
+        with pytest.raises(MemoryConflictError):
+            with m.phase() as ph:
+                ph.write(0, 3, "x")
+                ph.read(1, 3)
+
+    def test_concurrent_reads_allowed(self):
+        m = QSM()
+        m.load([5])
+        with m.phase() as ph:
+            hs = [ph.read(i, 0) for i in range(4)]
+        assert [h.value for h in hs] == [5, 5, 5, 5]
+
+    def test_concurrent_writes_allowed(self):
+        m = QSM()
+        with m.phase() as ph:
+            for i in range(4):
+                ph.write(i, 0, i)
+        assert m.peek(0) in (0, 1, 2, 3)
+
+    def test_machine_usable_after_aborted_phase(self):
+        m = QSM()
+        with pytest.raises(MemoryConflictError):
+            with m.phase() as ph:
+                ph.read(0, 0)
+                ph.write(0, 0, 1)
+        with m.phase() as ph:
+            ph.write(0, 1, "ok")
+        assert m.peek(1) == "ok"
+
+    def test_nested_phase_rejected(self):
+        m = QSM()
+        ph = m.phase()
+        with pytest.raises(PhaseClosedError):
+            m.phase()
+        with ph:
+            pass
+
+
+class TestValidation:
+    def test_processor_bound_enforced(self):
+        m = QSM(num_processors=2)
+        with pytest.raises(ValueError):
+            with m.phase() as ph:
+                ph.read(2, 0)
+
+    def test_memory_bound_enforced(self):
+        m = QSM(memory_size=4)
+        with pytest.raises(ValueError):
+            with m.phase() as ph:
+                ph.write(0, 4, 1)
+
+    def test_negative_processor_rejected(self):
+        m = QSM()
+        with pytest.raises(ValueError):
+            with m.phase() as ph:
+                ph.local(-1)
+
+    def test_bool_is_not_a_processor_id(self):
+        m = QSM()
+        with pytest.raises(TypeError):
+            with m.phase() as ph:
+                ph.local(True)
+
+    def test_negative_ops_rejected(self):
+        m = QSM()
+        with pytest.raises(ValueError):
+            with m.phase() as ph:
+                ph.local(0, -1)
+
+    def test_operations_after_commit_rejected(self):
+        m = QSM()
+        with m.phase() as ph:
+            ph.local(0, 1)
+        with pytest.raises(PhaseClosedError):
+            ph.local(0, 1)
+
+
+class TestAccounting:
+    def test_time_accumulates(self):
+        m = QSM(QSMParams(g=3))
+        with m.phase() as ph:
+            ph.write(0, 0, 1)  # cost 3
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(1, 0)  # m_rw=1, kappa=2: cost max(3, 2) = 3
+        assert m.time == 6
+        assert m.phase_count == 2
+
+    def test_history_records(self):
+        m = QSM()
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+            ph.write(1, 2, "x")
+        rec = m.history[0]
+        assert rec.reads_per_proc == {0: 2}
+        assert rec.writes_per_proc == {1: 1}
+        assert rec.read_queue == {0: 1, 1: 1}
+        assert rec.write_queue == {2: 1}
+
+    def test_memory_in_use(self):
+        m = QSM()
+        m.load([1, 2, 3])
+        assert m.memory_in_use == 3
+
+    def test_snapshots_recorded_when_enabled(self):
+        m = QSM(record_snapshots=True)
+        with m.phase() as ph:
+            ph.write(0, 0, "a")
+        with m.phase() as ph:
+            ph.write(0, 1, "b")
+        assert m.snapshots == [{0: "a"}, {0: "a", 1: "b"}]
+
+    def test_traces_recorded_when_enabled(self):
+        m = QSM(record_trace=True)
+        m.load([9])
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.write(1, 1, "w")
+        t = m.traces[0]
+        assert t.reads == {0: (0,)}
+        assert t.writes == {1: ((1, "w"),)}

@@ -1,0 +1,146 @@
+"""Claims 2.1 / 2.2: GSM bound translation.
+
+The key consistency check: translating the GSM theorem statements through
+the claim must reproduce the per-model corollaries stated in the paper
+(up to the clamping conventions), which is how the paper itself derives
+them.
+"""
+
+import math
+
+import pytest
+
+from repro.core.mapping import (
+    bsp_rounds_from_gsm,
+    bsp_time_from_gsm,
+    qsm_gd_time_from_gsm,
+    qsm_rounds_from_gsm,
+    qsm_time_from_gsm,
+    rounds_from_time_gsm,
+    sqsm_rounds_from_gsm,
+    sqsm_time_from_gsm,
+)
+from repro.lowerbounds.formulas import (
+    gsm_or_det_time,
+    gsm_parity_det_time,
+    qsm_parity_det_time,
+    sqsm_parity_det_time,
+)
+
+
+class TestTimeTranslation:
+    def test_qsm_substitution(self):
+        # T_QSM(n,g) = T_GSM(n, 1, g, 1): mu = g, gamma = 1.
+        t = qsm_time_from_gsm(gsm_parity_det_time)
+        n, g = 2**16, 8.0
+        assert t(n, g) == pytest.approx(g * 16 / 3)  # mu log n / log mu
+
+    def test_qsm_matches_corollary_3_1(self):
+        t = qsm_time_from_gsm(gsm_parity_det_time)
+        for n in [2**10, 2**16, 2**20]:
+            for g in [2.0, 8.0, 64.0]:
+                assert t(n, g) == pytest.approx(qsm_parity_det_time(n, g))
+
+    def test_sqsm_substitution_scales_by_g(self):
+        t = sqsm_time_from_gsm(gsm_parity_det_time)
+        n = 2**12
+        assert t(n, 4.0) == pytest.approx(2 * t(n, 2.0))
+
+    def test_sqsm_matches_corollary_3_1(self):
+        t = sqsm_time_from_gsm(gsm_parity_det_time)
+        for n in [2**10, 2**16]:
+            for g in [2.0, 16.0]:
+                # g * T_GSM(n,1,1,1) = g * log n (mu=1 clamps log mu to 1).
+                assert t(n, g) == pytest.approx(sqsm_parity_det_time(n, g))
+
+    def test_bsp_substitution_gamma_is_n_over_p(self):
+        t = bsp_time_from_gsm(gsm_parity_det_time)
+        n, g, L, p = 2**16, 2.0, 16.0, 2**8
+        # mu = L/g = 8, r = n/(n/p) = p = 2^8.
+        expected = g * (L / g) * math.log2(p) / math.log2(L / g)
+        assert t(n, g, L, p) == pytest.approx(expected)
+
+    def test_bsp_L_dependence_is_linear_at_fixed_ratio(self):
+        t = bsp_time_from_gsm(gsm_parity_det_time)
+        n, p = 2**16, 2**8
+        # Double L and g together: L/g fixed; bound doubles with g.
+        assert t(n, 4.0, 32.0, p) == pytest.approx(2 * t(n, 2.0, 16.0, p))
+
+    def test_bsp_rejects_bad_p(self):
+        t = bsp_time_from_gsm(gsm_parity_det_time)
+        with pytest.raises(ValueError):
+            t(16, 1.0, 2.0, 0)
+
+
+class TestRoundsTranslation:
+    def test_rounds_from_time(self):
+        r = rounds_from_time_gsm(gsm_or_det_time)
+        val = r(2**12, 1.0, 1.0, 1.0, 2**6)
+        assert val > 0
+
+    def test_qsm_rounds_signature(self):
+        r = rounds_from_time_gsm(gsm_or_det_time)
+        rq = qsm_rounds_from_gsm(r)
+        assert rq(2**12, 2.0, 2**6) > 0
+
+    def test_sqsm_rounds_ignore_g(self):
+        r = rounds_from_time_gsm(gsm_or_det_time)
+        rs = sqsm_rounds_from_gsm(r)
+        assert rs(2**12, 2.0, 2**6) == rs(2**12, 16.0, 2**6)
+
+    def test_bsp_rounds_use_gamma_n_over_p(self):
+        r = rounds_from_time_gsm(gsm_parity_det_time)
+        rb = bsp_rounds_from_gsm(r)
+        n, p = 2**12, 2**6
+        # gamma = n/p reduces the effective input to p cells.
+        assert rb(n, 2.0, 4.0, p) > 0
+        with pytest.raises(ValueError):
+            rb(n, 2.0, 4.0, 0)
+
+
+class TestQSMgd:
+    def test_g_over_d_regime(self):
+        t = qsm_gd_time_from_gsm(gsm_parity_det_time)
+        n = 2**10
+        # g == d degenerates to d * T_GSM(n,1,1,1).
+        assert t(n, 4.0, 4.0) == pytest.approx(4.0 * gsm_parity_det_time(n, 1, 1, 1))
+
+    def test_continuous_at_g_equals_d(self):
+        t = qsm_gd_time_from_gsm(gsm_parity_det_time)
+        n = 2**10
+        assert t(n, 4.0, 4.0) == pytest.approx(t(n, 4.0 + 1e-12, 4.0), rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        t = qsm_gd_time_from_gsm(gsm_parity_det_time)
+        with pytest.raises(ValueError):
+            t(16, 0.0, 1.0)
+
+
+class TestQSMgdRounds:
+    def test_endpoints_match_qsm_and_sqsm(self):
+        from repro.core.mapping import (
+            qsm_gd_rounds_from_gsm,
+            qsm_rounds_from_gsm,
+            rounds_from_time_gsm,
+            sqsm_rounds_from_gsm,
+        )
+        from repro.lowerbounds.formulas import gsm_or_det_time
+
+        r = rounds_from_time_gsm(gsm_or_det_time)
+        r_gd = qsm_gd_rounds_from_gsm(r)
+        r_qsm = qsm_rounds_from_gsm(r)
+        r_sqsm = sqsm_rounds_from_gsm(r)
+        n, p = 2**12, 2**6
+        for g in (2.0, 8.0):
+            assert r_gd(n, g, 1.0, p) == pytest.approx(r_qsm(n, g, p))
+            assert r_gd(n, g, g, p) == pytest.approx(r_sqsm(n, g, p))
+
+    def test_validation(self):
+        from repro.core.mapping import qsm_gd_rounds_from_gsm, rounds_from_time_gsm
+        from repro.lowerbounds.formulas import gsm_or_det_time
+
+        r_gd = qsm_gd_rounds_from_gsm(rounds_from_time_gsm(gsm_or_det_time))
+        with pytest.raises(ValueError):
+            r_gd(16, 0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            r_gd(16, 1.0, 1.0, 0)

@@ -1,0 +1,61 @@
+"""Validation of the machine parameter dataclasses."""
+
+import pytest
+
+from repro.core import BSPParams, GSMParams, QSMParams, SQSMParams
+
+
+class TestQSMParams:
+    def test_default_is_qrqw(self):
+        assert QSMParams().g == 1.0
+
+    def test_rejects_gap_below_one(self):
+        with pytest.raises(ValueError):
+            QSMParams(g=0.5)
+
+    def test_concurrent_reads_flag_defaults_off(self):
+        assert not QSMParams().unit_time_concurrent_reads
+
+    def test_frozen(self):
+        p = QSMParams(g=2)
+        with pytest.raises(Exception):
+            p.g = 3  # type: ignore[misc]
+
+
+class TestSQSMParams:
+    def test_rejects_gap_below_one(self):
+        with pytest.raises(ValueError):
+            SQSMParams(g=0.0)
+
+
+class TestGSMParams:
+    def test_mu_is_max(self):
+        assert GSMParams(alpha=2, beta=5).mu == 5
+
+    def test_lam_is_min(self):
+        assert GSMParams(alpha=2, beta=5).lam == 2
+
+    def test_defaults(self):
+        p = GSMParams()
+        assert (p.alpha, p.beta, p.gamma) == (1.0, 1.0, 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": 0.5}, {"beta": 0.0}, {"gamma": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GSMParams(**kwargs)
+
+
+class TestBSPParams:
+    def test_accepts_L_equal_g(self):
+        BSPParams(g=4, L=4)
+
+    def test_rejects_L_below_g(self):
+        # The paper assumes L >= g throughout.
+        with pytest.raises(ValueError):
+            BSPParams(g=4, L=2)
+
+    def test_rejects_gap_below_one(self):
+        with pytest.raises(ValueError):
+            BSPParams(g=0.5, L=1)

@@ -1,0 +1,76 @@
+"""PhaseRecord / SuperstepRecord aggregate semantics (Section 2 definitions)."""
+
+from repro.core.phase import PhaseRecord, SuperstepRecord, merge_counts
+
+
+def record(reads=None, writes=None, ops=None, rq=None, wq=None, index=0):
+    return PhaseRecord(
+        index=index,
+        reads_per_proc=reads or {},
+        writes_per_proc=writes or {},
+        ops_per_proc=ops or {},
+        read_queue=rq or {},
+        write_queue=wq or {},
+    )
+
+
+class TestPhaseRecord:
+    def test_empty_phase_has_contention_one(self):
+        # "A phase with no reads or writes is defined to have maximum
+        # contention one."
+        assert record().kappa == 1
+
+    def test_empty_phase_m_rw_is_one(self):
+        assert record().m_rw == 1
+
+    def test_m_rw_is_max_of_reads_and_writes_separately(self):
+        r = record(reads={0: 3, 1: 1}, writes={0: 2, 2: 5})
+        assert r.m_rw == 5
+
+    def test_m_op(self):
+        r = record(ops={0: 4, 1: 9})
+        assert r.m_op == 9
+
+    def test_kappa_takes_read_or_write_queue_max(self):
+        r = record(rq={10: 3}, wq={11: 7})
+        assert r.kappa == 7
+
+    def test_totals(self):
+        r = record(reads={0: 2, 1: 3}, writes={0: 1}, ops={2: 4})
+        assert r.total_reads == 5
+        assert r.total_writes == 1
+        assert r.total_ops == 4
+
+    def test_active_processors_unions_all_activity(self):
+        r = record(reads={0: 1}, writes={1: 1}, ops={2: 1, 0: 2})
+        assert r.active_processors == 3
+
+
+class TestSuperstepRecord:
+    def test_h_relation(self):
+        r = SuperstepRecord(
+            index=0,
+            work_per_proc={0: 5},
+            sent_per_proc={0: 3, 1: 1},
+            received_per_proc={2: 4},
+        )
+        # h = max over processors of max(s_i, r_i) = 4.
+        assert r.h == 4
+
+    def test_w(self):
+        r = SuperstepRecord(0, {0: 5, 1: 9}, {}, {})
+        assert r.w == 9
+
+    def test_empty_superstep(self):
+        r = SuperstepRecord(0, {}, {}, {})
+        assert r.h == 0
+        assert r.w == 0
+        assert r.total_messages == 0
+
+
+class TestMergeCounts:
+    def test_merges_keywise(self):
+        assert merge_counts({0: 1, 1: 2}, {1: 3, 2: 4}) == {0: 1, 1: 5, 2: 4}
+
+    def test_empty(self):
+        assert merge_counts() == {}

@@ -1,0 +1,138 @@
+"""QSM(g,d): the two-gap model of Claim 2.2."""
+
+import pytest
+
+from repro.core import QSM, QSMGD, QSMGDParams, QSMParams, SQSM, SQSMParams
+from repro.core.qsm_gd import qsm_gd_phase_cost
+from repro.core.phase import PhaseRecord
+
+
+def phase(reads=None, rq=None, ops=None):
+    return PhaseRecord(0, reads or {}, {}, ops or {}, rq or {}, {})
+
+
+class TestParams:
+    def test_defaults(self):
+        p = QSMGDParams()
+        assert (p.g, p.d) == (1.0, 1.0)
+
+    @pytest.mark.parametrize("kwargs", [{"g": 0.5}, {"d": 0.0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QSMGDParams(**kwargs)
+
+
+class TestCost:
+    def test_formula(self):
+        r = phase(reads={0: 3}, rq={0: 5, 1: 1})
+        # max(0, g*3, d*5) with g=4, d=2 -> 12.
+        assert qsm_gd_phase_cost(r, QSMGDParams(g=4, d=2)) == 12
+
+    def test_d_contention_dominates(self):
+        r = phase(reads={i: 1 for i in range(10)}, rq={0: 10})
+        assert qsm_gd_phase_cost(r, QSMGDParams(g=2, d=3)) == 30
+
+    def test_d_equals_one_is_qsm(self):
+        from repro.core.cost import qsm_phase_cost
+
+        r = phase(reads={0: 2, 1: 1}, rq={0: 2, 5: 1}, ops={0: 7})
+        assert qsm_gd_phase_cost(r, QSMGDParams(g=3, d=1)) == qsm_phase_cost(
+            r, QSMParams(g=3)
+        )
+
+    def test_d_equals_g_is_sqsm(self):
+        from repro.core.cost import sqsm_phase_cost
+
+        r = phase(reads={0: 2, 1: 1}, rq={0: 4}, ops={0: 7})
+        assert qsm_gd_phase_cost(r, QSMGDParams(g=3, d=3)) == sqsm_phase_cost(
+            r, SQSMParams(g=3)
+        )
+
+
+class TestMachine:
+    def _contended_read(self, machine):
+        machine.load([0])
+        with machine.phase() as ph:
+            for i in range(6):
+                ph.read(i, 0)
+        return machine.time
+
+    def test_interpolates_between_qsm_and_sqsm(self):
+        g = 6.0
+        t_qsm = self._contended_read(QSM(QSMParams(g=g)))
+        t_mid = self._contended_read(QSMGD(QSMGDParams(g=g, d=3)))
+        t_sqsm = self._contended_read(SQSM(SQSMParams(g=g)))
+        assert t_qsm <= t_mid <= t_sqsm
+        assert t_qsm < t_sqsm
+
+    def test_write_semantics_inherited(self):
+        m = QSMGD(QSMGDParams(g=2, d=2), seed=3)
+        with m.phase() as ph:
+            ph.write(0, 0, "a")
+            ph.write(1, 0, "b")
+        assert m.peek(0) in ("a", "b")
+
+    def test_model_name(self):
+        from repro.algorithms.common import model_name
+
+        assert model_name(QSMGD()) == "QSM(g,d)"
+
+
+class TestAlgorithmsOnQSMGD:
+    def test_parity_tree(self):
+        from repro.algorithms.parity import parity_tree
+        from repro.problems import gen_bits, verify_parity
+
+        bits = gen_bits(50, seed=1)
+        r = parity_tree(QSMGD(QSMGDParams(g=4, d=2)), bits)
+        assert verify_parity(bits, r.value)
+
+    def test_or_tournament_fanin_is_g_over_d(self):
+        from repro.algorithms.or_ import or_tree_writes
+        from repro.problems import gen_bits, verify_or
+
+        bits = gen_bits(64, density=0.2, seed=2)
+        r = or_tree_writes(QSMGD(QSMGDParams(g=8, d=2)), bits)
+        assert verify_or(bits, r.value)
+        assert r.extra["fan_in"] == 4
+
+    def test_prefix_sums(self):
+        from itertools import accumulate
+
+        from repro.algorithms.prefix import prefix_sums
+
+        vals = list(range(20))
+        r = prefix_sums(QSMGD(QSMGDParams(g=2, d=2)), vals)
+        assert r.value == list(accumulate(vals))
+
+    def test_or_cost_interpolates_in_d(self):
+        from repro.algorithms.or_ import or_tree_writes
+
+        bits = [1] * 256
+        times = []
+        for d in (1.0, 2.0, 8.0):
+            m = QSMGD(QSMGDParams(g=8, d=d))
+            times.append(or_tree_writes(m, bits).time)
+        assert times[0] <= times[1] <= times[2]
+
+
+class TestClaim22Consistency:
+    def test_mapped_bound_matches_qsm_at_d1(self):
+        from repro.core.mapping import qsm_gd_time_from_gsm, qsm_time_from_gsm
+        from repro.lowerbounds.formulas import gsm_parity_det_time
+
+        t_gd = qsm_gd_time_from_gsm(gsm_parity_det_time)
+        t_qsm = qsm_time_from_gsm(gsm_parity_det_time)
+        for n in (2**10, 2**16):
+            for g in (2.0, 8.0):
+                assert t_gd(n, g, 1.0) == pytest.approx(t_qsm(n, g))
+
+    def test_mapped_bound_matches_sqsm_at_d_equals_g(self):
+        from repro.core.mapping import qsm_gd_time_from_gsm, sqsm_time_from_gsm
+        from repro.lowerbounds.formulas import gsm_parity_det_time
+
+        t_gd = qsm_gd_time_from_gsm(gsm_parity_det_time)
+        t_sqsm = sqsm_time_from_gsm(gsm_parity_det_time)
+        for n in (2**10, 2**16):
+            for g in (2.0, 8.0):
+                assert t_gd(n, g, g) == pytest.approx(t_sqsm(n, g))

@@ -1,0 +1,93 @@
+"""Round accounting (Section 2.3): budgets, auditing, linear work."""
+
+import pytest
+
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import RoundAuditor, linear_work_ratio, round_budget
+
+
+class TestRoundBudget:
+    def test_qsm_budget(self):
+        assert round_budget(QSM(QSMParams(g=4)), n=100, p=10) == 40.0
+
+    def test_sqsm_budget(self):
+        assert round_budget(SQSM(SQSMParams(g=2)), n=64, p=8) == 16.0
+
+    def test_bsp_budget_includes_latency(self):
+        b = BSP(4, BSPParams(g=2, L=30))
+        assert round_budget(b, n=40, p=4) == 2 * 10 + 30
+
+    def test_gsm_budget(self):
+        g = GSM(GSMParams(alpha=2, beta=4))
+        # mu*n/(lam*p) = 4*100/(2*10) = 20.
+        assert round_budget(g, n=100, p=10) == 20.0
+
+    def test_constant_scales(self):
+        m = QSM(QSMParams(g=1))
+        assert round_budget(m, 10, 1, constant=3.0) == 30.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            round_budget(QSM(), 0, 1)
+        with pytest.raises(ValueError):
+            round_budget(QSM(), 1, 0)
+
+
+class TestRoundAuditor:
+    def test_counts_rounds(self):
+        m = QSM(QSMParams(g=1))
+        aud = RoundAuditor(m, n=16, p=4)  # budget 4
+        for _ in range(3):
+            with m.phase() as ph:
+                ph.read(0, 0)
+        assert aud.audit() == 3
+        assert aud.computes_in_rounds
+
+    def test_flags_violation(self):
+        m = QSM(QSMParams(g=1))
+        aud = RoundAuditor(m, n=8, p=4)  # budget 2
+        with m.phase() as ph:
+            for a in range(5):
+                ph.read(0, a)  # cost 5 > 2
+        aud.audit()
+        assert not aud.computes_in_rounds
+        assert aud.violations[0].cost == 5
+        assert "exceeds round budget" in str(aud.violations[0])
+
+    def test_incremental_audit(self):
+        m = QSM(QSMParams(g=1))
+        aud = RoundAuditor(m, n=16, p=4)
+        with m.phase() as ph:
+            ph.read(0, 0)
+        assert aud.audit() == 1
+        with m.phase() as ph:
+            ph.read(0, 0)
+        assert aud.audit() == 2
+
+    def test_bsp_auditing(self):
+        b = BSP(2, BSPParams(g=1, L=4))
+        aud = RoundAuditor(b, n=8, p=2)  # budget 4 + 4 = 8
+        with b.superstep() as ss:
+            ss.local(0, 1)
+        assert aud.audit() == 1
+        assert aud.computes_in_rounds
+
+
+class TestLinearWork:
+    def test_qsm_linear_work_ratio(self):
+        m = QSM(QSMParams(g=2))
+        with m.phase() as ph:
+            ph.read(0, 0)  # time 2
+        # p*T/(g*n) = 4*2/(2*8) = 0.5.
+        assert linear_work_ratio(m, n=8, p=4) == 0.5
+
+    def test_gsm_linear_work_ratio(self):
+        g = GSM(GSMParams(alpha=1, beta=2))
+        with g.phase() as ph:
+            ph.write(0, 0, 1)  # time mu=2
+        # p*T/(mu*n/lam) = 2*2/(2*8/1) = 0.25.
+        assert linear_work_ratio(g, n=8, p=2) == 0.25
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            linear_work_ratio(QSM(), 0, 1)

@@ -1,0 +1,50 @@
+"""s-QSM-specific cost behaviour (same memory semantics as QSM)."""
+
+from repro.core import QSM, SQSM, QSMParams, SQSMParams
+
+
+class TestSQSMCosting:
+    def test_contention_charged_with_gap(self):
+        m = SQSM(SQSMParams(g=3))
+        m.load([0])
+        with m.phase() as ph:
+            for i in range(5):
+                ph.read(i, 0)
+        assert m.phase_costs == [15.0]  # g * kappa = 3 * 5
+
+    def test_g1_matches_qrqw(self):
+        # s-QSM with g=1 and QSM with g=1 are both the QRQW PRAM.
+        def drive(machine):
+            machine.load([0, 0])
+            with machine.phase() as ph:
+                for i in range(4):
+                    ph.read(i, i % 2)
+            return machine.time
+
+        assert drive(SQSM(SQSMParams(g=1))) == drive(QSM(QSMParams(g=1)))
+
+    def test_write_semantics_inherited(self):
+        m = SQSM(seed=9)
+        with m.phase() as ph:
+            ph.write(0, 0, "a")
+            ph.write(1, 0, "b")
+        assert m.peek(0) in ("a", "b")
+
+    def test_is_instance_of_qsm_but_tagged_differently(self):
+        from repro.algorithms.common import model_name
+
+        assert isinstance(SQSM(), QSM)
+        assert model_name(SQSM()) == "s-QSM"
+        assert model_name(QSM()) == "QSM"
+
+    def test_same_program_costs_more_on_sqsm_under_contention(self):
+        def drive(machine):
+            machine.load([0])
+            with machine.phase() as ph:
+                for i in range(8):
+                    ph.read(i, 0)
+            return machine.time
+
+        q = drive(QSM(QSMParams(g=4)))
+        s = drive(SQSM(SQSMParams(g=4)))
+        assert s > q  # kappa vs g*kappa

@@ -1,0 +1,54 @@
+"""PhaseTrace extraction and queries."""
+
+from repro.core import GSM, QSM
+
+
+class TestPhaseTrace:
+    def _traced_machine(self):
+        m = QSM(record_trace=True)
+        m.load([10, 20, 30])
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+            ph.read(1, 1)
+            ph.write(2, 5, "x")
+            ph.write(3, 5, "y")
+        return m
+
+    def test_reads_by_processor(self):
+        t = self._traced_machine().traces[0]
+        assert t.reads == {0: (0, 1), 1: (1,)}
+
+    def test_writes_by_processor(self):
+        t = self._traced_machine().traces[0]
+        assert t.writes == {2: ((5, "x"),), 3: ((5, "y"),)}
+
+    def test_cells_read_sorted(self):
+        t = self._traced_machine().traces[0]
+        assert t.cells_read() == (0, 1)
+
+    def test_cells_written(self):
+        t = self._traced_machine().traces[0]
+        assert t.cells_written() == (5,)
+
+    def test_readers_of(self):
+        t = self._traced_machine().traces[0]
+        assert t.readers_of(1) == (0, 1)
+        assert t.readers_of(9) == ()
+
+    def test_writers_of(self):
+        t = self._traced_machine().traces[0]
+        assert t.writers_of(5) == (2, 3)
+
+    def test_no_traces_without_flag(self):
+        m = QSM()
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        assert m.traces == []
+
+    def test_gsm_traces_work_too(self):
+        g = GSM(record_trace=True)
+        with g.phase() as ph:
+            ph.write(0, 0, "a")
+            ph.write(1, 0, "b")
+        assert g.traces[0].writers_of(0) == (0, 1)

@@ -1,0 +1,98 @@
+"""Work ceilings (Section 2.3) and the GSM(h) relaxed round (Section 6.3)."""
+
+import pytest
+
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import (
+    gsm_h_round_budget,
+    round_budget,
+    round_work_bound,
+    total_work,
+)
+from repro.lowerbounds.formulas import gsm_h_lac_rounds
+
+
+class TestTotalWork:
+    def test_processor_time_product(self):
+        m = QSM(QSMParams(g=3))
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        assert total_work(m, 8) == 24.0
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            total_work(QSM(), 0)
+
+
+class TestRoundWorkBound:
+    def test_qsm_rgn(self):
+        m = QSM(QSMParams(g=2))
+        assert round_work_bound(m, n=100, p=4, rounds=3) == 600.0
+
+    def test_bsp_includes_latency_term(self):
+        b = BSP(4, BSPParams(g=2, L=10))
+        assert round_work_bound(b, n=100, p=4, rounds=2) == 2 * (200 + 40)
+
+    def test_gsm(self):
+        g = GSM(GSMParams(alpha=2, beta=4))
+        assert round_work_bound(g, n=10, p=2, rounds=1) == 4 * 10 / 2
+
+    def test_consistency_with_round_budget(self):
+        """work bound == rounds * p * per-round budget (shared-memory)."""
+        for machine in (QSM(QSMParams(g=2)), SQSM(SQSMParams(g=3)), GSM(GSMParams(alpha=2, beta=2))):
+            n, p, r = 64, 8, 5
+            assert round_work_bound(machine, n, p, r) == pytest.approx(
+                r * p * round_budget(machine, n, p)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_work_bound(QSM(), 0, 1, 1)
+
+
+class TestGSMhBudget:
+    def test_value(self):
+        assert gsm_h_round_budget(GSMParams(alpha=3, beta=6), h=4) == 8.0  # mu*h/lam
+
+    def test_symmetric_params(self):
+        assert gsm_h_round_budget(GSMParams(alpha=2, beta=2), h=5) == 5.0
+
+    def test_h_validated(self):
+        with pytest.raises(ValueError):
+            gsm_h_round_budget(GSMParams(), h=0)
+
+    def test_constant(self):
+        assert gsm_h_round_budget(GSMParams(), h=4, constant=2.0) == 8.0
+
+
+class TestTheorem63Formula:
+    def test_value(self):
+        # sqrt(log(n/(d*gamma)) / log(mu h / lam)) at n=2^16, d=16, h=16.
+        assert gsm_h_lac_rounds(2**16, 1, 1, 1, 16, 16) == pytest.approx((12 / 4) ** 0.5)
+
+    def test_decreases_with_h(self):
+        lo = gsm_h_lac_rounds(2**16, 1, 1, 1, 4, 8)
+        hi = gsm_h_lac_rounds(2**16, 1, 1, 1, 64, 8)
+        assert hi < lo
+
+    def test_decreases_with_destination(self):
+        small_d = gsm_h_lac_rounds(2**16, 1, 1, 1, 8, 2)
+        big_d = gsm_h_lac_rounds(2**16, 1, 1, 1, 8, 2**10)
+        assert big_d < small_d
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gsm_h_lac_rounds(16, 1, 1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            gsm_h_lac_rounds(16, 1, 1, 1, 1, 0)
+
+    def test_specialises_to_corollary_6_3_shape(self):
+        """With h = mu n/(lam p) the Theorem 6.3 form matches the
+        gsm_lac_rounds bound used for Table 1d (gamma = d = 1)."""
+        from repro.lowerbounds.formulas import gsm_lac_rounds
+
+        n, p = 2**14, 2**7
+        h = n / p
+        assert gsm_h_lac_rounds(n, 1, 1, 1, h, 1) == pytest.approx(
+            gsm_lac_rounds(n, 1, 1, 1, p)
+        )

@@ -1,0 +1,149 @@
+"""Integration: full algorithm + model + verifier + bound stacks.
+
+These tests run the same pipelines the benches run (smaller sweeps) and
+assert the end-to-end relationships the reproduction is about: verified
+answers, cost dominance over the Table 1 bounds, round-discipline, and the
+lower-bound machinery agreeing with live runs.
+"""
+
+import pytest
+
+from repro.algorithms.compaction import lac_dart, lac_prefix
+from repro.algorithms.or_ import or_bsp, or_rounds, or_tree_writes
+from repro.algorithms.parity import parity_bsp, parity_rounds, parity_tree
+from repro.analysis import dominance_constant, sweep
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.rounds import RoundAuditor
+from repro.lowerbounds.degree_argument import check_run
+from repro.lowerbounds.formulas import (
+    bsp_parity_det_time,
+    qsm_or_det_time,
+    sqsm_lac_det_time,
+    sqsm_or_rounds,
+    sqsm_parity_det_time,
+)
+from repro.problems import gen_bits, gen_sparse_array, verify_lac, verify_or, verify_parity
+
+
+class TestDominanceOverTableBounds:
+    def test_parity_sqsm_tight(self):
+        """Table 1b Theta(g log n): measured/bound bounded both ways."""
+        ratios = []
+        for n in [64, 256, 1024, 4096]:
+            for g in [2, 8]:
+                m = SQSM(SQSMParams(g=g))
+                bits = gen_bits(n, seed=n)
+                r = parity_tree(m, bits)
+                assert verify_parity(bits, r.value)
+                ratios.append(r.time / sqsm_parity_det_time(n, g))
+        assert min(ratios) >= 1.0  # dominance
+        assert max(ratios) / min(ratios) < 4.0  # tightness band
+
+    def test_or_qsm_dominates_bound(self):
+        for n in [64, 1024]:
+            for g in [2, 16]:
+                m = QSM(QSMParams(g=g))
+                bits = gen_bits(n, density=0.1, seed=n + g)
+                r = or_tree_writes(m, bits)
+                assert verify_or(bits, r.value)
+                assert r.time >= qsm_or_det_time(n, g)
+
+    def test_lac_sqsm_dominates_bound(self):
+        for n in [256, 2048]:
+            arr = gen_sparse_array(n, n // 8, seed=n, exact=True)
+            m = SQSM(SQSMParams(g=4))
+            r = lac_prefix(m, arr)
+            assert r.time >= sqsm_lac_det_time(n, 4)
+
+    def test_parity_bsp_tight(self):
+        ratios = []
+        for n in [256, 1024]:
+            for p in [16, 64]:
+                b = BSP(p, BSPParams(g=2, L=16))
+                bits = gen_bits(n, seed=p)
+                r = parity_bsp(b, bits)
+                assert verify_parity(bits, r.value)
+                ratios.append(r.time / bsp_parity_det_time(n, 2, 16, p))
+        assert min(ratios) > 0.5  # same order as the Theta bound
+        assert max(ratios) / min(ratios) < 8.0
+
+
+class TestRoundsDiscipline:
+    @pytest.mark.parametrize("n,p", [(256, 16), (1024, 32)])
+    def test_or_rounds_match_tight_bound(self, n, p):
+        m = SQSM(SQSMParams(g=2))
+        aud = RoundAuditor(m, n=n, p=p, constant=1.0)
+        bits = gen_bits(n, density=0.05, seed=p)
+        r = or_rounds(m, bits, p=p)
+        aud.audit()
+        assert verify_or(bits, r.value)
+        assert aud.computes_in_rounds
+        bound = sqsm_or_rounds(n, 2, p)
+        assert aud.rounds >= bound * 0.9
+        assert aud.rounds <= 6 * bound + 4  # matches up to constants
+
+    def test_parity_rounds_all_models(self):
+        n, p = 512, 32
+        bits = gen_bits(n, seed=1)
+        for machine in (QSM(QSMParams(g=2)), SQSM(SQSMParams(g=2)), GSM(GSMParams())):
+            aud = RoundAuditor(machine, n=n, p=p)
+            r = parity_rounds(machine, bits, p=p)
+            aud.audit()
+            assert verify_parity(bits, r.value)
+            assert aud.computes_in_rounds
+
+
+class TestLowerBoundMachineryOnLiveRuns:
+    def test_degree_certificate_for_every_parity_algorithm(self):
+        n = 32
+        bits = gen_bits(n, seed=9)
+        m = GSM(GSMParams(alpha=2, beta=2))
+        parity_tree(m, bits)
+        cert = check_run(m, target_degree=n)
+        assert cert.reached and cert.satisfies_bound
+
+    def test_sweep_pipeline(self):
+        def run(n, g):
+            m = SQSM(SQSMParams(g=g))
+            bits = gen_bits(n, seed=n * g)
+            r = parity_tree(m, bits)
+            return {
+                "measured": r.time,
+                "correct": verify_parity(bits, r.value),
+                "bound": sqsm_parity_det_time(n, g),
+            }
+
+        pts = sweep({"n": [64, 256], "g": [2, 4]}, run)
+        assert all(p.correct for p in pts)
+        c = dominance_constant([p.measured for p in pts], [p.bound for p in pts])
+        assert c >= 1.0
+
+
+class TestCrossModelConsistency:
+    def test_same_bits_same_answer_everywhere(self):
+        bits = gen_bits(100, seed=42)
+        want = sum(bits) % 2
+        answers = [
+            parity_tree(QSM(QSMParams(g=4)), bits).value,
+            parity_tree(SQSM(SQSMParams(g=4)), bits).value,
+            parity_tree(GSM(GSMParams(alpha=2, beta=2)), bits).value,
+            parity_bsp(BSP(8, BSPParams(g=2, L=8)), bits).value,
+        ]
+        assert answers == [want] * 4
+
+    def test_or_same_everywhere(self):
+        bits = gen_bits(80, density=0.02, seed=3)
+        want = 1 if any(bits) else 0
+        answers = [
+            or_tree_writes(QSM(QSMParams(g=4)), bits).value,
+            or_tree_writes(SQSM(SQSMParams(g=4)), bits).value,
+            or_tree_writes(GSM(GSMParams(alpha=2, beta=2)), bits).value,
+            or_bsp(BSP(8, BSPParams(g=2, L=8)), bits).value,
+        ]
+        assert answers == [want] * 4
+
+    def test_lac_dart_valid_on_all_shared_models(self):
+        arr = gen_sparse_array(128, 32, seed=5, exact=True)
+        for machine in (QSM(QSMParams(g=2)), SQSM(SQSMParams(g=2)), GSM(GSMParams())):
+            r = lac_dart(machine, arr, seed=6)
+            assert verify_lac(arr, r.value, 32)

@@ -1,0 +1,41 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Each example's ``main()`` both demonstrates the API and asserts its own
+verifications internally; running them is a real integration check.  The
+two slowest (adversary_demo's exhaustive oracle, compaction_pipeline's
+full pipeline) are exercised at reduced scope elsewhere, so only their
+imports are checked here.
+"""
+
+import importlib
+
+import pytest
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        mod = importlib.import_module("examples.quickstart")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "Table 1b bound" in out
+
+    def test_rounds_and_work(self, capsys):
+        mod = importlib.import_module("examples.rounds_and_work")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "rounds vs work" in out
+        assert "latency floor" in out
+
+    def test_model_comparison(self, capsys):
+        mod = importlib.import_module("examples.model_comparison")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "four models" in out
+        assert "EREW PRAM" in out
+
+    @pytest.mark.parametrize(
+        "name", ["examples.compaction_pipeline", "examples.adversary_demo"]
+    )
+    def test_heavy_examples_import(self, name):
+        mod = importlib.import_module(name)
+        assert callable(mod.main)

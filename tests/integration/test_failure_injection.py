@@ -1,0 +1,186 @@
+"""Failure injection and adversarial-environment robustness.
+
+The models leave real freedom to the machine (arbitrary-winner writes) and
+to chance (dart collisions); algorithms must be correct under every
+resolution.  These tests drive the implementations through adversarial
+machine seeds, forced retry exhaustion, hostile inputs, and misuse of the
+APIs, checking that correctness never depends on luck and that failures are
+loud, not silent.
+"""
+
+import pytest
+
+from repro.algorithms.compaction import lac_dart, lac_prefix
+from repro.algorithms.or_ import or_sparse_random, or_tree_writes
+from repro.algorithms.padded_sort import padded_sort
+from repro.algorithms.parity import parity_blocks, parity_tree
+from repro.algorithms.sorting import sample_sort_bsp
+from repro.core import (
+    BSP,
+    GSM,
+    QSM,
+    SQSM,
+    BSPParams,
+    GSMParams,
+    MemoryConflictError,
+    QSMParams,
+    SQSMParams,
+)
+from repro.core.rounds import RoundAuditor, round_work_bound, total_work
+from repro.problems import (
+    gen_bits,
+    gen_padded_sort_input,
+    gen_sparse_array,
+    verify_lac,
+    verify_padded_sort,
+    verify_parity,
+)
+
+
+class TestArbitraryWinnerAdversary:
+    """Correctness must hold for every write-resolution seed."""
+
+    @pytest.mark.parametrize("machine_seed", range(8))
+    def test_lac_dart_every_machine_seed(self, machine_seed):
+        arr = gen_sparse_array(96, 24, seed=1, exact=True)
+        m = QSM(QSMParams(g=2), seed=machine_seed)
+        r = lac_dart(m, arr, seed=5)
+        assert verify_lac(arr, r.value, 24)
+
+    @pytest.mark.parametrize("machine_seed", range(8))
+    def test_or_tournament_every_machine_seed(self, machine_seed):
+        bits = gen_bits(64, density=0.3, seed=2)
+        m = QSM(QSMParams(g=4), seed=machine_seed)
+        r = or_tree_writes(m, bits)
+        assert r.value == (1 if any(bits) else 0)
+
+    @pytest.mark.parametrize("machine_seed", range(6))
+    def test_padded_sort_every_machine_seed(self, machine_seed):
+        vals = gen_padded_sort_input(80, seed=3)
+        m = QSM(QSMParams(g=2), seed=machine_seed)
+        r = padded_sort(m, vals, seed=7)
+        assert verify_padded_sort(vals, r.value)
+
+
+class TestRetryExhaustion:
+    def test_lac_dart_zero_rounds_pure_fallback(self):
+        arr = gen_sparse_array(40, 20, seed=4, exact=True)
+        r = lac_dart(QSM(QSMParams(g=2)), arr, seed=0, max_rounds=0)
+        assert verify_lac(arr, r.value, 20)
+        assert r.extra["fallback_items"] == 20
+
+    def test_padded_sort_restart_exhaustion_raises(self):
+        vals = [0.5] * 30  # all one bucket: guaranteed overflow
+        with pytest.raises(RuntimeError, match="restarts"):
+            padded_sort(QSM(QSMParams(g=2)), vals, seed=1, bucket_expected=4, max_restarts=0)
+
+    def test_or_sparse_random_dense_input_still_correct(self):
+        # All-ones input maximises dart collisions in every level.
+        bits = [1] * 200
+        m = QSM(QSMParams(g=2, unit_time_concurrent_reads=True))
+        assert or_sparse_random(m, bits, seed=2).value == 1
+
+
+class TestHostileInputs:
+    def test_parity_blocks_alternating_worst_case(self):
+        bits = [i % 2 for i in range(333)]
+        r = parity_blocks(QSM(QSMParams(g=16)), bits)
+        assert verify_parity(bits, r.value)
+
+    def test_lac_all_items_adjacent(self):
+        arr = ["x%d" % i for i in range(16)] + [None] * 112
+        r = lac_dart(QSM(QSMParams(g=2)), arr, seed=3)
+        assert verify_lac(arr, r.value, 16)
+
+    def test_sample_sort_adversarial_skew(self):
+        # Every element equal except one: splitters are degenerate.
+        vals = [5] * 63 + [1]
+        r = sample_sort_bsp(BSP(8, BSPParams(g=2, L=8)), vals)
+        assert r.value == sorted(vals)
+
+    def test_padded_sort_clustered_values(self):
+        vals = [0.001 * (i % 3) for i in range(60)]
+        r = padded_sort(QSM(QSMParams(g=2)), vals, seed=4)
+        assert verify_padded_sort(vals, r.value)
+
+
+class TestModelMisuse:
+    def test_conflicting_phase_leaves_memory_untouched(self):
+        m = QSM()
+        m.load([1, 2])
+        with pytest.raises(MemoryConflictError):
+            with m.phase() as ph:
+                ph.write(0, 5, "poison")
+                ph.read(1, 5)
+        assert m.peek(5) is None  # aborted phase must not commit its writes
+        assert m.time == 0.0
+
+    def test_gsm_cells_never_lose_information(self):
+        g = GSM()
+        values = []
+        for k in range(5):
+            with g.phase() as ph:
+                ph.write(k, 0, f"v{k}")
+            values.append(f"v{k}")
+        assert list(g.peek(0)) == values  # strong queuing is append-only
+
+    def test_bsp_inbox_cannot_be_mutated_externally(self):
+        b = BSP(2)
+        with b.superstep() as ss:
+            ss.send(0, 1, "m")
+        inbox = b.inbox(1)
+        inbox.clear()
+        assert b.inbox(1) == [(0, "m")]  # inbox() returns a copy
+
+
+class TestWorkCeilings:
+    def test_round_computation_respects_work_bound(self):
+        """Section 2.3: an r-round computation does at most O(rgn) work."""
+        from repro.algorithms.parity import parity_rounds
+
+        n, p = 512, 32
+        m = SQSM(SQSMParams(g=2))
+        aud = RoundAuditor(m, n=n, p=p)
+        parity_rounds(m, gen_bits(n, seed=5), p=p)
+        rounds = aud.audit()
+        assert aud.computes_in_rounds
+        assert total_work(m, p) <= round_work_bound(m, n, p, rounds) + 1e-9
+
+    def test_work_bound_validation(self):
+        m = QSM()
+        with pytest.raises(ValueError):
+            total_work(m, 0)
+        with pytest.raises(ValueError):
+            round_work_bound(m, 1, 1, -1)
+
+    def test_bsp_work_bound(self):
+        from repro.algorithms.parity import parity_bsp
+
+        n, p = 512, 16
+        b = BSP(p, BSPParams(g=2, L=8))
+        aud = RoundAuditor(b, n=n, p=p)
+        parity_bsp(b, gen_bits(n, seed=6))
+        rounds = aud.audit()
+        assert aud.computes_in_rounds
+        assert total_work(b, p) <= round_work_bound(b, n, p, rounds) + 1e-9
+
+
+class TestDeterminismUnderSharedMachines:
+    def test_sequential_composition_is_isolated(self):
+        """Two algorithms on one machine must not corrupt each other."""
+        m = QSM(QSMParams(g=2))
+        bits = gen_bits(64, seed=7)
+        r1 = parity_tree(m, bits)
+        arr = gen_sparse_array(64, 16, seed=8, exact=True)
+        r2 = lac_dart(m, arr, seed=9)
+        r3 = parity_tree(m, bits)
+        assert r1.value == r3.value == sum(bits) % 2
+        assert verify_lac(arr, r2.value, 16)
+
+    def test_three_stage_chain_on_gsm(self):
+        g = GSM(GSMParams(alpha=2, beta=2))
+        bits = gen_bits(32, seed=10)
+        assert parity_tree(g, bits).value == sum(bits) % 2
+        arr = gen_sparse_array(32, 8, seed=11, exact=True)
+        assert verify_lac(arr, lac_prefix(g, arr).value, 8)
+        assert or_tree_writes(g, bits).value == (1 if any(bits) else 0)

@@ -1,0 +1,115 @@
+"""Statistical validation of the w.h.p. claims behind the randomized algorithms.
+
+The paper's randomized upper bounds are with-high-probability statements.
+These tests estimate the relevant distributions across many seeds and check
+the claims at repository scale:
+
+* LAC dart throwing: the live set decays doubly exponentially, so the round
+  count stays O(log log n) across seeds and the deterministic fallback
+  essentially never fires; per-round contention stays near the balls-in-
+  bins maximum-load scale.
+* Padded sort: uniform inputs essentially never overflow the default slack
+  (restart rate ~ 0), while adversarially clustered inputs always do.
+* Sample sort: with oversampling, the routed h-relation stays within a
+  small factor of n/p across seeds.
+"""
+
+import math
+
+from repro.algorithms.compaction import lac_dart
+from repro.algorithms.padded_sort import padded_sort
+from repro.algorithms.sorting import sample_sort_bsp
+from repro.core import BSP, QSM, BSPParams, QSMParams
+from repro.problems import (
+    gen_padded_sort_input,
+    gen_sort_input,
+    gen_sparse_array,
+    verify_lac,
+)
+
+TRIALS = 30
+
+
+class TestDartThrowingStatistics:
+    def test_round_count_loglog_scale(self):
+        n, h = 4096, 512
+        max_rounds_seen = 0
+        for seed in range(TRIALS):
+            arr = gen_sparse_array(n, h, seed=seed, exact=True)
+            r = lac_dart(QSM(QSMParams(g=2)), arr, h=h, seed=seed + 1000)
+            assert verify_lac(arr, r.value, h)
+            max_rounds_seen = max(max_rounds_seen, r.extra["rounds"])
+        # log2 log2 4096 ~ 3.6; doubly exponential decay keeps rounds tiny.
+        assert max_rounds_seen <= 8
+
+    def test_fallback_rate_is_negligible(self):
+        n, h = 2048, 256
+        fallbacks = 0
+        for seed in range(TRIALS):
+            arr = gen_sparse_array(n, h, seed=seed + 50, exact=True)
+            r = lac_dart(QSM(QSMParams(g=2)), arr, h=h, seed=seed)
+            fallbacks += 1 if r.extra["fallback_items"] else 0
+        assert fallbacks <= 1  # w.h.p. the dart rounds finish on their own
+
+    def test_contention_near_balls_in_bins(self):
+        n, h = 4096, 1024
+        worst = 0
+        for seed in range(TRIALS):
+            arr = gen_sparse_array(n, h, seed=seed + 99, exact=True)
+            r = lac_dart(QSM(QSMParams(g=2)), arr, h=h, seed=seed + 7)
+            worst = max(worst, r.extra["max_contention"])
+        # Max load of h balls in 4h bins is Theta(log n / log log n) w.h.p.
+        ceiling = 4 * math.log(n) / math.log(math.log(n))
+        assert worst <= ceiling
+
+    def test_destination_size_concentrated(self):
+        n, h = 2048, 128
+        for seed in range(10):
+            arr = gen_sparse_array(n, h, seed=seed, exact=True)
+            r = lac_dart(QSM(QSMParams(g=2)), arr, h=h, expansion=4, seed=seed)
+            assert r.extra["destination_size"] <= 10 * h
+
+
+class TestPaddedSortStatistics:
+    def test_uniform_inputs_rarely_restart(self):
+        restarts = 0
+        for seed in range(TRIALS):
+            vals = gen_padded_sort_input(512, seed=seed)
+            r = padded_sort(QSM(QSMParams(g=2)), vals, seed=seed + 1)
+            restarts += r.extra["restarts"]
+        assert restarts <= 1
+
+    def test_clustered_inputs_always_restart(self):
+        hits = 0
+        for seed in range(8):
+            vals = [0.5 + 1e-9 * k for k in range(64)]
+            r = padded_sort(
+                QSM(QSMParams(g=2)), vals, seed=seed, bucket_expected=4
+            )
+            hits += 1 if r.extra["restarts"] >= 1 else 0
+        assert hits == 8
+
+    def test_output_size_is_n_plus_little_o(self):
+        # The measured padding ratio shrinks as n grows (n + o(n)).
+        ratios = []
+        for n in (256, 1024, 4096):
+            vals = gen_padded_sort_input(n, seed=n)
+            r = padded_sort(QSM(QSMParams(g=2)), vals, seed=n + 1)
+            ratios.append(r.extra["output_size"] / n)
+        assert ratios[-1] < ratios[0]
+        # slack/bucket = 4*sqrt(ln n)/log2(n) -> 0, slowly; at n=4096 the
+        # measured padding ratio is ~2.0 and still falling.
+        assert ratios[-1] < 2.1
+
+
+class TestSampleSortStatistics:
+    def test_h_relation_balanced_whp(self):
+        n, p = 1024, 16
+        worst_ratio = 0.0
+        for seed in range(TRIALS):
+            vals = gen_sort_input(n, seed=seed)
+            b = BSP(p, BSPParams(g=2, L=8))
+            r = sample_sort_bsp(b, vals, oversampling=8)
+            assert r.value == sorted(vals)
+            worst_ratio = max(worst_ratio, r.extra["max_bucket"] / (n / p))
+        assert worst_ratio <= 6.0

@@ -1,0 +1,102 @@
+"""Section 2.2's motivating observation, executable.
+
+"due to the message-passing mode of communication used in the BSP, in
+certain situations it is more powerful than the QSM or s-QSM.  For
+instance, if several different processors send values to a given processor
+to be placed in an array (in any order), the BSP processor can fill in the
+array by simply picking out the elements from its input buffer.  On a QSM
+this computation involves compaction, since each value needs to be tagged
+with an explicit location within the array in which it needs to be placed."
+
+This is *why* the paper defines the GSM (stronger than all three) as the
+lower-bound model.  The tests below run the array-assembly task on all
+three machines and check the claimed power ordering.
+"""
+
+import pytest
+
+from repro.algorithms.compaction import lac_prefix
+from repro.core import BSP, GSM, QSM, BSPParams, GSMParams, QSMParams
+from repro.lowerbounds.formulas import qsm_parity_det_time
+
+
+def senders_with_values(n, seed=0):
+    """n sender processors, an unpredictable subset holding one value each."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    has = rng.random(n) < 0.5
+    return [f"v{i}" if h else None for i, h in enumerate(has)]
+
+
+class TestArrayAssembly:
+    N = 64
+
+    def test_bsp_assembles_in_two_supersteps(self):
+        """Senders -> component 0's buffer -> dense array: O(1) supersteps."""
+        values = senders_with_values(self.N, seed=1)
+        b = BSP(self.N, BSPParams(g=1, L=4))
+        with b.superstep() as ss:
+            for i, v in enumerate(values):
+                if v is not None:
+                    ss.send(i, 0, v)
+        # The receiver picks elements straight out of its input buffer.
+        assembled = [payload for _, payload in b.inbox(0)]
+        want = [v for v in values if v is not None]
+        assert sorted(assembled) == sorted(want)
+        assert b.superstep_count == 1
+        # Cost: one h-relation; h is the value count, no log factors.
+        assert b.time == max(1.0 * sum(v is not None for v in values), 4.0)
+
+    def test_qsm_needs_compaction(self):
+        """On the QSM the values must be compacted into explicit slots:
+        a prefix-sums rank computation with Omega(g log n)-type cost."""
+        values = senders_with_values(self.N, seed=1)
+        m = QSM(QSMParams(g=2))
+        r = lac_prefix(m, values)
+        want = [v for v in values if v is not None]
+        assert r.value == want
+        # The compaction pays the scan's log factor the BSP avoided.
+        assert m.time >= qsm_parity_det_time(self.N, 2.0)
+
+    def test_gsm_strong_queuing_matches_bsp_power(self):
+        """The GSM's strong queuing gives the buffer for free: all senders
+        write one cell, the cell accumulates every value — one phase, and
+        that is exactly why GSM lower bounds transfer to the BSP."""
+        values = senders_with_values(self.N, seed=1)
+        g = GSM(GSMParams(alpha=1, beta=self.N))
+        with g.phase() as ph:
+            for i, v in enumerate(values):
+                if v is not None:
+                    ph.write(i, 0, v)
+        cell = g.peek(0)
+        want = [v for v in values if v is not None]
+        assert sorted(cell) == sorted(want)
+        assert g.phase_count == 1
+        # With beta = N the whole accumulation is one big-step.
+        assert g.big_steps == 1
+
+    def test_power_ordering(self):
+        """BSP beats the QSM on this task in time, and the GSM beats both
+        structurally (one phase / one big-step vs a logarithmic-depth scan)
+        — the ordering that justifies proving lower bounds on the GSM."""
+        values = senders_with_values(self.N, seed=2)
+
+        g = GSM(GSMParams(alpha=1, beta=self.N))
+        with g.phase() as ph:
+            for i, v in enumerate(values):
+                if v is not None:
+                    ph.write(i, 0, v)
+
+        b = BSP(self.N, BSPParams(g=1, L=4))
+        with b.superstep() as ss:
+            for i, v in enumerate(values):
+                if v is not None:
+                    ss.send(i, 0, v)
+
+        m = QSM(QSMParams(g=1))
+        lac_prefix(m, values)
+
+        assert b.time < m.time  # message buffers beat shared-memory compaction
+        assert g.big_steps == 1 and g.phase_count == 1  # strong queuing: one shot
+        assert m.phase_count > 5  # the QSM scan needs logarithmic depth

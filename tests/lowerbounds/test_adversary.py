@@ -1,0 +1,196 @@
+"""Section 4 framework: partial maps, RANDOMSET distribution, GENERATE, oracle."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.algorithms.parity import parity_tree
+from repro.lowerbounds.adversary import (
+    UNSET,
+    GSMOracle,
+    IIDBernoulli,
+    PartialInputMap,
+    generate,
+    random_set,
+)
+
+
+class TestPartialInputMap:
+    def test_blank(self):
+        f = PartialInputMap.blank(3)
+        assert all(f[i] == UNSET for i in range(3))
+        assert not f.is_complete()
+
+    def test_refine_and_lookup(self):
+        f = PartialInputMap(4, {1: 1})
+        g = f.refine({2: 0})
+        assert g[1] == 1 and g[2] == 0 and g[0] == UNSET
+
+    def test_refine_cannot_flip(self):
+        f = PartialInputMap(2, {0: 1})
+        with pytest.raises(ValueError):
+            f.refine({0: 0})
+
+    def test_refinement_order(self):
+        f = PartialInputMap(3, {0: 1})
+        g = f.refine({1: 0})
+        assert g.refines(f)
+        assert not f.refines(g)
+
+    def test_consistent_masks(self):
+        f = PartialInputMap(3, {0: 1})
+        assert sorted(f.consistent_masks()) == [0b001, 0b011, 0b101, 0b111]
+
+    def test_complete_and_mask(self):
+        f = PartialInputMap.from_mask(3, 0b101)
+        assert f.is_complete()
+        assert f.as_mask() == 0b101
+
+    def test_as_mask_requires_complete(self):
+        with pytest.raises(ValueError):
+            PartialInputMap(2, {0: 1}).as_mask()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialInputMap(2, {5: 1})
+        with pytest.raises(ValueError):
+            PartialInputMap(2, {0: 2})
+
+    def test_hash_eq(self):
+        a = PartialInputMap(3, {1: 0})
+        b = PartialInputMap(3, {1: 0})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestRandomSet:
+    def test_skips_already_set(self):
+        dist = IIDBernoulli(3, 0.5)
+        f = PartialInputMap(3, {0: 1})
+        g = random_set(dist, f, [0, 1, 2], rng=0)
+        assert g[0] == 1 and g.is_complete()
+
+    def test_fact_4_1_distribution(self):
+        # Outputs of RANDOMSET follow D: chi-square sanity at 3 bits.
+        dist = IIDBernoulli(3, 0.5)
+        rng = np.random.default_rng(1)
+        counts = collections.Counter(
+            random_set(dist, PartialInputMap.blank(3), [0, 1, 2], rng).as_mask()
+            for _ in range(8000)
+        )
+        assert len(counts) == 8
+        expected = 1000
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        assert chi2 < 30  # df=7; 30 is far beyond any reasonable quantile
+
+    def test_biased_distribution_respected(self):
+        dist = IIDBernoulli(1, 0.9)
+        rng = np.random.default_rng(2)
+        ones = sum(
+            random_set(dist, PartialInputMap.blank(1), [0], rng).as_mask()
+            for _ in range(3000)
+        )
+        assert 2500 < ones < 2950
+
+
+class TestGenerate:
+    def test_completes_and_tracks_trajectory(self):
+        dist = IIDBernoulli(4, 0.5)
+
+        def refine(t, f, rng):
+            unset = f.unset_indices()
+            if unset:
+                f = random_set(dist, f, [unset[0]], rng)
+            return f, 1.0
+
+        res = generate(refine, dist, 4, T=2.0, rng=3)
+        assert res.final_map.is_complete()
+        assert res.trajectory[0][1] == PartialInputMap.blank(4)
+        assert res.total_steps >= 2.0
+
+    def test_lemma_4_1_distribution(self):
+        # GENERATE's final maps follow D even though REFINE fixes inputs.
+        dist = IIDBernoulli(2, 0.5)
+
+        def refine(t, f, rng):
+            return random_set(dist, f, f.unset_indices()[:1], rng), 1.0
+
+        rng = np.random.default_rng(4)
+        counts = collections.Counter(
+            generate(refine, dist, 2, T=1.0, rng=rng).final_map.as_mask()
+            for _ in range(4000)
+        )
+        expected = 1000
+        chi2 = sum((counts.get(m, 0) - expected) ** 2 / expected for m in range(4))
+        assert chi2 < 25
+
+    def test_negative_step_rejected(self):
+        dist = IIDBernoulli(2, 0.5)
+        with pytest.raises(ValueError):
+            generate(lambda t, f, r: (f, -1.0), dist, 2, T=1.0, rng=0)
+
+
+class TestIIDBernoulli:
+    def test_probabilities_sum_to_one(self):
+        dist = IIDBernoulli(4, 0.3)
+        assert sum(dist.probability(m) for m in range(16)) == pytest.approx(1.0)
+
+    def test_conditional_is_q(self):
+        dist = IIDBernoulli(3, 0.7)
+        f = PartialInputMap(3, {0: 1})
+        assert dist.conditional_bit(f, 1) == 0.7
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            IIDBernoulli(2, 0.0)
+
+
+class TestGSMOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        def alg(machine, bits):
+            parity_tree(machine, bits, fan_in=2)
+
+        return GSMOracle(alg, 4)
+
+    def test_output_cell_knows_everything(self, oracle):
+        f = PartialInputMap.blank(4)
+        out_cell = max(oracle.cells)
+        assert oracle.know(("cell", out_cell), oracle.n_phases, f) == frozenset(range(4))
+
+    def test_input_cell_knows_itself(self, oracle):
+        f = PartialInputMap.blank(4)
+        assert oracle.know(("cell", 0), oracle.n_phases, f) == frozenset({0})
+
+    def test_states_of_output_cell_is_two(self, oracle):
+        f = PartialInputMap.blank(4)
+        out_cell = max(oracle.cells)
+        assert len(oracle.states(("cell", out_cell), oracle.n_phases, f)) == 2
+
+    def test_know_shrinks_under_refinement(self, oracle):
+        out_cell = max(oracle.cells)
+        blank = PartialInputMap.blank(4)
+        fixed = PartialInputMap(4, {0: 1, 1: 0})
+        k_blank = oracle.know(("cell", out_cell), oracle.n_phases, blank)
+        k_fixed = oracle.know(("cell", out_cell), oracle.n_phases, fixed)
+        assert k_fixed <= k_blank
+
+    def test_parity_cert_is_everything(self, oracle):
+        # Parity's certificate at the output is always the full input set.
+        out_cell = max(oracle.cells)
+        full = PartialInputMap.from_mask(4, 0b0110)
+        assert oracle.cert(("cell", out_cell), oracle.n_phases, full) == frozenset(range(4))
+
+    def test_aff_sets_cover_the_combining_path(self, oracle):
+        f = PartialInputMap.blank(4)
+        affected = oracle.aff_cell(0, oracle.n_phases, f)
+        assert 0 in affected  # its own input cell
+        assert max(oracle.cells) in affected  # the output
+
+    def test_cert_requires_complete_map(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.cert(("cell", 0), 1, PartialInputMap.blank(4))
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            GSMOracle(lambda m, b: None, 0)

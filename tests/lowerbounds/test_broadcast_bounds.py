@@ -1,0 +1,52 @@
+"""Broadcasting bounds (the [1] baseline the paper cites) vs the algorithms."""
+
+import pytest
+
+from repro.algorithms.broadcast import broadcast_bsp, broadcast_shared
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.lowerbounds.formulas import (
+    bsp_broadcast_time,
+    qsm_broadcast_time,
+    sqsm_broadcast_time,
+)
+
+
+class TestFormulas:
+    def test_qsm_value(self):
+        # g log n / log g at n=2^12, g=8: 8*12/3 = 32.
+        assert qsm_broadcast_time(2**12, 8.0) == pytest.approx(32.0)
+
+    def test_sqsm_is_g_log_n(self):
+        assert sqsm_broadcast_time(2**12, 8.0) == pytest.approx(96.0)
+
+    def test_bsp_uses_q(self):
+        assert bsp_broadcast_time(2**20, 2.0, 16.0, 64) == pytest.approx(
+            bsp_broadcast_time(64, 2.0, 16.0, 2**20)
+        )
+
+    def test_qsm_below_sqsm_for_g_above_2(self):
+        for n in (2**8, 2**16):
+            assert qsm_broadcast_time(n, 8.0) < sqsm_broadcast_time(n, 8.0)
+
+
+class TestAlgorithmsMeetBounds:
+    @pytest.mark.parametrize("n", [64, 512, 4096])
+    def test_qsm_broadcast_tight(self, n):
+        g = 8.0
+        r = broadcast_shared(QSM(QSMParams(g=g)), "x", n)
+        bound = qsm_broadcast_time(n, g)
+        assert bound <= r.time <= 6 * bound  # Theta per [1]
+
+    @pytest.mark.parametrize("n", [64, 512])
+    def test_sqsm_broadcast_tight(self, n):
+        g = 4.0
+        r = broadcast_shared(SQSM(SQSMParams(g=g)), "x", n)
+        bound = sqsm_broadcast_time(n, g)
+        assert bound <= r.time <= 6 * bound
+
+    @pytest.mark.parametrize("p", [16, 64, 256])
+    def test_bsp_broadcast_tight(self, p):
+        g, L = 2.0, 16.0
+        r = broadcast_bsp(BSP(p, BSPParams(g=g, L=L)), "x")
+        bound = bsp_broadcast_time(p, g, L, p)
+        assert 0.5 * bound <= r.time <= 6 * bound

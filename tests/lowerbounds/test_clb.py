@@ -1,0 +1,98 @@
+"""Section 6: CLB instances, ECLB construction, Theorem 6.1 reductions."""
+
+import pytest
+
+from repro.core import GSM, QSM, GSMParams, QSMParams
+from repro.lowerbounds.clb import (
+    CLBInstance,
+    clb_via_lac,
+    clb_via_load_balance,
+    clb_via_padded_sort,
+    eclb_from_clb,
+    gen_clb,
+    verify_clb,
+)
+
+
+class TestInstance:
+    def test_palette_is_8m(self):
+        assert gen_clb(8, 3, seed=0).palette == 24
+
+    def test_objects_of_color(self):
+        inst = CLBInstance(n=3, m=1, colors=(2, 5, 2))
+        objs = inst.objects_of_color(2)
+        assert len(objs) == 2 * 4  # two groups x 4m objects
+        assert (0, 0) in objs and (2, 3) in objs
+
+    def test_gen_validates(self):
+        with pytest.raises(ValueError):
+            gen_clb(0, 1)
+
+
+class TestVerify:
+    def test_accepts_valid(self):
+        inst = CLBInstance(n=4, m=1, colors=(0, 1, 2, 3))
+        groups = [[(0, 0)], [(0, 1)], [(0, 2)], [(0, 3)]]
+        assert verify_clb(inst, 0, groups)
+
+    def test_rejects_overfull_group(self):
+        inst = CLBInstance(n=4, m=1, colors=(0, 1, 2, 3))
+        groups = [[(0, 0), (0, 1)], [(0, 2)], [(0, 3)], []]
+        assert not verify_clb(inst, 0, groups)
+
+    def test_rejects_missing_object(self):
+        inst = CLBInstance(n=4, m=1, colors=(0, 1, 2, 3))
+        groups = [[(0, 0)], [(0, 1)], [(0, 2)], []]
+        assert not verify_clb(inst, 0, groups)
+
+    def test_rejects_bad_color(self):
+        inst = CLBInstance(n=2, m=1, colors=(0, 0))
+        assert not verify_clb(inst, 99, [[], []])
+
+
+class TestECLB:
+    def test_pointers_complete_and_cheap(self):
+        inst = CLBInstance(n=4, m=2, colors=(1, 0, 2, 3))
+        # Solve trivially for color 1: one group, 4m = 8 objects — exactly
+        # the n*m = 8 output capacity.
+        objs = inst.objects_of_color(1)
+        groups = [objs[i * 2 : (i + 1) * 2] for i in range(4)]
+        g = GSM(GSMParams())
+        r = eclb_from_clb(g, inst, 1, groups)
+        assert len(r.value) == len(objs)
+        # Claim 6.1: m additional steps (phases).
+        assert r.phases == inst.m
+        for (grp, rank), row in r.value.items():
+            assert (grp, rank) in groups[row]
+
+
+class TestReductions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_load_balance_arm(self, seed):
+        inst = gen_clb(n=32, m=2, seed=seed)
+        color = inst.colors[0]
+        r = clb_via_load_balance(QSM(QSMParams(g=2)), inst, chosen_color=color)
+        assert not r.extra.get("failed"), r.extra
+        assert verify_clb(inst, color, r.value)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lac_arm(self, seed):
+        inst = gen_clb(n=64, m=2, seed=seed + 10)
+        color = inst.colors[0]
+        r = clb_via_lac(QSM(QSMParams(g=2)), inst, chosen_color=color, seed=seed)
+        assert not r.extra.get("failed"), r.extra
+        assert verify_clb(inst, color, r.value)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_padded_sort_arm(self, seed):
+        inst = gen_clb(n=48, m=2, seed=seed + 20)
+        r = clb_via_padded_sort(QSM(QSMParams(g=2)), inst, seed=seed)
+        assert not r.extra.get("failed"), r.extra
+        color, groups = r.value
+        assert verify_clb(inst, color, groups)
+
+    def test_lac_arm_detects_overfull_color(self):
+        # Every group the same color: far more items than h = n/4m.
+        inst = CLBInstance(n=16, m=1, colors=(0,) * 16)
+        r = clb_via_lac(QSM(QSMParams(g=2)), inst, chosen_color=0, seed=0)
+        assert r.extra.get("failed")

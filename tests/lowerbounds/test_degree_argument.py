@@ -1,0 +1,137 @@
+"""The Theorem 3.1/7.2 degree machinery, run over live algorithm traces."""
+
+import math
+
+import pytest
+
+from repro.algorithms.or_ import or_tree_writes
+from repro.algorithms.parity import parity_tree
+from repro.core import GSM, GSMParams
+from repro.lowerbounds.degree_argument import (
+    certified_time_bound,
+    check_run,
+    degree_envelope,
+    measure_cell_degrees,
+)
+
+
+class TestEnvelope:
+    def test_recurrence_values(self):
+        m = GSM(GSMParams())
+        m.load([0, 0])
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)  # tau = 2, tau' = 1
+        env = degree_envelope(m.history)
+        # b_1 = (3 + 2 + 2*1) * 1 = 7.
+        assert env == [1.0, 7.0]
+
+    def test_gamma_initial_degree(self):
+        env = degree_envelope([], initial_degree=4)
+        assert env == [4.0]
+
+    def test_rejects_degree_below_one(self):
+        with pytest.raises(ValueError):
+            degree_envelope([], initial_degree=0.5)
+
+    def test_envelope_monotone(self):
+        m = GSM(GSMParams())
+        parity_tree(m, [1, 0, 1, 1, 0, 1, 0, 0])
+        env = degree_envelope(m.history)
+        assert all(a <= b for a, b in zip(env, env[1:]))
+
+
+class TestCertifiedBound:
+    def test_formula(self):
+        prm = GSMParams(alpha=2, beta=4)  # mu = 4
+        r = 256
+        expected = 4 * math.log(256) / math.log(24)
+        assert certified_time_bound(r, prm) == pytest.approx(expected)
+
+    def test_trivial_degree(self):
+        assert certified_time_bound(1.0, GSMParams()) == 0.0
+
+    def test_grows_with_r(self):
+        prm = GSMParams()
+        assert certified_time_bound(2**10, prm) < certified_time_bound(2**20, prm)
+
+
+class TestCheckRun:
+    @pytest.mark.parametrize("n", [8, 32, 64])
+    def test_correct_parity_run_certifies(self, n):
+        m = GSM(GSMParams(alpha=2, beta=2))
+        bits = [(i * 5) % 2 for i in range(n)]
+        parity_tree(m, bits)
+        cert = check_run(m, target_degree=n)
+        assert cert.reached  # envelope admits full-degree output
+        assert cert.satisfies_bound  # measured time >= proof's bound
+        assert cert.slack >= 1.0
+
+    def test_correct_or_run_certifies(self):
+        m = GSM(GSMParams(alpha=1, beta=4))
+        or_tree_writes(m, [0] * 64, fan_in=4)
+        cert = check_run(m, target_degree=64)
+        assert cert.reached and cert.satisfies_bound
+
+    def test_too_short_run_cannot_reach_degree(self):
+        # One phase of bounded fan-out cannot reach degree 2^20: the
+        # contrapositive that drives the lower bound.
+        m = GSM(GSMParams())
+        with m.phase() as ph:
+            ph.read(0, 0)
+        cert = check_run(m, target_degree=2**20)
+        assert not cert.reached
+
+    def test_gamma_weakens_requirement(self):
+        m = GSM(GSMParams(gamma=4))
+        with m.phase() as ph:
+            ph.read(0, 0)
+        env_start = check_run(m, target_degree=1).envelope[0]
+        assert env_start == 4.0
+
+
+class TestMeasuredDegrees:
+    def test_parity_tree_degrees_below_envelope(self):
+        def alg(machine, bits):
+            parity_tree(machine, bits, fan_in=2)
+
+        r = 4
+        degs = measure_cell_degrees(alg, r=r)
+        reference = GSM(GSMParams(), record_snapshots=True)
+        parity_tree(reference, [0] * r, fan_in=2)
+        env = degree_envelope(reference.history)
+        for t, dlist in degs.items():
+            if dlist:
+                assert max(dlist) <= env[t + 1]
+
+    def test_parity_output_reaches_full_degree(self):
+        def alg(machine, bits):
+            parity_tree(machine, bits, fan_in=2)
+
+        r = 4
+        degs = measure_cell_degrees(alg, r=r)
+        final = degs[max(degs)]
+        assert max(final) == r  # deg(PARITY_r) = r appears in memory
+
+    def test_or_output_reaches_full_degree(self):
+        def alg(machine, bits):
+            or_tree_writes(machine, bits, fan_in=2)
+
+        r = 4
+        degs = measure_cell_degrees(alg, r=r)
+        assert max(max(d) for d in degs.values() if d) == r
+
+    def test_rejects_large_r(self):
+        with pytest.raises(ValueError):
+            measure_cell_degrees(lambda m, b: None, r=20)
+
+    def test_rejects_input_dependent_phases(self):
+        def cheat(machine, bits):
+            with machine.phase() as ph:
+                ph.write(0, 0, 1)
+            if bits[0]:  # phase count depends on input
+                with machine.phase() as ph:
+                    ph.write(0, 1, 1)
+
+        with pytest.raises(ValueError):
+            measure_cell_degrees(cheat, r=2)

@@ -1,0 +1,146 @@
+"""The Table 1 formula library: values, monotonicity, registry coverage."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.formulas import (
+    ALL_BOUNDS,
+    bounds_for,
+    bsp_or_rounds,
+    bsp_parity_det_time,
+    gsm_or_rand_time,
+    gsm_parity_det_time,
+    qsm_lac_rand_time,
+    qsm_or_rand_time,
+    qsm_or_rounds,
+    qsm_parity_det_time,
+    qsm_parity_rand_time,
+    sqsm_lac_rand_time,
+    sqsm_or_rounds,
+    sqsm_parity_det_time,
+)
+
+
+class TestRegistry:
+    def test_27_table_cells(self):
+        assert len(ALL_BOUNDS) == 27
+
+    def test_tables_covered(self):
+        assert {b.table for b in ALL_BOUNDS} == {"1a", "1b", "1c", "1d"}
+
+    def test_each_time_table_has_six_cells(self):
+        # 3 problems x {deterministic, randomized}.
+        for table in ("1a", "1b", "1c"):
+            assert len(bounds_for(table=table)) == 6
+
+    def test_rounds_table_has_nine_cells(self):
+        assert len(bounds_for(table="1d")) == 9
+
+    def test_tight_entries_match_paper(self):
+        tight = {(b.table, b.model, b.problem) for b in ALL_BOUNDS if b.tight}
+        assert ("1b", "s-QSM", "Parity") in tight
+        assert ("1c", "BSP", "Parity") in tight
+        assert ("1d", "QSM", "OR") in tight
+        assert ("1d", "s-QSM", "Parity") in tight
+        # LAC has no tight entries anywhere.
+        assert not any(b.tight for b in bounds_for(problem="LAC"))
+
+    def test_filter_composition(self):
+        subset = bounds_for(model="QSM", problem="Parity", variant="deterministic")
+        assert len(subset) == 1 and subset[0].table == "1a"
+
+    def test_every_bound_has_formula_text(self):
+        assert all(b.text for b in ALL_BOUNDS)
+
+
+class TestValues:
+    def test_qsm_parity_det(self):
+        # g log n / log g at n=2^16, g=16: 16*16/4 = 64.
+        assert qsm_parity_det_time(2**16, 16.0) == pytest.approx(64.0)
+
+    def test_sqsm_parity_det(self):
+        assert sqsm_parity_det_time(2**16, 4.0) == pytest.approx(64.0)
+
+    def test_bsp_parity_det_uses_q_min_n_p(self):
+        small_p = bsp_parity_det_time(2**20, 2.0, 8.0, 2**6)
+        small_n = bsp_parity_det_time(2**6, 2.0, 8.0, 2**20)
+        assert small_p == pytest.approx(small_n)
+
+    def test_or_rand_log_star(self):
+        # log* 2^16 = 4, log* 4 = 2 -> g * 2.
+        assert qsm_or_rand_time(2**16, 4.0) == pytest.approx(8.0)
+
+    def test_lac_rand(self):
+        # g loglog n / log g at n=2^16, g=4: 4*4/2 = 8.
+        assert qsm_lac_rand_time(2**16, 4.0) == pytest.approx(8.0)
+
+    def test_qsm_or_rounds_tight_form(self):
+        # log n / log(ng/p) at n=2^12, g=4, p=2^8: 12/log2(2^6) = 2.
+        assert qsm_or_rounds(2**12, 4.0, 2**8) == pytest.approx(2.0)
+
+    def test_sqsm_vs_bsp_rounds_equal(self):
+        assert sqsm_or_rounds(2**12, 2.0, 2**8) == pytest.approx(
+            bsp_or_rounds(2**12, 2.0, 8.0, 2**8)
+        )
+
+
+class TestMonotonicity:
+    def test_all_time_bounds_nondecreasing_in_n(self):
+        for b in bounds_for(table="1a") + bounds_for(table="1b"):
+            vals = [b.fn(n, 4.0) for n in [2**8, 2**12, 2**16, 2**20]]
+            assert vals == sorted(vals), (b.problem, b.variant, vals)
+
+    def test_bsp_time_bounds_nondecreasing_in_n(self):
+        for b in bounds_for(table="1c"):
+            vals = [b.fn(n, 2.0, 16.0, n) for n in [2**8, 2**12, 2**16]]
+            assert vals == sorted(vals), (b.problem, b.variant)
+
+    def test_sqsm_bounds_linear_in_g(self):
+        for b in bounds_for(table="1b"):
+            v2 = b.fn(2**16, 2.0)
+            v8 = b.fn(2**16, 8.0)
+            assert v8 == pytest.approx(4 * v2), (b.problem, b.variant)
+
+    def test_rounds_decrease_with_larger_blocks(self):
+        n = 2**16
+        for b in bounds_for(table="1d", model="s-QSM"):
+            r_small = b.fn(n, 2.0, n // 4)
+            r_large = b.fn(n, 2.0, n // 256)
+            assert r_large <= r_small, (b.problem,)
+
+    def test_bsp_time_bounds_linear_in_L_at_fixed_ratio(self):
+        for b in bounds_for(table="1c"):
+            v1 = b.fn(2**16, 2.0, 16.0, 2**8)
+            v2 = b.fn(2**16, 4.0, 32.0, 2**8)
+            assert v2 == pytest.approx(2 * v1), (b.problem, b.variant)
+
+
+class TestGSMTheorems:
+    def test_parity_det_reduces_with_gamma(self):
+        # Packing more inputs per cell weakens the bound (r = n/gamma).
+        full = gsm_parity_det_time(2**16, 1, 1, 1)
+        packed = gsm_parity_det_time(2**16, 1, 1, 2**8)
+        assert packed < full
+
+    def test_or_rand_log_star_difference(self):
+        # mu * (log* r - log* mu); log*(2^16) = 4, log*(1) = 0.
+        assert gsm_or_rand_time(2**16, 1, 1, 1) == pytest.approx(4.0)
+
+    def test_problem_ordering_on_sqsm(self):
+        # Parity >= OR >= LAC in lower-bound strength (deterministic, s-QSM).
+        from repro.lowerbounds.formulas import (
+            sqsm_lac_det_time,
+            sqsm_or_det_time,
+        )
+
+        for n in [2**10, 2**16, 2**20]:
+            g = 4.0
+            assert sqsm_parity_det_time(n, g) >= sqsm_or_det_time(n, g)
+            assert sqsm_or_det_time(n, g) >= sqsm_lac_det_time(n, g)
+
+    def test_parity_rand_p_term(self):
+        # Supplying a small p can only weaken (reduce) the denominator term.
+        with_p = qsm_parity_rand_time(2**16, 256.0, p=2**4)
+        without = qsm_parity_rand_time(2**16, 256.0)
+        assert with_p >= without

@@ -1,0 +1,101 @@
+"""Section 5 engine: thresholds, goodness reports, REFINE trajectory."""
+
+import pytest
+
+from repro.algorithms.parity import parity_tree
+from repro.lowerbounds.adversary import GSMOracle, IIDBernoulli, PartialInputMap
+from repro.lowerbounds.refine_lac import (
+    GoodnessReport,
+    goodness_report,
+    refine_step,
+    run_adversary,
+    section5_thresholds,
+)
+
+
+class TestThresholds:
+    def test_d_sequence_growth(self):
+        d0, _, _ = section5_thresholds(0, 64, mu=2.0, nu=1.0)
+        d3, _, _ = section5_thresholds(3, 64, mu=2.0, nu=1.0)
+        assert d0 == 1.0
+        assert d3 == pytest.approx((2 + 1) ** 6)
+
+    def test_k_saturates_to_inf(self):
+        _, k, _ = section5_thresholds(10, 64, mu=4.0, nu=2.0)
+        assert k == float("inf")
+
+    def test_r_linear_in_t(self):
+        _, _, r1 = section5_thresholds(1, 64, 1.0, 1.0)
+        _, _, r3 = section5_thresholds(3, 64, 1.0, 1.0)
+        assert r3 == pytest.approx(3 * r1)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            section5_thresholds(-1, 8, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    def alg(machine, bits):
+        parity_tree(machine, bits, fan_in=2)
+
+    return GSMOracle(alg, 6)
+
+
+class TestGoodnessReport:
+    def test_initial_map_is_0_good(self, oracle):
+        rep = goodness_report(oracle, PartialInputMap.blank(6), 0)
+        assert rep.is_t_good
+        assert rep.inputs_set == 0
+
+    def test_quantities_grow_along_phases(self, oracle):
+        f = PartialInputMap.blank(6)
+        knows = [
+            goodness_report(oracle, f, t).max_know
+            for t in range(oracle.n_phases + 1)
+        ]
+        assert knows[-1] >= knows[0]
+        assert knows[-1] == 6  # output knows everything
+
+    def test_aff_growth_is_bounded_per_phase(self, oracle):
+        # Lemma 5.1's structural content: Aff sets grow multiplicatively,
+        # bounded by the algorithm's fan-in per phase (here 2) plus carry.
+        f = PartialInputMap.blank(6)
+        prev = 1
+        for t in range(1, oracle.n_phases + 1):
+            rep = goodness_report(oracle, f, t)
+            cur = max(rep.max_aff_cell, 1)
+            assert cur <= 3 * prev + 3
+            prev = cur
+
+
+class TestRefineStep:
+    def test_returns_refinement_and_cost(self, oracle):
+        dist = IIDBernoulli(6, 0.5)
+        f = PartialInputMap.blank(6)
+        f2, x = refine_step(oracle, 0, f, dist, rng=0)
+        assert x >= 1.0
+        assert f2.refines(f)
+
+    def test_certified_steps_match_fanin(self, oracle):
+        # parity_tree reads 2 cells per leader: with alpha=1 that is 2 big-steps.
+        dist = IIDBernoulli(6, 0.5)
+        f = PartialInputMap.blank(6)
+        _, x = refine_step(oracle, 0, f, dist, rng=1)
+        assert x == 2.0
+
+
+class TestRunAdversary:
+    def test_goodness_maintained(self, oracle):
+        f, reports = run_adversary(oracle, T=4, rng=0)
+        assert all(rep.is_t_good for rep in reports)
+
+    def test_inputs_fixed_monotonically(self, oracle):
+        f, reports = run_adversary(oracle, T=6, rng=1)
+        sets = [rep.inputs_set for rep in reports]
+        assert sets == sorted(sets)
+
+    def test_reproducible(self, oracle):
+        f1, _ = run_adversary(oracle, T=4, rng=7)
+        f2, _ = run_adversary(oracle, T=4, rng=7)
+        assert f1 == f2

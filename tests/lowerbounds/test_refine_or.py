@@ -1,0 +1,121 @@
+"""Section 7 modified adversary: the mixture, RANDOMRESTRICT/FIX, Theorem 7.1 game."""
+
+import pytest
+
+from repro.algorithms.or_ import or_tree_writes
+from repro.lowerbounds.adversary import GSMOracle
+from repro.lowerbounds.refine_or import (
+    ORAdversary,
+    ORMixture,
+    default_d_sequence,
+    or_success_probability,
+)
+
+OUT = 900
+
+
+def or_alg(machine, bits):
+    r = or_tree_writes(machine, bits, fan_in=2)
+    with machine.phase() as ph:
+        ph.write(0, OUT, r.value)
+
+
+def const_zero(machine, bits):
+    with machine.phase() as ph:
+        ph.write(0, OUT, 0)
+
+
+def const_one(machine, bits):
+    with machine.phase() as ph:
+        ph.write(0, OUT, 1)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return GSMOracle(or_alg, 8)
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return ORMixture(groups=8, gamma=1, mu=1.0, levels=2, d_sequence=[4.0, 16.0])
+
+
+class TestMixture:
+    def test_probabilities_sum_to_one(self, mixture):
+        total = sum(mixture.mask_prob(m) for m in range(1 << 8))
+        assert total == pytest.approx(1.0)
+
+    def test_zero_component_mass(self, mixture):
+        # P(all zeros) >= 1/2 (the zero component) plus H-level zero mass.
+        assert mixture.mask_prob(0) > 0.5
+
+    def test_group_atomicity(self):
+        mix = ORMixture(groups=2, gamma=2, mu=1.0, levels=1, d_sequence=[4.0])
+        # A half-set group has probability zero.
+        assert mix.mask_prob(0b0001) == 0.0
+        assert mix.mask_prob(0b0011) > 0.0
+
+    def test_sample_in_support(self, mixture):
+        for seed in range(10):
+            mask = mixture.sample(mixture.components, rng=seed)
+            assert mixture.mask_prob(mask) > 0.0
+
+    def test_default_d_sequence_increasing(self):
+        ds = default_d_sequence(256, 1, 1.0, 3)
+        assert all(a <= b for a, b in zip(ds, ds[1:]))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            ORMixture(groups=20, gamma=1)
+
+    def test_d_sequence_length_checked(self):
+        with pytest.raises(ValueError):
+            ORMixture(groups=4, gamma=1, levels=2, d_sequence=[4.0])
+
+
+class TestAdversaryRun:
+    def test_run_produces_supported_mask(self, oracle, mixture):
+        adv = ORAdversary(oracle, mixture)
+        mask, outcomes = adv.run(T=3, rng=0)
+        assert mask is not None
+        assert mixture.mask_prob(mask) > 0.0
+
+    def test_honest_algorithm_never_trips_thresholds(self, oracle, mixture):
+        # Binary-fan-in OR keeps fan-out and contention tiny; REFINE should
+        # only ever 'continue' or peel an H level.
+        adv = ORAdversary(oracle, mixture)
+        _, outcomes = adv.run(T=3, rng=1)
+        assert all(o.reason in ("continue", "restricted-to-H") for o in outcomes)
+
+    def test_mismatched_sizes_rejected(self, oracle):
+        small = ORMixture(groups=4, gamma=1, levels=1, d_sequence=[4.0])
+        with pytest.raises(ValueError):
+            ORAdversary(oracle, small)
+
+    def test_reproducible(self, oracle, mixture):
+        adv = ORAdversary(oracle, mixture)
+        m1, _ = adv.run(T=3, rng=5)
+        m2, _ = adv.run(T=3, rng=5)
+        assert m1 == m2
+
+
+class TestTheorem71Game:
+    def test_correct_algorithm_scores_one(self, oracle, mixture):
+        assert or_success_probability(oracle, OUT, mixture) == pytest.approx(1.0)
+
+    def test_constant_zero_scores_mass_of_zero(self, mixture):
+        orc = GSMOracle(const_zero, 8)
+        p = or_success_probability(orc, OUT, mixture)
+        assert p == pytest.approx(mixture.mask_prob(0))
+
+    def test_constant_one_scores_complement(self, mixture):
+        orc = GSMOracle(const_one, 8)
+        p = or_success_probability(orc, OUT, mixture)
+        assert p == pytest.approx(1.0 - mixture.mask_prob(0))
+
+    def test_theorem_bound_shape(self, mixture):
+        # Both constant answers stay below 1/2(1+eps) for eps ~ 0.75 here:
+        # the distribution is engineered so no fast answer is very good.
+        for alg in (const_zero, const_one):
+            orc = GSMOracle(alg, 8)
+            assert or_success_probability(orc, OUT, mixture) < 0.875

@@ -1,0 +1,84 @@
+"""The Section 5 engine driven by OR algorithms (not just parity).
+
+The REFINE machinery is algorithm-agnostic; these tests pin that down by
+running the oracle and the adversary against the write-tournament OR and a
+deliberately high-fan-out 'cheating' algorithm, checking the measured
+Section 5.1 quantities track each algorithm's actual structure.
+"""
+
+import pytest
+
+from repro.algorithms.or_ import or_tree_writes
+from repro.lowerbounds.adversary import GSMOracle, IIDBernoulli, PartialInputMap
+from repro.lowerbounds.refine_lac import goodness_report, refine_step, run_adversary
+
+
+def or_alg(machine, bits):
+    or_tree_writes(machine, bits, fan_in=2)
+
+
+def wide_reader(machine, bits):
+    """One processor reads every input cell at once (fan-out n)."""
+    n = len(bits)
+    machine.load_packed(bits)
+    with machine.phase() as ph:
+        handles = [ph.read(0, i) for i in range(n)]
+    with machine.phase() as ph:
+        total = sum(h.value[0] if isinstance(h.value, tuple) else h.value for h in handles)
+        ph.write(0, 100, 1 if total else 0)
+
+
+@pytest.fixture(scope="module")
+def or_oracle():
+    return GSMOracle(or_alg, 6)
+
+
+@pytest.fixture(scope="module")
+def wide_oracle():
+    return GSMOracle(wide_reader, 6)
+
+
+class TestORAdversary:
+    def test_goodness_holds_throughout(self, or_oracle):
+        _, reports = run_adversary(or_oracle, T=4, rng=2)
+        assert all(rep.is_t_good for rep in reports)
+
+    def test_output_knows_everything(self, or_oracle):
+        f = PartialInputMap.blank(6)
+        # OR's value depends on every input on the all-zeros refinement side.
+        out_cell = max(or_oracle.cells)
+        know = or_oracle.know(("cell", out_cell), or_oracle.n_phases, f)
+        assert know == frozenset(range(6))
+
+    def test_fixing_a_one_shrinks_know(self, or_oracle):
+        """Once some input is fixed to 1, OR's output is forced: the output
+        cell's Know set over the remaining refinements collapses."""
+        out_cell = max(or_oracle.cells)
+        blank_know = or_oracle.know(("cell", out_cell), or_oracle.n_phases, PartialInputMap.blank(6))
+        # Note: the *trace* (which cells held what) can still vary with other
+        # inputs, but never by more than before.
+        fixed = PartialInputMap(6, {0: 1})
+        fixed_know = or_oracle.know(("cell", out_cell), or_oracle.n_phases, fixed)
+        assert fixed_know <= blank_know
+
+
+class TestWideReaderDetected:
+    def test_max_fanout_reflected_in_refine_cost(self, wide_oracle):
+        """REFINE certifies the cheater's fan-out as phase big-steps."""
+        dist = IIDBernoulli(6, 0.5)
+        f = PartialInputMap.blank(6)
+        _, x = refine_step(wide_oracle, 0, f, dist, rng=0)
+        assert x == 6.0  # alpha = 1: six reads cost six big-steps
+
+    def test_honest_or_certifies_small_steps(self, or_oracle):
+        dist = IIDBernoulli(6, 0.5)
+        f = PartialInputMap.blank(6)
+        _, x = refine_step(or_oracle, 0, f, dist, rng=0)
+        assert x <= 2.0
+
+    def test_wide_reader_know_jumps_in_one_phase(self, wide_oracle):
+        f = PartialInputMap.blank(6)
+        rep0 = goodness_report(wide_oracle, f, 0)
+        rep1 = goodness_report(wide_oracle, f, wide_oracle.n_phases)
+        assert rep0.max_know <= 1
+        assert rep1.max_know == 6  # the single processor learned everything

@@ -1,0 +1,112 @@
+"""Theorem 2.1 (Yao) as an exact game over depth-d decision strategies."""
+
+import pytest
+
+from repro.lowerbounds.adversary import IIDBernoulli
+from repro.lowerbounds.yao import (
+    RandomizedStrategy,
+    optimal_deterministic_success,
+    randomized_worst_success,
+    yao_gap,
+)
+
+
+def OR(mask):
+    return 1 if mask else 0
+
+
+def PARITY(mask):
+    return bin(mask).count("1") & 1
+
+
+class TestOptimalDeterministic:
+    def test_zero_depth_guesses_majority(self):
+        dist = IIDBernoulli(3, 0.5)
+        # OR is 1 on 7 of 8 inputs: guessing 1 scores 7/8.
+        assert optimal_deterministic_success(OR, 3, 0, dist) == pytest.approx(7 / 8)
+
+    def test_full_depth_is_perfect(self):
+        dist = IIDBernoulli(3, 0.5)
+        assert optimal_deterministic_success(OR, 3, 3, dist) == pytest.approx(1.0)
+
+    def test_parity_needs_all_bits(self):
+        # Any strategy missing one bit scores exactly 1/2 on uniform parity.
+        dist = IIDBernoulli(4, 0.5)
+        for d in range(4):
+            assert optimal_deterministic_success(PARITY, 4, d, dist) == pytest.approx(0.5)
+        assert optimal_deterministic_success(PARITY, 4, 4, dist) == pytest.approx(1.0)
+
+    def test_monotone_in_depth(self):
+        dist = IIDBernoulli(4, 0.3)
+        vals = [optimal_deterministic_success(OR, 4, d, dist) for d in range(5)]
+        assert vals == sorted(vals)
+
+    def test_biased_distribution_changes_value(self):
+        # Under heavy 0-bias, OR's zero-depth guess gets much harder.
+        nearly_zero = IIDBernoulli(3, 0.1)
+        v = optimal_deterministic_success(OR, 3, 0, nearly_zero)
+        assert v == pytest.approx(max(0.9**3, 1 - 0.9**3))
+
+    def test_validation(self):
+        dist = IIDBernoulli(2, 0.5)
+        with pytest.raises(ValueError):
+            optimal_deterministic_success(OR, 2, -1, dist)
+        with pytest.raises(ValueError):
+            optimal_deterministic_success(OR, 17, 1, IIDBernoulli(2, 0.5))
+
+
+def _always_answer(bit):
+    return (lambda known: None), (lambda known, b=bit: b)
+
+
+class TestRandomizedStrategies:
+    def test_worst_case_of_constant_answers(self):
+        rs = RandomizedStrategy([_always_answer(1)], depth=0)
+        assert randomized_worst_success(rs, OR, 3) == 0.0  # fails on all-zeros
+
+    def test_mixture_of_constants(self):
+        rs = RandomizedStrategy([_always_answer(0), _always_answer(1)], depth=0)
+        assert randomized_worst_success(rs, OR, 3) == pytest.approx(0.5)
+
+    def test_weights_normalised(self):
+        rs = RandomizedStrategy(
+            [_always_answer(0), _always_answer(1)], weights=[3.0, 1.0], depth=0
+        )
+        # On all-zeros input, answer 0 w.p. 3/4.
+        assert rs.success_on(OR, 3, 0) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedStrategy([])
+        with pytest.raises(ValueError):
+            RandomizedStrategy([_always_answer(0)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            RandomizedStrategy([_always_answer(0)], weights=[-1.0])
+
+
+class TestYaoInequality:
+    def test_gap_nonnegative_for_constant_mixtures(self):
+        dist = IIDBernoulli(3, 0.5)
+        rs = RandomizedStrategy([_always_answer(0), _always_answer(1)], depth=0)
+        assert yao_gap(rs, OR, 3, dist) >= 0
+
+    def test_gap_nonnegative_for_query_strategies(self):
+        # A family querying one random bit and answering it (for OR).
+        n = 4
+        strats = []
+        for i in range(n):
+            def qf(known, i=i):
+                return i if not known else None
+
+            def af(known):
+                return 1 if any(v == 1 for v in known.values()) else 0
+
+            strats.append((qf, af))
+        rs = RandomizedStrategy(strats, depth=1)
+        for q in (0.2, 0.5, 0.8):
+            assert yao_gap(rs, OR, n, IIDBernoulli(n, q)) >= 0
+
+    def test_gap_nonnegative_for_parity(self):
+        dist = IIDBernoulli(3, 0.5)
+        rs = RandomizedStrategy([_always_answer(0), _always_answer(1)], depth=2)
+        assert yao_gap(rs, PARITY, 3, dist) >= 0

@@ -1,0 +1,38 @@
+"""Bit-problem generators and verifiers."""
+
+import pytest
+
+from repro.problems import gen_bits, verify_or, verify_parity
+
+
+class TestGenBits:
+    def test_length(self):
+        assert len(gen_bits(37, seed=0)) == 37
+
+    def test_reproducible(self):
+        assert gen_bits(20, seed=5) == gen_bits(20, seed=5)
+
+    def test_density_extremes(self):
+        assert gen_bits(30, density=0.0, seed=1) == [0] * 30
+        assert gen_bits(30, density=1.0, seed=1) == [1] * 30
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            gen_bits(4, density=-0.1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            gen_bits(-1)
+
+
+class TestVerifiers:
+    def test_parity(self):
+        assert verify_parity([1, 0, 1, 1], 1)
+        assert not verify_parity([1, 0, 1, 1], 0)
+        assert not verify_parity([1], 2)
+
+    def test_or(self):
+        assert verify_or([0, 0, 1], 1)
+        assert verify_or([0, 0], 0)
+        assert not verify_or([0, 0], 1)
+        assert not verify_or([1], 7)

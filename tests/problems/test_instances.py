@@ -1,0 +1,129 @@
+"""Sparse arrays, loads, sort inputs, lists — generators and verifiers."""
+
+import pytest
+
+from repro.problems import (
+    gen_list,
+    gen_loads,
+    gen_padded_sort_input,
+    gen_sort_input,
+    gen_sparse_array,
+    verify_lac,
+    verify_list_ranks,
+    verify_load_balance,
+    verify_padded_sort,
+    verify_sorted,
+)
+
+
+class TestSparseArray:
+    def test_item_count_bounded(self):
+        arr = gen_sparse_array(50, 10, seed=1)
+        assert sum(1 for v in arr if v is not None) <= 10
+
+    def test_exact_count(self):
+        arr = gen_sparse_array(50, 10, seed=2, exact=True)
+        assert sum(1 for v in arr if v is not None) == 10
+
+    def test_items_tagged_with_position(self):
+        arr = gen_sparse_array(20, 5, seed=3, exact=True)
+        for i, v in enumerate(arr):
+            if v is not None:
+                assert v == f"item@{i}"
+
+    def test_h_validated(self):
+        with pytest.raises(ValueError):
+            gen_sparse_array(5, 6)
+
+
+class TestVerifyLac:
+    def test_accepts_valid(self):
+        arr = [None, "a", "b", None]
+        assert verify_lac(arr, ["b", "a", None], 2)
+
+    def test_rejects_missing_item(self):
+        arr = [None, "a", "b", None]
+        assert not verify_lac(arr, ["a", None], 2)
+
+    def test_rejects_duplicate(self):
+        arr = [None, "a", None, None]
+        assert not verify_lac(arr, ["a", "a"], 1)
+
+    def test_rejects_blowup(self):
+        arr = ["a"]
+        assert not verify_lac(arr, ["a"] + [None] * 1000, 1)
+
+
+class TestLoads:
+    def test_total_objects(self):
+        loads = gen_loads(5, 12, seed=1)
+        assert sum(len(l) for l in loads) == 12
+
+    def test_skew_concentrates(self):
+        flat = gen_loads(10, 200, skew=4.0, seed=2)
+        heavy = max(len(l) for l in flat)
+        assert heavy > 200 // 10  # far from uniform
+
+    def test_verify_rejects_content_change(self):
+        before = [["a"], ["b"]]
+        assert not verify_load_balance(before, [["a"], ["c"]])
+
+    def test_verify_rejects_overload(self):
+        before = [["a", "b", "c", "d"], []]
+        after = [["a", "b", "c", "d"], []]
+        assert not verify_load_balance(before, after, max_per_proc_constant=1.0)
+
+    def test_skew_validated(self):
+        with pytest.raises(ValueError):
+            gen_loads(2, 2, skew=0.5)
+
+
+class TestSortInputs:
+    def test_sort_input_range(self):
+        vals = gen_sort_input(100, universe=10, seed=1)
+        assert all(0 <= v < 10 for v in vals)
+
+    def test_padded_input_range(self):
+        vals = gen_padded_sort_input(100, seed=2)
+        assert all(0.0 <= v <= 1.0 for v in vals)
+
+    def test_verify_sorted(self):
+        assert verify_sorted([3, 1, 2], [1, 2, 3])
+        assert not verify_sorted([3, 1, 2], [1, 3, 2])
+        assert not verify_sorted([3, 1], [1, 2])
+
+    def test_verify_padded_sort(self):
+        assert verify_padded_sort([0.3, 0.1], [None, 0.1, None, 0.3])
+        assert not verify_padded_sort([0.3, 0.1], [0.3, None, 0.1])
+        assert not verify_padded_sort([0.3], [0.3] + [None] * 10_000)
+
+
+class TestLists:
+    def test_gen_list_is_valid(self):
+        nxt, order = gen_list(20, seed=1)
+        assert len(order) == 20
+        # order's consecutive pairs match next pointers.
+        for a, b in zip(order, order[1:]):
+            assert nxt[a] == b
+        assert nxt[order[-1]] is None
+
+    def test_verify_accepts_truth(self):
+        nxt, order = gen_list(10, seed=2)
+        ranks = [0] * 10
+        for pos, node in enumerate(order):
+            ranks[node] = 10 - pos
+        assert verify_list_ranks(nxt, ranks)
+
+    def test_verify_rejects_wrong_rank(self):
+        nxt, order = gen_list(5, seed=3)
+        ranks = [1] * 5
+        assert not verify_list_ranks(nxt, ranks)
+
+    def test_verify_rejects_cycle(self):
+        assert not verify_list_ranks([1, 2, 0], [1, 2, 3])
+
+    def test_verify_rejects_two_heads(self):
+        assert not verify_list_ranks([None, None], [1, 1])
+
+    def test_empty_list(self):
+        assert verify_list_ranks([], [])

@@ -1,0 +1,177 @@
+"""Property tests for the Section 5.1 oracle quantities.
+
+The Random Adversary's correctness rests on structural facts about
+Know / States / AffProc / AffCell / Cert that the paper uses implicitly.
+We generate random *small* white-box GSM algorithms (random read/write
+wiring over 4-5 inputs) and check the facts hold on every one:
+
+* Know is the junta support: fixing everything in Know pins the trace.
+* Know shrinks (never grows) under refinement of the partial map.
+* States counts shrink under refinement.
+* Aff-set duality: p is in AffProc(i) iff i is in Know(p).
+* Cert is contained in Know and actually certifies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.adversary import GSMOracle, PartialInputMap
+
+
+def make_algorithm(wiring):
+    """A deterministic 2-phase GSM algorithm from a random wiring spec.
+
+    ``wiring`` is a list of (reader_proc, input_cell, dest_cell) triples:
+    phase 1 reads input cells; phase 2 writes a value derived from the read
+    bits to the destination cells.
+    """
+
+    def alg(machine, bits):
+        n = len(bits)
+        machine.load_packed(bits)
+        handles = []
+        with machine.phase() as ph:
+            for proc, (reader, src, dest) in enumerate(wiring):
+                handles.append((proc, dest, ph.read(proc, src % n)))
+        with machine.phase() as ph:
+            for proc, dest, h in handles:
+                got = h.value
+                bit = got[0] if isinstance(got, tuple) else got
+                ph.write(proc, 100 + dest % 4, int(bit))
+
+    return alg
+
+
+wirings = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 4), st.integers(0, 3)),
+    min_size=1,
+    max_size=5,
+)
+
+partial_assignments = st.dictionaries(st.integers(0, 3), st.integers(0, 1), max_size=3)
+
+
+@st.composite
+def oracle_and_map(draw):
+    wiring = draw(wirings)
+    n = 4
+    oracle = GSMOracle(make_algorithm(wiring), n)
+    fixed = draw(partial_assignments)
+    return oracle, PartialInputMap(n, fixed)
+
+
+class TestKnowProperties:
+    @given(oracle_and_map())
+    @settings(max_examples=30, deadline=None)
+    def test_know_pins_the_trace(self, pair):
+        oracle, f = pair
+        t = oracle.n_phases
+        for cell in list(oracle.cells)[:6]:
+            know = oracle.know(("cell", cell), t, f)
+            # Group refinements by their values on Know: each group must be
+            # trace-homogeneous.
+            groups = {}
+            for mask in f.consistent_masks():
+                key = tuple((mask >> i) & 1 for i in sorted(know))
+                groups.setdefault(key, set()).add(oracle.cell_trace(cell, t, mask))
+            assert all(len(traces) == 1 for traces in groups.values())
+
+    @given(oracle_and_map(), st.integers(0, 3), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_know_monotone_under_refinement(self, pair, var, val):
+        oracle, f = pair
+        if f[var] != "*":
+            return
+        t = oracle.n_phases
+        f2 = f.refine({var: val})
+        for cell in list(oracle.cells)[:5]:
+            k1 = oracle.know(("cell", cell), t, f)
+            k2 = oracle.know(("cell", cell), t, f2)
+            assert k2 <= (k1 | {var})  # can only lose dependence
+
+    @given(oracle_and_map(), st.integers(0, 3), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_states_shrink_under_refinement(self, pair, var, val):
+        oracle, f = pair
+        if f[var] != "*":
+            return
+        t = oracle.n_phases
+        f2 = f.refine({var: val})
+        for proc in list(oracle.processors)[:5]:
+            s1 = len(oracle.states(("proc", proc), t, f))
+            s2 = len(oracle.states(("proc", proc), t, f2))
+            assert s2 <= s1
+
+
+class TestAffDuality:
+    @given(oracle_and_map())
+    @settings(max_examples=25, deadline=None)
+    def test_affproc_matches_know(self, pair):
+        oracle, f = pair
+        t = oracle.n_phases
+        for i in f.unset_indices():
+            aff = oracle.aff_proc(i, t, f)
+            for proc in list(oracle.processors)[:6]:
+                know = oracle.know(("proc", proc), t, f)
+                assert (proc in aff) == (i in know)
+
+    @given(oracle_and_map())
+    @settings(max_examples=25, deadline=None)
+    def test_affcell_matches_know(self, pair):
+        oracle, f = pair
+        t = oracle.n_phases
+        for i in f.unset_indices():
+            aff = oracle.aff_cell(i, t, f)
+            for cell in list(oracle.cells)[:6]:
+                know = oracle.know(("cell", cell), t, f)
+                assert (cell in aff) == (i in know)
+
+
+class TestCertProperties:
+    @given(wirings, st.integers(0, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_cert_certifies_and_is_inside_know(self, wiring, mask):
+        oracle = GSMOracle(make_algorithm(wiring), 4)
+        t = oracle.n_phases
+        full = PartialInputMap.from_mask(4, mask)
+        blank = PartialInputMap.blank(4)
+        for cell in list(oracle.cells)[:5]:
+            cert = oracle.cert(("cell", cell), t, full)
+            know = oracle.know(("cell", cell), t, blank)
+            assert cert <= know
+            # Fixing exactly the cert must pin the trace.
+            partial = PartialInputMap(4, {i: (mask >> i) & 1 for i in cert})
+            target = oracle.cell_trace(cell, t, mask)
+            assert all(
+                oracle.cell_trace(cell, t, m2) == target
+                for m2 in partial.consistent_masks()
+            )
+
+
+class TestInfluenceConeContainsOracle:
+    """Cross-machinery property: the linear-time influence cone computed on
+    the merged (all-inputs) trace contains the exhaustive oracle's semantic
+    AffProc/AffCell sets, for arbitrary random wirings."""
+
+    @given(wirings)
+    @settings(max_examples=20, deadline=None)
+    def test_merged_cone_contains_aff_sets(self, wiring):
+        from repro.core import GSM, GSMParams
+        from repro.lowerbounds.influence import influence_cone, merge_traces
+
+        n = 4
+        alg = make_algorithm(wiring)
+        oracle = GSMOracle(alg, n)
+        runs = []
+        for mask in range(1 << n):
+            m = GSM(GSMParams(), record_trace=True)
+            alg(m, [(mask >> j) & 1 for j in range(n)])
+            runs.append(m.traces)
+        merged = merge_traces(runs)
+        blank = PartialInputMap.blank(n)
+        t = oracle.n_phases
+        for i in range(n):
+            # load_packed puts input i in cell i (gamma = 1).
+            cone = influence_cone(merged, [i])
+            assert oracle.aff_cell(i, t, blank) <= cone.cells[-1]
+            assert oracle.aff_proc(i, t, blank) <= cone.procs[-1]

@@ -1,0 +1,117 @@
+"""Property-based correctness for the Section 8 algorithms."""
+
+from itertools import accumulate
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.compaction import lac_dart, lac_prefix
+from repro.algorithms.list_ranking import list_rank
+from repro.algorithms.or_ import or_tree_writes
+from repro.algorithms.parity import parity_blocks, parity_tree
+from repro.algorithms.prefix import prefix_sums
+from repro.algorithms.sorting import sample_sort_bsp, sort_shared
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.problems import verify_lac, verify_list_ranks
+
+bits_lists = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestParityProperties:
+    @given(bits_lists, st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_any_fanin(self, bits, fan_in):
+        r = parity_tree(QSM(QSMParams(g=2)), bits, fan_in=fan_in)
+        assert r.value == sum(bits) % 2
+
+    @given(bits_lists, st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_any_block_size(self, bits, block):
+        r = parity_blocks(QSM(QSMParams(g=4)), bits, block_size=block)
+        assert r.value == sum(bits) % 2
+
+    @given(bits_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_tree_and_blocks_agree(self, bits):
+        t = parity_tree(QSM(QSMParams(g=4)), bits)
+        b = parity_blocks(QSM(QSMParams(g=4)), bits)
+        assert t.value == b.value
+
+
+class TestOrProperties:
+    @given(bits_lists, st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_tournament_any_fanin(self, bits, fan_in):
+        r = or_tree_writes(SQSM(SQSMParams(g=2)), bits, fan_in=fan_in)
+        assert r.value == (1 if any(bits) else 0)
+
+
+class TestPrefixProperties:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=48), st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_scan_matches_accumulate(self, vals, fan_in):
+        r = prefix_sums(QSM(QSMParams(g=2)), vals, fan_in=fan_in)
+        assert r.value == list(accumulate(vals))
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_last_element_is_total(self, vals):
+        r = prefix_sums(SQSM(SQSMParams(g=1)), vals)
+        assert r.value[-1] == sum(vals)
+
+
+class TestCompactionProperties:
+    @given(
+        st.lists(st.one_of(st.none(), st.integers(0, 999)), min_size=1, max_size=40),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dart_preserves_items(self, arr, seed):
+        tagged = [None if v is None else (i, v) for i, v in enumerate(arr)]
+        h = sum(1 for v in tagged if v is not None)
+        r = lac_dart(QSM(QSMParams(g=2)), tagged, seed=seed)
+        assert verify_lac(tagged, r.value, max(h, 1))
+
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 999)), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_is_order_preserving(self, arr):
+        tagged = [None if v is None else (i, v) for i, v in enumerate(arr)]
+        r = lac_prefix(QSM(QSMParams(g=2)), tagged)
+        assert r.value == [v for v in tagged if v is not None]
+
+
+class TestSortingProperties:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=64), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bsp_sample_sort(self, vals, p):
+        p = min(p, len(vals))
+        r = sample_sort_bsp(BSP(p, BSPParams(g=2, L=8)), vals)
+        assert r.value == sorted(vals)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_shared_sort(self, vals):
+        r = sort_shared(QSM(QSMParams(g=2)), vals)
+        assert r.value == sorted(vals)
+
+
+class TestListRankingProperties:
+    @given(st.permutations(list(range(12))))
+    @settings(max_examples=50, deadline=None)
+    def test_any_permutation_list(self, order):
+        n = len(order)
+        nxt = [None] * n
+        for a, b in zip(order, order[1:]):
+            nxt[a] = b
+        r = list_rank(QSM(QSMParams(g=1)), nxt)
+        assert verify_list_ranks(nxt, r.value)
+
+    @given(st.permutations(list(range(10))), st.lists(st.integers(0, 9), min_size=10, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_ranks(self, order, weights):
+        n = len(order)
+        nxt = [None] * n
+        for a, b in zip(order, order[1:]):
+            nxt[a] = b
+        r = list_rank(QSM(QSMParams(g=1)), nxt, weights=weights)
+        assert verify_list_ranks(nxt, r.value, weights=weights)

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the Boolean polynomial algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn.certificate import certificate_complexity, fact_2_3_holds
+from repro.boolfn.multilinear import BooleanFunction, MultilinearPolynomial
+
+
+def truth_tables(max_n=4, integer=False):
+    def build(n):
+        elems = st.integers(-5, 5) if integer else st.integers(0, 1)
+        return st.lists(elems, min_size=1 << n, max_size=1 << n)
+
+    return st.integers(1, max_n).flatmap(build)
+
+
+class TestFact21Uniqueness:
+    @given(truth_tables(integer=True))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_is_identity(self, table):
+        # Fact 2.1: the representation is unique, so transform + inverse
+        # recovers the table exactly (over the integers, no rounding).
+        p = MultilinearPolynomial.from_truth_table(table)
+        assert p.truth_table() == table
+
+    @given(truth_tables(integer=True))
+    @settings(max_examples=50, deadline=None)
+    def test_evaluation_agrees_with_table(self, table):
+        p = MultilinearPolynomial.from_truth_table(table)
+        assert all(p.evaluate(a) == table[a] for a in range(len(table)))
+
+
+class TestAlgebraLaws:
+    @given(truth_tables(integer=True), truth_tables(integer=True))
+    @settings(max_examples=60, deadline=None)
+    def test_addition_pointwise(self, t1, t2):
+        n = min(len(t1), len(t2))
+        n = 1 << (n.bit_length() - 1)
+        a = MultilinearPolynomial.from_truth_table(t1[:n])
+        b = MultilinearPolynomial.from_truth_table(t2[:n])
+        assert (a + b).truth_table() == [x + y for x, y in zip(t1[:n], t2[:n])]
+
+    @given(truth_tables(max_n=3, integer=True), truth_tables(max_n=3, integer=True))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_pointwise(self, t1, t2):
+        n = min(len(t1), len(t2))
+        n = 1 << (n.bit_length() - 1)
+        a = MultilinearPolynomial.from_truth_table(t1[:n])
+        b = MultilinearPolynomial.from_truth_table(t2[:n])
+        assert (a * b).truth_table() == [x * y for x, y in zip(t1[:n], t2[:n])]
+
+
+class TestFact22Properties:
+    @given(truth_tables(), truth_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_degree_bounds(self, t1, t2):
+        n = min(len(t1), len(t2))
+        n = 1 << (n.bit_length() - 1)
+        f = BooleanFunction((n - 1).bit_length(), t1[:n])
+        g = BooleanFunction((n - 1).bit_length(), t2[:n])
+        assert (f & g).degree <= f.degree + g.degree
+        assert (f | g).degree <= f.degree + g.degree
+
+    @given(truth_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_preserves_degree_or_both_constant(self, table):
+        f = BooleanFunction((len(table) - 1).bit_length(), table)
+        g = ~f
+        if f.is_constant():
+            assert g.degree == 0
+        else:
+            assert g.degree == f.degree
+
+    @given(truth_tables(), st.integers(0, 3), st.integers(0, 1))
+    @settings(max_examples=80, deadline=None)
+    def test_restriction_never_raises_degree(self, table, var, val):
+        n = (len(table) - 1).bit_length()
+        f = BooleanFunction(n, table)
+        assert f.restrict({var % n: val}).degree <= f.degree
+
+
+class TestFact23Property:
+    @given(truth_tables(max_n=3))
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_vs_degree_fourth_power(self, table):
+        f = BooleanFunction((len(table) - 1).bit_length(), table)
+        assert fact_2_3_holds(f)
+
+    @given(truth_tables(max_n=3))
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_at_most_n(self, table):
+        n = (len(table) - 1).bit_length()
+        f = BooleanFunction(n, table)
+        assert 0 <= certificate_complexity(f) <= n

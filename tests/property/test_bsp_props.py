@@ -1,0 +1,79 @@
+"""Property tests for BSP delivery semantics against a reference queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSP, BSPParams
+
+# A superstep is a list of (src, dst, payload) sends.
+sends = st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 99))
+supersteps = st.lists(st.lists(sends, max_size=8), min_size=1, max_size=5)
+
+
+class TestDeliverySemantics:
+    @given(supersteps)
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_once_delivery(self, program):
+        """Every message sent in superstep t is in exactly one inbox during
+        superstep t+1, and nowhere afterwards."""
+        b = BSP(4, BSPParams(g=1, L=1))
+        for step in program:
+            with b.superstep() as ss:
+                for src, dst, payload in step:
+                    ss.send(src, dst, payload)
+            delivered = sorted(
+                (src, dst, payload)
+                for dst in range(4)
+                for src, payload in b.inbox(dst)
+            )
+            assert delivered == sorted(step)
+
+    @given(supersteps)
+    @settings(max_examples=40, deadline=None)
+    def test_inboxes_cleared_each_superstep(self, program):
+        b = BSP(4, BSPParams(g=1, L=1))
+        for step in program:
+            with b.superstep() as ss:
+                for src, dst, payload in step:
+                    ss.send(src, dst, payload)
+        # One empty superstep flushes everything.
+        with b.superstep() as ss:
+            ss.local(0, 1)
+        assert all(b.inbox(i) == [] for i in range(4))
+
+    @given(st.lists(sends, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_h_relation_is_max_send_receive(self, step):
+        b = BSP(4, BSPParams(g=1, L=1))
+        with b.superstep() as ss:
+            for src, dst, payload in step:
+                ss.send(src, dst, payload)
+        rec = b.history[0]
+        sent = [0] * 4
+        recv = [0] * 4
+        for src, dst, _ in step:
+            sent[src] += 1
+            recv[dst] += 1
+        assert rec.h == max(max(sent), max(recv))
+
+    @given(st.lists(sends, min_size=1, max_size=12), st.floats(1.0, 8.0), st.floats(8.0, 64.0))
+    @settings(max_examples=40, deadline=None)
+    def test_superstep_cost_formula(self, step, g, L):
+        b = BSP(4, BSPParams(g=g, L=L))
+        with b.superstep() as ss:
+            for src, dst, payload in step:
+                ss.send(src, dst, payload)
+        rec = b.history[0]
+        assert b.step_costs[0] == max(rec.w, g * rec.h, L)
+
+    @given(supersteps)
+    @settings(max_examples=30, deadline=None)
+    def test_order_within_inbox_by_sender(self, program):
+        b = BSP(4, BSPParams(g=1, L=1))
+        for step in program:
+            with b.superstep() as ss:
+                for src, dst, payload in step:
+                    ss.send(src, dst, payload)
+            for dst in range(4):
+                senders = [src for src, _ in b.inbox(dst)]
+                assert senders == sorted(senders)

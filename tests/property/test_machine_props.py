@@ -1,0 +1,123 @@
+"""Property-based tests for the cost simulators' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSP, GSM, QSM, SQSM, BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.cost import gsm_phase_cost, qsm_phase_cost, sqsm_phase_cost
+from repro.core.phase import PhaseRecord
+
+
+def phase_records():
+    counts = st.dictionaries(st.integers(0, 7), st.integers(1, 10), max_size=5)
+    return st.builds(
+        PhaseRecord,
+        index=st.just(0),
+        reads_per_proc=counts,
+        writes_per_proc=counts,
+        ops_per_proc=counts,
+        read_queue=counts,
+        write_queue=counts,
+    )
+
+
+class TestCostProperties:
+    @given(phase_records(), st.floats(1.0, 64.0))
+    @settings(max_examples=100, deadline=None)
+    def test_sqsm_at_least_qsm(self, record, g):
+        # Charging contention the gap can only increase cost.
+        assert sqsm_phase_cost(record, SQSMParams(g=g)) >= qsm_phase_cost(
+            record, QSMParams(g=g)
+        )
+
+    @given(phase_records(), st.floats(1.0, 32.0), st.floats(1.0, 32.0))
+    @settings(max_examples=100, deadline=None)
+    def test_qsm_cost_monotone_in_g(self, record, g1, g2):
+        lo, hi = sorted((g1, g2))
+        assert qsm_phase_cost(record, QSMParams(g=lo)) <= qsm_phase_cost(
+            record, QSMParams(g=hi)
+        )
+
+    @given(phase_records())
+    @settings(max_examples=100, deadline=None)
+    def test_costs_positive(self, record):
+        assert qsm_phase_cost(record, QSMParams(g=2)) > 0
+        assert gsm_phase_cost(record, GSMParams(alpha=2, beta=2)) > 0
+
+    @given(phase_records(), st.floats(1.0, 8.0), st.floats(1.0, 8.0))
+    @settings(max_examples=100, deadline=None)
+    def test_gsm_never_exceeds_naive_sum(self, record, alpha, beta):
+        prm = GSMParams(alpha=alpha, beta=beta)
+        naive = prm.mu * (record.m_rw + record.kappa + 2)
+        assert gsm_phase_cost(record, prm) <= naive
+
+    @given(phase_records())
+    @settings(max_examples=60, deadline=None)
+    def test_unit_time_reads_never_cost_more(self, record):
+        plain = qsm_phase_cost(record, QSMParams(g=3))
+        free = qsm_phase_cost(record, QSMParams(g=3, unit_time_concurrent_reads=True))
+        assert free <= plain
+
+
+class TestMemorySemanticsAgainstSequentialReference:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 9), st.integers(0, 99)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_writer_phases_match_dict_semantics(self, ops):
+        """With one writer per cell per phase, the QSM memory is exactly a
+        dict applied phase by phase."""
+        m = QSM()
+        reference = {}
+        for proc, addr, value in ops:
+            with m.phase() as ph:
+                ph.write(proc, addr, value)
+            reference[addr] = value
+        for addr in reference:
+            assert m.peek(addr) == reference[addr]
+
+    @given(st.lists(st.integers(0, 99), min_size=1, max_size=15), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_concurrent_write_winner_among_writers(self, values, seed):
+        m = QSM(seed=seed)
+        with m.phase() as ph:
+            for i, v in enumerate(values):
+                ph.write(i, 0, v)
+        assert m.peek(0) in values
+
+    @given(st.lists(st.integers(0, 99), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_gsm_accumulates_exactly_the_multiset(self, values):
+        g = GSM()
+        with g.phase() as ph:
+            for i, v in enumerate(values):
+                ph.write(i, 0, v)
+        assert sorted(g.peek(0)) == sorted(values)
+
+
+class TestTimeAccounting:
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_time_is_sum_of_phase_costs(self, fanouts):
+        m = QSM(QSMParams(g=2))
+        for k in fanouts:
+            with m.phase() as ph:
+                for a in range(k):
+                    ph.read(0, a)
+        assert m.time == sum(m.phase_costs)
+        assert m.phase_costs == [2.0 * k for k in fanouts]
+
+    @given(st.integers(1, 6), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_bsp_h_relation_accounting(self, p, msgs):
+        b = BSP(p, BSPParams(g=2, L=2))
+        with b.superstep() as ss:
+            for k in range(msgs):
+                ss.send(k % p, (k + 1) % p, k)
+        rec = b.history[0]
+        assert rec.total_messages == msgs
+        assert b.time >= 2.0

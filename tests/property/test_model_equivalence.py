@@ -1,0 +1,76 @@
+"""Cross-model semantics equivalence.
+
+The QSM, s-QSM and QSM(g,d) differ *only* in the cost rule; given the same
+program and the same machine seed their memory must evolve identically.
+Likewise QSM(g, d=1) must charge exactly the QSM rule and QSM(g, d=g)
+exactly the s-QSM rule, phase by phase.  Random programs are generated and
+replayed across the machines.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QSM, QSMGD, QSMGDParams, QSMParams, SQSM, SQSMParams
+
+# A program is a list of phases; each phase is a list of ops:
+#   ('w', proc, addr, value) or ('r', proc, addr).
+ops = st.one_of(
+    st.tuples(st.just("w"), st.integers(0, 5), st.integers(0, 7), st.integers(0, 99)),
+    st.tuples(st.just("r"), st.integers(0, 5), st.integers(0, 7)),
+)
+programs = st.lists(st.lists(ops, min_size=1, max_size=6), min_size=1, max_size=6)
+
+
+def run_program(machine, program):
+    """Replay a random program, separating reads and writes per phase so the
+    no-concurrent-read-and-write rule is respected deterministically."""
+    costs = []
+    for phase_ops in program:
+        writes = [(o[1], o[2], o[3]) for o in phase_ops if o[0] == "w"]
+        reads = [(o[1], o[2]) for o in phase_ops if o[0] == "r"]
+        written = {a for _, a, _ in writes}
+        reads = [(p, a) for p, a in reads if a not in written]
+        if writes:
+            with machine.phase() as ph:
+                for p, a, v in writes:
+                    ph.write(p, a, v)
+            costs.append(machine.phase_costs[-1])
+        if reads:
+            with machine.phase() as ph:
+                for p, a in reads:
+                    ph.read(p, a)
+            costs.append(machine.phase_costs[-1])
+    memory = {a: machine.peek(a) for a in range(8)}
+    return memory, costs
+
+
+class TestMemoryEquivalence:
+    @given(programs, st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_qsm_sqsm_qsmgd_same_memory(self, program, seed):
+        m1, _ = run_program(QSM(QSMParams(g=3), seed=seed), program)
+        m2, _ = run_program(SQSM(SQSMParams(g=3), seed=seed), program)
+        m3, _ = run_program(QSMGD(QSMGDParams(g=3, d=2), seed=seed), program)
+        assert m1 == m2 == m3
+
+    @given(programs, st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_qsmgd_d1_charges_qsm_rule(self, program, seed):
+        _, c1 = run_program(QSM(QSMParams(g=4), seed=seed), program)
+        _, c2 = run_program(QSMGD(QSMGDParams(g=4, d=1), seed=seed), program)
+        assert c1 == c2
+
+    @given(programs, st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_qsmgd_dg_charges_sqsm_rule(self, program, seed):
+        _, c1 = run_program(SQSM(SQSMParams(g=4), seed=seed), program)
+        _, c2 = run_program(QSMGD(QSMGDParams(g=4, d=4), seed=seed), program)
+        assert c1 == c2
+
+    @given(programs, st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_ordering_qsm_le_gd_le_sqsm(self, program, seed):
+        _, c1 = run_program(QSM(QSMParams(g=4), seed=seed), program)
+        _, c2 = run_program(QSMGD(QSMGDParams(g=4, d=2), seed=seed), program)
+        _, c3 = run_program(SQSM(SQSMParams(g=4), seed=seed), program)
+        assert sum(c1) <= sum(c2) <= sum(c3)

@@ -1,0 +1,53 @@
+"""The bench harness plumbing (benchmarks/common.py)."""
+
+import pytest
+
+from benchmarks.common import CellRow, print_rows, summarise_cell
+
+
+def rows(measured, bounds, correct=True):
+    return [
+        CellRow("P", "det", 2**k, "g=2", m, b, correct)
+        for k, (m, b) in enumerate(zip(measured, bounds))
+    ]
+
+
+class TestCellRow:
+    def test_ratio(self):
+        r = CellRow("P", "det", 16, "g=2", 10.0, 4.0, True)
+        assert r.ratio == 2.5
+
+    def test_zero_bound_gives_inf(self):
+        r = CellRow("P", "det", 16, "g=2", 10.0, 0.0, True)
+        assert r.ratio == float("inf")
+
+
+class TestSummariseCell:
+    def test_wrong_answer_dominates_everything(self):
+        assert summarise_cell(rows([10], [1], correct=False), tight=False) == "WRONG-ANSWER"
+
+    def test_violation_detected(self):
+        verdict = summarise_cell(rows([0.01, 0.01], [1.0, 1.0]), tight=False)
+        assert verdict.startswith("VIOLATION")
+
+    def test_tight_label(self):
+        verdict = summarise_cell(rows([3, 6, 12], [1, 2, 4]), tight=True)
+        assert verdict == "tight"
+
+    def test_dominates_label_with_band(self):
+        verdict = summarise_cell(rows([3, 6, 12], [1, 2, 4]), tight=False)
+        assert verdict.startswith("dominates")
+
+    def test_gap_label_when_ratio_grows(self):
+        verdict = summarise_cell(rows([2, 20, 200], [1, 1, 1]), tight=False, band=4.0)
+        assert verdict.startswith("gap")
+
+
+class TestPrintRows:
+    def test_renders_and_returns(self, capsys):
+        cell = rows([3.0], [1.5])
+        out = print_rows("Title", cell, {("P", "det"): "tight"})
+        printed = capsys.readouterr().out
+        assert "Title" in printed
+        assert "tight" in out
+        assert "2.00" in out  # the ratio column

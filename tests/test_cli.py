@@ -1,0 +1,26 @@
+"""The ``python -m repro`` experiment driver."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_registry_covers_design_index(self):
+        assert set(EXPERIMENTS) == {"t1a", "t1b", "t1c", "t1d", "s8", "rel", "lb", "abl"}
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "t1a" in out
+
+    def test_single_experiment_prints_table(self, capsys):
+        # t1b is the fastest full-table experiment.
+        assert main(["t1b"]) == 0
+        out = capsys.readouterr().out
+        assert 'Table 1b: "Time Lower Bounds for s-QSM"' in out
+        assert "tight" in out  # the Theta(g log n) parity cell

@@ -1,0 +1,152 @@
+"""Unit tests for the clamped slow-growing function helpers."""
+
+import math
+
+import pytest
+
+from repro.util.mathfn import (
+    ceil_div,
+    clamp,
+    ilog2,
+    log2p,
+    log_base,
+    log_star,
+    log_star_base,
+    loglog2p,
+    safe_ratio,
+    sqrt_ratio,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one_divisor(self):
+        assert ceil_div(9, 1) == 9
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestClamp:
+    def test_below(self):
+        assert clamp(-5, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(15, 0, 10) == 10
+
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)
+
+
+class TestIlog2:
+    def test_powers(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    def test_floors(self):
+        assert ilog2(5) == 2
+        assert ilog2(1023) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestLog2p:
+    def test_clamps_small_values_to_one(self):
+        assert log2p(0.5) == 1.0
+        assert log2p(2.0) == 1.0
+
+    def test_exact_above_two(self):
+        assert log2p(8.0) == pytest.approx(3.0)
+
+    def test_monotone(self):
+        xs = [2, 3, 10, 100, 10_000]
+        vals = [log2p(x) for x in xs]
+        assert vals == sorted(vals)
+
+
+class TestLoglog2p:
+    def test_clamped_region(self):
+        assert loglog2p(3.0) == 1.0
+        assert loglog2p(4.0) == 1.0
+
+    def test_value(self):
+        assert loglog2p(2**16) == pytest.approx(4.0)
+
+    def test_never_below_one(self):
+        for x in [0.1, 1, 2, 5, 1e9]:
+            assert loglog2p(x) >= 1.0
+
+
+class TestLogBase:
+    def test_matches_math_log(self):
+        assert log_base(81, 3) == pytest.approx(4.0)
+
+    def test_clamps(self):
+        assert log_base(2, 3) == 1.0
+
+    def test_rejects_base_le_one(self):
+        with pytest.raises(ValueError):
+            log_base(10, 1.0)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_2_to_65536_is_5(self):
+        assert log_star(2.0**65536 if False else float(2**100)) == 5  # 2^100 < 2^65536
+
+    def test_monotone_nondecreasing(self):
+        xs = [1, 2, 3, 4, 15, 16, 17, 65535, 65536, 65537]
+        vals = [log_star(x) for x in xs]
+        assert vals == sorted(vals)
+
+    def test_base_variant_small_base_larger(self):
+        # Larger bases shrink the iterated log count.
+        assert log_star_base(1e6, 2) >= log_star_base(1e6, 10)
+
+    def test_base_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            log_star_base(10, 1.0)
+
+    def test_paper_inequality_log_star_change_of_base(self):
+        # log* n <= log*_{z+1} n + log* z + 2 (used in Theorem 7.1).
+        for n in [10, 1000, 10**9]:
+            for z in [1, 2, 8, 100]:
+                assert log_star(n) <= log_star_base(n, z + 1) + log_star(z) + 2
+
+
+class TestRatios:
+    def test_safe_ratio_guards_denominator(self):
+        assert safe_ratio(10, 0.5) == 10.0
+        assert safe_ratio(10, 2.0) == 5.0
+
+    def test_sqrt_ratio(self):
+        assert sqrt_ratio(16, 4) == 2.0
+        assert sqrt_ratio(-1, 4) == 0.0
+
+    def test_sqrt_ratio_guards_denominator(self):
+        assert sqrt_ratio(4, 0.25) == 2.0

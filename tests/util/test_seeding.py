@@ -1,0 +1,47 @@
+"""Unit tests for deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.seeding import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(42).integers(0, 1 << 30, size=8)
+        b = derive_rng(42).integers(0, 1 << 30, size=8)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).integers(0, 1 << 30, size=8)
+        b = derive_rng(2).integers(0, 1 << 30, size=8)
+        assert not (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(7)
+        assert derive_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_reproducible(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_children_independent_streams(self):
+        gens = spawn_rngs(0, 3)
+        draws = [tuple(g.integers(0, 1 << 30, size=4)) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
