@@ -19,9 +19,12 @@ Expected shapes (paper):
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks.common import CellRow, print_rows, summarise_cell
+from benchmarks.common import CellRow, ns_from_env, print_rows, summarise_cell
+from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
 from repro.algorithms.compaction import lac_dart, lac_prefix
 from repro.algorithms.or_ import or_tree_writes
 from repro.algorithms.parity import parity_blocks
@@ -35,7 +38,7 @@ from repro.problems import (
     verify_parity,
 )
 
-NS = [2**8, 2**10, 2**12]
+NS = ns_from_env([2**8, 2**10, 2**12])
 G = 8.0
 
 
@@ -64,13 +67,37 @@ def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
     return CellRow(problem, variant, n, f"g={g:g}", r.time, bound, correct)
 
 
+def run_t1a_point(problem: str, variant: str, n: int):
+    """One grid point as a :func:`parallel_sweep` outcome (picklable)."""
+    row = _run_cell(problem, variant, n, G)
+    return {"measured": row.measured, "bound": row.bound, "correct": row.correct}
+
+
 def collect_rows():
-    rows = []
-    for problem in ("LAC", "OR", "Parity"):
-        for variant in ("deterministic", "randomized"):
-            for n in NS:
-                rows.append(_run_cell(problem, variant, n, G))
-    return rows
+    # The main 3x2xNS grid runs through parallel_sweep: ``--jobs N`` (or
+    # REPRO_JOBS) fans the cells out over worker processes, and setting
+    # REPRO_BENCH_CACHE to a directory persists finished points to
+    # BENCH_t1a_qsm_time.json so interrupted regenerations resume.
+    grid = {
+        "problem": ["LAC", "OR", "Parity"],
+        "variant": ["deterministic", "randomized"],
+        "n": NS,
+    }
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = bench_cache_path("t1a_qsm_time", root=cache_dir) if cache_dir else None
+    points = parallel_sweep(grid, run_t1a_point, cache_path=cache)
+    return [
+        CellRow(
+            p.params["problem"],
+            p.params["variant"],
+            p.params["n"],
+            f"g={G:g}",
+            p.measured,
+            p.bound,
+            p.correct,
+        )
+        for p in points
+    ]
 
 
 def lac_nproc_rows():

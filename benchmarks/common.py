@@ -16,15 +16,77 @@ says for e.g. randomized LAC).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import render_table
 from repro.analysis.fit import bounded_ratio, dominance_constant
 
-__all__ = ["CellRow", "summarise_cell", "print_rows", "HEADERS"]
+__all__ = [
+    "CellRow",
+    "summarise_cell",
+    "print_rows",
+    "HEADERS",
+    "PerfRow",
+    "print_perf_rows",
+    "PERF_HEADERS",
+    "ns_from_env",
+]
 
 HEADERS = ["problem", "variant", "n", "params", "measured", "bound", "ratio", "verdict"]
+
+PERF_HEADERS = ["path", "n", "ops", "seconds", "ops/sec", "speedup", "note"]
+
+
+def ns_from_env(default: Sequence[int], env: str = "REPRO_BENCH_NS") -> List[int]:
+    """Input-size sweep for a bench, overridable via an env var.
+
+    ``REPRO_BENCH_NS=64,256`` shrinks any bench that opts in to a tiny grid
+    — used by CI's smoke run so a Table 1 bench exercises the full pipeline
+    without the full sweep.
+    """
+    raw = os.environ.get(env)
+    if not raw:
+        return list(default)
+    ns = [int(tok) for tok in raw.replace(",", " ").split()]
+    if not ns or any(n < 1 for n in ns):
+        raise ValueError(f"{env} must list positive ints, got {raw!r}")
+    return ns
+
+
+@dataclass
+class PerfRow:
+    """One wall-clock measurement of a phase-engine code path."""
+
+    path: str
+    n: int
+    ops: int
+    seconds: float
+    note: str = ""
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.seconds if self.seconds > 0 else float("inf")
+
+
+def print_perf_rows(title: str, rows: Sequence[PerfRow], baseline: Optional[str] = None) -> str:
+    """Render ops/sec rows; ``speedup`` is relative to the named baseline path."""
+    base_by_n: Dict[int, float] = {}
+    if baseline is not None:
+        for r in rows:
+            if r.path == baseline:
+                base_by_n[r.n] = r.ops_per_sec
+    table_rows = []
+    for r in rows:
+        base = base_by_n.get(r.n)
+        speedup = f"{r.ops_per_sec / base:.2f}x" if base else "-"
+        table_rows.append(
+            [r.path, r.n, r.ops, round(r.seconds, 4), round(r.ops_per_sec), speedup, r.note]
+        )
+    out = render_table(PERF_HEADERS, table_rows, title=title)
+    print(out)
+    return out
 
 
 @dataclass

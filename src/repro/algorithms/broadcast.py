@@ -115,11 +115,14 @@ def broadcast_bsp(machine: BSP, value: Any, fan_out: Optional[int] = None) -> Ru
         with machine.superstep() as ss:
             sends = 0
             for holder in range(have):
-                for j in range(k):
-                    target = have + holder * k + j
-                    if target < p:
-                        ss.send(holder, target, machine.store[holder]["bcast"])
-                        sends += 1
+                payload = machine.store[holder]["bcast"]
+                msgs = [
+                    (have + holder * k + j, payload)
+                    for j in range(k)
+                    if have + holder * k + j < p
+                ]
+                ss.send_block(holder, msgs)
+                sends += len(msgs)
         for target in range(have, min(p, have + have * k)):
             inbox = machine.inbox(target)
             if inbox:

@@ -253,12 +253,13 @@ def lac_prefix_rounds(
     with machine.phase() as ph:
         for proc in range(p):
             lo, hi = proc * block, min((proc + 1) * block, n)
-            wrote = 0
-            for i in range(lo, hi):
-                if array[i] is not None:
-                    ph.write(proc, out_base + ranks[i] - 1, array[i])
-                    wrote += 1
-            ph.local(proc, max(1, wrote))
+            to_write = [
+                (out_base + ranks[i] - 1, array[i])
+                for i in range(lo, hi)
+                if array[i] is not None
+            ]
+            ph.write_block(proc, to_write)
+            ph.local(proc, max(1, len(to_write)))
 
     out = [machine.peek(out_base + j) for j in range(len(items))]
     if isinstance(machine, GSM):
@@ -313,13 +314,15 @@ def lac_bsp(machine, array: Sequence[Any], h: Optional[int] = None) -> RunResult
     with machine.superstep() as ss:
         for i in range(p):
             ss.local(i, max(1, len(local_items[i])))
+            msgs = []
             for j, v in enumerate(local_items[i]):
                 rank = offsets[i] + j
                 owner = rank // quota
                 if owner == i:
                     incoming[i].append((rank, v))
                 else:
-                    ss.send(i, owner, (rank, v))
+                    msgs.append((owner, (rank, v)))
+            ss.send_block(i, msgs)
     for i in range(p):
         for _, payload in machine.inbox(i):
             incoming[i].append(payload)

@@ -272,12 +272,11 @@ def or_rounds(
     with machine.phase() as ph:
         for i in range(p):
             lo, hi = i * block, min((i + 1) * block, n)
-            handles.append([ph.read(i, base + j) for j in range(lo, hi)])
+            handles.append(ph.read_block(i, range(base + lo, base + hi)))
     partials = []
     for hs in handles:
         vals = []
-        for h in hs:
-            got = h.value
+        for got in hs.values:
             if isinstance(machine, GSM) and isinstance(got, tuple):
                 got = got[0]
             vals.append(int(got))

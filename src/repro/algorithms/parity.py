@@ -101,15 +101,16 @@ def parity_tree(
         handles = []
         with machine.phase() as ph:
             for j in range(groups):
-                hs = [
-                    ph.read(proc + j, base + i)
-                    for i in range(j * k, min((j + 1) * k, size))
-                ]
-                handles.append(hs)
+                handles.append(
+                    ph.read_block(
+                        proc + j,
+                        range(base + j * k, base + min((j + 1) * k, size)),
+                    )
+                )
         new_vals = []
         with machine.phase() as ph:
             for j, hs in enumerate(handles):
-                got = [_unwrap(machine, h.value) for h in hs]
+                got = [_unwrap(machine, v) for v in hs.values]
                 par = 0
                 for v in got:
                     par ^= int(v)
@@ -299,12 +300,12 @@ def parity_rounds(
     with machine.phase() as ph:
         for i in range(p):
             lo, hi = i * block, min((i + 1) * block, n)
-            handles.append([ph.read(i, base + j) for j in range(lo, hi)])
+            handles.append(ph.read_block(i, range(base + lo, base + hi)))
     partials = []
     for hs in handles:
         par = 0
-        for h in hs:
-            par ^= int(_unwrap(machine, h.value))
+        for v in hs.values:
+            par ^= int(_unwrap(machine, v))
         partials.append(par)
 
     if len(partials) == 1:

@@ -81,14 +81,14 @@ def prefix_sums(
         with machine.phase() as ph:
             for j in range(groups):
                 proc = proc_counter + j
-                hs = [
-                    ph.read(proc, level_base[-1] + i)
-                    for i in range(j * k, min((j + 1) * k, m))
-                ]
+                hs = ph.read_block(
+                    proc,
+                    range(level_base[-1] + j * k, level_base[-1] + min((j + 1) * k, m)),
+                )
                 handles.append((proc, hs))
         with machine.phase() as ph:
             for j, (proc, hs) in enumerate(handles):
-                got = [_unwrap(machine, h.value) for h in hs]
+                got = [_unwrap(machine, v) for v in hs.values]
                 total = got[0]
                 for v in got[1:]:
                     total = total + v
@@ -124,9 +124,11 @@ def prefix_sums(
                 lo = j * k
                 hi = min((j + 1) * k, m)
                 ph.local(proc, hi - lo)
+                items = []
                 for i in range(lo, hi):
-                    ph.write(proc, offset_base[lvl - 1] + i, running)
+                    items.append((offset_base[lvl - 1] + i, running))
                     running = running + level_vals[lvl - 1][i]
+                ph.write_block(proc, items)
         proc_counter += groups
 
     # The inclusive prefix at i is offset[0][i] + value[i]; read them out.
@@ -188,13 +190,12 @@ def prefix_sums_rounds(
     with machine.phase() as ph:
         for i in range(p):
             lo, hi = i * block, min((i + 1) * block, n)
-            hs = [ph.read(i, in_base + j) for j in range(lo, hi)]
-            handles.append(hs)
+            handles.append(ph.read_block(i, range(in_base + lo, in_base + hi)))
     block_sums: List[Any] = []
     sums_base = alloc.alloc(p)
     with machine.phase() as ph:
         for i, hs in enumerate(handles):
-            got = [_unwrap(machine, h.value) for h in hs]
+            got = [_unwrap(machine, v) for v in hs.values]
             blocks.append(got)
             if got:
                 total = got[0]
@@ -221,9 +222,11 @@ def prefix_sums_rounds(
             running = offsets[i]
             lo = i * block
             ph.local(i, max(1, len(blocks[i])))
+            items = []
             for j, v in enumerate(blocks[i]):
                 running = running + v
-                ph.write(i, out_base + lo + j, running)
+                items.append((out_base + lo + j, running))
+            ph.write_block(i, items)
 
     prefix = [_unwrap(machine, machine.peek(out_base + j)) for j in range(n)]
     return meter.result(prefix, p=p, block=block, fan_in=fan)

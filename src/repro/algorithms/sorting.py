@@ -96,12 +96,14 @@ def sample_sort_bsp(
         for i in range(p):
             block = machine.store[i]["sorted"]
             ss.local(i, max(1, len(block)))
+            msgs = []
             for v in block:
                 owner = bisect_right(splitters, v) if splitters else 0
                 if owner == i:
                     incoming[i].append(v)
                 else:
-                    ss.send(i, owner, ("elem", v))
+                    msgs.append((owner, ("elem", v)))
+            ss.send_block(i, msgs)
     for i in range(p):
         for _, payload in machine.inbox(i):
             if payload[0] == "elem":
@@ -149,12 +151,11 @@ def sort_shared(
     with machine.phase() as ph:
         for i in range(p):
             lo, hi = i * block, min((i + 1) * block, n)
-            handles.append([ph.read(i, base + j) for j in range(lo, hi)])
+            handles.append(ph.read_block(i, range(base + lo, base + hi)))
     groups: List[List[Any]] = []
     for i, hs in enumerate(handles):
         got = []
-        for hnd in hs:
-            v = hnd.value
+        for v in hs.values:
             if isinstance(machine, GSM) and isinstance(v, tuple):
                 v = v[0]
             got.append(v)
@@ -197,13 +198,13 @@ def sort_shared(
     staging = alloc.alloc(n)
     with machine.phase() as ph:
         for i in range(p):
-            wrote = 0
+            to_write = []
             for bkt in range(p):
                 off = offsets[bkt * p + i]
                 for j, v in enumerate(routed[i][bkt]):
-                    ph.write(i, staging + off + j, v)
-                    wrote += 1
-            ph.local(i, max(1, wrote))
+                    to_write.append((staging + off + j, v))
+            ph.write_block(i, to_write)
+            ph.local(i, max(1, len(to_write)))
 
     # Stage 4: bucket leaders read their ranges and sort locally.
     bucket_lo = [offsets[bkt * p] for bkt in range(p)]
@@ -211,14 +212,16 @@ def sort_shared(
     handles2 = []
     with machine.phase() as ph:
         for bkt in range(p):
-            hs = [ph.read(bkt, staging + j) for j in range(bucket_lo[bkt], bucket_hi[bkt])]
-            handles2.append(hs)
+            handles2.append(
+                ph.read_block(
+                    bkt, range(staging + bucket_lo[bkt], staging + bucket_hi[bkt])
+                )
+            )
     out: List[Any] = []
     max_bucket = 0
     for bkt, hs in enumerate(handles2):
         got = []
-        for hnd in hs:
-            v = hnd.value
+        for v in hs.values:
             if isinstance(machine, GSM) and isinstance(v, tuple):
                 v = v[0]
             got.append(v)

@@ -1,0 +1,195 @@
+"""Multiprocessing-backed parameter sweeps — a drop-in for :func:`sweep`.
+
+Large Table 1 sweeps are embarrassingly parallel: every grid point builds a
+fresh machine, runs one algorithm, and verifies independently.
+:func:`parallel_sweep` farms the grid points out to worker *processes* (one
+task per process via ``maxtasksperchild=1``, so a point can never observe
+another point's interpreter state) and returns the points in the same order
+:func:`repro.analysis.sweep.sweep` would.
+
+Determinism
+-----------
+Grid points are enumerated in the canonical :func:`grid_points` order and
+results are reassembled in that order, so a parallel run returns the same
+``SweepPoint`` list as a serial one.  When the ``run`` callable takes an
+explicit seed, pass ``seed_arg`` and each point receives
+:func:`derive_point_seed` of its parameters — a per-point seed that depends
+only on the point (not on scheduling, job count, or enumeration order), so
+serial and parallel runs of any job count agree bit for bit.
+
+Result cache
+------------
+Pass ``cache_path`` (conventionally ``BENCH_<name>.json``; see
+:func:`bench_cache_path`) to persist every completed point's outcome as
+JSON.  Re-runs load the file and only execute grid points that are missing,
+so an interrupted sweep resumes where it stopped and repeated bench runs
+give the repository a perf trajectory for free.  Cached outcomes round-trip
+through JSON: keep ``extra`` values JSON-serializable if you rely on the
+cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import SweepPoint, grid_points, point_from_outcome
+
+__all__ = [
+    "parallel_sweep",
+    "point_key",
+    "derive_point_seed",
+    "default_jobs",
+    "bench_cache_path",
+    "JOBS_ENV",
+]
+
+#: Environment variable consulted for the default job count; the CLI's
+#: ``--jobs`` flag sets it so every bench in a run picks it up.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Job count when ``jobs`` is not given: ``$REPRO_JOBS`` or the CPU count."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def point_key(params: Mapping[str, Any]) -> str:
+    """Stable string identity of one grid point (cache key, seed input).
+
+    Key order is canonicalised so ``{'n': 4, 'g': 2}`` and
+    ``{'g': 2, 'n': 4}`` name the same point.
+    """
+    return json.dumps(dict(params), sort_keys=True, default=repr)
+
+
+def derive_point_seed(base_seed: Any, params: Mapping[str, Any]) -> int:
+    """Deterministic 63-bit seed for one grid point.
+
+    Depends only on ``base_seed`` and the point's parameters — not on the
+    job count, worker scheduling, or the position of the point in the grid —
+    so serial and parallel sweeps hand each point the same randomness.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed!r}|{point_key(params)}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+def bench_cache_path(name: str, root: str = ".") -> str:
+    """Conventional cache location for a named bench: ``<root>/BENCH_<name>.json``."""
+    safe = "".join(c if (c.isalnum() or c in "-_") else "_" for c in name)
+    return os.path.join(root, f"BENCH_{safe}.json")
+
+
+def _call_point(
+    run: Callable[..., Dict[str, Any]],
+    params: Mapping[str, Any],
+    seed_arg: Optional[str],
+    base_seed: Any,
+) -> Dict[str, Any]:
+    kwargs = dict(params)
+    if seed_arg is not None:
+        kwargs[seed_arg] = derive_point_seed(base_seed, params)
+    return run(**kwargs)
+
+
+def _worker(task: Tuple[Callable[..., Dict[str, Any]], Dict[str, Any], Optional[str], Any]):
+    run, params, seed_arg, base_seed = task
+    return point_key(params), _call_point(run, params, seed_arg, base_seed)
+
+
+def _load_cache(path: str) -> Dict[str, Dict[str, Any]]:
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(
+                f"sweep cache {path} is not valid JSON ({exc}); "
+                "delete the file to rebuild it"
+            ) from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"sweep cache {path} is not a JSON object")
+    return data
+
+
+def _store_cache(path: str, mapping: Dict[str, Dict[str, Any]]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=".sweep-cache-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(mapping, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)  # atomic: readers never see a torn file
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def parallel_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    run: Callable[..., Dict[str, Any]],
+    jobs: Optional[int] = None,
+    cache_path: Optional[str] = None,
+    seed_arg: Optional[str] = None,
+    base_seed: Any = 0,
+) -> List[SweepPoint]:
+    """Run ``run(**point)`` over the grid with ``jobs`` worker processes.
+
+    Drop-in for :func:`repro.analysis.sweep.sweep`: same grid semantics,
+    same outcome contract (``measured``/``correct``/``bound``/extras), same
+    result order.  Differences:
+
+    * points execute in up to ``jobs`` processes (default: ``$REPRO_JOBS``
+      or the CPU count), each task in a fresh process;
+    * with ``seed_arg``, each call receives ``run(**point, seed_arg=s)``
+      where ``s = derive_point_seed(base_seed, point)``;
+    * with ``cache_path``, completed outcomes persist to JSON and re-runs
+      skip points already present in the file.
+
+    ``run`` must be picklable (a module-level function) when ``jobs > 1``;
+    ``jobs=1`` degrades to the serial path with no pickling requirement.
+    """
+    points = grid_points(grid)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    cache = _load_cache(cache_path) if cache_path else {}
+
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    pending: List[Dict[str, Any]] = []
+    for params in points:
+        key = point_key(params)
+        if key in cache:
+            outcomes[key] = cache[key]
+        else:
+            pending.append(params)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for params in pending:
+                outcomes[point_key(params)] = _call_point(run, params, seed_arg, base_seed)
+        else:
+            from multiprocessing import get_context
+
+            tasks = [(run, params, seed_arg, base_seed) for params in pending]
+            ctx = get_context()
+            with ctx.Pool(processes=min(jobs, len(tasks)), maxtasksperchild=1) as pool:
+                for key, outcome in pool.imap(_worker, tasks):
+                    outcomes[key] = outcome
+
+    if cache_path:
+        merged = dict(cache)
+        merged.update(outcomes)
+        _store_cache(cache_path, merged)
+
+    return [point_from_outcome(params, outcomes[point_key(params)]) for params in points]

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["SweepPoint", "sweep"]
+__all__ = ["SweepPoint", "sweep", "grid_points", "point_from_outcome"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,37 @@ class SweepPoint:
         return self.measured / self.bound
 
 
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Enumerate the cartesian grid as parameter dicts, in sweep order.
+
+    The order is the canonical iteration order shared by :func:`sweep` and
+    :func:`repro.analysis.parallel_sweep.parallel_sweep`, so serial and
+    parallel runs of the same grid return points in the same positions.
+    """
+    keys = list(grid.keys())
+    return [dict(zip(keys, combo)) for combo in product(*(grid[k] for k in keys))]
+
+
+def point_from_outcome(params: Mapping[str, Any], outcome: Dict[str, Any]) -> SweepPoint:
+    """Build a :class:`SweepPoint` from a ``run(**params)`` outcome dict.
+
+    ``outcome`` must have keys ``measured`` (float) and ``correct`` (bool),
+    may have ``bound`` (float), and anything else is kept in ``extra``.
+    """
+    if "measured" not in outcome or "correct" not in outcome:
+        raise ValueError("run() must return 'measured' and 'correct'")
+    extra = {
+        k: v for k, v in outcome.items() if k not in ("measured", "correct", "bound")
+    }
+    return SweepPoint(
+        params=dict(params),
+        measured=float(outcome["measured"]),
+        bound=(float(outcome["bound"]) if outcome.get("bound") is not None else None),
+        correct=bool(outcome["correct"]),
+        extra=extra,
+    )
+
+
 def sweep(
     grid: Mapping[str, Sequence[Any]],
     run: Callable[..., Dict[str, Any]],
@@ -41,25 +72,7 @@ def sweep(
 
     ``run`` must return a dict with keys ``measured`` (float), ``correct``
     (bool), optionally ``bound`` (float) and anything else (kept in
-    ``extra``).
+    ``extra``).  See :mod:`repro.analysis.parallel_sweep` for the
+    multiprocessing-backed drop-in used by large grids.
     """
-    keys = list(grid.keys())
-    points: List[SweepPoint] = []
-    for combo in product(*(grid[k] for k in keys)):
-        params = dict(zip(keys, combo))
-        outcome = run(**params)
-        if "measured" not in outcome or "correct" not in outcome:
-            raise ValueError("run() must return 'measured' and 'correct'")
-        extra = {
-            k: v for k, v in outcome.items() if k not in ("measured", "correct", "bound")
-        }
-        points.append(
-            SweepPoint(
-                params=params,
-                measured=float(outcome["measured"]),
-                bound=(float(outcome["bound"]) if outcome.get("bound") is not None else None),
-                correct=bool(outcome["correct"]),
-                extra=extra,
-            )
-        )
-    return points
+    return [point_from_outcome(params, run(**params)) for params in grid_points(grid)]

@@ -5,6 +5,10 @@ Table 1 sub-tables, the Section 8 upper-bound tracking table, the
 lower-bound machinery demonstrations and the ablations) and prints the
 combined report.  ``python -m repro t1a`` (etc.) runs a single experiment.
 
+``--jobs N`` sets the worker-process count used by every
+:func:`repro.analysis.parallel_sweep.parallel_sweep` call in the run (it
+exports ``REPRO_JOBS``); ``--jobs 1`` forces serial execution.
+
 This is the same code path the pytest benches assert on; the CLI just
 prints without asserting, so it is the cheapest way to regenerate
 EXPERIMENTS.md's numbers.
@@ -12,10 +16,11 @@ EXPERIMENTS.md's numbers.
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "parse_jobs"]
 
 
 def _t1a() -> None:
@@ -66,6 +71,12 @@ def _rel() -> None:
     main()
 
 
+def _perf() -> None:
+    from benchmarks.bench_phase_engine import main
+
+    main()
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "t1a": _t1a,
     "t1b": _t1b,
@@ -75,11 +86,45 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "rel": _rel,
     "lb": _lb,
     "abl": _abl,
+    "perf": _perf,
 }
+
+
+def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
+    """Strip ``--jobs N`` / ``--jobs=N`` from ``argv``; return (rest, jobs)."""
+    rest: List[str] = []
+    jobs: Optional[int] = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--jobs":
+            if i + 1 >= len(argv):
+                raise SystemExit("--jobs needs a value, e.g. --jobs 4")
+            value = argv[i + 1]
+            i += 2
+        elif arg.startswith("--jobs="):
+            value = arg.split("=", 1)[1]
+            i += 1
+        else:
+            rest.append(arg)
+            i += 1
+            continue
+        try:
+            jobs = int(value)
+        except ValueError:
+            raise SystemExit(f"--jobs needs an integer, got {value!r}")
+        if jobs < 1:
+            raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    return rest, jobs
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    argv, jobs = parse_jobs(argv)
+    if jobs is not None:
+        # parallel_sweep's default_jobs() reads this, so one flag fans out
+        # to every sweep in the run (including ones in worker processes).
+        os.environ["REPRO_JOBS"] = str(jobs)
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")

@@ -21,6 +21,7 @@ Public surface
 from repro.core.bsp import BSP, Superstep
 from repro.core.gsm import GSM
 from repro.core.machine import (
+    BlockReadHandle,
     MemoryConflictError,
     Phase,
     PhaseClosedError,
@@ -48,6 +49,7 @@ __all__ = [
     "Superstep",
     "Phase",
     "ReadHandle",
+    "BlockReadHandle",
     "SharedMemoryMachine",
     "MemoryConflictError",
     "PhaseClosedError",

@@ -17,6 +17,9 @@ is provided by :meth:`BSP.scatter`.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import repeat
+from operator import itemgetter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import bsp_superstep_cost
@@ -25,6 +28,10 @@ from repro.core.params import BSPParams
 from repro.core.phase import SuperstepRecord
 
 __all__ = ["BSP", "Superstep"]
+
+# Sort/count keys over (src, dst, payload) triples, at C speed.
+_by_src = itemgetter(0)
+_by_dst = itemgetter(1)
 
 
 class Superstep:
@@ -49,6 +56,43 @@ class Superstep:
         self._outgoing.append((src, dst, payload))
         self._sent[src] = self._sent.get(src, 0) + 1
 
+    def send_block(self, src: int, msgs: Sequence[Tuple[int, Any]]) -> None:
+        """Component ``src`` sends every ``(dst, payload)`` pair in ``msgs``.
+
+        Semantically identical to ``for dst, m in msgs: ss.send(src, dst, m)``
+        (including on error: a bad destination aborts the superstep at that
+        pair, just as the scalar loop would) but the outgoing queue and
+        per-component send counter update with aggregate operations.
+        """
+        self._check_open()
+        machine = self._machine
+        machine._check_component(src)
+        pairs = list(msgs)
+        if not pairs:
+            return
+        try:
+            dsts, payloads = zip(*pairs, strict=True)
+        except (TypeError, ValueError):
+            dsts = payloads = ()
+        if len(dsts) != len(pairs):
+            # Malformed rows (wrong arity); the scalar path reports them.
+            for dst, payload in pairs:
+                self.send(src, dst, payload)
+            return
+        # Aggregate validation at C speed, with cold re-scans for precise
+        # per-item errors (bool is an int subtype, hence the exact-type set).
+        if not set(map(type, dsts)) <= {int}:
+            for dst in dsts:
+                if not isinstance(dst, int) or isinstance(dst, bool):
+                    raise TypeError(f"component id must be an int, got {dst!r}")
+        p = machine.p
+        if min(dsts) < 0 or max(dsts) >= p:
+            for dst in dsts:
+                if dst < 0 or dst >= p:
+                    raise ValueError(f"component id {dst} out of range for p={p}")
+        self._outgoing.extend(zip(repeat(src), dsts, payloads))
+        self._sent[src] = self._sent.get(src, 0) + len(pairs)
+
     def local(self, proc: int, ops: int = 1) -> None:
         """Charge ``ops`` units of local work to component ``proc``."""
         self._check_open()
@@ -65,11 +109,16 @@ class Superstep:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        if exc_type is None:
-            self._machine._commit(self)
-        else:
+        try:
+            if exc_type is None:
+                self._machine._commit(self)
+        finally:
+            # Whether the superstep aborted or the commit itself raised
+            # (e.g. a bad params object in bsp_superstep_cost), release the
+            # machine so later supersteps don't hit PhaseClosedError — the
+            # same try/finally discipline Phase.__exit__ uses.
             self._machine._step_open = False
-        self._open = False
+            self._open = False
         return False
 
 
@@ -154,14 +203,13 @@ class BSP:
             raise ValueError(f"component id {proc} out of range for p={self.p}")
 
     def _commit(self, step: Superstep) -> None:
-        received: Dict[int, int] = {}
+        received: Dict[int, int] = dict(Counter(map(_by_dst, step._outgoing)))
         new_inboxes: List[List[Tuple[int, Any]]] = [[] for _ in range(self.p)]
-        # Deterministic delivery order: by sender, then send order.
-        ordered = sorted(range(len(step._outgoing)), key=lambda i: (step._outgoing[i][0], i))
-        for i in ordered:
-            src, dst, payload = step._outgoing[i]
+        # Deterministic delivery order: by sender, then send order (the sort
+        # is stable, so sorting on sender alone preserves each sender's
+        # issue order).
+        for src, dst, payload in sorted(step._outgoing, key=_by_src):
             new_inboxes[dst].append((src, payload))
-            received[dst] = received.get(dst, 0) + 1
         record = SuperstepRecord(
             index=len(self.history),
             work_per_proc=dict(step._work),

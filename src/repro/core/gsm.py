@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import gsm_big_steps, gsm_phase_cost
-from repro.core.machine import SharedMemoryMachine
+from repro.core.machine import Collided, Phase, SharedMemoryMachine
 from repro.core.params import GSMParams
 from repro.core.phase import PhaseRecord
 
@@ -55,15 +55,28 @@ class GSM(SharedMemoryMachine):
         self.big_steps += gsm_big_steps(record, self.params)
         return gsm_phase_cost(record, self.params)
 
-    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
-        for addr, entries in writes.items():
-            existing = self._memory.get(addr, ())
+    def _resolve_writes(self, phase: Phase) -> None:
+        # Strong queuing merges into whatever the cell already holds, so the
+        # GSM always walks entries individually (no last-value bulk path).
+        memory = self._memory
+        memory_get = memory.get
+        for addr, entry in phase._writes.items():
+            existing = memory_get(addr, ())
             if not isinstance(existing, tuple):
                 existing = (existing,)
-            # Deterministic accumulation order: by processor id then issue
-            # order, so traces are reproducible.
-            indexed = sorted(range(len(entries)), key=lambda i: (entries[i][0], i))
-            self._memory[addr] = existing + tuple(entries[i][1] for i in indexed)
+            kind = type(entry)
+            if kind is Collided:
+                entries = entry
+                # Deterministic accumulation order: by processor id then
+                # issue order, so traces are reproducible.
+                indexed = sorted(
+                    range(len(entries)), key=lambda i: (entries[i][0], i)
+                )
+                memory[addr] = existing + tuple(entries[i][1] for i in indexed)
+            elif kind is tuple:
+                memory[addr] = existing + (entry[1],)
+            else:
+                memory[addr] = existing + (entry,)
 
     def poke(self, addr: int, value: Any) -> None:
         """Set a cell's entire contents.  Non-tuple values are wrapped.

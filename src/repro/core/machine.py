@@ -11,8 +11,16 @@ every processor, issuing reads, writes and local-op charges through a
 * **No concurrent read+write** — a location may be read by many processors
   or written by many processors in one phase, but not both; violations raise
   :class:`MemoryConflictError`.
-* **Queue accounting** — per-cell reader/writer queue lengths feed the
-  contention term ``kappa`` of the cost formulas.
+* **Queue accounting** — per-cell queue lengths count the number of
+  *distinct processors* accessing the cell (Section 2.1's contention), and
+  feed the contention term ``kappa`` of the cost formulas.  A processor
+  issuing two reads of one cell contributes 1 to that cell's queue (but
+  still 2 to its own ``m_rw`` request count).
+* **Bulk operations** — :meth:`Phase.read_block` and
+  :meth:`Phase.write_block` are semantically identical to loops of
+  :meth:`Phase.read` / :meth:`Phase.write` but update the counters with
+  aggregate operations, so the per-operation Python overhead is paid once
+  per block instead of once per cell (see ``benchmarks/bench_phase_engine``).
 * **Write resolution** — model-specific: the QSM/s-QSM pick one arbitrary
   winner per cell; the GSM's strong queuing merges all written values into
   the cell (see subclasses).
@@ -25,7 +33,9 @@ lower-bound engines.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from itertools import repeat
+from operator import itemgetter
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.phase import PhaseRecord
 from repro.util.seeding import derive_rng
@@ -34,9 +44,41 @@ __all__ = [
     "MemoryConflictError",
     "PhaseClosedError",
     "ReadHandle",
+    "BlockReadHandle",
     "Phase",
     "SharedMemoryMachine",
+    "Collided",
+    "WriteEntry",
 ]
+
+
+class Collided(list):
+    """Pending writes of one cell with >= 2 writers: ``(proc, value)`` pairs
+    in issue order.  A dedicated type so entry dispatch is an exact-type
+    check that can never be confused with a user value that happens to be a
+    list."""
+
+    __slots__ = ()
+
+
+# One cell's pending writes, discriminated by exact type:
+#
+# * ``Collided``         — two or more writes, as ``(proc, value)`` pairs in
+#                          issue order;
+# * ``tuple``            — exactly one write issued through the scalar path
+#                          (or a block carrying tuple-like values), stored as
+#                          ``(proc, value)``;
+# * anything else        — exactly one write issued through the bulk path,
+#                          stored as the bare value.  The writing processor
+#                          is recorded once per block in
+#                          ``Phase._block_origins`` and only looked up on
+#                          the rare paths that need it (collision promotion,
+#                          trace recording).
+#
+# The bare-value form is what makes ``write_block`` allocation-free per
+# cell; tuple-like values automatically take the explicit ``(proc, value)``
+# form, so the discrimination is never ambiguous.
+WriteEntry = Union[Any, Tuple[int, Any], Collided]
 
 
 class MemoryConflictError(RuntimeError):
@@ -85,6 +127,63 @@ class ReadHandle:
         return f"ReadHandle(proc={self.proc}, addr={self.addr}, value={state})"
 
 
+# C-callable isinstance check: lets bulk paths scan a value tuple for
+# handles via any(map(...)) without per-item bytecode.
+_is_read_handle = ReadHandle.__instancecheck__
+
+
+class BlockReadHandle:
+    """Deferred result of a bulk shared-memory read (:meth:`Phase.read_block`).
+
+    Sealed while its phase is open; after the phase commits ``.values`` is
+    the list of values the cells held at the start of the phase, in the
+    order the addresses were requested.
+    """
+
+    __slots__ = ("proc", "addrs", "_values", "_resolved")
+
+    def __init__(self, proc: int, addrs: Tuple[int, ...]) -> None:
+        self.proc = proc
+        self.addrs = addrs
+        self._values: Optional[List[Any]] = None
+        self._resolved = False
+
+    def _resolve(self, values: List[Any]) -> None:
+        self._values = values
+        self._resolved = True
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def values(self) -> List[Any]:
+        if not self._resolved:
+            raise PhaseClosedError(
+                "block read values used before their phase committed: the "
+                "QSM/GSM read rule only makes values available in a "
+                "subsequent phase"
+            )
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = repr(self._values) if self._resolved else "<sealed>"
+        return f"BlockReadHandle(proc={self.proc}, addrs={self.addrs!r}, values={state})"
+
+
+# Value types that cannot be stored in the bare-entry form: exact tuples and
+# Collided would be indistinguishable from the bookkeeping forms, and handles
+# need the unwrap/seal check.  (Exact types only — a namedtuple value lands
+# bare and dispatches as bare, consistently.)
+_NON_PLAIN_TYPES = (tuple, Collided, ReadHandle, BlockReadHandle)
+
+# (proc, value) -> value, at C speed, for bulk commit of tuple entries.
+_value_of = itemgetter(1)
+
+
 class Phase:
     """One open phase of a shared-memory machine.
 
@@ -96,10 +195,28 @@ class Phase:
     def __init__(self, machine: "SharedMemoryMachine") -> None:
         self._machine = machine
         self._open = True
-        self._reads: List[ReadHandle] = []
-        # addr -> list of (proc, value) in issue order
-        self._writes: Dict[int, List[Tuple[int, Any]]] = {}
-        self._read_queue: Dict[int, int] = {}
+        # Scalar ReadHandles and BlockReadHandles, in issue order.
+        self._reads: List[Any] = []
+        # addr -> pending writes (see WriteEntry for the three entry kinds).
+        self._writes: Dict[int, WriteEntry] = {}
+        # (proc, addrs) per bulk block that landed bare values; consulted by
+        # _first_writer() on the rare paths that need a bare entry's writer.
+        self._block_origins: List[Tuple[int, Sequence[int]]] = []
+        # Entry-kind summary flags; while _write_collision is False, commit
+        # and record building take C-level bulk paths, and the other two
+        # pick the right bulk resolver.
+        self._write_collision = False  # any Collided entry
+        self._has_plain = False  # any bare-value entry (bulk path)
+        self._has_pairs = False  # any (proc, value) entry (scalar path)
+        # Interval hull of all written addresses this phase.  A block whose
+        # addresses lie wholly outside [lo, hi] cannot revisit a cell, so
+        # the bulk write path skips the per-address disjointness probe; the
+        # hull also gives the commit its high-water mark without a max()
+        # over all keys.
+        self._write_lo: Any = float("inf")
+        self._write_hi: int = -1
+        # addr -> set of distinct reading processors (Section 2.1 contention)
+        self._readers: Dict[int, set] = {}
         self._reads_per_proc: Dict[int, int] = {}
         self._writes_per_proc: Dict[int, int] = {}
         self._ops_per_proc: Dict[int, int] = {}
@@ -122,8 +239,65 @@ class Phase:
             )
         handle = ReadHandle(proc, addr)
         self._reads.append(handle)
-        self._read_queue[addr] = self._read_queue.get(addr, 0) + 1
+        readers = self._readers.get(addr)
+        if readers is None:
+            self._readers[addr] = {proc}
+        else:
+            readers.add(proc)
         self._reads_per_proc[proc] = self._reads_per_proc.get(proc, 0) + 1
+        return handle
+
+    def read_block(self, proc: int, addrs: Sequence[int]) -> BlockReadHandle:
+        """Processor ``proc`` requests the contents of all cells in ``addrs``.
+
+        Semantically identical to ``[ph.read(proc, a) for a in addrs]`` but
+        the per-processor and per-cell counters are updated with aggregate
+        operations, so large blocks avoid the per-operation bookkeeping that
+        dominates scalar reads.  Returns a sealed :class:`BlockReadHandle`
+        whose ``.values`` resolves to the list of cell values (request
+        order) after the phase commits.  Duplicate addresses are allowed
+        and count once toward each cell's contention (the processor set),
+        but each request counts toward ``m_rw``.
+        """
+        self._check_open()
+        self._machine._check_proc(proc)
+        addr_tuple = tuple(addrs)
+        handle = BlockReadHandle(proc, addr_tuple)
+        if not addr_tuple:
+            handle._resolve([])
+            return handle
+        # Aggregate validation: one type pass, then min/max bounds checks.
+        for a in addr_tuple:
+            if type(a) is not int:
+                raise TypeError(f"address must be an int, got {a!r}")
+        if min(addr_tuple) < 0:
+            raise ValueError(
+                f"address must be non-negative, got {min(addr_tuple)}"
+            )
+        mem_size = self._machine.memory_size
+        if mem_size is not None and max(addr_tuple) >= mem_size:
+            raise ValueError(
+                f"address {max(addr_tuple)} out of range for memory of size {mem_size}"
+            )
+        writes = self._writes
+        if writes:
+            for a in addr_tuple:
+                if a in writes:
+                    raise MemoryConflictError(
+                        f"cell {a} is being written this phase; concurrent read "
+                        f"and write to one location in a phase is forbidden"
+                    )
+        readers = self._readers
+        for a in addr_tuple:
+            procs = readers.get(a)
+            if procs is None:
+                readers[a] = {proc}
+            else:
+                procs.add(proc)
+        self._reads_per_proc[proc] = (
+            self._reads_per_proc.get(proc, 0) + len(addr_tuple)
+        )
+        self._reads.append(handle)
         return handle
 
     def write(self, proc: int, addr: int, value: Any) -> None:
@@ -144,13 +318,152 @@ class Phase:
                     "only deliver in a subsequent phase"
                 )
             value = value.value
-        if addr in self._read_queue:
+        if addr in self._readers:
             raise MemoryConflictError(
                 f"cell {addr} is being read this phase; concurrent read and "
                 f"write to one location in a phase is forbidden"
             )
-        self._writes.setdefault(addr, []).append((proc, value))
+        writes = self._writes
+        entry = writes.get(addr)
+        if entry is None:
+            writes[addr] = (proc, value)
+        elif type(entry) is Collided:
+            entry.append((proc, value))
+        else:
+            first = entry if type(entry) is tuple else (
+                self._first_writer(addr), entry
+            )
+            writes[addr] = Collided((first, (proc, value)))
+            self._write_collision = True
+        self._has_pairs = True
+        if addr > self._write_hi:
+            self._write_hi = addr
+        if addr < self._write_lo:
+            self._write_lo = addr
         self._writes_per_proc[proc] = self._writes_per_proc.get(proc, 0) + 1
+
+    def write_block(self, proc: int, items: Sequence[Tuple[int, Any]]) -> None:
+        """Processor ``proc`` writes every ``(addr, value)`` pair in ``items``.
+
+        Semantically identical to ``for a, v in items: ph.write(proc, a, v)``
+        (including on error: a bad pair aborts the phase at that pair, just
+        as the scalar loop would) but the per-pair bookkeeping is a single
+        aggregate pass.  Values follow the scalar rule: sealed same-phase
+        :class:`ReadHandle` values raise, resolved handles from earlier
+        phases are unwrapped.
+        """
+        self._check_open()
+        self._machine._check_proc(proc)
+        pairs = items if type(items) is list else list(items)
+        if not pairs:
+            return
+        # Aggregate validation at C speed; every failure re-scans on a cold
+        # path for a precise per-item error.  strict=True makes mixed-arity
+        # rows raise instead of silently truncating to the shortest row.
+        try:
+            addrs, values = zip(*pairs, strict=True)
+        except (TypeError, ValueError):
+            addrs = values = ()
+        if len(addrs) != len(pairs):
+            # Malformed rows (wrong arity); the scalar path reports them.
+            for addr, value in pairs:
+                self.write(proc, addr, value)
+            return
+        if not set(map(type, addrs)) <= {int}:
+            for a in addrs:
+                if type(a) is not int:
+                    raise TypeError(f"address must be an int, got {a!r}")
+        lo = min(addrs)
+        hi = max(addrs)
+        if lo < 0:
+            raise ValueError(f"address must be non-negative, got {lo}")
+        mem_size = self._machine.memory_size
+        if mem_size is not None and hi >= mem_size:
+            raise ValueError(
+                f"address {hi} out of range for memory of size {mem_size}"
+            )
+        readers = self._readers
+        if readers and not readers.keys().isdisjoint(addrs):
+            for a in addrs:
+                if a in readers:
+                    raise MemoryConflictError(
+                        f"cell {a} is being read this phase; concurrent read "
+                        f"and write to one location in a phase is forbidden"
+                    )
+        # Values whose exact type is tuple-like or a handle cannot use the
+        # bare-value entry form (see WriteEntry); everything else can.
+        plain = set(map(type, values)).isdisjoint(_NON_PLAIN_TYPES)
+        if not plain and any(map(_is_read_handle, values)):
+            unwrapped: List[Any] = []
+            for value in values:
+                if isinstance(value, ReadHandle):
+                    if not value.resolved:
+                        raise PhaseClosedError(
+                            "attempted to write a value read in the same "
+                            "phase; reads only deliver in a subsequent phase"
+                        )
+                    value = value.value
+                unwrapped.append(value)
+            values = unwrapped
+        writes = self._writes
+        if plain and (
+            not writes
+            or lo > self._write_hi
+            or hi < self._write_lo
+            or writes.keys().isdisjoint(addrs)
+        ):
+            # Outside the interval hull of earlier writes (or provably
+            # disjoint from them): land the whole block as bare-value
+            # entries in one C-level pass — no per-cell allocation at all.
+            # Duplicates *within* the block would clobber each other in the
+            # bulk update, so detect them from the key-count delta and redo
+            # the block through the per-item path (all its keys are new, so
+            # the rollback is exact).
+            before = len(writes)
+            writes.update(zip(addrs, values))
+            if len(writes) - before != len(addrs):
+                for a in addrs:
+                    writes.pop(a, None)
+                self._insert_writes(proc, addrs, values)
+            else:
+                self._has_plain = True
+                self._block_origins.append((proc, addrs))
+        else:
+            self._insert_writes(proc, addrs, values)
+        if hi > self._write_hi:
+            self._write_hi = hi
+        if lo < self._write_lo:
+            self._write_lo = lo
+        self._writes_per_proc[proc] = (
+            self._writes_per_proc.get(proc, 0) + len(addrs)
+        )
+
+    def _insert_writes(self, proc: int, addrs: Sequence[int], values: Sequence[Any]) -> None:
+        """Per-item write insertion (the path that handles colliding cells)."""
+        writes = self._writes
+        writes_get = writes.get
+        collision = self._write_collision
+        for addr, value in zip(addrs, values):
+            entry = writes_get(addr)
+            if entry is None:
+                writes[addr] = (proc, value)
+            elif type(entry) is Collided:
+                entry.append((proc, value))
+            else:
+                first = entry if type(entry) is tuple else (
+                    self._first_writer(addr), entry
+                )
+                writes[addr] = Collided((first, (proc, value)))
+                collision = True
+        self._write_collision = collision
+        self._has_pairs = True
+
+    def _first_writer(self, addr: int) -> int:
+        """Writer of a bare-value entry, from the per-block origin records."""
+        for proc, addrs in reversed(self._block_origins):
+            if addr in addrs:
+                return proc
+        raise AssertionError(f"no origin recorded for bare write to cell {addr}")
 
     def local(self, proc: int, ops: int = 1) -> None:
         """Charge ``ops`` units of local RAM computation to processor ``proc``."""
@@ -167,13 +480,34 @@ class Phase:
             raise PhaseClosedError("phase already committed")
 
     def _build_record(self, index: int) -> PhaseRecord:
-        write_queue = {addr: len(entries) for addr, entries in self._writes.items()}
+        # Contention counts *distinct processors* per cell (Section 2.1):
+        # duplicate requests by one processor count once toward kappa (they
+        # still count per-request toward the processor's m_rw).  When the
+        # total request count equals the number of touched cells, every
+        # queue has length one and the dict builds in a single C-level pass.
+        readers = self._readers
+        if readers and sum(self._reads_per_proc.values()) == len(readers):
+            read_queue = dict.fromkeys(readers, 1)
+        else:
+            read_queue = {addr: len(procs) for addr, procs in readers.items()}
+        writes = self._writes
+        if not self._write_collision:
+            write_queue = dict.fromkeys(writes, 1)
+        else:
+            write_queue = {
+                addr: (
+                    len({p for p, _ in entry})
+                    if type(entry) is Collided
+                    else 1
+                )
+                for addr, entry in writes.items()
+            }
         return PhaseRecord(
             index=index,
             reads_per_proc=dict(self._reads_per_proc),
             writes_per_proc=dict(self._writes_per_proc),
             ops_per_proc=dict(self._ops_per_proc),
-            read_queue=dict(self._read_queue),
+            read_queue=read_queue,
             write_queue=write_queue,
         )
 
@@ -228,6 +562,10 @@ class SharedMemoryMachine:
         self.num_processors = num_processors
         self.memory_size = memory_size
         self._memory: Dict[int, Any] = {}
+        # Highest address ever written (-1 when untouched); kept current by
+        # poke() and _commit() so next_free_address() is O(1) instead of
+        # max() over the whole memory footprint.
+        self._high_water: int = -1
         self._rng = derive_rng(seed)
         self.record_trace = record_trace
         self.record_snapshots = record_snapshots
@@ -243,9 +581,34 @@ class SharedMemoryMachine:
     def _phase_cost(self, record: PhaseRecord) -> float:
         raise NotImplementedError
 
-    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
-        """Apply this phase's writes to memory (model-specific)."""
+    def _resolve_writes(self, phase: Phase) -> None:
+        """Apply ``phase._writes`` to memory (model-specific).
+
+        Entries come in the three :data:`WriteEntry` kinds; the phase's
+        ``_write_collision`` / ``_has_plain`` / ``_has_pairs`` flags tell a
+        resolver which kinds are present so it can pick a bulk path —
+        :meth:`_apply_single_writes` implements the common last-value case.
+        """
         raise NotImplementedError
+
+    def _apply_single_writes(self, phase: Phase) -> None:
+        """Apply a collision-free phase's writes: each cell gets its one value.
+
+        Covers the write rule of every model whose single-writer semantics is
+        "store the value" (QSM, s-QSM, PRAM); only calls with
+        ``phase._write_collision`` false are valid.
+        """
+        writes = phase._writes
+        memory = self._memory
+        if not phase._has_pairs:
+            # Every entry is a bare value from the bulk path.
+            memory.update(writes)
+        elif not phase._has_plain:
+            # Every entry is a (proc, value) tuple from the scalar path.
+            memory.update(zip(writes.keys(), map(_value_of, writes.values())))
+        else:
+            for addr, entry in writes.items():
+                memory[addr] = entry[1] if type(entry) is tuple else entry
 
     # -- public API ---------------------------------------------------------
 
@@ -265,6 +628,8 @@ class SharedMemoryMachine:
         """Set committed memory without charging cost (input loading)."""
         self._check_addr(addr)
         self._memory[addr] = value
+        if addr > self._high_water:
+            self._high_water = addr
 
     def load(self, values: Sequence[Any], base: int = 0) -> None:
         """Place ``values`` into consecutive cells starting at ``base`` for free.
@@ -290,11 +655,11 @@ class SharedMemoryMachine:
 
         Algorithms that lay out scratch arrays start their allocators here
         so that several algorithm invocations can share one machine without
-        address collisions.
+        address collisions.  O(1): reads the high-water mark maintained by
+        ``poke`` and phase commits (memory cells are never deleted, so the
+        mark always equals ``max(self._memory)``).
         """
-        if not self._memory:
-            return 0
-        return max(self._memory) + 1
+        return self._high_water + 1
 
     # -- internals -----------------------------------------------------------
 
@@ -326,9 +691,16 @@ class SharedMemoryMachine:
         record = phase._build_record(len(self.history))
         cost = self._phase_cost(record)
         # Resolve reads against pre-phase memory, then apply writes.
+        read_cell = self._read_cell
         for handle in phase._reads:
-            handle._resolve(self._read_cell(handle.addr))
-        self._resolve_writes(phase._writes)
+            if type(handle) is ReadHandle:
+                handle._resolve(read_cell(handle.addr))
+            else:  # BlockReadHandle
+                handle._resolve([read_cell(a) for a in handle.addrs])
+        self._resolve_writes(phase)
+        # The phase's interval hull tracks its exact max written address.
+        if phase._write_hi > self._high_water:
+            self._high_water = phase._write_hi
         self.history.append(record)
         self.phase_costs.append(cost)
         self.time += cost

@@ -32,8 +32,12 @@ class PhaseRecord:
         Per-processor counts, keyed by processor id.  Processors that did
         nothing this phase are absent.
     read_queue / write_queue:
-        Per-cell queue lengths (number of distinct processor requests),
-        keyed by address.
+        Per-cell queue lengths, keyed by address: the number of *distinct
+        processors* reading (resp. writing) the cell, which is Section
+        2.1's definition of contention.  A processor that issues several
+        requests to one cell contributes 1 here (its raw request count
+        still shows up in ``reads_per_proc`` / ``writes_per_proc`` and
+        therefore in ``m_rw``).
     """
 
     index: int
@@ -57,7 +61,7 @@ class PhaseRecord:
 
     @property
     def kappa(self) -> int:
-        """Maximum contention: the longest read or write queue at any cell.
+        """Maximum contention: the most distinct processors at any one cell.
 
         A phase with no reads or writes has contention 1 by definition
         (Section 2.1).

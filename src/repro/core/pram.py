@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.machine import SharedMemoryMachine
+from repro.core.machine import Collided, Phase, SharedMemoryMachine
 from repro.core.phase import PhaseRecord
 
 __all__ = ["PRAMParams", "PRAM", "ConcurrencyViolation"]
@@ -113,12 +113,17 @@ class PRAM(SharedMemoryMachine):
                         f"{queue} concurrent writers of cell {addr} on a {variant} PRAM"
                     )
 
-    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
+    def _resolve_writes(self, phase: Phase) -> None:
+        if not phase._write_collision:
+            self._apply_single_writes(phase)
+            return
         rule = self.params.write_rule
-        for addr, entries in writes.items():
-            if len(entries) == 1:
-                self._memory[addr] = entries[0][1]
+        for addr, entry in phase._writes.items():
+            kind = type(entry)
+            if kind is not Collided:
+                self._memory[addr] = entry[1] if kind is tuple else entry
                 continue
+            entries = entry
             # Only reachable on the CRCW (others raised during costing).
             if rule == "common":
                 values = {repr(v) for _, v in entries}

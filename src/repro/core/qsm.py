@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.cost import qsm_phase_cost
-from repro.core.machine import SharedMemoryMachine
+from repro.core.machine import Collided, Phase, SharedMemoryMachine
 from repro.core.params import QSMParams
 from repro.core.phase import PhaseRecord
 
@@ -47,16 +47,24 @@ class QSM(SharedMemoryMachine):
     def _phase_cost(self, record: PhaseRecord) -> float:
         return qsm_phase_cost(record, self.params)
 
-    def _resolve_writes(self, writes: Dict[int, List[Tuple[int, Any]]]) -> None:
-        for addr, entries in writes.items():
-            if len(entries) == 1:
-                self._memory[addr] = entries[0][1]
-            else:
+    def _resolve_writes(self, phase: Phase) -> None:
+        if not phase._write_collision:
+            # Every cell has exactly one writer — no arbitration needed, so
+            # the whole phase lands through the bulk paths.
+            self._apply_single_writes(phase)
+            return
+        memory = self._memory
+        rng_integers = self._rng.integers
+        for addr, entry in phase._writes.items():
+            kind = type(entry)
+            if kind is Collided:
                 # Arbitrary-winner concurrent write: the value present at the
                 # end of the phase is one of the written values, chosen by
                 # the machine, not the algorithm.
-                winner = int(self._rng.integers(0, len(entries)))
-                self._memory[addr] = entries[winner][1]
+                winner = int(rng_integers(0, len(entry)))
+                memory[addr] = entry[winner][1]
+            else:
+                memory[addr] = entry[1] if kind is tuple else entry
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -38,11 +38,24 @@ class PhaseTrace:
     def from_phase(cls, index: int, phase: "Phase") -> "PhaseTrace":  # noqa: F821
         reads: Dict[int, list] = {}
         for handle in phase._reads:
-            reads.setdefault(handle.proc, []).append(handle.addr)
+            block_addrs = getattr(handle, "addrs", None)
+            if block_addrs is None:  # scalar ReadHandle
+                reads.setdefault(handle.proc, []).append(handle.addr)
+            else:  # BlockReadHandle
+                reads.setdefault(handle.proc, []).extend(block_addrs)
+        from repro.core.machine import Collided
+
         writes: Dict[int, list] = {}
-        for addr, entries in phase._writes.items():
-            for proc, value in entries:
-                writes.setdefault(proc, []).append((addr, value))
+        for addr, entry in phase._writes.items():
+            kind = type(entry)
+            if kind is Collided:
+                for proc, value in entry:
+                    writes.setdefault(proc, []).append((addr, value))
+            elif kind is tuple:
+                writes.setdefault(entry[0], []).append((addr, entry[1]))
+            else:  # bare value from the bulk path; writer from block origins
+                proc = phase._first_writer(addr)
+                writes.setdefault(proc, []).append((addr, entry))
         return cls(
             index=index,
             reads={p: tuple(a) for p, a in reads.items()},

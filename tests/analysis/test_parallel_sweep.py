@@ -1,0 +1,113 @@
+"""The multiprocessing sweep runner: drop-in equality, caching, seeding."""
+
+import json
+import os
+
+import pytest
+
+# Alias: the repo's pytest config also collects ``bench_*`` functions, so a
+# bare ``bench_cache_path`` import would be picked up as a benchmark target.
+from repro.analysis.parallel_sweep import bench_cache_path as cache_path_for
+from repro.analysis.parallel_sweep import (
+    JOBS_ENV,
+    default_jobs,
+    derive_point_seed,
+    parallel_sweep,
+    point_key,
+)
+from repro.analysis.sweep import sweep
+
+GRID = {"n": [4, 8], "g": [1.0, 2.0]}
+
+
+def run_point(n, g):
+    return {"measured": n * g, "correct": True, "bound": float(n), "tag": f"{n}:{g}"}
+
+
+def run_seeded(n, g, seed=None):
+    return {"measured": float(n), "correct": True, "seed_used": seed}
+
+
+def run_forbidden(n, g):
+    raise AssertionError("point should have been served from the cache")
+
+
+CALLS = []
+
+
+def run_counting(n, g):
+    CALLS.append((n, g))
+    return {"measured": float(n * g), "correct": True}
+
+
+class TestDropIn:
+    def test_parallel_matches_serial(self):
+        serial = sweep(GRID, run_point)
+        parallel = parallel_sweep(GRID, run_point, jobs=2)
+        assert parallel == serial
+
+    def test_jobs_one_needs_no_pickling(self):
+        grid = {"n": [2, 3]}
+        closure = lambda n: {"measured": float(n), "correct": True}  # noqa: E731
+        points = parallel_sweep(grid, closure, jobs=1)
+        assert [p.measured for p in points] == [2.0, 3.0]
+
+
+class TestCache:
+    def test_completed_points_are_skipped(self, tmp_path):
+        cache = str(tmp_path / "BENCH_test.json")
+        first = parallel_sweep(GRID, run_point, jobs=1, cache_path=cache)
+        assert os.path.exists(cache)
+        # Every point is cached, so a rerun never calls run at all.
+        second = parallel_sweep(GRID, run_forbidden, jobs=1, cache_path=cache)
+        assert second == first
+
+    def test_partial_cache_runs_only_missing_points(self, tmp_path):
+        cache = str(tmp_path / "BENCH_partial.json")
+        parallel_sweep({"n": [4], "g": [1.0]}, run_counting, jobs=1, cache_path=cache)
+        CALLS.clear()
+        points = parallel_sweep(GRID, run_counting, jobs=1, cache_path=cache)
+        assert len(points) == 4
+        assert sorted(CALLS) == [(4, 2.0), (8, 1.0), (8, 2.0)]  # (4, 1.0) cached
+
+    def test_cache_file_is_json_keyed_by_point(self, tmp_path):
+        cache = str(tmp_path / "BENCH_keys.json")
+        parallel_sweep(GRID, run_point, jobs=1, cache_path=cache)
+        with open(cache, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert set(data) == {point_key(p) for p in
+                             ({"n": n, "g": g} for n in GRID["n"] for g in GRID["g"])}
+
+    def test_bench_cache_path_convention(self, tmp_path):
+        path = cache_path_for("t1a parity", root=str(tmp_path))
+        assert path == str(tmp_path / "BENCH_t1a_parity.json")
+
+
+class TestSeeding:
+    def test_seed_depends_only_on_point(self):
+        a = derive_point_seed(0, {"n": 4, "g": 2.0})
+        b = derive_point_seed(0, {"g": 2.0, "n": 4})  # key order is irrelevant
+        assert a == b
+        assert derive_point_seed(0, {"n": 8, "g": 2.0}) != a
+        assert derive_point_seed(1, {"n": 4, "g": 2.0}) != a
+        assert 0 <= a < 2**63
+
+    def test_seed_arg_injects_derived_seeds(self):
+        points = parallel_sweep(GRID, run_seeded, jobs=1, seed_arg="seed", base_seed=5)
+        for p in points:
+            assert p.extra["seed_used"] == derive_point_seed(5, p.params)
+
+    def test_parallel_seeding_matches_serial(self):
+        serial = parallel_sweep(GRID, run_seeded, jobs=1, seed_arg="seed")
+        parallel = parallel_sweep(GRID, run_seeded, jobs=2, seed_arg="seed")
+        assert parallel == serial
+
+
+class TestJobs:
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+
+    def test_bad_env_var_falls_back(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert default_jobs() >= 1

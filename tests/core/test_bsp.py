@@ -109,3 +109,77 @@ class TestCosting:
                 ss.local(0, 1)
         assert b.time == 15.0
         assert b.superstep_count == 3
+
+
+class TestCommitFailure:
+    def test_commit_raise_releases_the_machine(self, monkeypatch):
+        # A superstep whose *commit* raises (not just whose body aborts) must
+        # still release the step lock, or every later superstep dies with
+        # PhaseClosedError.
+        import repro.core.bsp as bsp_mod
+
+        b = BSP(2, BSPParams(g=1, L=1))
+
+        def boom(record, params):
+            raise RuntimeError("cost model exploded")
+
+        monkeypatch.setattr(bsp_mod, "bsp_superstep_cost", boom)
+        with pytest.raises(RuntimeError):
+            with b.superstep() as ss:
+                ss.send(0, 1, "m")
+        monkeypatch.undo()
+
+        with b.superstep() as ss:
+            ss.send(0, 1, "after")
+        assert b.inbox(1) == [(0, "after")]
+        assert b.superstep_count == 1  # the failed superstep never committed
+
+
+class TestSendBlock:
+    def test_equivalent_to_scalar_sends(self):
+        scalar, block = BSP(3, BSPParams(g=2, L=2)), BSP(3, BSPParams(g=2, L=2))
+        msgs = [(1, "a"), (2, "b"), (1, "c")]
+        with scalar.superstep() as ss:
+            for dst, payload in msgs:
+                ss.send(0, dst, payload)
+        with block.superstep() as ss:
+            ss.send_block(0, msgs)
+        assert scalar.history == block.history
+        assert scalar.step_costs == block.step_costs
+        assert all(scalar.inbox(i) == block.inbox(i) for i in range(3))
+
+    def test_preserves_per_sender_issue_order(self):
+        b = BSP(2)
+        with b.superstep() as ss:
+            ss.send_block(1, [(0, "first"), (0, "second")])
+            ss.send_block(0, [(0, "self1")])
+        # Delivery is sorted by sender, ties in issue order.
+        assert b.inbox(0) == [(0, "self1"), (1, "first"), (1, "second")]
+
+    def test_empty_block_is_a_no_op(self):
+        b = BSP(2)
+        with b.superstep() as ss:
+            ss.send_block(0, [])
+            ss.local(0, 1)
+        assert b.history[0].sent_per_proc == {}
+
+    def test_bad_destination_type_rejected(self):
+        b = BSP(2)
+        with pytest.raises(TypeError):
+            with b.superstep() as ss:
+                ss.send_block(0, [(1, "ok"), ("x", "bad")])
+
+    def test_destination_out_of_range_rejected(self):
+        b = BSP(2)
+        with pytest.raises(ValueError):
+            with b.superstep() as ss:
+                ss.send_block(0, [(1, "ok"), (2, "bad")])
+
+    def test_malformed_row_rejected(self):
+        b = BSP(4)
+        with pytest.raises((TypeError, ValueError)):
+            with b.superstep() as ss:
+                ss.send_block(0, [(1, "ok"), (2, "bad", "extra")])
+        with b.superstep() as ss:
+            ss.send(0, 1, "still works")
+        assert b.inbox(1) == [(0, "still works")]

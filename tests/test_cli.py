@@ -7,7 +7,9 @@ from repro.cli import EXPERIMENTS, main
 
 class TestCLI:
     def test_experiment_registry_covers_design_index(self):
-        assert set(EXPERIMENTS) == {"t1a", "t1b", "t1c", "t1d", "s8", "rel", "lb", "abl"}
+        assert set(EXPERIMENTS) == {
+            "t1a", "t1b", "t1c", "t1d", "s8", "rel", "lb", "abl", "perf",
+        }
 
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["nope"]) == 2
