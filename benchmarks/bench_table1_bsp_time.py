@@ -7,14 +7,18 @@ cell's bound, that Parity deterministic is Theta-tight, and the L-response
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks.common import CellRow, print_rows, summarise_cell
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
+from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
 from repro.algorithms.compaction import lac_bsp
 from repro.algorithms.or_ import or_bsp
 from repro.algorithms.parity import parity_bsp
 from repro.core import BSP, BSPParams
 from repro.lowerbounds.formulas import bounds_for
+from repro.obs import dominant_fractions
 from repro.problems import (
     gen_bits,
     gen_sparse_array,
@@ -28,9 +32,10 @@ P = 64
 G, L = 2.0, 16.0
 
 
-def _run_cell(problem: str, variant: str, n: int, p: int, g: float, L_: float) -> CellRow:
+def _run_cell_with_costs(problem: str, variant: str, n: int, p: int, g: float, L_: float):
+    """Run one cell on a cost-recording BSP; return (row, fractions)."""
     bound_entry = bounds_for(table="1c", problem=problem, variant=variant)[0]
-    b = BSP(p, BSPParams(g=g, L=L_))
+    b = BSP(p, BSPParams(g=g, L=L_), record_costs=True)
     if problem == "Parity":
         bits = gen_bits(n, seed=n + p)
         r = parity_bsp(b, bits)
@@ -44,7 +49,8 @@ def _run_cell(problem: str, variant: str, n: int, p: int, g: float, L_: float) -
         arr = gen_sparse_array(n, h, seed=n, exact=True)
         r = lac_bsp(b, arr, h=h)
         correct = verify_lac(arr, r.value, h)
-    return CellRow(
+    fractions = dominant_fractions(b)
+    row = CellRow(
         problem,
         variant,
         n,
@@ -52,16 +58,48 @@ def _run_cell(problem: str, variant: str, n: int, p: int, g: float, L_: float) -
         r.time,
         bound_entry.fn(n, g, L_, p),
         correct,
+        dominant=format_dominant(fractions),
     )
+    return row, fractions
+
+
+def _run_cell(problem: str, variant: str, n: int, p: int, g: float, L_: float) -> CellRow:
+    return _run_cell_with_costs(problem, variant, n, p, g, L_)[0]
+
+
+def run_t1c_point(problem: str, variant: str, n: int):
+    """One grid point as a :func:`parallel_sweep` outcome (picklable)."""
+    row, fractions = _run_cell_with_costs(problem, variant, n, P, G, L)
+    return {
+        "measured": row.measured,
+        "bound": row.bound,
+        "correct": row.correct,
+        "dominant_terms": fractions,
+    }
 
 
 def collect_rows():
-    rows = []
-    for problem in ("LAC", "OR", "Parity"):
-        for variant in ("deterministic", "randomized"):
-            for n in NS:
-                rows.append(_run_cell(problem, variant, n, P, G, L))
-    return rows
+    grid = {
+        "problem": ["LAC", "OR", "Parity"],
+        "variant": ["deterministic", "randomized"],
+        "n": NS,
+    }
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = bench_cache_path("t1c_bsp_time", root=cache_dir) if cache_dir else None
+    points = parallel_sweep(grid, run_t1c_point, cache_path=cache)
+    return [
+        CellRow(
+            p.params["problem"],
+            p.params["variant"],
+            p.params["n"],
+            f"p={P},g={G:g},L={L:g}",
+            p.measured,
+            p.bound,
+            p.correct,
+            dominant=format_dominant(p.dominant_terms),
+        )
+        for p in points
+    ]
 
 
 def L_response():

@@ -23,13 +23,14 @@ import os
 
 import pytest
 
-from benchmarks.common import CellRow, ns_from_env, print_rows, summarise_cell
+from benchmarks.common import CellRow, format_dominant, ns_from_env, print_rows, summarise_cell
 from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
 from repro.algorithms.compaction import lac_dart, lac_prefix
 from repro.algorithms.or_ import or_tree_writes
 from repro.algorithms.parity import parity_blocks
 from repro.core import QSM, QSMParams
 from repro.lowerbounds.formulas import bounds_for, qsm_parity_det_time_concurrent_reads
+from repro.obs import dominant_fractions
 from repro.problems import (
     gen_bits,
     gen_sparse_array,
@@ -42,9 +43,10 @@ NS = ns_from_env([2**8, 2**10, 2**12])
 G = 8.0
 
 
-def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
+def _run_cell_with_costs(problem: str, variant: str, n: int, g: float):
+    """Run one cell on a cost-recording QSM; return (row, dominant fractions)."""
     bound_entry = bounds_for(table="1a", problem=problem, variant=variant)[0]
-    m = QSM(QSMParams(g=g))
+    m = QSM(QSMParams(g=g), record_costs=True)
     if problem == "Parity":
         bits = gen_bits(n, seed=n)
         r = parity_blocks(m, bits)
@@ -64,13 +66,32 @@ def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
             r = lac_prefix(m, arr, h=h)
         correct = verify_lac(arr, r.value, h)
         bound = bound_entry.fn(n, g)
-    return CellRow(problem, variant, n, f"g={g:g}", r.time, bound, correct)
+    fractions = dominant_fractions(m)
+    row = CellRow(
+        problem, variant, n, f"g={g:g}", r.time, bound, correct,
+        dominant=format_dominant(fractions),
+    )
+    return row, fractions
+
+
+def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
+    return _run_cell_with_costs(problem, variant, n, g)[0]
 
 
 def run_t1a_point(problem: str, variant: str, n: int):
-    """One grid point as a :func:`parallel_sweep` outcome (picklable)."""
-    row = _run_cell(problem, variant, n, G)
-    return {"measured": row.measured, "bound": row.bound, "correct": row.correct}
+    """One grid point as a :func:`parallel_sweep` outcome (picklable).
+
+    ``dominant_terms`` rides along in the outcome's extras, so the
+    ``BENCH_t1a_qsm_time.json`` cache records why each point cost what it
+    did (e.g. a kappa-bound vs bandwidth-bound crossover as ``g`` varies).
+    """
+    row, fractions = _run_cell_with_costs(problem, variant, n, G)
+    return {
+        "measured": row.measured,
+        "bound": row.bound,
+        "correct": row.correct,
+        "dominant_terms": fractions,
+    }
 
 
 def collect_rows():
@@ -95,6 +116,7 @@ def collect_rows():
             p.measured,
             p.bound,
             p.correct,
+            dominant=format_dominant(p.dominant_terms),
         )
         for p in points
     ]
@@ -109,7 +131,7 @@ def lac_nproc_rows():
     for n in NS:
         h = max(1, n // 16)
         arr = gen_sparse_array(n, h, seed=n, exact=True)
-        m = QSM(QSMParams(g=G))
+        m = QSM(QSMParams(g=G), record_costs=True)
         r = lac_dart(m, arr, h=h, seed=n)
         rows.append(
             CellRow(
@@ -120,6 +142,7 @@ def lac_nproc_rows():
                 r.time,
                 qsm_lac_rand_time_nproc(n, G),
                 verify_lac(arr, r.value, h),
+                dominant=format_dominant(dominant_fractions(m)),
             )
         )
     return rows
@@ -130,7 +153,7 @@ def concurrent_reads_rows():
     rows = []
     for n in NS:
         g = 8.0
-        m = QSM(QSMParams(g=g, unit_time_concurrent_reads=True))
+        m = QSM(QSMParams(g=g, unit_time_concurrent_reads=True), record_costs=True)
         bits = gen_bits(n, seed=n)
         r = parity_blocks(m, bits)
         rows.append(
@@ -142,6 +165,7 @@ def concurrent_reads_rows():
                 r.time,
                 qsm_parity_det_time_concurrent_reads(n, g),
                 verify_parity(bits, r.value),
+                dominant=format_dominant(dominant_fractions(m)),
             )
         )
     return rows

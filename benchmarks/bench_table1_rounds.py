@@ -10,9 +10,13 @@ that simple prefix-sums-style algorithms match the round lower bounds.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks.common import CellRow, print_rows, summarise_cell
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
+from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
+from repro.obs import dominant_fractions
 from repro.algorithms.compaction import lac_bsp, lac_prefix_rounds
 from repro.algorithms.or_ import or_bsp, or_rounds
 from repro.algorithms.parity import parity_bsp, parity_rounds
@@ -28,15 +32,18 @@ from repro.problems import (
 )
 
 SWEEP = [(2**10, 2**5), (2**12, 2**6), (2**14, 2**7)]  # (n, p): n/p = 32..128
+#: The sweep is a paired (n, p) diagonal, not a cartesian grid; the sweep
+#: grid iterates over n and looks the matching p up here.
+P_FOR = {n: p for n, p in SWEEP}
 G, L = 4.0, 16.0
 
 
 def _machine(model: str, p: int):
     if model == "QSM":
-        return QSM(QSMParams(g=G))
+        return QSM(QSMParams(g=G), record_costs=True)
     if model == "s-QSM":
-        return SQSM(SQSMParams(g=G))
-    return BSP(p, BSPParams(g=G, L=L))
+        return SQSM(SQSMParams(g=G), record_costs=True)
+    return BSP(p, BSPParams(g=G, L=L), record_costs=True)
 
 
 def _bound(model: str, problem: str, n: int, p: int) -> float:
@@ -46,7 +53,8 @@ def _bound(model: str, problem: str, n: int, p: int) -> float:
     return entry.fn(n, G, p)
 
 
-def _run_cell(model: str, problem: str, n: int, p: int) -> CellRow:
+def _run_cell_with_costs(model: str, problem: str, n: int, p: int):
+    """Run one rounds cell on a cost-recording machine; return (row, fractions)."""
     m = _machine(model, p)
     aud = RoundAuditor(m, n=n, p=p, constant=1.0)
     if problem == "Parity":
@@ -67,18 +75,51 @@ def _run_cell(model: str, problem: str, n: int, p: int) -> CellRow:
         correct = verify_lac(arr, r.value, h)
     aud.audit()
     correct = correct and aud.computes_in_rounds
-    return CellRow(
-        problem, model, n, f"p={p}", float(aud.rounds), _bound(model, problem, n, p), correct
+    fractions = dominant_fractions(m)
+    row = CellRow(
+        problem, model, n, f"p={p}", float(aud.rounds), _bound(model, problem, n, p),
+        correct, dominant=format_dominant(fractions),
     )
+    return row, fractions
+
+
+def _run_cell(model: str, problem: str, n: int, p: int) -> CellRow:
+    return _run_cell_with_costs(model, problem, n, p)[0]
+
+
+def run_t1d_point(model: str, problem: str, n: int):
+    """One grid point as a :func:`parallel_sweep` outcome (picklable)."""
+    row, fractions = _run_cell_with_costs(model, problem, n, P_FOR[n])
+    return {
+        "measured": row.measured,
+        "bound": row.bound,
+        "correct": row.correct,
+        "dominant_terms": fractions,
+    }
 
 
 def collect_rows():
-    rows = []
-    for problem in ("LAC", "OR", "Parity"):
-        for model in ("QSM", "s-QSM", "BSP"):
-            for n, p in SWEEP:
-                rows.append(_run_cell(model, problem, n, p))
-    return rows
+    grid = {
+        "problem": ["LAC", "OR", "Parity"],
+        "model": ["QSM", "s-QSM", "BSP"],
+        "n": [n for n, _ in SWEEP],
+    }
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = bench_cache_path("t1d_rounds", root=cache_dir) if cache_dir else None
+    points = parallel_sweep(grid, run_t1d_point, cache_path=cache)
+    return [
+        CellRow(
+            p.params["problem"],
+            p.params["model"],
+            p.params["n"],
+            f"p={P_FOR[p.params['n']]}",
+            p.measured,
+            p.bound,
+            p.correct,
+            dominant=format_dominant(p.dominant_terms),
+        )
+        for p in points
+    ]
 
 
 def main() -> None:

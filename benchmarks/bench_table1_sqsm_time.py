@@ -8,14 +8,18 @@ verifies the linear-in-g response all six formulas share on this model.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks.common import CellRow, print_rows, summarise_cell
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
+from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
 from repro.algorithms.compaction import lac_dart, lac_prefix
 from repro.algorithms.or_ import or_tree_writes
 from repro.algorithms.parity import parity_tree
 from repro.core import SQSM, SQSMParams
 from repro.lowerbounds.formulas import bounds_for
+from repro.obs import dominant_fractions
 from repro.problems import (
     gen_bits,
     gen_sparse_array,
@@ -28,9 +32,10 @@ NS = [2**8, 2**10, 2**12]
 G = 4.0
 
 
-def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
+def _run_cell_with_costs(problem: str, variant: str, n: int, g: float):
+    """Run one cell on a cost-recording s-QSM; return (row, fractions)."""
     bound_entry = bounds_for(table="1b", problem=problem, variant=variant)[0]
-    m = SQSM(SQSMParams(g=g))
+    m = SQSM(SQSMParams(g=g), record_costs=True)
     if problem == "Parity":
         bits = gen_bits(n, seed=n)
         r = parity_tree(m, bits)
@@ -47,16 +52,51 @@ def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
         else:
             r = lac_prefix(m, arr, h=h)
         correct = verify_lac(arr, r.value, h)
-    return CellRow(problem, variant, n, f"g={g:g}", r.time, bound_entry.fn(n, g), correct)
+    fractions = dominant_fractions(m)
+    row = CellRow(
+        problem, variant, n, f"g={g:g}", r.time, bound_entry.fn(n, g), correct,
+        dominant=format_dominant(fractions),
+    )
+    return row, fractions
+
+
+def _run_cell(problem: str, variant: str, n: int, g: float) -> CellRow:
+    return _run_cell_with_costs(problem, variant, n, g)[0]
+
+
+def run_t1b_point(problem: str, variant: str, n: int):
+    """One grid point as a :func:`parallel_sweep` outcome (picklable)."""
+    row, fractions = _run_cell_with_costs(problem, variant, n, G)
+    return {
+        "measured": row.measured,
+        "bound": row.bound,
+        "correct": row.correct,
+        "dominant_terms": fractions,
+    }
 
 
 def collect_rows():
-    rows = []
-    for problem in ("LAC", "OR", "Parity"):
-        for variant in ("deterministic", "randomized"):
-            for n in NS:
-                rows.append(_run_cell(problem, variant, n, G))
-    return rows
+    grid = {
+        "problem": ["LAC", "OR", "Parity"],
+        "variant": ["deterministic", "randomized"],
+        "n": NS,
+    }
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = bench_cache_path("t1b_sqsm_time", root=cache_dir) if cache_dir else None
+    points = parallel_sweep(grid, run_t1b_point, cache_path=cache)
+    return [
+        CellRow(
+            p.params["problem"],
+            p.params["variant"],
+            p.params["n"],
+            f"g={G:g}",
+            p.measured,
+            p.bound,
+            p.correct,
+            dominant=format_dominant(p.dominant_terms),
+        )
+        for p in points
+    ]
 
 
 def g_response():

@@ -27,6 +27,7 @@ __all__ = [
     "CellRow",
     "summarise_cell",
     "print_rows",
+    "format_dominant",
     "HEADERS",
     "PerfRow",
     "print_perf_rows",
@@ -34,7 +35,26 @@ __all__ = [
     "ns_from_env",
 ]
 
-HEADERS = ["problem", "variant", "n", "params", "measured", "bound", "ratio", "verdict"]
+HEADERS = [
+    "problem", "variant", "n", "params", "measured", "bound", "ratio",
+    "dominant", "verdict",
+]
+
+
+def format_dominant(fractions: Optional[Dict[str, float]]) -> str:
+    """Compact rendering of dominant-term fractions for table cells.
+
+    ``{"kappa": 0.62, "g*m_rw": 0.38}`` -> ``"kappa 62%, g*m_rw 38%"``
+    (largest share first; shares under 1% are dropped to keep rows short).
+    """
+    if not fractions:
+        return "-"
+    parts = [
+        f"{term} {share:.0%}"
+        for term, share in sorted(fractions.items(), key=lambda kv: -kv[1])
+        if share >= 0.01
+    ]
+    return ", ".join(parts) if parts else "-"
 
 PERF_HEADERS = ["path", "n", "ops", "seconds", "ops/sec", "speedup", "note"]
 
@@ -98,6 +118,9 @@ class CellRow:
     measured: float
     bound: float
     correct: bool
+    #: Dominant-term rendering ("kappa 62%, g*m_rw 38%"); "-" when the run
+    #: did not record cost provenance.  See repro.obs / format_dominant.
+    dominant: str = "-"
 
     @property
     def ratio(self) -> float:
@@ -131,6 +154,7 @@ def print_rows(title: str, rows: Sequence[CellRow], verdicts: Dict[tuple, str]) 
                 r.measured,
                 round(r.bound, 2),
                 round(r.ratio, 2),
+                r.dominant,
                 verdicts.get((r.problem, r.variant), "?"),
             ]
         )

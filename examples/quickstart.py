@@ -4,6 +4,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.algorithms.parity import parity_tree
+from repro.analysis.timeline import explain, explain_summary
 from repro.core import SQSM, SQSMParams
 from repro.lowerbounds.formulas import sqsm_parity_det_time
 from repro.problems import gen_bits, verify_parity
@@ -13,8 +14,10 @@ def main() -> None:
     n, g = 1024, 4.0
 
     # 1. Build an s-QSM with gap parameter g.  The machine charges every
-    #    phase the Section 2 cost max(m_op, g*m_rw, g*kappa).
-    machine = SQSM(SQSMParams(g=g))
+    #    phase the Section 2 cost max(m_op, g*m_rw, g*kappa).  With
+    #    record_costs=True it also keeps a PhaseCostRecord per phase
+    #    (term values, dominant term, contention histogram) — see repro.obs.
+    machine = SQSM(SQSMParams(g=g), record_costs=True)
 
     # 2. Run the Section 8 parity algorithm (binary read-combining tree).
     bits = gen_bits(n, seed=7)
@@ -29,6 +32,14 @@ def main() -> None:
     print(f"  simulated time  : {result.time:g}")
     print(f"  Table 1b bound  : {bound:g}   (Theta(g log n), tight)")
     print(f"  measured/bound  : {result.time / bound:.2f}  (constant, by tightness)")
+
+    # 4. Where did the time go?  The per-phase breakdown shows each phase's
+    #    charge and which term of the cost max() set it; the summary
+    #    aggregates the run into cost-weighted dominant-term shares.
+    print()
+    print(explain(machine, limit=6))
+    print()
+    print(explain_summary(machine))
 
 
 if __name__ == "__main__":

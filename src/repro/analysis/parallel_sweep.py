@@ -26,6 +26,15 @@ so an interrupted sweep resumes where it stopped and repeated bench runs
 give the repository a perf trajectory for free.  Cached outcomes round-trip
 through JSON: keep ``extra`` values JSON-serializable if you rely on the
 cache.
+
+Cost provenance
+---------------
+The Table 1 drivers run their machines with ``record_costs=True`` and put
+``dominant_terms`` (the cost-weighted dominant-term fractions of
+:func:`repro.obs.records.dominant_fractions`) into each outcome dict, so
+every persisted ``BENCH_*.json`` point records *why* it cost what it did —
+``SweepPoint.dominant_terms`` reads it back.  The fractions are plain
+``{term: float}`` dicts and survive the JSON round trip unchanged.
 """
 
 from __future__ import annotations

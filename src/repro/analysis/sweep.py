@@ -32,6 +32,27 @@ class SweepPoint:
             return None
         return self.measured / self.bound
 
+    @property
+    def dominant_terms(self) -> Optional[Mapping[str, float]]:
+        """Cost-weighted dominant-term fractions, when the run reported them.
+
+        Populated by drivers whose ``run`` callable includes a
+        ``"dominant_terms"`` key (see
+        :func:`repro.obs.records.dominant_fractions`) — e.g.
+        ``{"kappa": 0.62, "g*m_rw": 0.38}`` means 62% of the measured cost
+        came from contention-bound phases.  ``None`` when the run did not
+        record cost provenance.
+        """
+        return self.extra.get("dominant_terms")
+
+    @property
+    def dominant(self) -> Optional[str]:
+        """The single term dominating the largest cost share, if reported."""
+        fractions = self.dominant_terms
+        if not fractions:
+            return None
+        return max(fractions.items(), key=lambda item: item[1])[0]
+
 
 def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     """Enumerate the cartesian grid as parameter dicts, in sweep order.

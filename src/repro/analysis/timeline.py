@@ -5,6 +5,13 @@ Section 2 cost formulas consumed — ``m_op``, ``m_rw``, ``kappa`` (split
 into read and write queues), the big-step count on the GSM, and which term
 of the max() dominated the charge.  This is the first thing to look at when
 an algorithm costs more than expected on some model.
+
+Since the cost-provenance layer landed, the "which term won" logic lives in
+the machines' ``_cost_terms`` hooks (the ``*_cost_terms`` functions of
+:mod:`repro.core.cost`) shared with :mod:`repro.obs`;
+:func:`dominant_term` keeps its historical human-readable labels on top of
+them, and :func:`explain_summary` renders the per-run dominant-term
+aggregation (:func:`repro.obs.summarize`) as one line per term.
 """
 
 from __future__ import annotations
@@ -17,40 +24,37 @@ from repro.core.gsm import GSM
 from repro.core.qsm import QSM
 from repro.core.sqsm import SQSM
 
-__all__ = ["explain", "dominant_term"]
+__all__ = ["explain", "explain_summary", "dominant_term", "TERM_LABELS"]
 
 Machine = Union[QSM, SQSM, GSM, BSP]
+
+#: Cost-term keys (as emitted by the ``*_cost_terms`` functions) to the
+#: human-readable labels ``explain`` tables have always printed.
+TERM_LABELS = {
+    "m_op": "m_op (local)",
+    "g*m_rw": "g*m_rw (requests)",
+    "kappa": "kappa (contention)",
+    "g*kappa": "kappa (contention)",
+    "d*kappa": "kappa (contention)",
+    "mu*ceil(m_rw/alpha)": "m_rw/alpha",
+    "mu*ceil(kappa/beta)": "kappa/beta",
+    "w": "w (local work)",
+    "g*h": "g*h (communication)",
+    "L": "L (latency floor)",
+    "step": "step (unit time)",
+}
+
+
+def term_label(term: str) -> str:
+    """Human-readable label for a cost-term key (identity for unknown keys)."""
+    return TERM_LABELS.get(term, term)
 
 
 def dominant_term(machine: Machine, index: int) -> str:
     """Which term of the phase-cost max() set the charge for phase ``index``."""
-    if isinstance(machine, BSP):
-        rec = machine.history[index]
-        prm = machine.params
-        cost = machine.step_costs[index]
-        if cost == prm.L and prm.L >= max(rec.w, prm.g * rec.h):
-            return "L (latency floor)"
-        if cost == prm.g * rec.h:
-            return "g*h (communication)"
-        return "w (local work)"
-    rec = machine.history[index]
-    cost = machine.phase_costs[index]
-    if isinstance(machine, GSM):
-        return "m_rw/alpha" if rec.m_rw / machine.params.alpha >= rec.kappa / machine.params.beta else "kappa/beta"
-    prm = machine.params
-    g = prm.g
-    if cost == rec.m_op and rec.m_op >= g * rec.m_rw:
-        return "m_op (local)"
-    contention_charge = getattr(prm, "d", None)
-    if isinstance(machine, SQSM):
-        contention_cost = g * rec.kappa
-    elif contention_charge is not None:
-        contention_cost = contention_charge * rec.kappa
-    else:
-        contention_cost = float(rec.kappa)
-    if contention_cost > g * rec.m_rw:
-        return "kappa (contention)"
-    return "g*m_rw (requests)"
+    from repro.obs.records import dominant_of
+
+    return term_label(dominant_of(machine._cost_terms(machine.history[index])))
 
 
 def explain(machine: Machine, limit: int = 50) -> str:
@@ -76,4 +80,32 @@ def explain(machine: Machine, limit: int = 50) -> str:
         ["phase", "m_op", "m_rw", "read q", "write q", "cost", "dominated by"],
         rows,
         title=title,
+    )
+
+
+def explain_summary(machine: Machine) -> str:
+    """Render the run's dominant-term aggregation: one row per term.
+
+    Each row shows how many phases the term won, the summed cost of those
+    phases, and the cost-weighted fraction — the same numbers the Table 1
+    drivers attach to their ``BENCH_*.json`` points.
+    """
+    from repro.obs.records import machine_cost_records, summarize
+
+    summary = summarize(machine_cost_records(machine))
+    rows: List[list] = []
+    for term, phase_count in sorted(
+        summary.dominant_phases.items(),
+        key=lambda item: -summary.dominant_cost[item[0]],
+    ):
+        cost = summary.dominant_cost[term]
+        fraction = summary.fractions.get(term, 0.0)
+        rows.append([term_label(term), phase_count, round(cost, 2), f"{fraction:.1%}"])
+    return render_table(
+        ["dominant term", "phases won", "cost", "share"],
+        rows,
+        title=(
+            f"{machine.model_label} dominant-term summary "
+            f"({summary.phases} phases, total cost {summary.total_cost:g})"
+        ),
     )

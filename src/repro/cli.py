@@ -9,6 +9,13 @@ combined report.  ``python -m repro t1a`` (etc.) runs a single experiment.
 :func:`repro.analysis.parallel_sweep.parallel_sweep` call in the run (it
 exports ``REPRO_JOBS``); ``--jobs 1`` forces serial execution.
 
+``python -m repro trace`` is not an experiment: it runs one algorithm on a
+cost-recording machine, prints the per-phase cost breakdown and the
+dominant-term summary, and (with ``--export chrome|jsonl``) writes the
+phase cost records to a Chrome trace-event file (load it at
+https://ui.perfetto.dev) or a JSONL event stream.  See
+docs/OBSERVABILITY.md.
+
 This is the same code path the pytest benches assert on; the CLI just
 prints without asserting, so it is the cheapest way to regenerate
 EXPERIMENTS.md's numbers.
@@ -20,7 +27,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["main", "EXPERIMENTS", "parse_jobs"]
+__all__ = ["main", "EXPERIMENTS", "parse_jobs", "run_trace"]
 
 
 def _t1a() -> None:
@@ -90,6 +97,76 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
+def run_trace(argv: List[str]) -> int:
+    """``python -m repro trace``: run one algorithm with cost recording on.
+
+    Prints the per-phase cost breakdown (:func:`repro.analysis.timeline.explain`)
+    and the dominant-term summary, then optionally exports the records.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one algorithm on a cost-recording machine and inspect / "
+            "export its per-phase cost provenance."
+        ),
+    )
+    parser.add_argument(
+        "--model", choices=["qsm", "sqsm", "bsp"], default="sqsm",
+        help="machine model to run on (default: sqsm)",
+    )
+    parser.add_argument("--n", type=int, default=256, help="input size (default: 256)")
+    parser.add_argument("--g", type=float, default=4.0, help="bandwidth gap g (default: 4)")
+    parser.add_argument(
+        "--export", choices=["chrome", "jsonl"], default=None, dest="export_format",
+        help="write the cost records to a file (chrome: Perfetto-loadable "
+        "trace-event JSON; jsonl: one PhaseCostRecord per line)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path for --export (default: trace.json / trace.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.algorithms.parity import parity_blocks, parity_bsp, parity_tree
+    from repro.analysis.timeline import explain, explain_summary
+    from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+    from repro.problems import gen_bits, verify_parity
+
+    bits = gen_bits(args.n, seed=args.n)
+    if args.model == "qsm":
+        machine = QSM(QSMParams(g=args.g), record_costs=True)
+        result = parity_blocks(machine, bits)
+    elif args.model == "sqsm":
+        machine = SQSM(SQSMParams(g=args.g), record_costs=True)
+        result = parity_tree(machine, bits)
+    else:
+        machine = BSP(64, BSPParams(g=args.g, L=4 * args.g), record_costs=True)
+        result = parity_bsp(machine, bits)
+    ok = verify_parity(bits, result.value)
+
+    print(f"parity(n={args.n}) on {machine.model_label} (g={args.g:g}): "
+          f"answer {'correct' if ok else 'WRONG'}, cost {result.time:g}\n")
+    print(explain(machine))
+    print()
+    print(explain_summary(machine))
+
+    if args.export_format:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.export_format == "chrome":
+            out = args.out or "trace.json"
+            write_chrome_trace(machine.cost_records, out)
+            print(f"\nwrote Chrome trace-event file to {out} "
+                  "(load it at https://ui.perfetto.dev)")
+        else:
+            out = args.out or "trace.jsonl"
+            write_jsonl(machine.cost_records, out)
+            print(f"\nwrote {len(machine.cost_records)} records to {out}")
+    return 0 if ok else 1
+
+
 def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
     """Strip ``--jobs N`` / ``--jobs=N`` from ``argv``; return (rest, jobs)."""
     rest: List[str] = []
@@ -128,7 +205,10 @@ def main(argv=None) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")
+        print("other commands: trace (cost-provenance inspection; trace --help)")
         return 0
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     chosen = argv or list(EXPERIMENTS)
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:

@@ -20,9 +20,10 @@ from __future__ import annotations
 from collections import Counter
 from itertools import repeat
 from operator import itemgetter
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cost import bsp_superstep_cost
+from repro.core.cost import bsp_cost_terms, bsp_superstep_cost
 from repro.core.machine import PhaseClosedError
 from repro.core.params import BSPParams
 from repro.core.phase import SuperstepRecord
@@ -123,13 +124,23 @@ class Superstep:
 
 
 class BSP:
-    """Bulk-Synchronous Parallel machine with ``p`` components."""
+    """Bulk-Synchronous Parallel machine with ``p`` components.
+
+    ``record_costs=True`` appends a
+    :class:`~repro.obs.records.PhaseCostRecord` per committed superstep to
+    ``bsp.cost_records`` (terms ``L`` / ``g*h`` / ``w``, the dominant
+    term, a received-messages histogram, per-component op counts, wall
+    time), mirroring the shared-memory machines' flag.
+    """
+
+    model_label = "BSP"
 
     def __init__(
         self,
         p: int,
         params: Optional[BSPParams] = None,
         seed: Optional[int] = 0,
+        record_costs: bool = False,
     ) -> None:
         if p < 1:
             raise ValueError(f"BSP needs at least one component, got p={p}")
@@ -140,6 +151,8 @@ class BSP:
         self._inboxes: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
         self.history: List[SuperstepRecord] = []
         self.step_costs: List[float] = []
+        self.record_costs = record_costs
+        self.cost_records: List["PhaseCostRecord"] = []
         self.time: float = 0.0
         self._step_open = False
 
@@ -176,7 +189,10 @@ class BSP:
         if self._step_open:
             raise PhaseClosedError("a superstep is already open; they cannot nest")
         self._step_open = True
-        return Superstep(self)
+        step = Superstep(self)
+        if self.record_costs:
+            step._t_open = perf_counter()
+        return step
 
     def inbox(self, proc: int) -> List[Tuple[int, Any]]:
         """Messages delivered to ``proc`` at the end of the previous superstep.
@@ -195,6 +211,11 @@ class BSP:
         return len(self.history)
 
     # -- internals --------------------------------------------------------------
+
+    def _cost_terms(self, record: SuperstepRecord) -> Dict[str, float]:
+        """Evaluated terms of ``max(w, g*h, L)`` (see
+        :func:`repro.core.cost.bsp_cost_terms` for the tie order)."""
+        return bsp_cost_terms(record, self.params)
 
     def _check_component(self, proc: int) -> None:
         if not isinstance(proc, int) or isinstance(proc, bool):
@@ -221,6 +242,18 @@ class BSP:
         self.history.append(record)
         self.step_costs.append(cost)
         self.time += cost
+        if self.record_costs:
+            from repro.obs.records import build_superstep_cost_record
+
+            self.cost_records.append(
+                build_superstep_cost_record(
+                    record.index,
+                    self._cost_terms(record),
+                    cost,
+                    record,
+                    wall_time=perf_counter() - getattr(step, "_t_open", perf_counter()),
+                )
+            )
         self._step_open = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

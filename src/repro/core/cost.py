@@ -3,21 +3,34 @@
 Keeping the formulas separate from the machines lets the ablation bench
 (`ABL-queue` in DESIGN.md) charge the *same* program under different cost
 rules, and lets tests pin each formula against hand-computed values.
+
+Each ``*_phase_cost`` formula has a ``*_cost_terms`` companion returning
+the evaluated terms of its ``max()`` as an ordered mapping (term name ->
+charged value).  The cost always equals ``max(terms.values())``, and the
+first argmax in mapping order is the phase's *dominant term* — the
+provenance the observability layer (:mod:`repro.obs`) records per phase.
+Term order is canonical per model: local work first, then the bandwidth
+term, then contention/latency, so ties resolve to the cheaper explanation.
 """
 
 from __future__ import annotations
 
 from math import ceil
+from typing import Dict
 
 from repro.core.params import BSPParams, GSMParams, QSMParams, SQSMParams
 from repro.core.phase import PhaseRecord, SuperstepRecord
 
 __all__ = [
     "qsm_phase_cost",
+    "qsm_cost_terms",
     "sqsm_phase_cost",
+    "sqsm_cost_terms",
     "gsm_big_steps",
     "gsm_phase_cost",
+    "gsm_cost_terms",
     "bsp_superstep_cost",
+    "bsp_cost_terms",
 ]
 
 
@@ -36,9 +49,35 @@ def qsm_phase_cost(record: PhaseRecord, params: QSMParams) -> float:
     return max(float(record.m_op), params.g * record.m_rw, kappa)
 
 
+def qsm_cost_terms(record: PhaseRecord, params: QSMParams) -> Dict[str, float]:
+    """The three QSM charge terms: ``m_op``, ``g*m_rw``, ``kappa``.
+
+    With ``params.unit_time_concurrent_reads`` the ``kappa`` entry is the
+    write-queue contention only, matching :func:`qsm_phase_cost`.
+    """
+    if params.unit_time_concurrent_reads:
+        kappa = float(max(1, max(record.write_queue.values(), default=0)))
+    else:
+        kappa = float(record.kappa)
+    return {
+        "m_op": float(record.m_op),
+        "g*m_rw": params.g * record.m_rw,
+        "kappa": kappa,
+    }
+
+
 def sqsm_phase_cost(record: PhaseRecord, params: SQSMParams) -> float:
     """s-QSM phase cost ``max(m_op, g * m_rw, g * kappa)`` (Section 2.1)."""
     return max(float(record.m_op), params.g * record.m_rw, params.g * record.kappa)
+
+
+def sqsm_cost_terms(record: PhaseRecord, params: SQSMParams) -> Dict[str, float]:
+    """The three s-QSM charge terms: ``m_op``, ``g*m_rw``, ``g*kappa``."""
+    return {
+        "m_op": float(record.m_op),
+        "g*m_rw": params.g * record.m_rw,
+        "g*kappa": params.g * record.kappa,
+    }
 
 
 def gsm_big_steps(record: PhaseRecord, params: GSMParams) -> int:
@@ -61,6 +100,37 @@ def gsm_phase_cost(record: PhaseRecord, params: GSMParams) -> float:
     return params.mu * gsm_big_steps(record, params)
 
 
+def gsm_cost_terms(record: PhaseRecord, params: GSMParams) -> Dict[str, float]:
+    """The two GSM big-step charges, each already scaled by ``mu``.
+
+    ``mu * ceil(m_rw/alpha)`` is the charge if bandwidth alone set the
+    big-step count; ``mu * ceil(kappa/beta)`` if contention did.  The max
+    of the two equals :func:`gsm_phase_cost` (``ceil(m_rw/alpha) >= 1``
+    always, since ``m_rw >= 1`` by definition of the records).
+    """
+    mu = params.mu
+    return {
+        "mu*ceil(m_rw/alpha)": mu * ceil(record.m_rw / params.alpha),
+        "mu*ceil(kappa/beta)": mu * ceil(record.kappa / params.beta),
+    }
+
+
 def bsp_superstep_cost(record: SuperstepRecord, params: BSPParams) -> float:
     """BSP superstep cost ``max(w, g * h, L)`` (Section 2.1)."""
     return max(float(record.w), params.g * record.h, params.L)
+
+
+def bsp_cost_terms(record: SuperstepRecord, params: BSPParams) -> Dict[str, float]:
+    """The three BSP charge terms: ``L``, ``g*h``, ``w``.
+
+    ``L`` leads the mapping so that a superstep charged exactly the
+    latency floor attributes to ``L`` even when ``g*h`` ties it (the
+    ``bsp_fanin`` design point routes exactly ``L/g`` messages, making
+    ``g*h == L`` ties routine): at the floor, sending fewer messages
+    would not have made the superstep cheaper.
+    """
+    return {
+        "L": float(params.L),
+        "g*h": params.g * record.h,
+        "w": float(record.w),
+    }

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cost import gsm_big_steps, gsm_phase_cost
+from repro.core.cost import gsm_big_steps, gsm_cost_terms, gsm_phase_cost
 from repro.core.machine import Collided, Phase, SharedMemoryMachine
 from repro.core.params import GSMParams
 from repro.core.phase import PhaseRecord
@@ -32,6 +32,8 @@ __all__ = ["GSM"]
 class GSM(SharedMemoryMachine):
     """Generalized Shared Memory machine (strong queuing model)."""
 
+    model_label = "GSM"
+
     def __init__(
         self,
         params: Optional[GSMParams] = None,
@@ -40,6 +42,7 @@ class GSM(SharedMemoryMachine):
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -47,6 +50,7 @@ class GSM(SharedMemoryMachine):
             seed=seed,
             record_trace=record_trace,
             record_snapshots=record_snapshots,
+            record_costs=record_costs,
         )
         self.params = params if params is not None else GSMParams()
         self.big_steps: int = 0
@@ -54,6 +58,9 @@ class GSM(SharedMemoryMachine):
     def _phase_cost(self, record: PhaseRecord) -> float:
         self.big_steps += gsm_big_steps(record, self.params)
         return gsm_phase_cost(record, self.params)
+
+    def _cost_terms(self, record: PhaseRecord):
+        return gsm_cost_terms(record, self.params)
 
     def _resolve_writes(self, phase: Phase) -> None:
         # Strong queuing merges into whatever the cell already holds, so the

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from itertools import repeat
 from operator import itemgetter
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.phase import PhaseRecord
@@ -545,7 +546,17 @@ class SharedMemoryMachine:
         When true, the machine additionally stores per-phase read/write
         address detail (see :mod:`repro.core.trace`) for the lower-bound
         engines.  Off by default because it is memory-heavy on large runs.
+    record_costs:
+        When true, every committed phase also appends a
+        :class:`~repro.obs.records.PhaseCostRecord` (per-term charge
+        values, the dominant term, contention histogram, per-processor op
+        counts, wall time) to ``machine.cost_records``.  Zero-cost when
+        off: the operation-issue paths are untouched and the commit pays
+        a single predicate test.
     """
+
+    #: Model tag used in cost records / result tables; subclasses override.
+    model_label = "shared-memory"
 
     def __init__(
         self,
@@ -554,6 +565,7 @@ class SharedMemoryMachine:
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         if num_processors is not None and num_processors < 1:
             raise ValueError(f"num_processors must be >= 1, got {num_processors}")
@@ -569,16 +581,28 @@ class SharedMemoryMachine:
         self._rng = derive_rng(seed)
         self.record_trace = record_trace
         self.record_snapshots = record_snapshots
+        self.record_costs = record_costs
         self.history: List[PhaseRecord] = []
         self.phase_costs: List[float] = []
         self.traces: List["PhaseTrace"] = []
         self.snapshots: List[Dict[int, Any]] = []
+        self.cost_records: List["PhaseCostRecord"] = []
         self.time: float = 0.0
         self._phase_open = False
 
     # -- subclass hooks ----------------------------------------------------
 
     def _phase_cost(self, record: PhaseRecord) -> float:
+        raise NotImplementedError
+
+    def _cost_terms(self, record: PhaseRecord) -> Dict[str, float]:
+        """Evaluated terms of this model's phase-cost ``max()``.
+
+        Returned in the model's canonical order (see the ``*_cost_terms``
+        functions in :mod:`repro.core.cost`); the first argmax is the
+        phase's dominant term.  Invariant: ``max(terms.values())`` equals
+        :meth:`_phase_cost` of the same record.
+        """
         raise NotImplementedError
 
     def _resolve_writes(self, phase: Phase) -> None:
@@ -617,7 +641,10 @@ class SharedMemoryMachine:
         if self._phase_open:
             raise PhaseClosedError("a phase is already open; phases cannot nest")
         self._phase_open = True
-        return Phase(self)
+        phase = Phase(self)
+        if self.record_costs:
+            phase._t_open = perf_counter()
+        return phase
 
     def peek(self, addr: int) -> Any:
         """Read committed memory without charging cost (test/verifier use only)."""
@@ -710,6 +737,19 @@ class SharedMemoryMachine:
             self.traces.append(PhaseTrace.from_phase(record.index, phase))
         if self.record_snapshots:
             self.snapshots.append(dict(self._memory))
+        if self.record_costs:
+            from repro.obs.records import build_phase_cost_record
+
+            self.cost_records.append(
+                build_phase_cost_record(
+                    record.index,
+                    self.model_label,
+                    self._cost_terms(record),
+                    cost,
+                    record,
+                    wall_time=perf_counter() - getattr(phase, "_t_open", perf_counter()),
+                )
+            )
         self._phase_open = False
 
     def _read_cell(self, addr: int) -> Any:

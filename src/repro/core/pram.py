@@ -65,6 +65,8 @@ class PRAMParams:
 class PRAM(SharedMemoryMachine):
     """Synchronous PRAM; each committed phase is one unit-time step."""
 
+    model_label = "PRAM"
+
     def __init__(
         self,
         params: Optional[PRAMParams] = None,
@@ -73,6 +75,7 @@ class PRAM(SharedMemoryMachine):
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -80,6 +83,7 @@ class PRAM(SharedMemoryMachine):
             seed=seed,
             record_trace=record_trace,
             record_snapshots=record_snapshots,
+            record_costs=record_costs,
         )
         self.params = params if params is not None else PRAMParams()
 
@@ -87,6 +91,10 @@ class PRAM(SharedMemoryMachine):
         self._enforce_step_shape(record)
         self._enforce_concurrency(record)
         return 1.0
+
+    def _cost_terms(self, record: PhaseRecord):
+        # Every legal PRAM step costs unit time; there is no max() to win.
+        return {"step": 1.0}
 
     def _enforce_step_shape(self, record: PhaseRecord) -> None:
         for proc in set(record.reads_per_proc) | set(record.writes_per_proc):

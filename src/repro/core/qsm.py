@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.cost import qsm_phase_cost
+from repro.core.cost import qsm_cost_terms, qsm_phase_cost
 from repro.core.machine import Collided, Phase, SharedMemoryMachine
 from repro.core.params import QSMParams
 from repro.core.phase import PhaseRecord
@@ -26,6 +26,8 @@ __all__ = ["QSM"]
 class QSM(SharedMemoryMachine):
     """Queuing Shared Memory machine."""
 
+    model_label = "QSM"
+
     def __init__(
         self,
         params: Optional[QSMParams] = None,
@@ -34,6 +36,7 @@ class QSM(SharedMemoryMachine):
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -41,11 +44,15 @@ class QSM(SharedMemoryMachine):
             seed=seed,
             record_trace=record_trace,
             record_snapshots=record_snapshots,
+            record_costs=record_costs,
         )
         self.params = params if params is not None else QSMParams()
 
     def _phase_cost(self, record: PhaseRecord) -> float:
         return qsm_phase_cost(record, self.params)
+
+    def _cost_terms(self, record: PhaseRecord):
+        return qsm_cost_terms(record, self.params)
 
     def _resolve_writes(self, phase: Phase) -> None:
         if not phase._write_collision:

@@ -52,8 +52,19 @@ def qsm_gd_phase_cost(record: PhaseRecord, params: QSMGDParams) -> float:
     )
 
 
+def qsm_gd_cost_terms(record: PhaseRecord, params: QSMGDParams):
+    """The three QSM(g,d) charge terms: ``m_op``, ``g*m_rw``, ``d*kappa``."""
+    return {
+        "m_op": float(record.m_op),
+        "g*m_rw": params.g * record.m_rw,
+        "d*kappa": params.d * record.kappa,
+    }
+
+
 class QSMGD(QSM):
     """QSM(g,d) machine: QSM memory semantics, two-gap cost rule."""
+
+    model_label = "QSM(g,d)"
 
     def __init__(
         self,
@@ -63,6 +74,7 @@ class QSMGD(QSM):
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         super().__init__(
             params=None,
@@ -71,11 +83,15 @@ class QSMGD(QSM):
             seed=seed,
             record_trace=record_trace,
             record_snapshots=record_snapshots,
+            record_costs=record_costs,
         )
         self.params = params if params is not None else QSMGDParams()  # type: ignore[assignment]
 
     def _phase_cost(self, record: PhaseRecord) -> float:
         return qsm_gd_phase_cost(record, self.params)
+
+    def _cost_terms(self, record: PhaseRecord):
+        return qsm_gd_cost_terms(record, self.params)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

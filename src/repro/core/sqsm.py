@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cost import sqsm_phase_cost
+from repro.core.cost import sqsm_cost_terms, sqsm_phase_cost
 from repro.core.params import SQSMParams
 from repro.core.phase import PhaseRecord
 from repro.core.qsm import QSM
@@ -26,6 +26,8 @@ class SQSM(QSM):
     identical; only the phase cost differs.
     """
 
+    model_label = "s-QSM"
+
     def __init__(
         self,
         params: Optional[SQSMParams] = None,
@@ -34,6 +36,7 @@ class SQSM(QSM):
         seed: Optional[int] = 0,
         record_trace: bool = False,
         record_snapshots: bool = False,
+        record_costs: bool = False,
     ) -> None:
         sqsm_params = params if params is not None else SQSMParams()
         # Initialise the QSM layer with a structurally compatible parameter
@@ -45,11 +48,15 @@ class SQSM(QSM):
             seed=seed,
             record_trace=record_trace,
             record_snapshots=record_snapshots,
+            record_costs=record_costs,
         )
         self.params = sqsm_params  # type: ignore[assignment]
 
     def _phase_cost(self, record: PhaseRecord) -> float:
         return sqsm_phase_cost(record, self.params)
+
+    def _cost_terms(self, record: PhaseRecord):
+        return sqsm_cost_terms(record, self.params)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -76,12 +76,39 @@ class PhaseTrace:
             out.update(addr for addr, _ in pairs)
         return tuple(sorted(out))
 
+    # Per-address processor indices, built lazily on the first readers_of /
+    # writers_of call and cached on the (frozen) instance.  Adversary
+    # replays query every touched address of large traces; the old linear
+    # membership scans per call made those replays quadratic in trace size.
+
+    def _reader_index(self) -> Dict[int, Tuple[int, ...]]:
+        index = self.__dict__.get("_readers_by_addr")
+        if index is None:
+            by_addr: Dict[int, set] = {}
+            for proc, addrs in self.reads.items():
+                for addr in addrs:
+                    by_addr.setdefault(addr, set()).add(proc)
+            index = {a: tuple(sorted(procs)) for a, procs in by_addr.items()}
+            object.__setattr__(self, "_readers_by_addr", index)
+        return index
+
+    def _writer_index(self) -> Dict[int, Tuple[int, ...]]:
+        index = self.__dict__.get("_writers_by_addr")
+        if index is None:
+            by_addr: Dict[int, set] = {}
+            for proc, pairs in self.writes.items():
+                for addr, _ in pairs:
+                    by_addr.setdefault(addr, set()).add(proc)
+            index = {a: tuple(sorted(procs)) for a, procs in by_addr.items()}
+            object.__setattr__(self, "_writers_by_addr", index)
+        return index
+
     def readers_of(self, addr: int) -> Tuple[int, ...]:
-        """Processor ids that read ``addr`` this phase, sorted."""
-        return tuple(sorted(p for p, addrs in self.reads.items() if addr in addrs))
+        """Processor ids that read ``addr`` this phase, sorted.  O(1) after
+        the first call builds the per-address index."""
+        return self._reader_index().get(addr, ())
 
     def writers_of(self, addr: int) -> Tuple[int, ...]:
-        """Processor ids that wrote ``addr`` this phase, sorted."""
-        return tuple(
-            sorted(p for p, pairs in self.writes.items() if any(a == addr for a, _ in pairs))
-        )
+        """Processor ids that wrote ``addr`` this phase, sorted.  O(1) after
+        the first call builds the per-address index."""
+        return self._writer_index().get(addr, ())

@@ -1,0 +1,55 @@
+"""repro.obs — cost-provenance observability for the model simulators.
+
+Every number the simulators report is an evaluation of a small ``max()``:
+``max(m_op, g*m_rw, kappa)`` on the QSM, ``max(m_op, g*m_rw, g*kappa)`` on
+the s-QSM, ``max(w, g*h, L)`` on the BSP, and ``mu * b`` big-steps on the
+GSM.  This package records *which* term of that max set the charge, phase
+by phase, so a measured curve can be explained rather than just plotted:
+
+* :class:`~repro.obs.records.PhaseCostRecord` — one committed phase or
+  superstep: per-term values, the winning (dominant) term, the contention
+  histogram over cells, per-processor op counts, and wall-clock time.
+* :func:`~repro.obs.records.summarize` /
+  :class:`~repro.obs.records.RunCostSummary` — per-run aggregation into
+  dominant-term counts and cost-weighted dominant-term fractions.
+* :func:`~repro.obs.records.machine_cost_records` — records for any
+  machine, taken live (``record_costs=True``) or rebuilt from the phase
+  history after the fact.
+* :mod:`~repro.obs.exporters` — JSONL event streams
+  (:func:`~repro.obs.exporters.write_jsonl` /
+  :func:`~repro.obs.exporters.read_jsonl` round-trip) and Chrome
+  trace-event JSON (:func:`~repro.obs.exporters.write_chrome_trace`),
+  loadable in Perfetto (https://ui.perfetto.dev) for timeline inspection.
+
+Machines collect records when constructed with ``record_costs=True`` (the
+flag mirrors ``record_trace=``); the collection cost is zero when the flag
+is off — the phase-issue hot paths are untouched and the commit pays one
+predicate test.  See docs/OBSERVABILITY.md for the full schema and a
+worked dominant-term crossover example.
+"""
+
+from repro.obs.records import (
+    PhaseCostRecord,
+    RunCostSummary,
+    dominant_fractions,
+    machine_cost_records,
+    summarize,
+)
+from repro.obs.exporters import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "PhaseCostRecord",
+    "RunCostSummary",
+    "summarize",
+    "dominant_fractions",
+    "machine_cost_records",
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_events",
+]

@@ -52,3 +52,38 @@ class TestPhaseTrace:
             ph.write(0, 0, "a")
             ph.write(1, 0, "b")
         assert g.traces[0].writers_of(0) == (0, 1)
+
+
+class TestLazyAddressIndices:
+    def _trace(self):
+        m = QSM(record_trace=True)
+        with m.phase() as ph:
+            ph.read(0, 0)
+            ph.read(0, 1)
+            ph.read(1, 1)
+        with m.phase() as ph:
+            ph.write(2, 1, "x")
+            ph.write(3, 1, "y")
+        return m.traces
+
+    def test_index_built_once_and_cached(self):
+        t = self._trace()[0]
+        assert "_readers_by_addr" not in t.__dict__
+        first = t.readers_of(1)
+        assert "_readers_by_addr" in t.__dict__
+        index = t.__dict__["_readers_by_addr"]
+        assert t.readers_of(0) == (0,)
+        assert t.__dict__["_readers_by_addr"] is index  # not rebuilt
+        assert first == (0, 1)
+
+    def test_writer_index_cached_independently(self):
+        t = self._trace()[1]
+        assert t.writers_of(1) == (2, 3)
+        assert "_writers_by_addr" in t.__dict__
+        assert "_readers_by_addr" not in t.__dict__
+
+    def test_cache_does_not_break_equality(self):
+        a, b = self._trace()[0], self._trace()[0]
+        assert a == b
+        a.readers_of(1)  # populate a's cache only
+        assert a == b

@@ -1,0 +1,113 @@
+"""JSONL and Chrome trace-event exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import QSM, QSMParams
+from repro.obs import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.records import PhaseCostRecord
+
+
+def sample_records():
+    m = QSM(QSMParams(g=2.0), record_costs=True)
+    m.load([0] * 8)
+    for i in range(4):
+        with m.phase() as ph:
+            for proc in range(i + 1):
+                ph.write(proc, 7, proc)
+            ph.local(0, 3)
+    return m.cost_records
+
+
+class TestJsonl:
+    def test_round_trip_equality_via_path(self, tmp_path):
+        records = sample_records()
+        path = str(tmp_path / "trace.jsonl")
+        assert write_jsonl(records, path) == len(records)
+        assert read_jsonl(path) == records
+
+    def test_round_trip_via_file_object(self):
+        records = sample_records()
+        buf = io.StringIO()
+        write_jsonl(records, buf)
+        buf.seek(0)
+        assert read_jsonl(buf) == records
+
+    def test_one_json_object_per_line(self, tmp_path):
+        records = sample_records()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(records, path)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == len(records)
+        for line in lines:
+            json.loads(line)
+
+    def test_bad_line_reports_line_number(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(sample_records()[0].to_dict()) + "\n")
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self):
+        records = sample_records()
+        buf = io.StringIO()
+        write_jsonl(records, buf)
+        buf.write("\n\n")
+        buf.seek(0)
+        assert read_jsonl(buf) == records
+
+
+class TestChromeTrace:
+    def test_events_have_required_schema(self):
+        events = chrome_trace_events(sample_records(), pid=2, tid=7)
+        assert events
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(ev)
+            assert ev["pid"] == 2 and ev["tid"] == 7
+            assert ev["dur"] >= 0
+
+    def test_ts_monotone_and_end_to_end(self):
+        records = sample_records()
+        events = chrome_trace_events(records)
+        ts = [ev["ts"] for ev in events]
+        assert ts == sorted(ts)
+        # events tile the simulated timeline with no gaps
+        for prev, cur in zip(events, events[1:]):
+            assert cur["ts"] == pytest.approx(prev["ts"] + prev["dur"])
+        assert events[-1]["ts"] + events[-1]["dur"] == pytest.approx(
+            sum(r.cost for r in records)
+        )
+
+    def test_args_carry_provenance(self):
+        records = sample_records()
+        ev = chrome_trace_events(records)[0]
+        assert ev["args"]["terms"] == dict(records[0].terms)
+        assert ev["args"]["dominant"] == records[0].dominant
+        assert ev["name"].endswith(records[0].dominant)
+
+    def test_write_chrome_trace_object_form(self, tmp_path):
+        records = sample_records()
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(records, path) == len(records)
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert isinstance(payload["traceEvents"], list)
+        assert len(payload["traceEvents"]) == len(records)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_empty_records(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        assert write_chrome_trace([], path) == 0
+        with open(path, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["traceEvents"] == []

@@ -1,0 +1,139 @@
+"""Property tests for the cost-provenance invariants.
+
+On random programs, for every model: each phase's recorded charge is the
+max of its term decomposition, the per-term maxima add up to the
+machine's total time, and records rebuilt after the fact agree with live
+ones except for wall time (which only exists live).
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BSP,
+    GSM,
+    QSM,
+    SQSM,
+    BSPParams,
+    GSMParams,
+    QSMParams,
+    SQSMParams,
+)
+from repro.obs import machine_cost_records
+
+N_PROCS = 6
+N_CELLS = 8
+
+# One shared-memory phase: either all-reads or all-writes (reading and
+# writing one cell in the same phase is illegal on the QSM family), plus
+# local work.  Entries are (proc, addr) pairs; locals are (proc, ops).
+accesses = st.lists(
+    st.tuples(st.integers(0, N_PROCS - 1), st.integers(0, N_CELLS - 1)),
+    min_size=1,
+    max_size=10,
+)
+locals_ = st.lists(
+    st.tuples(st.integers(0, N_PROCS - 1), st.integers(1, 5)), max_size=3
+)
+phases = st.lists(
+    st.tuples(st.booleans(), accesses, locals_), min_size=1, max_size=6
+)
+
+
+def run_program(machine, program):
+    machine.load([0] * N_CELLS)
+    for is_read, pairs, local_ops in program:
+        with machine.phase() as ph:
+            if is_read:
+                for proc, addr in pairs:
+                    ph.read(proc, addr)
+            else:
+                for proc, addr in pairs:
+                    ph.write(proc, addr, proc)
+            for proc, ops in local_ops:
+                ph.local(proc, ops)
+    return machine
+
+
+def shared_machines(record_costs):
+    return [
+        QSM(QSMParams(g=3.0), record_costs=record_costs),
+        QSM(QSMParams(g=3.0, unit_time_concurrent_reads=True), record_costs=record_costs),
+        SQSM(SQSMParams(g=2.0), record_costs=record_costs),
+        GSM(GSMParams(alpha=2, beta=3), record_costs=record_costs),
+    ]
+
+
+class TestSharedMemoryInvariants:
+    @given(phases)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_is_max_of_terms(self, program):
+        for machine in shared_machines(record_costs=True):
+            run_program(machine, program)
+            for rec, cost in zip(machine.cost_records, machine.phase_costs):
+                assert rec.cost == max(rec.terms.values()) == cost
+
+    @given(phases)
+    @settings(max_examples=60, deadline=None)
+    def test_term_maxima_sum_to_machine_time(self, program):
+        for machine in shared_machines(record_costs=True):
+            run_program(machine, program)
+            total = sum(max(rec.terms.values()) for rec in machine.cost_records)
+            assert total == machine.time
+
+    @given(phases)
+    @settings(max_examples=40, deadline=None)
+    def test_rebuilt_records_match_live(self, program):
+        for live, cold in zip(
+            shared_machines(record_costs=True), shared_machines(record_costs=False)
+        ):
+            run_program(live, program)
+            run_program(cold, program)
+            assert machine_cost_records(cold) == [
+                replace(rec, wall_time=0.0) for rec in live.cost_records
+            ]
+
+
+# One BSP superstep: messages as (src, dst) pairs plus local work.
+supersteps = st.lists(
+    st.tuples(
+        st.lists(
+            st.tuples(st.integers(0, N_PROCS - 1), st.integers(0, N_PROCS - 1)),
+            max_size=10,
+        ),
+        locals_,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def run_bsp(machine, program):
+    for msgs, local_ops in program:
+        with machine.superstep() as ss:
+            for src, dst in msgs:
+                ss.send(src, dst, (src, dst))
+            for proc, ops in local_ops:
+                ss.local(proc, ops)
+    return machine
+
+
+class TestBSPInvariants:
+    @given(supersteps)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_is_max_of_terms_and_sums_to_time(self, program):
+        machine = run_bsp(BSP(N_PROCS, BSPParams(g=2.0, L=6.0), record_costs=True), program)
+        for rec, cost in zip(machine.cost_records, machine.step_costs):
+            assert rec.cost == max(rec.terms.values()) == cost
+        assert sum(max(r.terms.values()) for r in machine.cost_records) == machine.time
+
+    @given(supersteps)
+    @settings(max_examples=40, deadline=None)
+    def test_rebuilt_records_match_live(self, program):
+        live = run_bsp(BSP(N_PROCS, BSPParams(g=2.0, L=6.0), record_costs=True), program)
+        cold = run_bsp(BSP(N_PROCS, BSPParams(g=2.0, L=6.0)), program)
+        assert machine_cost_records(cold) == [
+            replace(rec, wall_time=0.0) for rec in live.cost_records
+        ]

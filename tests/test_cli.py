@@ -26,3 +26,44 @@ class TestCLI:
         out = capsys.readouterr().out
         assert 'Table 1b: "Time Lower Bounds for s-QSM"' in out
         assert "tight" in out  # the Theta(g log n) parity cell
+
+
+class TestTraceCommand:
+    def test_trace_is_not_an_experiment(self):
+        # the EXPERIMENTS registry stays the DESIGN.md index; trace is a
+        # separately-dispatched subcommand.
+        assert "trace" not in EXPERIMENTS
+
+    def test_trace_prints_breakdown_and_summary(self, capsys):
+        assert main(["trace", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "phase history" in out
+        assert "dominant-term summary" in out
+        assert "g*m_rw" in out
+
+    def test_trace_export_chrome(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--model", "qsm", "--n", "64",
+                     "--export", "chrome", "--out", str(out_file)]) == 0
+        import json
+
+        payload = json.loads(out_file.read_text())
+        events = payload["traceEvents"]
+        assert events
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert all({"ts", "dur", "pid", "tid"} <= set(e) for e in events)
+
+    def test_trace_export_jsonl_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        assert main(["trace", "--model", "bsp", "--n", "64",
+                     "--export", "jsonl", "--out", str(out_file)]) == 0
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(out_file))
+        assert records and all(r.model == "BSP" for r in records)
+
+    def test_trace_help_mentions_exports(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "--help"])
+        assert "chrome" in capsys.readouterr().out

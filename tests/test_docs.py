@@ -1,0 +1,27 @@
+"""Tier-1 wrapper around tools/check_docs.py.
+
+CI has a dedicated ``docs`` job, but running the same checks in the
+ordinary test suite means a dead link or a stale ``file.py:NN``
+cross-reference fails the fast local loop too, not just the workflow.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_docs_references_resolve():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_docs.py"), REPO_ROOT],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        "documentation check failed:\n" + proc.stdout + proc.stderr
+    )

@@ -1,0 +1,144 @@
+"""Documentation reference checker: links, file:line refs, doctests.
+
+Run from the repository root (CI's ``docs`` job does; so does
+``tests/test_docs.py``):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Three checks over ``README.md`` and every ``docs/*.md``:
+
+1. **Relative markdown links** ``[text](target)`` must point at a file
+   or directory that exists (anchors are stripped; ``http(s)://`` and
+   ``mailto:`` links are skipped — this repo's docs must work offline).
+2. **Backticked file:line references** like ``src/repro/core/cost.py:37``
+   must name an existing file, and the line number must not exceed the
+   file's length.  This keeps the MODELS.md / OBSERVABILITY.md
+   cross-references honest as the code moves.
+3. **Doctests** in fenced ```` ```python ```` blocks containing ``>>>``
+   are executed with :mod:`doctest`.  Blocks within one document share a
+   namespace in order, so a later block may use names a former one
+   defined.
+
+Exit status 0 when everything resolves, 1 otherwise (with one line per
+failure).
+"""
+
+from __future__ import annotations
+
+import doctest
+import glob
+import os
+import re
+import sys
+from typing import List, Tuple
+
+#: [text](target) — excluding images; target captured up to the closing paren.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked `path/to/file.ext:123` references.
+_FILE_LINE_RE = re.compile(r"`([\w./-]+\.(?:py|md|txt|json|yml|toml)):(\d+)`")
+
+#: Fenced python code blocks.
+_PY_BLOCK_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def _doc_files(root: str) -> List[str]:
+    files = [os.path.join(root, "README.md")]
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return [f for f in files if os.path.exists(f)]
+
+
+def check_links(root: str, path: str, text: str) -> List[str]:
+    errors = []
+    base = os.path.dirname(path)
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: dead link -> {match.group(1)}")
+    return errors
+
+
+def check_file_line_refs(root: str, path: str, text: str) -> List[str]:
+    errors = []
+    for match in _FILE_LINE_RE.finditer(text):
+        ref_path, ref_line = match.group(1), int(match.group(2))
+        resolved = os.path.join(root, ref_path)
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: dangling file ref -> {ref_path}:{ref_line}")
+            continue
+        with open(resolved, "r", encoding="utf-8") as fh:
+            length = sum(1 for _ in fh)
+        if ref_line < 1 or ref_line > length:
+            errors.append(
+                f"{path}: line out of range -> {ref_path}:{ref_line} "
+                f"(file has {length} lines)"
+            )
+    return errors
+
+
+def run_doctests(path: str, text: str) -> Tuple[List[str], int]:
+    """Execute the document's ``>>>`` examples; returns (errors, n_examples)."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    namespace: dict = {}
+    total = 0
+    errors: List[str] = []
+    for i, match in enumerate(_PY_BLOCK_RE.finditer(text)):
+        block = match.group(1)
+        if ">>>" not in block:
+            continue
+        lineno = text.count("\n", 0, match.start())
+        test = parser.get_doctest(block, namespace, f"{path}[block {i}]", path, lineno)
+        if not test.examples:
+            continue
+        total += len(test.examples)
+        out: List[str] = []
+        result = runner.run(test, out=out.append, clear_globs=False)
+        if result.failed:
+            errors.append(
+                f"{path}: {result.failed} doctest failure(s) in block {i} "
+                f"(near line {lineno + 1}):\n" + "".join(out)
+            )
+        # test ran with `namespace` as globs, so definitions persist to the
+        # next block of the same document.
+        namespace = test.globs
+    return errors, total
+
+
+def main(argv: List[str]) -> int:
+    root = argv[0] if argv else os.getcwd()
+    files = _doc_files(root)
+    if not files:
+        print(f"no documentation files found under {root}", file=sys.stderr)
+        return 1
+    all_errors: List[str] = []
+    checked_links = checked_refs = checked_examples = 0
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        checked_links += len(_LINK_RE.findall(text))
+        checked_refs += len(_FILE_LINE_RE.findall(text))
+        all_errors += check_links(root, path, text)
+        all_errors += check_file_line_refs(root, path, text)
+        doc_errors, examples = run_doctests(path, text)
+        all_errors += doc_errors
+        checked_examples += examples
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    status = "FAIL" if all_errors else "ok"
+    print(
+        f"check_docs: {len(files)} files, {checked_links} links, "
+        f"{checked_refs} file:line refs, {checked_examples} doctest examples "
+        f"-> {status}"
+    )
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
