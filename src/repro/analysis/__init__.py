@@ -14,7 +14,12 @@
 """
 
 from repro.analysis.fit import bounded_ratio, dominance_constant, ratio_trend
-from repro.analysis.parallel_sweep import bench_cache_path, derive_point_seed, parallel_sweep
+from repro.analysis.parallel_sweep import (
+    SweepPointError,
+    bench_cache_path,
+    derive_point_seed,
+    parallel_sweep,
+)
 from repro.analysis.sweep import SweepPoint, grid_points, point_from_outcome, sweep
 from repro.analysis.tables import render_table
 
@@ -26,6 +31,7 @@ __all__ = [
     "grid_points",
     "point_from_outcome",
     "SweepPoint",
+    "SweepPointError",
     "dominance_constant",
     "bounded_ratio",
     "ratio_trend",

@@ -1,11 +1,31 @@
-"""Multiprocessing-backed parameter sweeps — a drop-in for :func:`sweep`.
+"""Multiprocessing-backed parameter sweeps — a fault-tolerant drop-in for
+:func:`sweep`.
 
 Large Table 1 sweeps are embarrassingly parallel: every grid point builds a
 fresh machine, runs one algorithm, and verifies independently.
 :func:`parallel_sweep` farms the grid points out to worker *processes* (one
-task per process via ``maxtasksperchild=1``, so a point can never observe
-another point's interpreter state) and returns the points in the same order
+process per point, so a point can never observe another point's interpreter
+state) and returns the points in the same order
 :func:`repro.analysis.sweep.sweep` would.
+
+Fault tolerance
+---------------
+A long sweep must not lose hours of completed points to one bad grid point
+(see docs/ROBUSTNESS.md for the full contract):
+
+* **Timeouts** — ``timeout`` bounds each point's runtime; a point that
+  exceeds it has its worker process terminated.
+* **Crash isolation** — a worker that dies (segfault, ``os._exit``, OOM
+  kill) fails only its own point; the sweep keeps going.
+* **Retries** — ``retries`` re-runs a failed point up to that many extra
+  times, with exponential ``backoff`` between attempts; a success after
+  retries carries ``extra["sweep_attempts"]``.
+* **Partial results** — with ``on_error="record"``, a point whose attempts
+  are exhausted yields a :class:`SweepPoint` with ``measured=nan``,
+  ``correct=False`` and ``extra["error"]`` (``SweepPoint.failed`` /
+  ``SweepPoint.error`` read it back) instead of aborting the sweep.  The
+  default ``on_error="raise"`` raises :class:`SweepPointError`; either
+  way every outcome completed before the failure persists to the cache.
 
 Determinism
 -----------
@@ -25,7 +45,11 @@ JSON.  Re-runs load the file and only execute grid points that are missing,
 so an interrupted sweep resumes where it stopped and repeated bench runs
 give the repository a perf trajectory for free.  Cached outcomes round-trip
 through JSON: keep ``extra`` values JSON-serializable if you rely on the
-cache.
+cache.  Error outcomes are **never** cached — a re-run retries them.
+Writes are atomic (write-to-temp + rename), and an unreadable or
+schema-invalid cache file is *quarantined* (renamed to
+``<path>.quarantined`` with a warning) rather than aborting the sweep;
+individually invalid entries are dropped the same way.
 
 Cost provenance
 ---------------
@@ -41,8 +65,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
+import time
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import SweepPoint, grid_points, point_from_outcome
@@ -53,8 +80,24 @@ __all__ = [
     "derive_point_seed",
     "default_jobs",
     "bench_cache_path",
+    "SweepPointError",
     "JOBS_ENV",
 ]
+
+
+class SweepPointError(RuntimeError):
+    """A grid point exhausted its attempts (``on_error="raise"`` mode).
+
+    ``params`` is the failing point, ``error`` the last failure message.
+    """
+
+    def __init__(self, params: Mapping[str, Any], error: str, attempts: int) -> None:
+        super().__init__(
+            f"sweep point {dict(params)!r} failed after {attempts} attempt(s): {error}"
+        )
+        self.params = dict(params)
+        self.error = error
+        self.attempts = attempts
 
 #: Environment variable consulted for the default job count; the CLI's
 #: ``--jobs`` flag sets it so every bench in a run picks it up.
@@ -112,25 +155,63 @@ def _call_point(
     return run(**kwargs)
 
 
-def _worker(task: Tuple[Callable[..., Dict[str, Any]], Dict[str, Any], Optional[str], Any]):
-    run, params, seed_arg, base_seed = task
-    return point_key(params), _call_point(run, params, seed_arg, base_seed)
+def _pipe_worker(conn, run, params, seed_arg, base_seed) -> None:
+    """Child-process entry: run one point, send the outcome down the pipe."""
+    try:
+        outcome = _call_point(run, params, seed_arg, base_seed)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # report crashes of any stripe to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _valid_cache_entry(value: Any) -> bool:
+    """Schema check for one cached outcome: the :func:`point_from_outcome`
+    contract, and not a (never-cached, but defend anyway) error record."""
+    return (
+        isinstance(value, dict)
+        and "measured" in value
+        and "correct" in value
+        and "error" not in value
+    )
+
+
+def _quarantine(path: str, reason: str) -> None:
+    quarantined = path + ".quarantined"
+    os.replace(path, quarantined)
+    warnings.warn(
+        f"sweep cache {path} is unusable ({reason}); moved to {quarantined} "
+        "and rebuilding from scratch",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _load_cache(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a sweep cache; quarantine it (never raise) when unreadable."""
     if not os.path.exists(path):
         return {}
-    with open(path, "r", encoding="utf-8") as fh:
-        try:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-        except ValueError as exc:
-            raise ValueError(
-                f"sweep cache {path} is not valid JSON ({exc}); "
-                "delete the file to rebuild it"
-            ) from exc
-    if not isinstance(data, dict):
-        raise ValueError(f"sweep cache {path} is not a JSON object")
-    return data
+        if not isinstance(data, dict):
+            raise ValueError("top level is not a JSON object")
+    except (OSError, ValueError) as exc:
+        _quarantine(path, str(exc))
+        return {}
+    valid = {key: value for key, value in data.items() if _valid_cache_entry(value)}
+    if len(valid) != len(data):
+        warnings.warn(
+            f"sweep cache {path}: dropped {len(data) - len(valid)} "
+            "schema-invalid entr(y/ies); those points will re-run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return valid
 
 
 def _store_cache(path: str, mapping: Dict[str, Dict[str, Any]]) -> None:
@@ -146,6 +227,178 @@ def _store_cache(path: str, mapping: Dict[str, Dict[str, Any]]) -> None:
         raise
 
 
+class _Attempting:
+    """Retry bookkeeping for one pending grid point."""
+
+    __slots__ = ("params", "key", "failures", "not_before", "last_error")
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        self.params = params
+        self.key = point_key(params)
+        self.failures = 0
+        self.not_before = 0.0
+        self.last_error = ""
+
+
+def _error_outcome(error: str, attempts: int) -> Dict[str, Any]:
+    return {
+        "measured": float("nan"),
+        "correct": False,
+        "error": error,
+        "sweep_attempts": attempts,
+    }
+
+
+def _run_serial(
+    pending: List[_Attempting],
+    outcomes: Dict[str, Dict[str, Any]],
+    run: Callable[..., Dict[str, Any]],
+    seed_arg: Optional[str],
+    base_seed: Any,
+    retries: int,
+    backoff: float,
+    on_error: str,
+) -> None:
+    """In-process execution (no pickling requirement, no timeout support)."""
+    for task in pending:
+        while True:
+            try:
+                outcome = _call_point(run, task.params, seed_arg, base_seed)
+            except Exception as exc:
+                task.failures += 1
+                task.last_error = f"{type(exc).__name__}: {exc}"
+                if task.failures <= retries:
+                    if backoff > 0:
+                        time.sleep(backoff * 2 ** (task.failures - 1))
+                    continue
+                if on_error == "raise":
+                    raise SweepPointError(
+                        task.params, task.last_error, task.failures
+                    ) from exc
+                outcomes[task.key] = _error_outcome(task.last_error, task.failures)
+                break
+            if task.failures:
+                outcome = dict(outcome)
+                outcome["sweep_attempts"] = task.failures + 1
+            outcomes[task.key] = outcome
+            break
+
+
+def _run_processes(
+    pending: List[_Attempting],
+    outcomes: Dict[str, Dict[str, Any]],
+    run: Callable[..., Dict[str, Any]],
+    seed_arg: Optional[str],
+    base_seed: Any,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    on_error: str,
+) -> None:
+    """Process-per-point execution with watchdog, retries, crash isolation."""
+    from multiprocessing import get_context
+    from multiprocessing.connection import wait as conn_wait
+
+    ctx = get_context()
+    queue: List[_Attempting] = list(pending)
+    active: List[Tuple[Any, Any, _Attempting, float]] = []  # (proc, conn, task, deadline)
+
+    def reap(proc: Any, conn: Any) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck even after terminate
+            proc.kill()
+            proc.join()
+
+    def fail(task: _Attempting, error: str) -> None:
+        task.failures += 1
+        task.last_error = error
+        if task.failures <= retries:
+            task.not_before = time.monotonic() + (
+                backoff * 2 ** (task.failures - 1) if backoff > 0 else 0.0
+            )
+            queue.append(task)
+            return
+        if on_error == "raise":
+            for proc, conn, _, _ in active:
+                proc.terminate()
+                reap(proc, conn)
+            raise SweepPointError(task.params, error, task.failures)
+        outcomes[task.key] = _error_outcome(error, task.failures)
+
+    try:
+        while queue or active:
+            # Launch ready tasks into free worker slots.
+            now = time.monotonic()
+            ready = [t for t in queue if t.not_before <= now]
+            while ready and len(active) < jobs:
+                task = ready.pop(0)
+                queue.remove(task)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_pipe_worker,
+                    args=(child_conn, run, task.params, seed_arg, base_seed),
+                )
+                proc.start()
+                child_conn.close()  # parent keeps only its end
+                deadline = now + timeout if timeout is not None else math.inf
+                active.append((proc, parent_conn, task, deadline))
+            if not active:
+                # Everything pending is backing off; sleep until one is due.
+                wake = min(t.not_before for t in queue)
+                time.sleep(max(0.0, min(wake - time.monotonic(), 0.1)))
+                continue
+
+            # Wait for a result, a crash, or the nearest deadline.
+            nearest = min(deadline for _, _, _, deadline in active)
+            wait_for = (
+                max(0.001, min(nearest - time.monotonic(), 0.5))
+                if nearest < math.inf
+                else 0.5
+            )
+            ready_conns = set(conn_wait([conn for _, conn, _, _ in active], wait_for))
+
+            still_active = []
+            for proc, conn, task, deadline in active:
+                # A worker may finish between conn_wait and the liveness
+                # check below; poll() catches its parting message either way.
+                if conn in ready_conns or (not proc.is_alive() and conn.poll()):
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # The pipe closed with nothing in it: worker died.
+                        reap(proc, conn)
+                        fail(task, f"worker crashed (exit code {proc.exitcode})")
+                        continue
+                    reap(proc, conn)
+                    if status == "ok":
+                        if task.failures:
+                            payload = dict(payload)
+                            payload["sweep_attempts"] = task.failures + 1
+                        outcomes[task.key] = payload
+                    else:
+                        fail(task, str(payload))
+                elif not proc.is_alive():
+                    reap(proc, conn)
+                    fail(task, f"worker crashed (exit code {proc.exitcode})")
+                elif time.monotonic() >= deadline:
+                    proc.terminate()
+                    reap(proc, conn)
+                    fail(task, f"timed out after {timeout}s")
+                else:
+                    still_active.append((proc, conn, task, deadline))
+            active = still_active
+    except BaseException:
+        for proc, conn, _, _ in active:  # interrupted: leave no orphans
+            proc.terminate()
+            reap(proc, conn)
+        raise
+
+
 def parallel_sweep(
     grid: Mapping[str, Sequence[Any]],
     run: Callable[..., Dict[str, Any]],
@@ -153,6 +406,10 @@ def parallel_sweep(
     cache_path: Optional[str] = None,
     seed_arg: Optional[str] = None,
     base_seed: Any = 0,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    on_error: str = "raise",
 ) -> List[SweepPoint]:
     """Run ``run(**point)`` over the grid with ``jobs`` worker processes.
 
@@ -161,44 +418,65 @@ def parallel_sweep(
     result order.  Differences:
 
     * points execute in up to ``jobs`` processes (default: ``$REPRO_JOBS``
-      or the CPU count), each task in a fresh process;
+      or the CPU count), one fresh process per point;
     * with ``seed_arg``, each call receives ``run(**point, seed_arg=s)``
       where ``s = derive_point_seed(base_seed, point)``;
     * with ``cache_path``, completed outcomes persist to JSON and re-runs
-      skip points already present in the file.
+      skip points already present in the file;
+    * ``timeout`` / ``retries`` / ``backoff`` / ``on_error`` add the fault
+      tolerance described in the module docstring.
 
-    ``run`` must be picklable (a module-level function) when ``jobs > 1``;
-    ``jobs=1`` degrades to the serial path with no pickling requirement.
+    ``run`` must be picklable (a module-level function) when worker
+    processes are used, i.e. when ``jobs > 1`` **or** a ``timeout`` is set;
+    ``jobs=1`` without a timeout runs in-process with no pickling
+    requirement (crashes there are ordinary exceptions, still subject to
+    retries and ``on_error``).
     """
+    if jobs is not None and int(jobs) < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+
     points = grid_points(grid)
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    jobs = default_jobs() if jobs is None else int(jobs)
     cache = _load_cache(cache_path) if cache_path else {}
 
     outcomes: Dict[str, Dict[str, Any]] = {}
-    pending: List[Dict[str, Any]] = []
+    pending: List[_Attempting] = []
     for params in points:
         key = point_key(params)
         if key in cache:
             outcomes[key] = cache[key]
         else:
-            pending.append(params)
+            pending.append(_Attempting(dict(params)))
 
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            for params in pending:
-                outcomes[point_key(params)] = _call_point(run, params, seed_arg, base_seed)
-        else:
-            from multiprocessing import get_context
-
-            tasks = [(run, params, seed_arg, base_seed) for params in pending]
-            ctx = get_context()
-            with ctx.Pool(processes=min(jobs, len(tasks)), maxtasksperchild=1) as pool:
-                for key, outcome in pool.imap(_worker, tasks):
-                    outcomes[key] = outcome
-
-    if cache_path:
-        merged = dict(cache)
-        merged.update(outcomes)
-        _store_cache(cache_path, merged)
+    try:
+        if pending:
+            if jobs == 1 and timeout is None:
+                _run_serial(
+                    pending, outcomes, run, seed_arg, base_seed,
+                    retries, backoff, on_error,
+                )
+            else:
+                _run_processes(
+                    pending, outcomes, run, seed_arg, base_seed,
+                    jobs, timeout, retries, backoff, on_error,
+                )
+    finally:
+        # Persist whatever completed — even when a point raised — so an
+        # aborted sweep resumes instead of restarting.  Error outcomes are
+        # never cached: a re-run gives them a fresh chance.
+        if cache_path:
+            merged = dict(cache)
+            merged.update(
+                {k: v for k, v in outcomes.items() if _valid_cache_entry(v)}
+            )
+            _store_cache(cache_path, merged)
 
     return [point_from_outcome(params, outcomes[point_key(params)]) for params in points]

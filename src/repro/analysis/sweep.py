@@ -33,6 +33,21 @@ class SweepPoint:
         return self.measured / self.bound
 
     @property
+    def failed(self) -> bool:
+        """True for an error record from a fault-tolerant parallel sweep.
+
+        :func:`repro.analysis.parallel_sweep.parallel_sweep` with
+        ``on_error="record"`` emits such points when a grid point exhausts
+        its attempts; ``measured`` is NaN and ``correct`` False there.
+        """
+        return "error" in self.extra
+
+    @property
+    def error(self) -> Optional[str]:
+        """The failure message of an error record (None on success)."""
+        return self.extra.get("error")
+
+    @property
     def dominant_terms(self) -> Optional[Mapping[str, float]]:
         """Cost-weighted dominant-term fractions, when the run reported them.
 

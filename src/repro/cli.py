@@ -16,6 +16,11 @@ phase cost records to a Chrome trace-event file (load it at
 https://ui.perfetto.dev) or a JSONL event stream.  See
 docs/OBSERVABILITY.md.
 
+``python -m repro chaos`` is the robustness gate: every Section 8
+algorithm under every winner policy, an adversarial winner search, and the
+shipped fault schedules, plus the fault-tolerant sweep-runner demo.  See
+docs/ROBUSTNESS.md.
+
 This is the same code path the pytest benches assert on; the CLI just
 prints without asserting, so it is the cheapest way to regenerate
 EXPERIMENTS.md's numbers.
@@ -27,7 +32,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["main", "EXPERIMENTS", "parse_jobs", "run_trace"]
+__all__ = ["main", "EXPERIMENTS", "parse_jobs", "run_trace", "run_chaos"]
 
 
 def _t1a() -> None:
@@ -167,6 +172,71 @@ def run_trace(argv: List[str]) -> int:
     return 0 if ok else 1
 
 
+def run_chaos(argv: List[str]) -> int:
+    """``python -m repro chaos``: the adversarial robustness gate.
+
+    Runs every Section 8 algorithm under all winner policies, an
+    adversarial winner search, and every shipped fault schedule
+    (:mod:`repro.faults.harness`), plus the fault-tolerant sweep-runner
+    demo (:mod:`repro.faults.sweep_demo`).  Exit code 0 iff everything
+    survives.  See docs/ROBUSTNESS.md.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Run the Section 8 algorithms under adversarial winner policies "
+            "and injected faults, and the sweep runner through crash / hang / "
+            "corrupt-cache scenarios; report what survives."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=64, help="input size (default: 64)")
+    parser.add_argument("--seed", type=int, default=0, help="input/schedule seed (default: 0)")
+    parser.add_argument(
+        "--budget", type=int, default=24,
+        help="adversarial winner-search runs per algorithm (default: 24)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="self-check attempts per fault schedule (default: 3)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="SUBSTR",
+        help="run only cases whose name contains SUBSTR (e.g. 'BSP', 'parity')",
+    )
+    parser.add_argument(
+        "--skip-sweep-demo", action="store_true",
+        help="skip the fault-tolerant sweep-runner demo",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.faults.harness import render_chaos_report, run_chaos_suite
+
+    report = run_chaos_suite(
+        n=args.n,
+        seed=args.seed,
+        budget=args.budget,
+        max_attempts=args.max_attempts,
+        only=args.only,
+    )
+    print(render_chaos_report(report))
+    ok = report.ok
+
+    if not args.skip_sweep_demo:
+        from repro.faults.sweep_demo import run_sweep_demo
+
+        print("\nsweep-runner fault demo (worker crash / hung point / torn cache):")
+        summary = run_sweep_demo()
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+        ok = ok and summary["survived"]
+
+    print()
+    print("CHAOS: " + ("all clear" if ok else "FAILURES — see above"))
+    return 0 if ok else 1
+
+
 def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
     """Strip ``--jobs N`` / ``--jobs=N`` from ``argv``; return (rest, jobs)."""
     rest: List[str] = []
@@ -195,9 +265,35 @@ def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
     return rest, jobs
 
 
+def _validate_jobs_env() -> None:
+    """Reject a malformed ``REPRO_JOBS`` up front, argparse-style (exit 2).
+
+    The library's :func:`repro.analysis.parallel_sweep.default_jobs` keeps
+    its lenient fallback (a bad value degrades to the CPU count) so
+    programmatic use never explodes mid-sweep; the CLI is where a typo'd
+    environment should be caught loudly instead of silently ignored.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is None or not env.strip():
+        return
+    try:
+        value = int(env)
+    except ValueError:
+        print(
+            f"error: REPRO_JOBS must be an integer >= 1, got {env!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if value < 1:
+        print(f"error: REPRO_JOBS must be >= 1, got {value}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     argv, jobs = parse_jobs(argv)
+    if jobs is None:
+        _validate_jobs_env()  # an explicit --jobs overrides the environment
     if jobs is not None:
         # parallel_sweep's default_jobs() reads this, so one flag fans out
         # to every sweep in the run (including ones in worker processes).
@@ -205,10 +301,13 @@ def main(argv=None) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")
-        print("other commands: trace (cost-provenance inspection; trace --help)")
+        print("other commands: trace (cost-provenance inspection; trace --help), "
+              "chaos (fault-injection gate; chaos --help)")
         return 0
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "chaos":
+        return run_chaos(argv[1:])
     chosen = argv or list(EXPERIMENTS)
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:

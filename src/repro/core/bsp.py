@@ -141,7 +141,10 @@ class BSP:
         params: Optional[BSPParams] = None,
         seed: Optional[int] = 0,
         record_costs: bool = False,
+        fault_plan: Optional[Any] = None,
     ) -> None:
+        if type(p) is not int:
+            raise ValueError(f"BSP component count must be an int, got {p!r}")
         if p < 1:
             raise ValueError(f"BSP needs at least one component, got p={p}")
         self.p = p
@@ -155,6 +158,14 @@ class BSP:
         self.cost_records: List["PhaseCostRecord"] = []
         self.time: float = 0.0
         self._step_open = False
+        # Fault injection (see repro.faults.plan): messages a fault defers
+        # are parked here as (due_step, (src, dst, payload)) and merged into
+        # the inboxes after the superstep with that index commits.
+        self.fault_plan = fault_plan
+        self.fault_events: List[Any] = []
+        self._deferred: List[Tuple[int, Tuple[int, int, Any]]] = []
+        if fault_plan is not None:
+            fault_plan.attach(self)
 
     # -- data movement helpers (uncharged setup) -----------------------------
 
@@ -224,15 +235,33 @@ class BSP:
             raise ValueError(f"component id {proc} out of range for p={self.p}")
 
     def _commit(self, step: Superstep) -> None:
-        received: Dict[int, int] = dict(Counter(map(_by_dst, step._outgoing)))
+        index = len(self.history)
+        outgoing = step._outgoing
+        step_faults: Tuple[Dict[str, Any], ...] = ()
+        if self.fault_plan is not None:
+            # Route this superstep's messages through the fault plan:
+            # drops vanish, duplicates double, delayed/stalled messages
+            # park in self._deferred until their due superstep commits.
+            outgoing, deferred, fired = self.fault_plan.route_bsp(index, outgoing)
+            if deferred:
+                self._deferred.extend(deferred)
+            if fired:
+                self.fault_events.extend(fired)
+                step_faults = tuple(ev.to_dict() for ev in fired)
+        if self._deferred:
+            matured = [m for due, m in self._deferred if due <= index]
+            if matured:
+                self._deferred = [(due, m) for due, m in self._deferred if due > index]
+                outgoing = list(outgoing) + matured
+        received: Dict[int, int] = dict(Counter(map(_by_dst, outgoing)))
         new_inboxes: List[List[Tuple[int, Any]]] = [[] for _ in range(self.p)]
         # Deterministic delivery order: by sender, then send order (the sort
         # is stable, so sorting on sender alone preserves each sender's
-        # issue order).
-        for src, dst, payload in sorted(step._outgoing, key=_by_src):
+        # issue order; matured deferred messages sort with their sender).
+        for src, dst, payload in sorted(outgoing, key=_by_src):
             new_inboxes[dst].append((src, payload))
         record = SuperstepRecord(
-            index=len(self.history),
+            index=index,
             work_per_proc=dict(step._work),
             sent_per_proc=dict(step._sent),
             received_per_proc=received,
@@ -252,6 +281,7 @@ class BSP:
                     cost,
                     record,
                     wall_time=perf_counter() - getattr(step, "_t_open", perf_counter()),
+                    faults=step_faults,
                 )
             )
         self._step_open = False

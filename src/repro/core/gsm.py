@@ -43,7 +43,10 @@ class GSM(SharedMemoryMachine):
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        fault_plan: Optional[Any] = None,
     ) -> None:
+        # No winner_policy: GSM strong queuing accumulates every written
+        # value, so there is no arbitration to subvert.
         super().__init__(
             num_processors=num_processors,
             memory_size=memory_size,
@@ -51,6 +54,7 @@ class GSM(SharedMemoryMachine):
             record_trace=record_trace,
             record_snapshots=record_snapshots,
             record_costs=record_costs,
+            fault_plan=fault_plan,
         )
         self.params = params if params is not None else GSMParams()
         self.big_steps: int = 0

@@ -542,6 +542,19 @@ class SharedMemoryMachine:
         Seed for the machine's internal generator.  The QSM/s-QSM use it to
         pick the "arbitrary" winner among concurrent writers, so a seed pins
         an entire execution.
+    winner_policy:
+        How "arbitrary"-winner write collisions resolve: ``None`` (the
+        machine's own seeded generator — the historical behaviour), a name
+        (``"seeded"``/``"first"``/``"last"``) or a
+        :class:`~repro.faults.winners.WinnerPolicy` instance.  The paper's
+        semantics make *any* resolution legal, so a correct algorithm's
+        output must not depend on this choice;
+        :mod:`repro.faults.adversary` searches for violations.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Scheduled
+        ``corrupt`` faults fire after the matching phase commits; every
+        firing is appended to ``machine.fault_events`` (and to the phase's
+        cost record when ``record_costs=True``).
     record_trace:
         When true, the machine additionally stores per-phase read/write
         address detail (see :mod:`repro.core.trace`) for the lower-bound
@@ -566,11 +579,23 @@ class SharedMemoryMachine:
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        winner_policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
-        if num_processors is not None and num_processors < 1:
-            raise ValueError(f"num_processors must be >= 1, got {num_processors}")
-        if memory_size is not None and memory_size < 1:
-            raise ValueError(f"memory_size must be >= 1, got {memory_size}")
+        if num_processors is not None:
+            if type(num_processors) is not int:
+                raise ValueError(
+                    f"num_processors must be an int >= 1 or None, got {num_processors!r}"
+                )
+            if num_processors < 1:
+                raise ValueError(f"num_processors must be >= 1, got {num_processors}")
+        if memory_size is not None:
+            if type(memory_size) is not int:
+                raise ValueError(
+                    f"memory_size must be an int >= 1 or None, got {memory_size!r}"
+                )
+            if memory_size < 1:
+                raise ValueError(f"memory_size must be >= 1, got {memory_size}")
         self.num_processors = num_processors
         self.memory_size = memory_size
         self._memory: Dict[int, Any] = {}
@@ -579,6 +604,15 @@ class SharedMemoryMachine:
         # max() over the whole memory footprint.
         self._high_water: int = -1
         self._rng = derive_rng(seed)
+        if winner_policy is not None:
+            from repro.faults.winners import make_winner_policy
+
+            winner_policy = make_winner_policy(winner_policy, seed=seed)
+        self.winner_policy = winner_policy
+        self.fault_plan = fault_plan
+        self.fault_events: List[Any] = []
+        if fault_plan is not None:
+            fault_plan.attach(self)
         self.record_trace = record_trace
         self.record_snapshots = record_snapshots
         self.record_costs = record_costs
@@ -614,6 +648,24 @@ class SharedMemoryMachine:
         :meth:`_apply_single_writes` implements the common last-value case.
         """
         raise NotImplementedError
+
+    def _pick_winner(self, addr: int, entries: "Collided") -> int:
+        """Index of the surviving write among ``entries`` (>= 2 writers).
+
+        Routes through :attr:`winner_policy` when one is installed;
+        otherwise draws from the machine's own seeded generator, exactly
+        as every pre-policy run did.
+        """
+        policy = self.winner_policy
+        if policy is None:
+            return int(self._rng.integers(0, len(entries)))
+        choice = policy.choose(addr, entries, len(self.history))
+        if not 0 <= choice < len(entries):
+            raise ValueError(
+                f"winner policy {policy!r} chose index {choice} among "
+                f"{len(entries)} writers of cell {addr}"
+            )
+        return choice
 
     def _apply_single_writes(self, phase: Phase) -> None:
         """Apply a collision-free phase's writes: each cell gets its one value.
@@ -728,6 +780,12 @@ class SharedMemoryMachine:
         # The phase's interval hull tracks its exact max written address.
         if phase._write_hi > self._high_water:
             self._high_water = phase._write_hi
+        phase_faults: Tuple[Dict[str, Any], ...] = ()
+        if self.fault_plan is not None:
+            fired = self.fault_plan.fire_memory(record.index, self)
+            if fired:
+                self.fault_events.extend(fired)
+                phase_faults = tuple(ev.to_dict() for ev in fired)
         self.history.append(record)
         self.phase_costs.append(cost)
         self.time += cost
@@ -748,6 +806,7 @@ class SharedMemoryMachine:
                     cost,
                     record,
                     wall_time=perf_counter() - getattr(phase, "_t_open", perf_counter()),
+                    faults=phase_faults,
                 )
             )
         self._phase_open = False

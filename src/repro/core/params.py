@@ -7,9 +7,26 @@ by the cost formulas (``mu``/``lam`` on the GSM) are exposed as properties.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["QSMParams", "SQSMParams", "GSMParams", "BSPParams"]
+
+
+def _check_gap(name: str, value) -> None:
+    """A gap/latency parameter must be a finite real >= 1.
+
+    NaN slips past a plain ``< 1`` comparison (every comparison with NaN is
+    false) and infinity turns every downstream cost into ``inf``; both used
+    to surface as arithmetic surprises deep in the cost formulas, so they
+    are rejected at construction instead.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a real number >= 1, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
 
 
 @dataclass(frozen=True)
@@ -31,8 +48,7 @@ class QSMParams:
     unit_time_concurrent_reads: bool = False
 
     def __post_init__(self) -> None:
-        if self.g < 1:
-            raise ValueError(f"QSM gap parameter must be >= 1, got {self.g}")
+        _check_gap("QSM gap parameter g", self.g)
 
 
 @dataclass(frozen=True)
@@ -46,8 +62,7 @@ class SQSMParams:
     g: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.g < 1:
-            raise ValueError(f"s-QSM gap parameter must be >= 1, got {self.g}")
+        _check_gap("s-QSM gap parameter g", self.g)
 
 
 @dataclass(frozen=True)
@@ -66,10 +81,10 @@ class GSMParams:
     gamma: int = 1
 
     def __post_init__(self) -> None:
-        if self.alpha < 1:
-            raise ValueError(f"GSM alpha must be >= 1, got {self.alpha}")
-        if self.beta < 1:
-            raise ValueError(f"GSM beta must be >= 1, got {self.beta}")
+        _check_gap("GSM alpha", self.alpha)
+        _check_gap("GSM beta", self.beta)
+        if isinstance(self.gamma, bool) or not isinstance(self.gamma, int):
+            raise ValueError(f"GSM gamma must be an int >= 1, got {self.gamma!r}")
         if self.gamma < 1:
             raise ValueError(f"GSM gamma must be >= 1, got {self.gamma}")
 
@@ -97,8 +112,8 @@ class BSPParams:
     L: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.g < 1:
-            raise ValueError(f"BSP g must be >= 1, got {self.g}")
+        _check_gap("BSP g", self.g)
+        _check_gap("BSP L", self.L)
         if self.L < self.g:
             raise ValueError(
                 f"paper assumes L >= g throughout; got L={self.L} < g={self.g}"

@@ -76,6 +76,8 @@ class PRAM(SharedMemoryMachine):
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        winner_policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -84,6 +86,8 @@ class PRAM(SharedMemoryMachine):
             record_trace=record_trace,
             record_snapshots=record_snapshots,
             record_costs=record_costs,
+            winner_policy=winner_policy,
+            fault_plan=fault_plan,
         )
         self.params = params if params is not None else PRAMParams()
 
@@ -143,9 +147,8 @@ class PRAM(SharedMemoryMachine):
             elif rule == "priority":
                 winner = min(entries, key=lambda e: e[0])
                 self._memory[addr] = winner[1]
-            else:  # arbitrary
-                pick = int(self._rng.integers(0, len(entries)))
-                self._memory[addr] = entries[pick][1]
+            else:  # arbitrary — same pluggable arbitration as the QSM
+                self._memory[addr] = entries[self._pick_winner(addr, entries)][1]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

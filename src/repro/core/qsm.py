@@ -37,6 +37,8 @@ class QSM(SharedMemoryMachine):
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        winner_policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -45,6 +47,8 @@ class QSM(SharedMemoryMachine):
             record_trace=record_trace,
             record_snapshots=record_snapshots,
             record_costs=record_costs,
+            winner_policy=winner_policy,
+            fault_plan=fault_plan,
         )
         self.params = params if params is not None else QSMParams()
 
@@ -61,15 +65,15 @@ class QSM(SharedMemoryMachine):
             self._apply_single_writes(phase)
             return
         memory = self._memory
-        rng_integers = self._rng.integers
+        pick_winner = self._pick_winner
         for addr, entry in phase._writes.items():
             kind = type(entry)
             if kind is Collided:
                 # Arbitrary-winner concurrent write: the value present at the
                 # end of the phase is one of the written values, chosen by
-                # the machine, not the algorithm.
-                winner = int(rng_integers(0, len(entry)))
-                memory[addr] = entry[winner][1]
+                # the machine (or its installed winner policy), not the
+                # algorithm.
+                memory[addr] = entry[pick_winner(addr, entry)][1]
             else:
                 memory[addr] = entry[1] if kind is tuple else entry
 

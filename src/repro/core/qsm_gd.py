@@ -37,10 +37,10 @@ class QSMGDParams:
     d: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.g < 1:
-            raise ValueError(f"QSM(g,d) g must be >= 1, got {self.g}")
-        if self.d < 1:
-            raise ValueError(f"QSM(g,d) d must be >= 1, got {self.d}")
+        from repro.core.params import _check_gap
+
+        _check_gap("QSM(g,d) g", self.g)
+        _check_gap("QSM(g,d) d", self.d)
 
 
 def qsm_gd_phase_cost(record: PhaseRecord, params: QSMGDParams) -> float:
@@ -75,6 +75,8 @@ class QSMGD(QSM):
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        winner_policy=None,
+        fault_plan=None,
     ) -> None:
         super().__init__(
             params=None,
@@ -84,6 +86,8 @@ class QSMGD(QSM):
             record_trace=record_trace,
             record_snapshots=record_snapshots,
             record_costs=record_costs,
+            winner_policy=winner_policy,
+            fault_plan=fault_plan,
         )
         self.params = params if params is not None else QSMGDParams()  # type: ignore[assignment]
 

@@ -37,6 +37,8 @@ class SQSM(QSM):
         record_trace: bool = False,
         record_snapshots: bool = False,
         record_costs: bool = False,
+        winner_policy=None,
+        fault_plan=None,
     ) -> None:
         sqsm_params = params if params is not None else SQSMParams()
         # Initialise the QSM layer with a structurally compatible parameter
@@ -49,6 +51,8 @@ class SQSM(QSM):
             record_trace=record_trace,
             record_snapshots=record_snapshots,
             record_costs=record_costs,
+            winner_policy=winner_policy,
+            fault_plan=fault_plan,
         )
         self.params = sqsm_params  # type: ignore[assignment]
 

@@ -1,0 +1,65 @@
+"""Adversarial fault injection and winner arbitration for the simulators.
+
+The models of the paper are *adversarial*: the QSM's "arbitrary" write rule
+commits some writer's value (Section 2.1), so correctness must hold for
+every possible winner, and a production run of any of these algorithms must
+additionally outlive transient infrastructure faults.  This package makes
+both adversaries executable:
+
+* :mod:`repro.faults.winners` — pluggable winner arbitration
+  (seeded / first / last / replay) for machines with an "arbitrary" rule;
+* :mod:`repro.faults.adversary` — a search over winner sequences that tries
+  to *break* an algorithm's output;
+* :mod:`repro.faults.plan` — scheduled fault injection (BSP message drop /
+  duplicate / delay, component stall / crash, memory corruption), recorded
+  as events on the machine and in its cost records;
+* :mod:`repro.faults.schedules` — the shipped schedules the chaos gate runs;
+* :mod:`repro.faults.harness` — the self-checking chaos suite behind
+  ``python -m repro chaos``.
+"""
+
+from repro.faults.adversary import AdversaryReport, search_winner_adversary
+from repro.faults.harness import (
+    ChaosCase,
+    ChaosReport,
+    default_cases,
+    render_chaos_report,
+    run_chaos_suite,
+    run_self_checking,
+)
+from repro.faults.plan import FAULT_KINDS, Fault, FaultEvent, FaultPlan, random_fault_plan
+from repro.faults.schedules import schedule_names, shipped_schedules
+from repro.faults.winners import (
+    WINNER_POLICY_NAMES,
+    FirstWriterWins,
+    LastWriterWins,
+    ReplayWinners,
+    SeededWinners,
+    WinnerPolicy,
+    make_winner_policy,
+)
+
+__all__ = [
+    "WinnerPolicy",
+    "SeededWinners",
+    "FirstWriterWins",
+    "LastWriterWins",
+    "ReplayWinners",
+    "make_winner_policy",
+    "WINNER_POLICY_NAMES",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "random_fault_plan",
+    "AdversaryReport",
+    "search_winner_adversary",
+    "ChaosCase",
+    "ChaosReport",
+    "default_cases",
+    "run_chaos_suite",
+    "run_self_checking",
+    "render_chaos_report",
+    "schedule_names",
+    "shipped_schedules",
+]

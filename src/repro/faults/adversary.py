@@ -1,0 +1,161 @@
+"""Adversarial search over "arbitrary"-winner choices.
+
+The paper's model semantics (Section 2.1) make concurrent-write resolution
+*adversarial*: the QSM commits "some" writer's value, so an algorithm is
+correct only if its output is right for **every** possible winner sequence.
+A seeded simulator can't test that — it only ever exercises one sequence
+per seed.
+
+:func:`search_winner_adversary` closes the gap.  It runs the algorithm
+once under :class:`~repro.faults.winners.ReplayWinners` to *enumerate* the
+decision points (each colliding cell in each phase is one decision), then
+re-runs with forced deviations — every single-decision flip within budget,
+plus seeded random multi-flips — looking for a winner sequence whose
+output the verifier rejects or that disagrees with the reference output
+when the caller says outputs must be winner-independent.
+
+The search is exhaustive when ``sum(n_writers - 1)`` over all decision
+points fits the budget; otherwise it covers a deterministic prefix and
+reports the truncation in :attr:`AdversaryReport.exhaustive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.winners import ReplayWinners, WinnerPolicy
+from repro.util.seeding import derive_rng
+
+__all__ = ["AdversaryReport", "Disagreement", "search_winner_adversary"]
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One winner sequence that broke the algorithm."""
+
+    overrides: Mapping[int, int]  # decision ordinal -> forced choice
+    value: Any  # the output under this sequence
+    reference: Any  # the reference output
+    verified: Optional[bool]  # verifier verdict on ``value`` (None: no verifier)
+
+
+@dataclass
+class AdversaryReport:
+    """Outcome of one adversarial winner search.
+
+    ``winner_independent`` is the headline: True means no explored winner
+    sequence changed a *verified-relevant* outcome.  When a verifier is
+    supplied, only verifier-rejected outputs count as disagreements (many
+    correct algorithms return winner-*dependent* but still-correct
+    outputs, e.g. any of several valid compactions); without one, any
+    output difference from the reference run counts.
+    """
+
+    decisions: int  # decision points in the reference run
+    attempts: int  # deviating runs executed
+    exhaustive: bool  # every single-flip deviation was covered
+    reference: Any = None
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def winner_independent(self) -> bool:
+        return not self.disagreements
+
+
+def search_winner_adversary(
+    run: Callable[[WinnerPolicy], Any],
+    verify: Optional[Callable[[Any], bool]] = None,
+    budget: int = 64,
+    random_probes: int = 8,
+    seed: Any = 0,
+) -> AdversaryReport:
+    """Search winner sequences for one that breaks ``run``.
+
+    Parameters
+    ----------
+    run:
+        Builds a fresh machine with the given winner policy, runs the
+        algorithm, and returns its output.  Called ``attempts + 1`` times.
+    verify:
+        Output -> bool.  When given, a deviating run counts as a
+        disagreement only if its output fails verification (covers
+        algorithms whose output is legitimately winner-dependent).  When
+        omitted, any output != the reference output is a disagreement.
+    budget:
+        Maximum deviating runs.  Single-decision flips are explored first
+        (in decision order — the deterministic prefix), then ``random_probes``
+        seeded multi-flip probes fill any remaining budget.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+
+    reference_policy = ReplayWinners()
+    reference = run(reference_policy)
+    decision_log = list(reference_policy.log)
+    if verify is not None and not verify(reference):
+        # The algorithm is wrong before the adversary does anything.
+        report = AdversaryReport(
+            decisions=len(decision_log),
+            attempts=0,
+            exhaustive=False,
+            reference=reference,
+        )
+        report.disagreements.append(
+            Disagreement(overrides={}, value=reference, reference=reference,
+                         verified=False)
+        )
+        return report
+
+    def attempt(overrides: Dict[int, int]) -> Optional[Disagreement]:
+        value = run(ReplayWinners(overrides))
+        if verify is not None:
+            ok = bool(verify(value))
+            if not ok:
+                return Disagreement(overrides=dict(overrides), value=value,
+                                    reference=reference, verified=False)
+            return None
+        if value != reference:
+            return Disagreement(overrides=dict(overrides), value=value,
+                                reference=reference, verified=None)
+        return None
+
+    report = AdversaryReport(
+        decisions=len(decision_log),
+        attempts=0,
+        exhaustive=True,
+        reference=reference,
+    )
+
+    # Phase 1: every single-decision flip, decision order then choice order.
+    single_flips: List[Dict[int, int]] = []
+    for ordinal, (_, n_writers, chosen) in enumerate(decision_log):
+        for choice in range(n_writers):
+            if choice != chosen:
+                single_flips.append({ordinal: choice})
+    if len(single_flips) > budget:
+        single_flips = single_flips[:budget]
+        report.exhaustive = False
+    for overrides in single_flips:
+        report.attempts += 1
+        bad = attempt(overrides)
+        if bad is not None:
+            report.disagreements.append(bad)
+
+    # Phase 2: seeded random multi-flips with the leftover budget.
+    remaining = budget - report.attempts
+    if decision_log and remaining > 0 and random_probes > 0:
+        rng = derive_rng(seed)
+        for _ in range(min(random_probes, remaining)):
+            overrides: Dict[int, int] = {}
+            flips = int(rng.integers(2, max(3, min(len(decision_log), 6)) + 1))
+            for _ in range(flips):
+                ordinal = int(rng.integers(0, len(decision_log)))
+                n_writers = decision_log[ordinal][1]
+                overrides[ordinal] = int(rng.integers(0, n_writers))
+            report.attempts += 1
+            bad = attempt(overrides)
+            if bad is not None:
+                report.disagreements.append(bad)
+
+    return report

@@ -1,0 +1,393 @@
+"""The chaos harness: Section 8 algorithms vs winner policies and faults.
+
+A :class:`ChaosCase` packages one algorithm as a *self-checking* unit:
+``run(winner_policy=..., fault_plan=...)`` builds a fresh machine, runs the
+algorithm, and returns its output; ``verify`` checks the output against the
+problem contract.  :func:`default_cases` registers every Section 8
+algorithm family (parity, OR, broadcast, LAC, prefix sums, load balancing,
+list ranking, padded sort, sample sort) across the machines that run them.
+
+Three probes per case (:func:`run_chaos_suite`):
+
+1. **Winner sweep** — the case must verify under every named winner policy
+   (``seeded`` / ``first`` / ``last``), because the models' "arbitrary"
+   write rule is adversarial: any winner may land.
+2. **Adversarial search** — :func:`repro.faults.adversary.search_winner_adversary`
+   actively looks for a winner sequence the verifier rejects.
+3. **Fault schedules** — every shipped schedule of
+   :func:`repro.faults.schedules.shipped_schedules`, run through
+   :func:`run_self_checking`: the algorithm *survives* a schedule when a
+   verified run is obtained within ``max_attempts`` attempts against one
+   plan instance (transient faults stay spent across retries, so attempt 2
+   models the re-run that outlives a transient fault).
+
+``python -m repro chaos`` drives this suite and renders the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.adversary import search_winner_adversary
+from repro.faults.plan import FaultPlan
+from repro.faults.schedules import shipped_schedules
+from repro.faults.winners import WINNER_POLICY_NAMES, WinnerPolicy, make_winner_policy
+
+__all__ = [
+    "ChaosCase",
+    "ProbeResult",
+    "ChaosReport",
+    "run_self_checking",
+    "default_cases",
+    "run_chaos_suite",
+    "render_chaos_report",
+]
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One self-checking algorithm/machine pairing.
+
+    ``run`` accepts ``winner_policy`` and ``fault_plan`` keywords (always
+    passed by the harness; cases whose machine has no arbitration —
+    ``arbitrates=False`` — receive ``winner_policy=None``).
+    """
+
+    name: str
+    family: str  # "shared" | "bsp" — selects the applicable fault schedules
+    run: Callable[..., Any]
+    verify: Callable[[Any], bool]
+    arbitrates: bool = True
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one probe (one row of the chaos report)."""
+
+    case: str
+    probe: str  # "winner:<name>" | "adversary" | "fault:<schedule>"
+    ok: bool
+    attempts: int = 1
+    note: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """All probe results of one chaos run."""
+
+    results: List[ProbeResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[ProbeResult]:
+        return [r for r in self.results if not r.ok]
+
+
+def run_self_checking(
+    case: ChaosCase,
+    fault_plan: Optional[FaultPlan] = None,
+    winner_policy: Optional[WinnerPolicy] = None,
+    max_attempts: int = 3,
+) -> ProbeResult:
+    """Run ``case`` until verified or attempts run out.
+
+    Each attempt builds a fresh machine against the *same* plan instance:
+    transient faults fire on the attempt that reaches their trigger step
+    and stay spent afterwards, so a correct algorithm recovers on retry.
+    Exceptions count as failed attempts (an injected fault may crash the
+    algorithm outright, e.g. type-confusing memory corruption).
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    note = ""
+    for attempt in range(1, max_attempts + 1):
+        if winner_policy is not None:
+            winner_policy.reset()
+        try:
+            value = case.run(winner_policy=winner_policy, fault_plan=fault_plan)
+        except Exception as exc:  # injected faults may crash the run
+            note = f"{type(exc).__name__}: {exc}"
+            continue
+        if case.verify(value):
+            return ProbeResult(
+                case=case.name,
+                probe="self-check",
+                ok=True,
+                attempts=attempt,
+                note=note and f"recovered after {note}",
+            )
+        note = "verification failed"
+    return ProbeResult(
+        case=case.name, probe="self-check", ok=False, attempts=max_attempts, note=note
+    )
+
+
+def _shared_machine(kind: str, winner_policy, fault_plan):
+    from repro.core import GSM, PRAM, QSM, SQSM, PRAMParams, QSMParams, SQSMParams
+
+    if kind == "qsm":
+        return QSM(QSMParams(g=4.0), winner_policy=winner_policy, fault_plan=fault_plan)
+    if kind == "sqsm":
+        return SQSM(SQSMParams(g=4.0), winner_policy=winner_policy, fault_plan=fault_plan)
+    if kind == "gsm":
+        return GSM(fault_plan=fault_plan)  # strong queuing: no arbitration
+    if kind == "pram":
+        return PRAM(
+            PRAMParams(variant="CRCW", write_rule="arbitrary"),
+            winner_policy=winner_policy,
+            fault_plan=fault_plan,
+        )
+    raise ValueError(f"unknown shared machine kind {kind!r}")
+
+
+def _bsp(fault_plan, p: int = 8):
+    from repro.core import BSP, BSPParams
+
+    return BSP(p, BSPParams(g=2.0, L=8.0), fault_plan=fault_plan)
+
+
+def default_cases(n: int = 64, seed: Any = 0) -> List[ChaosCase]:
+    """The Section 8 case registry, sized by ``n`` (inputs are seeded)."""
+    from repro.algorithms.broadcast import broadcast_bsp, broadcast_shared
+    from repro.algorithms.compaction import lac_dart, lac_prefix
+    from repro.algorithms.list_ranking import list_rank
+    from repro.algorithms.load_balance import load_balance
+    from repro.algorithms.or_ import or_bsp, or_tree_writes
+    from repro.algorithms.padded_sort import padded_sort
+    from repro.algorithms.parity import parity_blocks, parity_bsp, parity_tree
+    from repro.algorithms.pram_algos import or_crcw
+    from repro.algorithms.prefix import prefix_sums, prefix_sums_bsp
+    from repro.algorithms.sorting import sample_sort_bsp
+    from repro.problems import (
+        gen_bits,
+        gen_list,
+        gen_loads,
+        gen_padded_sort_input,
+        gen_sort_input,
+        gen_sparse_array,
+        verify_lac,
+        verify_list_ranks,
+        verify_load_balance,
+        verify_or,
+        verify_padded_sort,
+        verify_parity,
+        verify_sorted,
+    )
+
+    if n < 4:
+        raise ValueError(f"chaos cases need n >= 4, got {n}")
+    bits = gen_bits(n, seed=seed)
+    sparse_h = max(2, n // 8)
+    sparse = gen_sparse_array(n, sparse_h, seed=seed, exact=True)
+    values = gen_sort_input(n, universe=max(8, n), seed=seed)
+    floats = gen_padded_sort_input(min(n, 32), seed=seed)
+    loads = gen_loads(8, n, skew=2.0, seed=seed)
+    next_ptrs, _ = gen_list(min(n, 32), seed=seed)
+    prefix_truth = list(accumulate(values))
+
+    def shared(kind, algo):
+        def run(winner_policy=None, fault_plan=None):
+            return algo(_shared_machine(kind, winner_policy, fault_plan))
+
+        return run
+
+    def bsp(algo):
+        def run(winner_policy=None, fault_plan=None):
+            return algo(_bsp(fault_plan))
+
+        return run
+
+    return [
+        ChaosCase(
+            "parity-tree/QSM", "shared",
+            shared("qsm", lambda m: parity_tree(m, bits).value),
+            lambda v: verify_parity(bits, v),
+        ),
+        ChaosCase(
+            "parity-blocks/QSM", "shared",
+            shared("qsm", lambda m: parity_blocks(m, bits).value),
+            lambda v: verify_parity(bits, v),
+        ),
+        ChaosCase(
+            "parity-tree/s-QSM", "shared",
+            shared("sqsm", lambda m: parity_tree(m, bits).value),
+            lambda v: verify_parity(bits, v),
+        ),
+        ChaosCase(
+            "parity-tree/GSM", "shared",
+            shared("gsm", lambda m: parity_tree(m, bits).value),
+            lambda v: verify_parity(bits, v),
+            arbitrates=False,
+        ),
+        ChaosCase(
+            "or-tree/QSM", "shared",
+            shared("qsm", lambda m: or_tree_writes(m, bits).value),
+            lambda v: verify_or(bits, v),
+        ),
+        ChaosCase(
+            "or-tree/s-QSM", "shared",
+            shared("sqsm", lambda m: or_tree_writes(m, bits).value),
+            lambda v: verify_or(bits, v),
+        ),
+        ChaosCase(
+            "or/CRCW-PRAM", "shared",
+            shared("pram", lambda m: or_crcw(m, bits).value),
+            lambda v: verify_or(bits, v),
+        ),
+        ChaosCase(
+            "broadcast/QSM", "shared",
+            shared("qsm", lambda m: broadcast_shared(m, 42, n).value),
+            lambda v: list(v) == [42] * n,
+        ),
+        ChaosCase(
+            "lac-dart/QSM", "shared",
+            shared("qsm", lambda m: lac_dart(m, sparse, h=sparse_h, seed=seed).value),
+            lambda v: verify_lac(sparse, v, sparse_h),
+        ),
+        ChaosCase(
+            "lac-prefix/s-QSM", "shared",
+            shared("sqsm", lambda m: lac_prefix(m, sparse, h=sparse_h).value),
+            lambda v: verify_lac(sparse, v, sparse_h),
+        ),
+        ChaosCase(
+            "prefix-sums/s-QSM", "shared",
+            shared("sqsm", lambda m: prefix_sums(m, values).value),
+            lambda v: list(v) == prefix_truth,
+        ),
+        ChaosCase(
+            "load-balance/QSM", "shared",
+            shared("qsm", lambda m: load_balance(m, loads).value),
+            lambda v: verify_load_balance(loads, v),
+        ),
+        ChaosCase(
+            "list-rank/s-QSM", "shared",
+            shared("sqsm", lambda m: list_rank(m, next_ptrs).value),
+            lambda v: verify_list_ranks(next_ptrs, v),
+        ),
+        ChaosCase(
+            "padded-sort/QSM", "shared",
+            shared("qsm", lambda m: padded_sort(m, floats, seed=seed).value),
+            lambda v: verify_padded_sort(floats, v),
+        ),
+        ChaosCase(
+            "parity/BSP", "bsp",
+            bsp(lambda m: parity_bsp(m, bits).value),
+            lambda v: verify_parity(bits, v),
+            arbitrates=False,
+        ),
+        ChaosCase(
+            "or/BSP", "bsp",
+            bsp(lambda m: or_bsp(m, bits).value),
+            lambda v: verify_or(bits, v),
+            arbitrates=False,
+        ),
+        ChaosCase(
+            "broadcast/BSP", "bsp",
+            bsp(lambda m: broadcast_bsp(m, 42).value),
+            lambda v: list(v) == [42] * 8,
+            arbitrates=False,
+        ),
+        ChaosCase(
+            "prefix-sums/BSP", "bsp",
+            bsp(lambda m: prefix_sums_bsp(m, values).value),
+            lambda v: list(v) == prefix_truth,
+            arbitrates=False,
+        ),
+        ChaosCase(
+            "sample-sort/BSP", "bsp",
+            bsp(lambda m: sample_sort_bsp(m, values).value),
+            lambda v: verify_sorted(values, v),
+            arbitrates=False,
+        ),
+    ]
+
+
+def run_chaos_suite(
+    n: int = 64,
+    seed: Any = 0,
+    budget: int = 24,
+    max_attempts: int = 3,
+    cases: Optional[Sequence[ChaosCase]] = None,
+    only: Optional[str] = None,
+) -> ChaosReport:
+    """Run every case through the three probes; see the module docstring.
+
+    ``only`` filters cases by substring match on the case name.
+    """
+    if cases is None:
+        cases = default_cases(n=n, seed=seed)
+    if only:
+        cases = [c for c in cases if only in c.name]
+    report = ChaosReport()
+    for case in cases:
+        # Probe 1: every named winner policy must verify on a clean run.
+        for policy_name in WINNER_POLICY_NAMES if case.arbitrates else (None,):
+            policy = make_winner_policy(policy_name, seed=seed)
+            outcome = run_self_checking(case, winner_policy=policy, max_attempts=1)
+            outcome.probe = f"winner:{policy_name or 'default'}"
+            report.results.append(outcome)
+
+        # Probe 2: adversarial winner search (arbitrating machines only).
+        if case.arbitrates:
+            adv = search_winner_adversary(
+                lambda policy: case.run(winner_policy=policy, fault_plan=None),
+                verify=case.verify,
+                budget=budget,
+                seed=seed,
+            )
+            report.results.append(
+                ProbeResult(
+                    case=case.name,
+                    probe="adversary",
+                    ok=adv.winner_independent,
+                    attempts=adv.attempts,
+                    note=(
+                        f"{adv.decisions} decisions"
+                        + ("" if adv.exhaustive else " (budget-truncated)")
+                        + (
+                            f"; {len(adv.disagreements)} breaking sequences"
+                            if adv.disagreements
+                            else ""
+                        )
+                    ),
+                )
+            )
+
+        # Probe 3: every shipped fault schedule, with retry-based recovery.
+        for schedule_name, factory in shipped_schedules(case.family):
+            outcome = run_self_checking(
+                case, fault_plan=factory(), max_attempts=max_attempts
+            )
+            outcome.probe = f"fault:{schedule_name}"
+            report.results.append(outcome)
+    return report
+
+
+def render_chaos_report(report: ChaosReport) -> str:
+    """Fixed-width text table of a chaos run, one probe per row."""
+    rows = [("case", "probe", "result", "attempts", "note")]
+    for r in report.results:
+        rows.append(
+            (r.case, r.probe, "ok" if r.ok else "FAIL", str(r.attempts), r.note)
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row[:4]))
+            + ("  " + row[4] if row[4] else "")
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    n_fail = len(report.failures)
+    lines.append("")
+    lines.append(
+        f"{len(report.results)} probes, "
+        + ("all survived" if report.ok else f"{n_fail} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,413 @@
+"""Scheduled fault injection for the simulators.
+
+A :class:`FaultPlan` is a list of :class:`Fault` specs a machine consults at
+every commit.  Six fault kinds cover the failure modes the ROADMAP's
+production north star cares about:
+
+=============  ======  =====================================================
+kind           models  effect
+=============  ======  =====================================================
+``drop``       BSP     matching messages sent in superstep ``step`` vanish
+``duplicate``  BSP     matching messages are delivered twice
+``delay``      BSP     matching messages arrive ``delay`` supersteps late
+``stall``      BSP     component ``proc``'s sends during supersteps
+                       ``[step, step+duration)`` are held until the stall
+                       ends (delivered after superstep ``step+duration-1``)
+``crash``      BSP     component ``proc``'s sends during supersteps
+                       ``[step, step+duration)`` are lost entirely
+                       (``duration=None``: crashed for the rest of the run)
+``corrupt``    shared  after phase ``step`` commits, cell ``addr`` is
+                       overwritten with ``value``
+=============  ======  =====================================================
+
+Message faults (``drop``/``duplicate``/``delay``) match on optional ``src``
+and ``dst`` component filters and affect at most ``count`` messages
+(``count=None``: every match).
+
+Every fault is **transient by default** (``firings=1``): it fires the first
+time its trigger step is reached and stays exhausted afterwards — including
+across machines sharing the plan.  That is what makes self-checking retry
+meaningful (:mod:`repro.faults.harness`): a retry on a fresh machine re-runs
+the algorithm against the same plan with the transient faults spent, the
+way a real re-run outlives a transient network fault.  ``plan.reset()``
+re-arms everything.
+
+Every firing is recorded as a :class:`FaultEvent` on the plan and on the
+machine (``machine.fault_events``), and lands in the phase's
+:class:`~repro.obs.records.PhaseCostRecord` when ``record_costs=True`` —
+so ``repro trace`` exports show injected faults on the timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.seeding import derive_rng
+
+__all__ = [
+    "FaultEvent",
+    "Fault",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "random_fault_plan",
+]
+
+FAULT_KINDS = ("drop", "duplicate", "delay", "stall", "crash", "corrupt")
+
+#: Kinds that act on BSP message routing.
+_MESSAGE_KINDS = ("drop", "duplicate", "delay")
+#: Kinds with a [step, step+duration) activity window.
+_WINDOW_KINDS = ("stall", "crash")
+
+
+class FaultEvent:
+    """One fault firing: what happened, at which phase/superstep.
+
+    Serializes to a plain dict (``to_dict``/``from_dict``) so events embed
+    in :class:`~repro.obs.records.PhaseCostRecord` JSON and survive the
+    JSONL round trip.
+    """
+
+    __slots__ = ("step", "kind", "detail")
+
+    def __init__(self, step: int, kind: str, detail: Mapping[str, Any]) -> None:
+        self.step = int(step)
+        self.kind = str(kind)
+        self.detail = dict(detail)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"step": self.step, "kind": self.kind, "detail": dict(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(int(data["step"]), str(data["kind"]), dict(data.get("detail", {})))
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, FaultEvent)
+            and self.step == other.step
+            and self.kind == other.kind
+            and self.detail == other.detail
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultEvent(step={self.step}, kind={self.kind!r}, detail={self.detail!r})"
+
+
+class Fault:
+    """One scheduled fault.  See the module docstring for the kind table."""
+
+    def __init__(
+        self,
+        kind: str,
+        step: int,
+        *,
+        proc: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        count: Optional[int] = 1,
+        delay: int = 1,
+        duration: Optional[int] = 1,
+        addr: Optional[int] = None,
+        value: Any = None,
+        firings: Optional[int] = 1,
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {kind!r}")
+        if step < 0:
+            raise ValueError(f"fault step must be >= 0, got {step}")
+        if kind == "corrupt" and addr is None:
+            raise ValueError("corrupt fault needs addr=")
+        if kind in _WINDOW_KINDS and proc is None:
+            raise ValueError(f"{kind} fault needs proc=")
+        if kind == "delay" and delay < 1:
+            raise ValueError(f"delay must be >= 1 superstep, got {delay}")
+        if duration is not None and duration < 1:
+            raise ValueError(f"duration must be >= 1 (or None for forever), got {duration}")
+        if kind == "stall" and duration is None:
+            raise ValueError("stall needs a finite duration (use crash for forever)")
+        if count is not None and count < 1:
+            raise ValueError(f"count must be >= 1 (or None for all matches), got {count}")
+        if firings is not None and firings < 1:
+            raise ValueError(f"firings must be >= 1 (or None for unlimited), got {firings}")
+        self.kind = kind
+        self.step = int(step)
+        self.proc = proc
+        self.src = src
+        self.dst = dst
+        self.count = count
+        self.delay = int(delay)
+        self.duration = duration
+        self.addr = addr
+        self.value = value
+        self.firings = firings
+        self.remaining = firings  # None = unlimited
+        # End of the current activity window (window kinds), set on firing;
+        # per-run state, cleared by FaultPlan.attach().
+        self._active_until: Optional[float] = None
+
+    # -- arming bookkeeping -------------------------------------------------
+
+    def _spend(self) -> None:
+        if self.remaining is not None:
+            self.remaining -= 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining is not None and self.remaining <= 0
+
+    def rearm(self) -> None:
+        self.remaining = self.firings
+        self._active_until = None
+
+    def _matches_message(self, src: int, dst: int) -> bool:
+        return (self.src is None or src == self.src) and (
+            self.dst is None or dst == self.dst
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The fault's schema dict (see docs/ROBUSTNESS.md)."""
+        out: Dict[str, Any] = {"kind": self.kind, "step": self.step}
+        for field in ("proc", "src", "dst", "addr"):
+            if getattr(self, field) is not None:
+                out[field] = getattr(self, field)
+        if self.kind in _MESSAGE_KINDS:
+            out["count"] = self.count
+        if self.kind == "delay":
+            out["delay"] = self.delay
+        if self.kind in _WINDOW_KINDS:
+            out["duration"] = self.duration
+        if self.kind == "corrupt":
+            out["value"] = self.value
+        if self.firings != 1:
+            out["firings"] = self.firings
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Fault({self.to_dict()!r})"
+
+
+class FaultPlan:
+    """An ordered collection of :class:`Fault` specs plus its firing log.
+
+    Pass one to a machine constructor (``fault_plan=...``); the machine
+    calls :meth:`attach` once and then :meth:`route_bsp` (BSP) or
+    :meth:`fire_memory` (shared memory) at every commit.  One plan should
+    drive one machine at a time; sequential reuse across fresh machines is
+    the supported pattern (transient faults stay spent).
+    """
+
+    def __init__(self, faults: Iterable[Any] = (), label: str = "plan") -> None:
+        self.label = label
+        self.faults: List[Fault] = []
+        for f in faults:
+            if isinstance(f, Fault):
+                self.faults.append(f)
+            elif isinstance(f, Mapping):
+                spec = dict(f)
+                kind = spec.pop("kind")
+                step = spec.pop("step")
+                self.faults.append(Fault(kind, step, **spec))
+            else:
+                raise TypeError(f"fault must be a Fault or a spec dict, got {f!r}")
+        self.events: List[FaultEvent] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, machine: Any) -> None:
+        """Called by a machine constructor: clear per-run window state.
+
+        Arming counters survive (transient faults stay spent across
+        machines); only the step-indexed window state resets, because a
+        fresh machine's phase indices restart at 0.
+        """
+        for fault in self.faults:
+            fault._active_until = None
+
+    def reset(self) -> None:
+        """Fully re-arm every fault and clear the firing log."""
+        for fault in self.faults:
+            fault.rearm()
+        self.events = []
+
+    @property
+    def fired(self) -> int:
+        """Total firings recorded so far."""
+        return len(self.events)
+
+    def to_specs(self) -> List[Dict[str, Any]]:
+        """The plan as a list of schema dicts (JSON-ready)."""
+        return [f.to_dict() for f in self.faults]
+
+    def _record(self, events: List[FaultEvent], step: int, kind: str, **detail: Any) -> None:
+        event = FaultEvent(step, kind, detail)
+        events.append(event)
+        self.events.append(event)
+
+    # -- BSP hook -----------------------------------------------------------
+
+    def route_bsp(
+        self,
+        step_index: int,
+        outgoing: Sequence[Tuple[int, int, Any]],
+    ) -> Tuple[List[Tuple[int, int, Any]], List[Tuple[int, Tuple[int, int, Any]]], List[FaultEvent]]:
+        """Route one superstep's messages through the plan.
+
+        Returns ``(deliver_now, deferred, events)`` where ``deliver_now``
+        are the ``(src, dst, payload)`` triples delivered normally (at the
+        start of superstep ``step_index + 1``), and ``deferred`` are
+        ``(due_step, triple)`` pairs the machine holds back and merges into
+        the inboxes after committing superstep ``due_step``.
+        """
+        messages = list(outgoing)
+        deferred: List[Tuple[int, Tuple[int, int, Any]]] = []
+        events: List[FaultEvent] = []
+
+        # Window faults first: a stalled/crashed component's messages never
+        # reach the message-fault matchers below.
+        for fault in self.faults:
+            if fault.kind not in _WINDOW_KINDS:
+                continue
+            if fault._active_until is None:
+                if step_index == fault.step and not fault.exhausted:
+                    fault._spend()
+                    end = (
+                        float("inf")
+                        if fault.duration is None
+                        else fault.step + fault.duration
+                    )
+                    fault._active_until = end
+                    self._record(
+                        events,
+                        step_index,
+                        fault.kind,
+                        proc=fault.proc,
+                        duration=fault.duration,
+                    )
+            if fault._active_until is None or step_index >= fault._active_until:
+                continue
+            held = [m for m in messages if m[0] == fault.proc]
+            if not held:
+                continue
+            messages = [m for m in messages if m[0] != fault.proc]
+            if fault.kind == "crash":
+                self._record(
+                    events, step_index, "crash",
+                    proc=fault.proc, lost=len(held), phase="messages-lost",
+                )
+            else:  # stall: held until the window closes
+                due = int(fault._active_until) - 1
+                deferred.extend((due, m) for m in held)
+                self._record(
+                    events, step_index, "stall",
+                    proc=fault.proc, held=len(held), due_step=due,
+                )
+
+        for fault in self.faults:
+            if fault.kind not in _MESSAGE_KINDS:
+                continue
+            if step_index != fault.step or fault.exhausted:
+                continue
+            matched_idx = [
+                i for i, (src, dst, _) in enumerate(messages)
+                if fault._matches_message(src, dst)
+            ]
+            if fault.count is not None:
+                matched_idx = matched_idx[: fault.count]
+            if not matched_idx:
+                continue
+            fault._spend()
+            if fault.kind == "drop":
+                hit = set(matched_idx)
+                dropped = [messages[i] for i in matched_idx]
+                messages = [m for i, m in enumerate(messages) if i not in hit]
+                self._record(
+                    events, step_index, "drop",
+                    messages=[[s, d] for s, d, _ in dropped],
+                )
+            elif fault.kind == "duplicate":
+                for i in matched_idx:
+                    messages.append(messages[i])
+                self._record(
+                    events, step_index, "duplicate",
+                    messages=[[messages[i][0], messages[i][1]] for i in matched_idx],
+                )
+            else:  # delay
+                hit = set(matched_idx)
+                due = step_index + fault.delay
+                deferred.extend((due, messages[i]) for i in matched_idx)
+                messages = [m for i, m in enumerate(messages) if i not in hit]
+                self._record(
+                    events, step_index, "delay",
+                    count=len(matched_idx), due_step=due,
+                )
+
+        return messages, deferred, events
+
+    # -- shared-memory hook -------------------------------------------------
+
+    def fire_memory(self, phase_index: int, machine: Any) -> List[FaultEvent]:
+        """Apply post-commit memory corruptions scheduled for ``phase_index``.
+
+        Cells are set through ``machine.poke`` so model-specific cell shape
+        (the GSM's tuple wrapping) and the high-water mark stay coherent.
+        Returns the events fired at this phase.
+        """
+        events: List[FaultEvent] = []
+        for fault in self.faults:
+            if fault.kind != "corrupt":
+                continue
+            if phase_index != fault.step or fault.exhausted:
+                continue
+            fault._spend()
+            before = machine.peek(fault.addr)
+            machine.poke(fault.addr, fault.value)
+            self._record(
+                events, phase_index, "corrupt",
+                addr=fault.addr, value=repr(fault.value), before=repr(before),
+            )
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan({self.label!r}, faults={len(self.faults)}, fired={self.fired})"
+
+
+def random_fault_plan(
+    model: str,
+    seed: Any = 0,
+    *,
+    max_faults: int = 2,
+    horizon: int = 6,
+    addr_range: Tuple[int, int] = (0, 64),
+    procs: int = 8,
+    label: Optional[str] = None,
+) -> FaultPlan:
+    """A seeded random transient plan for ``model`` (``"shared"`` or ``"bsp"``).
+
+    Used by the chaos harness and the hypothesis suite: the draw depends
+    only on ``seed``, so a failing schedule is reproducible from its seed.
+    """
+    if model not in ("shared", "bsp"):
+        raise ValueError(f"model must be 'shared' or 'bsp', got {model!r}")
+    rng = derive_rng(seed)
+    n_faults = int(rng.integers(1, max_faults + 1))
+    faults: List[Fault] = []
+    for _ in range(n_faults):
+        step = int(rng.integers(0, horizon))
+        if model == "shared":
+            addr = int(rng.integers(addr_range[0], max(addr_range[0] + 1, addr_range[1])))
+            value = int(rng.integers(-3, 4))
+            faults.append(Fault("corrupt", step, addr=addr, value=value))
+        else:
+            kind = str(rng.choice(["drop", "duplicate", "delay", "stall", "crash"]))
+            if kind in _MESSAGE_KINDS:
+                faults.append(
+                    Fault(kind, step, count=int(rng.integers(1, 3)),
+                          delay=int(rng.integers(1, 3)))
+                )
+            else:
+                faults.append(
+                    Fault(kind, step, proc=int(rng.integers(0, procs)),
+                          duration=int(rng.integers(1, 3)))
+                )
+    return FaultPlan(faults, label=label or f"random-{model}-{seed}")

@@ -1,0 +1,111 @@
+"""The shipped fault schedules the chaos gate runs every algorithm under.
+
+Each schedule is a *factory*: :class:`~repro.faults.plan.FaultPlan` objects
+are stateful (transient faults spend their arming counters), so every
+harness attempt sequence gets a fresh plan.  Schedules are split by the
+machinery they target:
+
+* ``"shared"`` — memory-cell corruption, applicable to every shared-memory
+  machine (QSM, s-QSM, GSM, QSM(g,d), PRAM);
+* ``"bsp"`` — message drop / duplicate / delay and component stall / crash.
+
+All shipped faults are transient (``firings=1``): they fire once and stay
+spent across the harness's fresh-machine retries, which is exactly the
+failure model the Section 8 algorithms are expected to *survive* — a
+verified re-run recovers from a one-shot fault, the way a production
+re-run outlives a transient network blip.  ``python -m repro chaos`` is
+the gate that checks they do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.faults.plan import Fault, FaultPlan
+
+__all__ = ["shipped_schedules", "schedule_names"]
+
+PlanFactory = Callable[[], FaultPlan]
+
+
+def _shared_schedules() -> List[Tuple[str, PlanFactory]]:
+    return [
+        (
+            "corrupt-input",
+            # Clobber a low cell right after the first phase: usually an
+            # input or first-level tree cell.
+            lambda: FaultPlan(
+                [Fault("corrupt", 0, addr=1, value=1)], label="corrupt-input"
+            ),
+        ),
+        (
+            "corrupt-mid",
+            # Hit scratch space mid-run with a type-confusing value.
+            lambda: FaultPlan(
+                [Fault("corrupt", 2, addr=7, value=-1)], label="corrupt-mid"
+            ),
+        ),
+        (
+            "corrupt-double",
+            lambda: FaultPlan(
+                [
+                    Fault("corrupt", 1, addr=3, value=0),
+                    Fault("corrupt", 3, addr=12, value=999),
+                ],
+                label="corrupt-double",
+            ),
+        ),
+    ]
+
+
+def _bsp_schedules() -> List[Tuple[str, PlanFactory]]:
+    return [
+        (
+            "drop-first",
+            lambda: FaultPlan([Fault("drop", 0, count=1)], label="drop-first"),
+        ),
+        (
+            "drop-combine",
+            # Lose two messages of the second superstep — typically the
+            # reduction-tree combine traffic.
+            lambda: FaultPlan([Fault("drop", 1, count=2)], label="drop-combine"),
+        ),
+        (
+            "duplicate-first",
+            lambda: FaultPlan(
+                [Fault("duplicate", 0, count=1)], label="duplicate-first"
+            ),
+        ),
+        (
+            "delay-first",
+            lambda: FaultPlan(
+                [Fault("delay", 0, count=2, delay=1)], label="delay-first"
+            ),
+        ),
+        (
+            "stall-proc0",
+            lambda: FaultPlan(
+                [Fault("stall", 0, proc=0, duration=2)], label="stall-proc0"
+            ),
+        ),
+        (
+            "crash-proc1",
+            lambda: FaultPlan(
+                [Fault("crash", 0, proc=1, duration=2)], label="crash-proc1"
+            ),
+        ),
+    ]
+
+
+def shipped_schedules(model: str) -> List[Tuple[str, PlanFactory]]:
+    """``(name, plan_factory)`` pairs for ``model`` (``"shared"`` / ``"bsp"``)."""
+    if model == "shared":
+        return _shared_schedules()
+    if model == "bsp":
+        return _bsp_schedules()
+    raise ValueError(f"model must be 'shared' or 'bsp', got {model!r}")
+
+
+def schedule_names(model: str) -> List[str]:
+    """Just the schedule names, in shipped order."""
+    return [name for name, _ in shipped_schedules(model)]

@@ -1,0 +1,189 @@
+"""Pluggable arbitration of "arbitrary"-winner concurrent writes.
+
+The QSM/s-QSM memory rule (Section 2.1) and the CRCW PRAM's ``arbitrary``
+write rule both say *some* writer's value lands — and the paper's bounds
+are adversarial: an algorithm is only correct if it is correct for **every**
+possible winner.  The simulators historically resolved the choice with a
+seeded generator, which means an algorithm whose correctness secretly
+depends on a lucky winner could pass every seeded test.
+
+A :class:`WinnerPolicy` makes the choice explicit and swappable:
+
+* :class:`SeededWinners` — the historical behaviour (a seeded generator;
+  a machine built with ``winner_policy=None`` still uses its own internal
+  generator, bit-for-bit compatible with pre-policy runs).
+* :class:`FirstWriterWins` / :class:`LastWriterWins` — deterministic
+  extremes of the issue order.
+* :class:`ReplayWinners` — forces specific decisions by ordinal and logs
+  every decision point; the substrate of the adversarial search in
+  :mod:`repro.faults.adversary`, which *looks for* a winner sequence that
+  changes the algorithm's output.
+
+Policies see each colliding cell once per phase, as the ordered
+``(processor, value)`` pairs the machine collected, and return the index
+of the winning pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.util.seeding import derive_rng
+
+__all__ = [
+    "WinnerPolicy",
+    "SeededWinners",
+    "FirstWriterWins",
+    "LastWriterWins",
+    "ReplayWinners",
+    "make_winner_policy",
+    "WINNER_POLICY_NAMES",
+]
+
+
+class WinnerPolicy:
+    """Chooses the surviving writer among concurrent writers of one cell.
+
+    Subclasses implement :meth:`choose`.  A policy may be stateful (seeded
+    streams, replay counters); :meth:`reset` returns it to its initial
+    state so one policy instance can arbitrate several runs reproducibly.
+    """
+
+    #: Short tag used in chaos reports.
+    name = "policy"
+
+    def choose(
+        self,
+        addr: int,
+        writers: Sequence[Tuple[int, Any]],
+        phase_index: int,
+    ) -> int:
+        """Index (into ``writers``) of the write that lands in cell ``addr``.
+
+        ``writers`` is the ordered list of ``(processor, value)`` pairs
+        issued this phase — always at least two entries (singleton writes
+        never reach arbitration).  Must return an int in
+        ``range(len(writers))``.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return the policy to its initial state (no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class SeededWinners(WinnerPolicy):
+    """Uniform seeded winner — the historical "arbitrary = random" reading.
+
+    A machine built with ``winner_policy=SeededWinners(s)`` resolves
+    collisions exactly like a machine built with ``seed=s`` and no policy:
+    both draw from :func:`repro.util.seeding.derive_rng` in commit order.
+    """
+
+    name = "seeded"
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self.seed = seed
+        self._rng = derive_rng(seed)
+
+    def choose(self, addr, writers, phase_index) -> int:
+        return int(self._rng.integers(0, len(writers)))
+
+    def reset(self) -> None:
+        self._rng = derive_rng(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeededWinners(seed={self.seed!r})"
+
+
+class FirstWriterWins(WinnerPolicy):
+    """The first write issued to the cell survives."""
+
+    name = "first"
+
+    def choose(self, addr, writers, phase_index) -> int:
+        return 0
+
+
+class LastWriterWins(WinnerPolicy):
+    """The last write issued to the cell survives."""
+
+    name = "last"
+
+    def choose(self, addr, writers, phase_index) -> int:
+        return len(writers) - 1
+
+
+class ReplayWinners(WinnerPolicy):
+    """Force specific decisions by ordinal; log every decision point.
+
+    Decisions are numbered 0, 1, 2, ... in the order the machine asks for
+    them.  ``overrides`` maps a decision ordinal to the forced choice
+    (reduced modulo the writer count, so a search can force "some other
+    writer" without knowing the queue length in advance); decisions
+    without an override fall through to ``default``.
+
+    After a run, :attr:`log` holds one ``(addr, n_writers, choice)`` triple
+    per decision — the decision space the adversarial search enumerates.
+    """
+
+    name = "replay"
+
+    def __init__(
+        self,
+        overrides: Optional[Mapping[int, int]] = None,
+        default: Optional[WinnerPolicy] = None,
+    ) -> None:
+        self.overrides: Dict[int, int] = dict(overrides or {})
+        self.default = default if default is not None else FirstWriterWins()
+        self.log: List[Tuple[int, int, int]] = []
+
+    def choose(self, addr, writers, phase_index) -> int:
+        ordinal = len(self.log)
+        forced = self.overrides.get(ordinal)
+        if forced is not None:
+            choice = forced % len(writers)
+        else:
+            choice = self.default.choose(addr, writers, phase_index)
+        self.log.append((addr, len(writers), choice))
+        return choice
+
+    def reset(self) -> None:
+        self.log = []
+        self.default.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReplayWinners(overrides={self.overrides!r}, "
+            f"default={self.default!r}, decisions={len(self.log)})"
+        )
+
+
+#: Names :func:`make_winner_policy` accepts.
+WINNER_POLICY_NAMES = ("seeded", "first", "last")
+
+
+def make_winner_policy(
+    spec: Union[None, str, WinnerPolicy],
+    seed: Optional[int] = 0,
+) -> Optional[WinnerPolicy]:
+    """Resolve a policy spec: ``None``, a name, or a policy instance.
+
+    ``None`` means "machine default" (the machine's own seeded generator);
+    names map to ``SeededWinners(seed)`` / ``FirstWriterWins`` /
+    ``LastWriterWins``.
+    """
+    if spec is None or isinstance(spec, WinnerPolicy):
+        return spec
+    if spec == "seeded":
+        return SeededWinners(seed)
+    if spec == "first":
+        return FirstWriterWins()
+    if spec == "last":
+        return LastWriterWins()
+    raise ValueError(
+        f"unknown winner policy {spec!r}; know {WINNER_POLICY_NAMES} "
+        "or a WinnerPolicy instance"
+    )

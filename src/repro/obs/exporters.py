@@ -96,6 +96,12 @@ def chrome_trace_events(
     non-decreasing in emission order — the invariant the exporter tests
     pin.  Each event's ``args`` carries the term decomposition, the
     dominant term, the contention histogram and the live wall time.
+
+    A record carrying injected-fault events additionally emits one instant
+    event (``ph: "i"``, thread scope) per fault at the phase's open
+    timestamp, named ``fault: <kind>`` with the full fault dict in
+    ``args`` — so a chaos run's Perfetto timeline pins each injection to
+    the phase it hit.
     """
     events: List[Dict[str, Any]] = []
     clock = 0.0
@@ -119,6 +125,19 @@ def chrome_trace_events(
                 },
             }
         )
+        for fault in rec.faults:
+            events.append(
+                {
+                    "name": f"fault: {fault.get('kind', '?')}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": clock,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(fault),
+                }
+            )
         clock += dur
     return events
 

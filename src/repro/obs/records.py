@@ -74,6 +74,12 @@ class PhaseCostRecord:
     wall_time:
         Real seconds from phase open to commit when the record was taken
         live (``record_costs=True``); 0.0 when rebuilt from history.
+    faults:
+        Injected-fault events that fired at this phase, as the
+        ``{"step", "kind", "detail"}`` dicts of
+        :meth:`repro.faults.plan.FaultEvent.to_dict` — empty on clean
+        runs.  Faults ride the same records as costs so a Perfetto trace
+        of a chaos run shows *where* the injection hit.
     """
 
     index: int
@@ -84,6 +90,7 @@ class PhaseCostRecord:
     contention: Mapping[int, int] = field(default_factory=dict)
     ops_per_proc: Mapping[int, int] = field(default_factory=dict)
     wall_time: float = 0.0
+    faults: Tuple[Mapping[str, Any], ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict; :meth:`from_dict` inverts it exactly."""
@@ -96,6 +103,7 @@ class PhaseCostRecord:
             "contention": {str(k): v for k, v in self.contention.items()},
             "ops_per_proc": {str(k): v for k, v in self.ops_per_proc.items()},
             "wall_time": self.wall_time,
+            "faults": [dict(f) for f in self.faults],
         }
 
     @classmethod
@@ -109,6 +117,7 @@ class PhaseCostRecord:
             contention={int(k): int(v) for k, v in data.get("contention", {}).items()},
             ops_per_proc={int(k): int(v) for k, v in data.get("ops_per_proc", {}).items()},
             wall_time=float(data.get("wall_time", 0.0)),
+            faults=tuple(dict(f) for f in data.get("faults", ())),
         )
 
 
@@ -119,6 +128,7 @@ def build_phase_cost_record(
     cost: float,
     record: "PhaseRecord",  # noqa: F821 - structural; avoids an import cycle
     wall_time: float = 0.0,
+    faults: Tuple[Mapping[str, Any], ...] = (),
 ) -> PhaseCostRecord:
     """Assemble a :class:`PhaseCostRecord` from a shared-memory phase."""
     from repro.core.phase import merge_counts
@@ -138,6 +148,7 @@ def build_phase_cost_record(
             record.reads_per_proc, record.writes_per_proc, record.ops_per_proc
         ),
         wall_time=wall_time,
+        faults=tuple(faults),
     )
 
 
@@ -147,6 +158,7 @@ def build_superstep_cost_record(
     cost: float,
     record: "SuperstepRecord",  # noqa: F821 - structural; avoids an import cycle
     wall_time: float = 0.0,
+    faults: Tuple[Mapping[str, Any], ...] = (),
 ) -> PhaseCostRecord:
     """Assemble a :class:`PhaseCostRecord` from a BSP superstep."""
     from repro.core.phase import merge_counts
@@ -165,6 +177,7 @@ def build_superstep_cost_record(
             record.work_per_proc, record.sent_per_proc, record.received_per_proc
         ),
         wall_time=wall_time,
+        faults=tuple(faults),
     )
 
 
@@ -235,19 +248,26 @@ def machine_cost_records(machine: Any) -> List[PhaseCostRecord]:
         return list(live)
     from repro.core.bsp import BSP
 
+    # Fault events carry their firing step, so rebuilt records recover them.
+    faults_by_step: Dict[int, List[Any]] = {}
+    for event in getattr(machine, "fault_events", ()):
+        faults_by_step.setdefault(event.step, []).append(event.to_dict())
+
     rebuilt: List[PhaseCostRecord] = []
     if isinstance(machine, BSP):
         for rec, cost in zip(machine.history, machine.step_costs):
             rebuilt.append(
                 build_superstep_cost_record(
-                    rec.index, machine._cost_terms(rec), cost, rec
+                    rec.index, machine._cost_terms(rec), cost, rec,
+                    faults=tuple(faults_by_step.get(rec.index, ())),
                 )
             )
         return rebuilt
     for rec, cost in zip(machine.history, machine.phase_costs):
         rebuilt.append(
             build_phase_cost_record(
-                rec.index, machine.model_label, machine._cost_terms(rec), cost, rec
+                rec.index, machine.model_label, machine._cost_terms(rec), cost, rec,
+                faults=tuple(faults_by_step.get(rec.index, ())),
             )
         )
     return rebuilt

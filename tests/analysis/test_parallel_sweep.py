@@ -1,7 +1,11 @@
-"""The multiprocessing sweep runner: drop-in equality, caching, seeding."""
+"""The multiprocessing sweep runner: drop-in equality, caching, seeding,
+and fault tolerance (crashes, hangs, torn caches)."""
 
 import json
+import math
 import os
+import time
+from functools import partial
 
 import pytest
 
@@ -10,6 +14,7 @@ import pytest
 from repro.analysis.parallel_sweep import bench_cache_path as cache_path_for
 from repro.analysis.parallel_sweep import (
     JOBS_ENV,
+    SweepPointError,
     default_jobs,
     derive_point_seed,
     parallel_sweep,
@@ -111,3 +116,161 @@ class TestJobs:
     def test_bad_env_var_falls_back(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV, "many")
         assert default_jobs() >= 1
+
+
+# --- fault-tolerance helpers (module-level so worker processes can run them)
+
+
+def flaky_point(n, scratch=""):
+    """Crash the whole worker process on the first call for each ``n``."""
+    marker = os.path.join(scratch, f"crashed-{n}")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(17)
+    return {"measured": float(n), "correct": True}
+
+
+def hanging_point(n, scratch=""):
+    """Hang (far past any test timeout) on the first call for each ``n``."""
+    marker = os.path.join(scratch, f"hung-{n}")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        time.sleep(600.0)
+    return {"measured": float(n), "correct": True}
+
+
+def broken_point(n):
+    if n == 3:
+        raise ValueError("n=3 is cursed")
+    return {"measured": float(n), "correct": True}
+
+
+def healthy_point(n):
+    return {"measured": float(n), "correct": True}
+
+
+class TestFaultTolerance:
+    def test_worker_crash_is_isolated_and_retried(self, tmp_path):
+        points = parallel_sweep(
+            {"n": [2, 5]}, partial(flaky_point, scratch=str(tmp_path)),
+            jobs=2, retries=1,
+        )
+        assert [p.measured for p in points] == [2.0, 5.0]
+        assert all(p.extra["sweep_attempts"] == 2 for p in points)
+        assert not any(p.failed for p in points)
+
+    def test_crash_without_retries_is_recorded(self, tmp_path):
+        [point] = parallel_sweep(
+            {"n": [2]}, partial(flaky_point, scratch=str(tmp_path)),
+            jobs=2, on_error="record",
+        )
+        assert point.failed
+        assert "worker crashed" in point.error
+        assert math.isnan(point.measured)
+
+    def test_hung_point_is_killed_by_the_watchdog(self, tmp_path):
+        points = parallel_sweep(
+            {"n": [2, 5]}, partial(hanging_point, scratch=str(tmp_path)),
+            jobs=2, timeout=1.0, retries=1,
+        )
+        assert [p.measured for p in points] == [2.0, 5.0]
+        assert all(p.extra["sweep_attempts"] == 2 for p in points)
+
+    def test_timeout_without_retries_is_recorded(self, tmp_path):
+        [point] = parallel_sweep(
+            {"n": [2]}, partial(hanging_point, scratch=str(tmp_path)),
+            jobs=1, timeout=0.5, on_error="record",
+        )
+        assert point.failed
+        assert "timed out" in point.error
+
+    def test_on_error_record_keeps_healthy_points(self):
+        points = parallel_sweep({"n": [2, 3, 4]}, broken_point,
+                                jobs=2, on_error="record")
+        by_n = {p.params["n"]: p for p in points}
+        assert not by_n[2].failed and not by_n[4].failed
+        assert by_n[3].failed
+        assert "cursed" in by_n[3].error
+        assert math.isnan(by_n[3].measured)
+
+    def test_on_error_raise_raises_sweep_point_error(self):
+        with pytest.raises(SweepPointError, match="cursed") as exc_info:
+            parallel_sweep({"n": [2, 3]}, broken_point, jobs=2)
+        assert exc_info.value.params == {"n": 3}
+
+    def test_error_points_also_recorded_in_serial_mode(self):
+        points = parallel_sweep({"n": [2, 3]}, broken_point,
+                                jobs=1, on_error="record")
+        assert [p.failed for p in points] == [False, True]
+
+    def test_retry_recovers_in_serial_mode(self, tmp_path):
+        calls = tmp_path / "calls"
+
+        def flaky_serial(n):
+            if not calls.exists():
+                calls.write_text("x")
+                raise RuntimeError("transient")
+            return {"measured": float(n), "correct": True}
+
+        [point] = parallel_sweep({"n": [2]}, flaky_serial, jobs=1, retries=1)
+        assert point.measured == 2.0
+        assert point.extra["sweep_attempts"] == 2
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            parallel_sweep({"n": [1]}, healthy_point, jobs=0)
+        with pytest.raises(ValueError, match="retries"):
+            parallel_sweep({"n": [1]}, healthy_point, jobs=1, retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            parallel_sweep({"n": [1]}, healthy_point, jobs=1, timeout=0)
+        with pytest.raises(ValueError, match="backoff"):
+            parallel_sweep({"n": [1]}, healthy_point, jobs=1, backoff=-0.5)
+        with pytest.raises(ValueError, match="on_error"):
+            parallel_sweep({"n": [1]}, healthy_point, jobs=1, on_error="panic")
+
+
+class TestCacheRobustness:
+    def test_unreadable_cache_is_quarantined_not_fatal(self, tmp_path):
+        cache = str(tmp_path / "BENCH_torn.json")
+        with open(cache, "w", encoding="utf-8") as fh:
+            fh.write('{"truncated": ')
+        with pytest.warns(RuntimeWarning, match="quarantin"):
+            points = parallel_sweep({"n": [2]}, healthy_point, jobs=1,
+                                    cache_path=cache)
+        assert [p.measured for p in points] == [2.0]
+        assert os.path.exists(cache + ".quarantined")
+        # The fresh cache written afterwards is valid JSON again.
+        with open(cache, "r", encoding="utf-8") as fh:
+            assert json.load(fh)
+
+    def test_schema_invalid_entries_are_dropped_and_rerun(self, tmp_path):
+        cache = str(tmp_path / "BENCH_badentry.json")
+        key = point_key({"n": 2})
+        with open(cache, "w", encoding="utf-8") as fh:
+            json.dump({key: {"bogus": True}}, fh)
+        with pytest.warns(RuntimeWarning, match="schema"):
+            [point] = parallel_sweep({"n": [2]}, healthy_point, jobs=1,
+                                     cache_path=cache)
+        assert point.measured == 2.0  # re-run, not served from the bad entry
+
+    def test_error_outcomes_are_never_cached(self, tmp_path):
+        cache = str(tmp_path / "BENCH_err.json")
+        parallel_sweep({"n": [2, 3]}, broken_point, jobs=1,
+                       cache_path=cache, on_error="record")
+        # Resume with a healthy run: the failed point re-executes and heals,
+        # the good point is served from the cache.
+        points = parallel_sweep({"n": [2, 3]}, healthy_point, jobs=1,
+                                cache_path=cache)
+        assert [p.failed for p in points] == [False, False]
+        assert [p.measured for p in points] == [2.0, 3.0]
+
+    def test_partial_results_cached_even_when_a_point_raises(self, tmp_path):
+        cache = str(tmp_path / "BENCH_partial_fail.json")
+        with pytest.raises(SweepPointError):
+            parallel_sweep({"n": [2, 3]}, broken_point, jobs=1,
+                           cache_path=cache)
+        with open(cache, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert point_key({"n": 2}) in data  # the completed point survived

@@ -1,8 +1,10 @@
 """Validation of the machine parameter dataclasses."""
 
+import math
+
 import pytest
 
-from repro.core import BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core import BSP, QSM, BSPParams, GSMParams, QSMParams, SQSMParams
 
 
 class TestQSMParams:
@@ -59,3 +61,54 @@ class TestBSPParams:
     def test_rejects_gap_below_one(self):
         with pytest.raises(ValueError):
             BSPParams(g=0.5, L=1)
+
+
+class TestDegenerateValues:
+    """NaN slips past ``< 1`` checks and inf poisons every cost formula;
+    both must be rejected at construction, not deep in a sweep."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_gaps_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            QSMParams(g=bad)
+        with pytest.raises(ValueError, match="finite"):
+            SQSMParams(g=bad)
+        with pytest.raises(ValueError, match="finite"):
+            GSMParams(alpha=bad)
+        with pytest.raises(ValueError, match="finite"):
+            BSPParams(g=1, L=bad)
+
+    @pytest.mark.parametrize("bad", [True, "2", None, 2j])
+    def test_non_real_gaps_rejected(self, bad):
+        with pytest.raises(ValueError, match="real number"):
+            QSMParams(g=bad)
+
+    def test_gsm_gamma_must_be_a_true_int(self):
+        with pytest.raises(ValueError, match="gamma"):
+            GSMParams(gamma=True)
+        with pytest.raises(ValueError, match="gamma"):
+            GSMParams(gamma=1.5)
+
+    def test_error_messages_name_the_parameter(self):
+        with pytest.raises(ValueError, match="QSM gap parameter g"):
+            QSMParams(g=0)
+        with pytest.raises(ValueError, match="BSP L"):
+            BSPParams(g=1, L=0.5)
+
+
+class TestMachineConstructors:
+    def test_shared_machine_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError, match="num_processors"):
+            QSM(num_processors=0)
+        with pytest.raises(ValueError, match="num_processors"):
+            QSM(num_processors=2.5)
+
+    def test_shared_machine_rejects_bad_memory_size(self):
+        with pytest.raises(ValueError, match="memory_size"):
+            QSM(memory_size=0)
+
+    def test_bsp_rejects_bad_component_count(self):
+        with pytest.raises(ValueError, match="at least one component"):
+            BSP(0)
+        with pytest.raises(ValueError, match="component count"):
+            BSP("four")

@@ -1,0 +1,147 @@
+"""The chaos harness and the adversarial winner search."""
+
+import pytest
+
+from repro.core import QSM
+from repro.faults.adversary import search_winner_adversary
+from repro.faults.harness import (
+    ChaosCase,
+    default_cases,
+    render_chaos_report,
+    run_chaos_suite,
+    run_self_checking,
+)
+from repro.faults.plan import Fault, FaultPlan
+from repro.faults.schedules import schedule_names, shipped_schedules
+
+
+def winner_of_collision(policy):
+    """A toy 'algorithm' whose output IS the collision winner."""
+    m = QSM(winner_policy=policy)
+    with m.phase() as ph:
+        for proc in range(4):
+            ph.write(proc, 0, proc)
+    return m.peek(0)
+
+
+class TestAdversary:
+    def test_finds_winner_dependence(self):
+        # Output == winner: maximally winner-dependent; the very first
+        # deviation disagrees with the reference.
+        report = search_winner_adversary(winner_of_collision, budget=8)
+        assert report.decisions == 1
+        assert not report.winner_independent
+        assert report.disagreements[0].value != report.reference
+
+    def test_verifier_tolerates_benign_dependence(self):
+        # With a verifier accepting any of the written values, the same
+        # winner-dependent output is *correct* under every winner.
+        report = search_winner_adversary(
+            winner_of_collision,
+            verify=lambda v: v in (0, 1, 2, 3),
+            budget=8,
+            random_probes=0,
+        )
+        assert report.winner_independent
+        assert report.attempts == 3  # the three single-flip deviations
+
+    def test_collision_free_run_has_no_decisions(self):
+        def no_collision(policy):
+            m = QSM(winner_policy=policy)
+            with m.phase() as ph:
+                ph.write(0, 0, 1)
+            return m.peek(0)
+
+        report = search_winner_adversary(no_collision, budget=8)
+        assert report.decisions == 0
+        assert report.attempts == 0
+        assert report.exhaustive
+        assert report.winner_independent
+
+    def test_budget_truncates_and_is_reported(self):
+        def many_collisions(policy):
+            m = QSM(winner_policy=policy)
+            with m.phase() as ph:
+                for addr in range(10):
+                    for proc in range(3):
+                        ph.write(proc, addr, proc)
+            return m.peek(0)
+
+        report = search_winner_adversary(
+            many_collisions, verify=lambda v: True, budget=5, random_probes=0
+        )
+        assert not report.exhaustive
+        assert report.attempts == 5
+
+    def test_broken_reference_reported_without_search(self):
+        report = search_winner_adversary(
+            winner_of_collision, verify=lambda v: False, budget=8
+        )
+        assert not report.winner_independent
+        assert report.attempts == 0
+        assert report.disagreements[0].verified is False
+
+
+class TestSelfChecking:
+    def _flaky_case(self):
+        plan = FaultPlan([Fault("corrupt", 0, addr=0, value=99)])
+
+        def run(winner_policy=None, fault_plan=None):
+            m = QSM(winner_policy=winner_policy, fault_plan=fault_plan)
+            with m.phase() as ph:
+                ph.write(0, 0, 7)
+            return m.peek(0)
+
+        case = ChaosCase("toy", "shared", run, verify=lambda v: v == 7)
+        return case, plan
+
+    def test_recovers_from_transient_fault_on_retry(self):
+        case, plan = self._flaky_case()
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert "recovered" in outcome.note
+
+    def test_reports_failure_when_attempts_exhausted(self):
+        case, plan = self._flaky_case()
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=1)
+        assert not outcome.ok
+        assert outcome.note == "verification failed"
+
+    def test_exceptions_count_as_failed_attempts(self):
+        def explode(winner_policy=None, fault_plan=None):
+            raise RuntimeError("kaboom")
+
+        case = ChaosCase("bomb", "shared", explode, verify=lambda v: True)
+        outcome = run_self_checking(case, max_attempts=2)
+        assert not outcome.ok
+        assert "kaboom" in outcome.note
+
+
+class TestSuite:
+    def test_default_cases_cover_section8_families(self):
+        names = {c.name for c in default_cases(n=8)}
+        for fragment in ("parity", "or", "broadcast", "lac", "prefix-sums",
+                         "load-balance", "list-rank", "sort"):
+            assert any(fragment in n for n in names), fragment
+        families = {c.family for c in default_cases(n=8)}
+        assert families == {"shared", "bsp"}
+
+    def test_schedules_split_by_family(self):
+        assert "drop-first" in schedule_names("bsp")
+        assert "corrupt-input" in schedule_names("shared")
+        with pytest.raises(ValueError):
+            shipped_schedules("quantum")
+
+    def test_small_suite_survives_and_renders(self):
+        report = run_chaos_suite(n=16, budget=6, only="parity")
+        assert report.results
+        assert report.ok, [r for r in report.results if not r.ok]
+        text = render_chaos_report(report)
+        assert "all survived" in text
+        assert "adversary" in text
+
+    def test_filter_matches_nothing_yields_empty_ok_report(self):
+        report = run_chaos_suite(n=16, budget=2, only="no-such-case")
+        assert report.results == []
+        assert report.ok

@@ -1,0 +1,209 @@
+"""Fault plans: scheduling, BSP routing, memory corruption, events."""
+
+import pytest
+
+from repro.core import BSP, GSM, QSM, BSPParams
+from repro.faults.plan import (
+    FAULT_KINDS,
+    Fault,
+    FaultEvent,
+    FaultPlan,
+    random_fault_plan,
+)
+
+
+def bsp_round(machine, sends):
+    """One superstep issuing ``sends`` (src, dst, payload) triples."""
+    with machine.superstep() as ss:
+        for src, dst, payload in sends:
+            ss.send(src, dst, payload)
+
+
+class TestFaultSpec:
+    def test_kind_table(self):
+        assert FAULT_KINDS == ("drop", "duplicate", "delay", "stall", "crash", "corrupt")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Fault("meteor", 0)
+
+    def test_corrupt_needs_addr(self):
+        with pytest.raises(ValueError, match="addr"):
+            Fault("corrupt", 0, value=1)
+
+    def test_window_kinds_need_proc(self):
+        with pytest.raises(ValueError, match="proc"):
+            Fault("stall", 0)
+
+    def test_plan_accepts_spec_dicts_and_round_trips(self):
+        plan = FaultPlan([{"kind": "drop", "step": 1, "src": 0, "count": 2}])
+        assert plan.to_specs() == [{"kind": "drop", "step": 1, "src": 0, "count": 2}]
+
+    def test_plan_rejects_garbage(self):
+        with pytest.raises(TypeError, match="Fault or a spec dict"):
+            FaultPlan(["drop"])
+
+
+class TestBSPMessageFaults:
+    def test_drop_removes_matching_messages(self):
+        plan = FaultPlan([Fault("drop", 0, src=0, dst=1)])
+        b = BSP(4, fault_plan=plan)
+        bsp_round(b, [(0, 1, "lost"), (2, 1, "kept")])
+        assert b.inbox(1) == [(2, "kept")]
+        assert [e.kind for e in b.fault_events] == ["drop"]
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan([Fault("duplicate", 0, src=0)])
+        b = BSP(4, fault_plan=plan)
+        bsp_round(b, [(0, 1, "x")])
+        assert b.inbox(1) == [(0, "x"), (0, "x")]
+
+    def test_delay_parks_until_due_superstep(self):
+        plan = FaultPlan([Fault("delay", 0, delay=2)])
+        b = BSP(4, fault_plan=plan)
+        bsp_round(b, [(0, 1, "late")])
+        assert b.inbox(1) == []
+        bsp_round(b, [])
+        assert b.inbox(1) == []
+        bsp_round(b, [])  # superstep index 2 == due step: delivered after it
+        assert b.inbox(1) == [(0, "late")]
+
+    def test_count_limits_the_blast_radius(self):
+        plan = FaultPlan([Fault("drop", 0, count=1)])
+        b = BSP(4, fault_plan=plan)
+        bsp_round(b, [(0, 1, "a"), (0, 1, "b")])
+        assert b.inbox(1) == [(0, "b")]
+
+    def test_received_traffic_reflects_faults(self):
+        # Cost accounting charges what was actually routed: a dropped
+        # message never lands in received_per_proc.
+        plan = FaultPlan([Fault("drop", 0, src=0, dst=1, count=None)])
+        b = BSP(4, BSPParams(g=2.0, L=2.0), fault_plan=plan)
+        bsp_round(b, [(0, 1, "gone"), (0, 1, "gone2"), (2, 3, "ok")])
+        rec = b.history[0]
+        assert rec.received_per_proc == {3: 1}
+        assert rec.sent_per_proc == {0: 2, 2: 1}  # sends were still issued
+
+
+class TestBSPWindowFaults:
+    def test_stall_holds_sends_until_window_end(self):
+        plan = FaultPlan([Fault("stall", 1, proc=0, duration=2)])
+        b = BSP(2, fault_plan=plan)
+        seen = []
+        for t in range(5):
+            bsp_round(b, [(0, 1, f"t{t}")])
+            seen.append([p for _, p in b.inbox(1)])
+        # t0 normal; t1/t2 held during the stall, both land after step 2.
+        assert seen == [["t0"], [], ["t1", "t2"], ["t3"], ["t4"]]
+
+    def test_crash_loses_sends_for_the_window(self):
+        plan = FaultPlan([Fault("crash", 0, proc=0, duration=2)])
+        b = BSP(2, fault_plan=plan)
+        seen = []
+        for t in range(4):
+            bsp_round(b, [(0, 1, f"t{t}")])
+            seen.append([p for _, p in b.inbox(1)])
+        assert seen == [[], [], ["t2"], ["t3"]]
+
+    def test_crash_forever_with_none_duration(self):
+        plan = FaultPlan([Fault("crash", 0, proc=0, duration=None)])
+        b = BSP(2, fault_plan=plan)
+        for t in range(3):
+            bsp_round(b, [(0, 1, f"t{t}")])
+            assert b.inbox(1) == []
+
+
+class TestMemoryFaults:
+    def test_corrupt_overwrites_cell_after_commit(self):
+        plan = FaultPlan([Fault("corrupt", 0, addr=1, value=-9)])
+        m = QSM(fault_plan=plan)
+        with m.phase() as ph:
+            ph.write(0, 1, 5)
+        assert m.peek(1) == -9
+        [event] = m.fault_events
+        assert event.kind == "corrupt"
+        assert event.detail["before"] == "5"
+
+    def test_corrupt_fires_on_its_phase_only(self):
+        plan = FaultPlan([Fault("corrupt", 1, addr=0, value=7)])
+        m = QSM(fault_plan=plan)
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        assert m.peek(0) == 1  # phase 0: not yet
+        with m.phase() as ph:
+            ph.local(0)
+        assert m.peek(0) == 7
+
+    def test_gsm_takes_fault_plans_too(self):
+        plan = FaultPlan([Fault("corrupt", 0, addr=0, value=3)])
+        m = GSM(fault_plan=plan)
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        # GSM cells are tuples (strong queuing accumulates); poke wraps.
+        assert m.peek(0) == (3,)
+
+
+class TestTransience:
+    def test_transient_fault_spends_across_fresh_machines(self):
+        # The self-check retry model: attempt 2 on a fresh machine sees the
+        # fault already spent.
+        plan = FaultPlan([Fault("drop", 0, src=0)])
+        for attempt, expected in [(0, []), (1, [(0, "m")])]:
+            b = BSP(2, fault_plan=plan)
+            bsp_round(b, [(0, 1, "m")])
+            assert b.inbox(1) == expected, f"attempt {attempt}"
+
+    def test_reset_rearms_and_clears_events(self):
+        plan = FaultPlan([Fault("drop", 0, src=0)])
+        b = BSP(2, fault_plan=plan)
+        bsp_round(b, [(0, 1, "m")])
+        assert plan.fired == 1
+        plan.reset()
+        assert plan.fired == 0
+        b2 = BSP(2, fault_plan=plan)
+        bsp_round(b2, [(0, 1, "m")])
+        assert b2.inbox(1) == []  # re-armed: drops again
+
+    def test_unlimited_firings(self):
+        plan = FaultPlan([Fault("corrupt", 0, addr=0, value=1, firings=None)])
+        for _ in range(3):
+            m = QSM(fault_plan=plan)
+            with m.phase() as ph:
+                ph.write(0, 0, 0)
+            assert m.peek(0) == 1
+
+
+class TestEvents:
+    def test_event_round_trip(self):
+        event = FaultEvent(2, "drop", {"messages": [[0, 1]]})
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_events_land_in_cost_records(self):
+        plan = FaultPlan([Fault("corrupt", 0, addr=0, value=9)])
+        m = QSM(record_costs=True, fault_plan=plan)
+        with m.phase() as ph:
+            ph.write(0, 0, 1)
+        [rec] = m.cost_records
+        assert [f["kind"] for f in rec.faults] == ["corrupt"]
+
+    def test_rebuilt_records_recover_fault_events(self):
+        from repro.obs.records import machine_cost_records
+
+        plan = FaultPlan([Fault("drop", 0, src=0)])
+        b = BSP(2, fault_plan=plan)  # record_costs off: records are rebuilt
+        bsp_round(b, [(0, 1, "m")])
+        [rec] = machine_cost_records(b)
+        assert [f["kind"] for f in rec.faults] == ["drop"]
+
+
+class TestRandomPlans:
+    def test_seeded_and_model_scoped(self):
+        a = random_fault_plan("bsp", seed=5)
+        b = random_fault_plan("bsp", seed=5)
+        assert a.to_specs() == b.to_specs()
+        for spec in random_fault_plan("shared", seed=1, max_faults=4).to_specs():
+            assert spec["kind"] == "corrupt"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            random_fault_plan("quantum", seed=0)

@@ -67,6 +67,48 @@ class TestJsonl:
         assert read_jsonl(buf) == records
 
 
+def faulted_records():
+    from repro.faults.plan import Fault, FaultPlan
+
+    plan = FaultPlan([Fault("corrupt", 1, addr=7, value=-1)])
+    m = QSM(QSMParams(g=2.0), record_costs=True, fault_plan=plan)
+    for _ in range(3):
+        with m.phase() as ph:
+            ph.write(0, 7, 5)
+    return m.cost_records
+
+
+class TestFaultEventsInRecords:
+    def test_faults_survive_jsonl_round_trip(self, tmp_path):
+        records = faulted_records()
+        assert [f["kind"] for rec in records for f in rec.faults] == ["corrupt"]
+        path = str(tmp_path / "faulted.jsonl")
+        write_jsonl(records, path)
+        back = read_jsonl(path)
+        assert back == records
+        assert back[1].faults == records[1].faults
+
+    def test_faults_survive_dict_round_trip(self):
+        rec = faulted_records()[1]
+        assert rec.faults
+        assert PhaseCostRecord.from_dict(rec.to_dict()) == rec
+
+    def test_chrome_trace_emits_instant_fault_events(self):
+        events = chrome_trace_events(faulted_records())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        [instant] = instants
+        assert instant["name"] == "fault: corrupt"
+        assert instant["cat"] == "fault"
+        assert instant["args"]["step"] == 1
+        # The instant sits at its phase's start timestamp.
+        phase1 = [e for e in events if e["ph"] == "X"][1]
+        assert instant["ts"] == phase1["ts"]
+
+    def test_no_fault_no_instant_events(self):
+        assert all(e["ph"] != "i" for e in chrome_trace_events(sample_records()))
+
+
 class TestChromeTrace:
     def test_events_have_required_schema(self):
         events = chrome_trace_events(sample_records(), pid=2, tid=7)

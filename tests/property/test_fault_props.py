@@ -1,0 +1,124 @@
+"""Property-based robustness: winner policies and random tolerated faults.
+
+Two families of properties:
+
+* **Winner independence** — the Section 8 shared-memory algorithms must be
+  correct under *every* winner policy (the models' "arbitrary" rule is
+  adversarial), including replay policies forcing arbitrary decisions.
+* **Fault survival** — under a random transient fault schedule
+  (:func:`repro.faults.plan.random_fault_plan`), the self-checking harness
+  (verify + retry on a fresh machine) must converge to a correct answer:
+  transient faults spend themselves, so attempt 2 is clean.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.or_ import or_bsp, or_tree_writes
+from repro.algorithms.parity import parity_bsp, parity_tree
+from repro.algorithms.prefix import prefix_sums_bsp
+from repro.core import BSP, QSM, SQSM, BSPParams, QSMParams, SQSMParams
+from repro.faults.harness import ChaosCase, run_self_checking
+from repro.faults.plan import random_fault_plan
+from repro.faults.winners import FirstWriterWins, LastWriterWins, ReplayWinners, SeededWinners
+
+bits_lists = st.lists(st.integers(0, 1), min_size=1, max_size=32)
+
+policies = st.one_of(
+    st.builds(FirstWriterWins),
+    st.builds(LastWriterWins),
+    st.builds(SeededWinners, st.integers(0, 2**20)),
+    st.builds(
+        ReplayWinners,
+        st.dictionaries(st.integers(0, 40), st.integers(0, 7), max_size=8),
+    ),
+)
+
+
+class TestWinnerIndependence:
+    @given(bits_lists, policies)
+    @settings(max_examples=50, deadline=None)
+    def test_parity_tree_any_policy(self, bits, policy):
+        machine = QSM(QSMParams(g=2), winner_policy=policy)
+        assert parity_tree(machine, bits).value == sum(bits) % 2
+
+    @given(bits_lists, policies)
+    @settings(max_examples=50, deadline=None)
+    def test_or_tournament_any_policy(self, bits, policy):
+        machine = SQSM(SQSMParams(g=2), winner_policy=policy)
+        assert or_tree_writes(machine, bits).value == (1 if any(bits) else 0)
+
+    @given(bits_lists, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_seeded_policy_is_bit_compatible_with_machine_default(self, bits, seed):
+        plain = or_tree_writes(QSM(QSMParams(g=2), seed=seed), bits)
+        policied = or_tree_writes(
+            QSM(QSMParams(g=2), seed=seed, winner_policy=SeededWinners(seed)), bits
+        )
+        assert plain.value == policied.value
+        assert plain.time == policied.time
+
+
+class TestFaultSurvival:
+    @given(bits_lists, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_parity_tree_survives_random_corruption(self, bits, seed):
+        plan = random_fault_plan("shared", seed=seed, max_faults=2)
+        case = ChaosCase(
+            "parity", "shared",
+            lambda winner_policy=None, fault_plan=None: parity_tree(
+                QSM(QSMParams(g=2), winner_policy=winner_policy, fault_plan=fault_plan),
+                bits,
+            ).value,
+            verify=lambda v: v == sum(bits) % 2,
+        )
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        assert outcome.ok, outcome.note
+
+    @given(bits_lists, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_bsp_parity_survives_random_message_faults(self, bits, seed):
+        plan = random_fault_plan("bsp", seed=seed, max_faults=2, procs=4)
+        case = ChaosCase(
+            "parity-bsp", "bsp",
+            lambda winner_policy=None, fault_plan=None: parity_bsp(
+                BSP(4, BSPParams(g=2.0, L=8.0), fault_plan=fault_plan), bits
+            ).value,
+            verify=lambda v: v == sum(bits) % 2,
+        )
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        assert outcome.ok, outcome.note
+
+    @given(
+        st.lists(st.integers(-20, 20), min_size=1, max_size=24),
+        st.integers(0, 2**20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bsp_prefix_sums_survive_random_message_faults(self, values, seed):
+        from itertools import accumulate
+
+        plan = random_fault_plan("bsp", seed=seed, max_faults=2, procs=4)
+        truth = list(accumulate(values))
+        case = ChaosCase(
+            "prefix-bsp", "bsp",
+            lambda winner_policy=None, fault_plan=None: prefix_sums_bsp(
+                BSP(4, BSPParams(g=2.0, L=8.0), fault_plan=fault_plan), values
+            ).value,
+            verify=lambda v: list(v) == truth,
+        )
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        assert outcome.ok, outcome.note
+
+    @given(bits_lists, st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_bsp_or_survives_random_message_faults(self, bits, seed):
+        plan = random_fault_plan("bsp", seed=seed, max_faults=2, procs=4)
+        case = ChaosCase(
+            "or-bsp", "bsp",
+            lambda winner_policy=None, fault_plan=None: or_bsp(
+                BSP(4, BSPParams(g=2.0, L=8.0), fault_plan=fault_plan), bits
+            ).value,
+            verify=lambda v: v == (1 if any(bits) else 0),
+        )
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        assert outcome.ok, outcome.note

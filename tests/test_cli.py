@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, main, parse_jobs
 
 
 class TestCLI:
@@ -67,3 +67,61 @@ class TestTraceCommand:
         with pytest.raises(SystemExit):
             main(["trace", "--help"])
         assert "chrome" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_is_not_an_experiment(self):
+        assert "chaos" not in EXPERIMENTS
+
+    def test_chaos_small_run_passes(self, capsys):
+        assert main(["chaos", "--n", "16", "--budget", "4",
+                     "--only", "parity", "--skip-sweep-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "all survived" in out
+        assert "CHAOS: all clear" in out
+
+    def test_chaos_help_mentions_the_gate(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--help"])
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "fault" in out
+
+
+class TestJobsValidation:
+    def test_jobs_flag_is_stripped_and_parsed(self):
+        assert parse_jobs(["t1a", "--jobs", "4"]) == (["t1a"], 4)
+        assert parse_jobs(["--jobs=2", "s8"]) == (["s8"], 2)
+        assert parse_jobs(["t1a"]) == (["t1a"], None)
+
+    def test_jobs_zero_or_negative_rejected(self):
+        for bad in (["--jobs", "0"], ["--jobs=-3"]):
+            with pytest.raises(SystemExit, match=">= 1"):
+                parse_jobs(bad)
+
+    def test_jobs_non_integer_rejected(self):
+        with pytest.raises(SystemExit, match="integer"):
+            parse_jobs(["--jobs", "many"])
+        with pytest.raises(SystemExit, match="needs a value"):
+            parse_jobs(["--jobs"])
+
+    def test_bad_repro_jobs_env_rejected_at_cli(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["nope"])
+        assert exc_info.value.code == 2
+        assert "REPRO_JOBS must be an integer" in capsys.readouterr().err
+
+    def test_nonpositive_repro_jobs_env_rejected_at_cli(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["nope"])
+        assert exc_info.value.code == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_explicit_jobs_flag_overrides_bad_env(self, monkeypatch, capsys):
+        # --jobs 1 wins over a typo'd environment: the run proceeds (and then
+        # fails on the unknown experiment, proving validation was skipped).
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["nope", "--jobs", "1"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
