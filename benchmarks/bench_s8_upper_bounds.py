@@ -115,6 +115,25 @@ def _claims():
     ]
 
 
+def run_s8_point(idx: int, n: int):
+    """One Section 8 claim at one ``n``, as a picklable task outcome.
+
+    The claim closures in :func:`_claims` capture machines and verifiers,
+    so they cannot cross a process boundary; this module-level wrapper
+    rebuilds them inside the worker, which is what lets the Section 8
+    suite run as a campaign (``python -m repro campaign run section8``).
+    """
+    name, claim, run = _claims()[idx]
+    measured = float(run(n))
+    claimed = float(claim(n))
+    return {
+        "measured": measured,
+        "claimed": claimed,
+        "claim": name,
+        "correct": True,  # every run_fn self-verifies via assert
+    }
+
+
 def collect():
     out = []
     for name, claim, run in _claims():

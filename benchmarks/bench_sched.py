@@ -1,0 +1,143 @@
+"""Experiment sched — warm-pool vs process-per-point sweep throughput.
+
+The campaign scheduler's core bet (docs/SCHEDULER.md) is that keeping
+worker processes warm — import :mod:`repro` once, then stream pickled
+tasks — beats PR 3's process-per-point execution, which pays a fresh
+interpreter plus a full ``repro`` import for every grid point.  This
+driver measures that bet on a small-n slice of the Table 1a grid:
+
+* ``pool``    — :class:`repro.sched.pool.WorkerPool` via
+  ``parallel_sweep(executor="pool")`` (the new default for worker runs);
+* ``process`` — the legacy one-process-per-point path
+  (``executor="process"``);
+* ``serial``  — in-process baseline, for scale.
+
+All three must produce bit-identical sweep results (also pinned by
+``tests/property/test_sched_props.py``); the point of the bench is the
+points-per-second ratio, written to ``BENCH_sched.json`` alongside the
+raw timings.  Run it via ``python -m repro sched``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from benchmarks.bench_table1_qsm_time import run_t1a_point
+from benchmarks.common import PerfRow, print_perf_rows
+from repro.analysis.parallel_sweep import default_jobs, parallel_sweep
+
+#: Small-n Table 1a slice: cheap enough that per-point process launch
+#: overhead dominates on the "process" path — exactly the regime campaigns
+#: live in.  36 points.
+GRID = {
+    "problem": ["LAC", "OR", "Parity"],
+    "variant": ["deterministic", "randomized"],
+    "n": [16, 24, 32, 48, 64, 96],
+}
+
+EXECUTORS = ("serial", "process", "pool")
+
+
+def _grid_size(grid: Dict[str, List]) -> int:
+    total = 1
+    for values in grid.values():
+        total *= len(values)
+    return total
+
+
+def collect(jobs: Optional[int] = None) -> Dict[str, object]:
+    """Time the slice under each executor; verify bit-identical results."""
+    jobs = default_jobs() if jobs is None else jobs
+    points = _grid_size(GRID)
+    results = {}
+    timings: Dict[str, float] = {}
+    for executor in EXECUTORS:
+        t0 = time.perf_counter()
+        results[executor] = parallel_sweep(
+            GRID, run_t1a_point, jobs=jobs, executor=executor
+        )
+        timings[executor] = time.perf_counter() - t0
+    identical = results["serial"] == results["process"] == results["pool"]
+    return {
+        "jobs": jobs,
+        "points": points,
+        "timings": timings,
+        "throughput": {ex: points / timings[ex] for ex in EXECUTORS},
+        "speedup_pool_vs_process": timings["process"] / timings["pool"],
+        "identical": identical,
+        "correct": identical and all(p.correct for p in results["pool"]),
+    }
+
+
+def write_bench_json(summary: Dict[str, object], path: Optional[str] = None) -> str:
+    """Persist the measurement to ``BENCH_sched.json``; returns the path.
+
+    The file lands in ``$REPRO_BENCH_CACHE`` when set (next to the other
+    ``BENCH_*.json`` artifacts), else the current directory.
+    """
+    if path is None:
+        root = os.environ.get("REPRO_BENCH_CACHE") or "."
+        path = os.path.join(root, "BENCH_sched.json")
+    payload = {k: v for k, v in summary.items()}
+    payload["grid"] = GRID
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main() -> None:
+    summary = collect()
+    points = summary["points"]
+    rows = [
+        PerfRow(
+            path=executor,
+            n=points,
+            ops=points,
+            seconds=summary["timings"][executor],
+            note={"serial": "in-process baseline",
+                  "process": "one process per point",
+                  "pool": "warm worker pool"}[executor],
+        )
+        for executor in EXECUTORS
+    ]
+    print_perf_rows(
+        f"Sweep executors on a {points}-point Table 1a slice "
+        f"(--jobs {summary['jobs']})",
+        rows,
+        baseline="process",
+    )
+    print(
+        f"\nwarm pool vs process-per-point: "
+        f"{summary['speedup_pool_vs_process']:.2f}x point throughput; "
+        f"results identical: {summary['identical']}"
+    )
+    out = write_bench_json(summary)
+    print(f"wrote {out}")
+    if not summary["correct"]:
+        raise SystemExit("executors disagreed or produced incorrect points")
+
+
+# --- pytest-benchmark targets ------------------------------------------------
+
+def bench_sched_warm_pool_speedup(benchmark):
+    summary = benchmark(lambda: collect(jobs=2))
+    benchmark.extra_info["speedup_pool_vs_process"] = summary[
+        "speedup_pool_vs_process"
+    ]
+    assert summary["identical"], "executors must produce bit-identical sweeps"
+    assert summary["correct"]
+    # The acceptance bar is >= 2x on an idle machine (BENCH_sched.json
+    # records the real number); assert a conservative floor so a loaded CI
+    # runner cannot flake the suite.
+    assert summary["speedup_pool_vs_process"] > 1.2, (
+        f"warm pool only {summary['speedup_pool_vs_process']:.2f}x "
+        "process-per-point"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,11 @@ cell's bound, that Parity deterministic is Theta-tight, and the L-response
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
-from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
-from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell, sweep_cache_kwargs
+from repro.analysis.parallel_sweep import parallel_sweep
 from repro.algorithms.compaction import lac_bsp
 from repro.algorithms.or_ import or_bsp
 from repro.algorithms.parity import parity_bsp
@@ -84,9 +83,7 @@ def collect_rows():
         "variant": ["deterministic", "randomized"],
         "n": NS,
     }
-    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
-    cache = bench_cache_path("t1c_bsp_time", root=cache_dir) if cache_dir else None
-    points = parallel_sweep(grid, run_t1c_point, cache_path=cache)
+    points = parallel_sweep(grid, run_t1c_point, **sweep_cache_kwargs("t1c_bsp_time"))
     return [
         CellRow(
             p.params["problem"],

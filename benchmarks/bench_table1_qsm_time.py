@@ -19,12 +19,11 @@ Expected shapes (paper):
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
-from benchmarks.common import CellRow, format_dominant, ns_from_env, print_rows, summarise_cell
-from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
+from benchmarks.common import CellRow, format_dominant, ns_from_env, print_rows, summarise_cell, sweep_cache_kwargs
+from repro.analysis.parallel_sweep import parallel_sweep
 from repro.algorithms.compaction import lac_dart, lac_prefix
 from repro.algorithms.or_ import or_tree_writes
 from repro.algorithms.parity import parity_blocks
@@ -96,17 +95,16 @@ def run_t1a_point(problem: str, variant: str, n: int):
 
 def collect_rows():
     # The main 3x2xNS grid runs through parallel_sweep: ``--jobs N`` (or
-    # REPRO_JOBS) fans the cells out over worker processes, and setting
-    # REPRO_BENCH_CACHE to a directory persists finished points to
-    # BENCH_t1a_qsm_time.json so interrupted regenerations resume.
+    # REPRO_JOBS) fans the cells out over worker processes.  REPRO_STORE
+    # persists finished points to the shared content-addressed result store
+    # (also visible to `python -m repro campaign run table1`); the legacy
+    # REPRO_BENCH_CACHE keeps a per-driver BENCH_t1a_qsm_time.json instead.
     grid = {
         "problem": ["LAC", "OR", "Parity"],
         "variant": ["deterministic", "randomized"],
         "n": NS,
     }
-    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
-    cache = bench_cache_path("t1a_qsm_time", root=cache_dir) if cache_dir else None
-    points = parallel_sweep(grid, run_t1a_point, cache_path=cache)
+    points = parallel_sweep(grid, run_t1a_point, **sweep_cache_kwargs("t1a_qsm_time"))
     return [
         CellRow(
             p.params["problem"],

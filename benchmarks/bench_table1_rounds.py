@@ -10,12 +10,11 @@ that simple prefix-sums-style algorithms match the round lower bounds.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
-from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
-from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell, sweep_cache_kwargs
+from repro.analysis.parallel_sweep import parallel_sweep
 from repro.obs import dominant_fractions
 from repro.algorithms.compaction import lac_bsp, lac_prefix_rounds
 from repro.algorithms.or_ import or_bsp, or_rounds
@@ -104,9 +103,7 @@ def collect_rows():
         "model": ["QSM", "s-QSM", "BSP"],
         "n": [n for n, _ in SWEEP],
     }
-    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
-    cache = bench_cache_path("t1d_rounds", root=cache_dir) if cache_dir else None
-    points = parallel_sweep(grid, run_t1d_point, cache_path=cache)
+    points = parallel_sweep(grid, run_t1d_point, **sweep_cache_kwargs("t1d_rounds"))
     return [
         CellRow(
             p.params["problem"],

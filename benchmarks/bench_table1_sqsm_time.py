@@ -8,12 +8,11 @@ verifies the linear-in-g response all six formulas share on this model.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
-from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell
-from repro.analysis.parallel_sweep import bench_cache_path, parallel_sweep
+from benchmarks.common import CellRow, format_dominant, print_rows, summarise_cell, sweep_cache_kwargs
+from repro.analysis.parallel_sweep import parallel_sweep
 from repro.algorithms.compaction import lac_dart, lac_prefix
 from repro.algorithms.or_ import or_tree_writes
 from repro.algorithms.parity import parity_tree
@@ -81,9 +80,7 @@ def collect_rows():
         "variant": ["deterministic", "randomized"],
         "n": NS,
     }
-    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
-    cache = bench_cache_path("t1b_sqsm_time", root=cache_dir) if cache_dir else None
-    points = parallel_sweep(grid, run_t1b_point, cache_path=cache)
+    points = parallel_sweep(grid, run_t1b_point, **sweep_cache_kwargs("t1b_sqsm_time"))
     return [
         CellRow(
             p.params["problem"],

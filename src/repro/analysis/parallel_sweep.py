@@ -82,6 +82,8 @@ __all__ = [
     "bench_cache_path",
     "SweepPointError",
     "JOBS_ENV",
+    "EXECUTOR_ENV",
+    "EXECUTORS",
 ]
 
 
@@ -102,6 +104,18 @@ class SweepPointError(RuntimeError):
 #: Environment variable consulted for the default job count; the CLI's
 #: ``--jobs`` flag sets it so every bench in a run picks it up.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable overriding the ``executor="auto"`` resolution —
+#: set ``REPRO_EXECUTOR=process`` to A/B the legacy process-per-point
+#: path against the warm pool (``benchmarks/bench_sched.py`` does).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Recognised executors.  ``auto`` resolves to ``serial`` for
+#: ``jobs=1`` without a timeout and to ``pool`` (the warm worker pool of
+#: :mod:`repro.sched.pool`) otherwise; ``process`` is the legacy
+#: process-per-point path kept for comparison benches and as the
+#: maximum-isolation fallback.
+EXECUTORS = ("auto", "serial", "process", "pool")
 
 
 def default_jobs() -> int:
@@ -399,6 +413,83 @@ def _run_processes(
         raise
 
 
+def _run_pool(
+    pending: List[_Attempting],
+    outcomes: Dict[str, Dict[str, Any]],
+    run: Callable[..., Dict[str, Any]],
+    seed_arg: Optional[str],
+    base_seed: Any,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    on_error: str,
+    pool: Optional[Any] = None,
+) -> None:
+    """Warm-pool execution: same watchdog/retry/isolation contract as
+    :func:`_run_processes`, minus the per-point process launch."""
+    from repro.sched.pool import WorkerPool
+
+    owns_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(jobs=jobs)
+    tasks_by_key = {task.key: task for task in pending}
+    waiting: List[_Attempting] = list(pending)  # unsubmitted (new or backing off)
+    in_flight: set = set()
+
+    def fail(task: _Attempting, error: str) -> None:
+        task.failures += 1
+        task.last_error = error
+        if task.failures <= retries:
+            task.not_before = time.monotonic() + (
+                backoff * 2 ** (task.failures - 1) if backoff > 0 else 0.0
+            )
+            waiting.append(task)
+            return
+        if on_error == "raise":
+            raise SweepPointError(task.params, error, task.failures)
+        outcomes[task.key] = _error_outcome(error, task.failures)
+
+    try:
+        while waiting or in_flight:
+            now = time.monotonic()
+            for task in [t for t in waiting if t.not_before <= now]:
+                waiting.remove(task)
+                in_flight.add(task.key)
+                pool.submit(
+                    task.key,
+                    _call_point,
+                    {
+                        "run": run,
+                        "params": task.params,
+                        "seed_arg": seed_arg,
+                        "base_seed": base_seed,
+                    },
+                    timeout=timeout,
+                )
+            if not in_flight:
+                # Everything left is backing off; sleep until one is due.
+                wake = min(t.not_before for t in waiting)
+                time.sleep(max(0.0, min(wake - time.monotonic(), 0.1)))
+                continue
+            for event in pool.events(wait=0.5):
+                task = tasks_by_key.get(event.key)
+                if task is None or event.key not in in_flight:
+                    continue  # a shared pool's stale leftovers
+                in_flight.discard(event.key)
+                if event.ok:
+                    payload = event.payload
+                    if task.failures:
+                        payload = dict(payload)
+                        payload["sweep_attempts"] = task.failures + 1
+                    outcomes[task.key] = payload
+                else:
+                    fail(task, str(event.payload))
+    finally:
+        if owns_pool:
+            pool.shutdown()
+
+
 def parallel_sweep(
     grid: Mapping[str, Sequence[Any]],
     run: Callable[..., Dict[str, Any]],
@@ -410,27 +501,44 @@ def parallel_sweep(
     retries: int = 0,
     backoff: float = 0.0,
     on_error: str = "raise",
+    executor: str = "auto",
+    pool: Optional[Any] = None,
+    store: Optional[Any] = None,
+    store_scope: Optional[str] = None,
 ) -> List[SweepPoint]:
-    """Run ``run(**point)`` over the grid with ``jobs`` worker processes.
+    """Run ``run(**point)`` over the grid with ``jobs`` workers.
 
     Drop-in for :func:`repro.analysis.sweep.sweep`: same grid semantics,
     same outcome contract (``measured``/``correct``/``bound``/extras), same
     result order.  Differences:
 
-    * points execute in up to ``jobs`` processes (default: ``$REPRO_JOBS``
-      or the CPU count), one fresh process per point;
+    * points execute in up to ``jobs`` worker processes (default:
+      ``$REPRO_JOBS`` or the CPU count) selected by ``executor``:
+      ``"pool"`` (the warm worker pool of :mod:`repro.sched.pool` — the
+      default whenever workers are needed), ``"process"`` (the legacy
+      one-fresh-process-per-point path), ``"serial"`` (in-process), or
+      ``"auto"`` (serial for ``jobs=1`` without a timeout, else the pool;
+      ``$REPRO_EXECUTOR`` overrides).  Pass an existing
+      :class:`~repro.sched.pool.WorkerPool` as ``pool`` to share warm
+      workers across sweeps;
     * with ``seed_arg``, each call receives ``run(**point, seed_arg=s)``
       where ``s = derive_point_seed(base_seed, point)``;
     * with ``cache_path``, completed outcomes persist to JSON and re-runs
-      skip points already present in the file;
+      skip points already present in the file; with ``store`` (a
+      :class:`repro.sched.store.ResultStore` — mutually exclusive with
+      ``cache_path``), outcomes persist content-addressed under
+      ``(store_scope or run's module:qualname, point params, base seed,
+      store version)`` instead, unifying every driver's resume cache in
+      one place;
     * ``timeout`` / ``retries`` / ``backoff`` / ``on_error`` add the fault
       tolerance described in the module docstring.
 
     ``run`` must be picklable (a module-level function) when worker
-    processes are used, i.e. when ``jobs > 1`` **or** a ``timeout`` is set;
-    ``jobs=1`` without a timeout runs in-process with no pickling
-    requirement (crashes there are ordinary exceptions, still subject to
-    retries and ``on_error``).
+    processes are used; serial execution has no pickling requirement
+    (crashes there are ordinary exceptions, still subject to retries and
+    ``on_error``).  All executors produce bit-identical results for a
+    deterministic ``run`` — property-tested in
+    ``tests/property/test_sched_props.py``.
     """
     if jobs is not None and int(jobs) < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -442,10 +550,34 @@ def parallel_sweep(
         raise ValueError(f"timeout must be positive, got {timeout}")
     if on_error not in ("raise", "record"):
         raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if store is not None and cache_path is not None:
+        raise ValueError("pass either cache_path or store, not both")
 
     points = grid_points(grid)
     jobs = default_jobs() if jobs is None else int(jobs)
+    resolved = executor
+    if resolved == "auto":
+        env = os.environ.get(EXECUTOR_ENV, "").strip()
+        if env:
+            if env not in ("serial", "process", "pool"):
+                raise ValueError(
+                    f"{EXECUTOR_ENV} must be serial, process or pool, got {env!r}"
+                )
+            resolved = env
+        else:
+            resolved = "serial" if (jobs == 1 and timeout is None and pool is None) else "pool"
+    if resolved == "serial" and timeout is not None:
+        raise ValueError("the serial executor cannot enforce timeouts")
+
     cache = _load_cache(cache_path) if cache_path else {}
+    store_keys: Dict[str, str] = {}
+    if store is not None:
+        scope = run if store_scope is None else store_scope
+        extra = {"base_seed": base_seed} if seed_arg is not None else None
+        for params in points:
+            store_keys[point_key(params)] = store.key_for(scope, params, extra)
 
     outcomes: Dict[str, Dict[str, Any]] = {}
     pending: List[_Attempting] = []
@@ -453,20 +585,30 @@ def parallel_sweep(
         key = point_key(params)
         if key in cache:
             outcomes[key] = cache[key]
-        else:
-            pending.append(_Attempting(dict(params)))
+            continue
+        if store is not None:
+            stored = store.get_outcome(store_keys[key])
+            if stored is not None and _valid_cache_entry(stored):
+                outcomes[key] = stored
+                continue
+        pending.append(_Attempting(dict(params)))
 
     try:
         if pending:
-            if jobs == 1 and timeout is None:
+            if resolved == "serial":
                 _run_serial(
                     pending, outcomes, run, seed_arg, base_seed,
                     retries, backoff, on_error,
                 )
-            else:
+            elif resolved == "process":
                 _run_processes(
                     pending, outcomes, run, seed_arg, base_seed,
                     jobs, timeout, retries, backoff, on_error,
+                )
+            else:
+                _run_pool(
+                    pending, outcomes, run, seed_arg, base_seed,
+                    jobs, timeout, retries, backoff, on_error, pool=pool,
                 )
     finally:
         # Persist whatever completed — even when a point raised — so an
@@ -478,5 +620,15 @@ def parallel_sweep(
                 {k: v for k, v in outcomes.items() if _valid_cache_entry(v)}
             )
             _store_cache(cache_path, merged)
+        elif store is not None:
+            from repro.sched.store import task_spec
+
+            for task in pending:
+                value = outcomes.get(task.key)
+                if value is not None and _valid_cache_entry(value):
+                    store.put(
+                        store_keys[task.key], value,
+                        spec=task_spec(scope, task.params, extra),
+                    )
 
     return [point_from_outcome(params, outcomes[point_key(params)]) for params in points]

@@ -21,6 +21,15 @@ algorithm under every winner policy, an adversarial winner search, and the
 shipped fault schedules, plus the fault-tolerant sweep-runner demo.  See
 docs/ROBUSTNESS.md.
 
+``python -m repro campaign run|resume|status|prune|list`` drives the
+campaign scheduler (:mod:`repro.sched`): declarative task DAGs executed on
+a warm worker pool with outcomes persisted to a content-addressed result
+store, so a killed campaign resumes from what it already computed.  See
+docs/SCHEDULER.md.
+
+``python -m repro version`` (or ``--version``) prints the package version
+— the same string that salts every result-store content key.
+
 This is the same code path the pytest benches assert on; the CLI just
 prints without asserting, so it is the cheapest way to regenerate
 EXPERIMENTS.md's numbers.
@@ -32,7 +41,15 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["main", "EXPERIMENTS", "parse_jobs", "run_trace", "run_chaos"]
+__all__ = [
+    "main",
+    "EXPERIMENTS",
+    "parse_jobs",
+    "run_trace",
+    "run_chaos",
+    "run_campaign_cli",
+    "run_version",
+]
 
 
 def _t1a() -> None:
@@ -89,6 +106,12 @@ def _perf() -> None:
     main()
 
 
+def _sched() -> None:
+    from benchmarks.bench_sched import main
+
+    main()
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "t1a": _t1a,
     "t1b": _t1b,
@@ -99,6 +122,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "lb": _lb,
     "abl": _abl,
     "perf": _perf,
+    "sched": _sched,
 }
 
 
@@ -237,6 +261,166 @@ def run_chaos(argv: List[str]) -> int:
     return 0 if ok else 1
 
 
+def run_version() -> int:
+    """``python -m repro version``: print the package version string."""
+    from repro import __version__
+
+    print(__version__)
+    return 0
+
+
+def run_campaign_cli(argv: List[str]) -> int:
+    """``python -m repro campaign``: drive the campaign scheduler.
+
+    Subcommands: ``run`` (execute, resuming from the store), ``resume``
+    (alias of ``run`` — resumption is the default semantics), ``status``
+    (per-task done/pending against the store), ``prune`` (store GC) and
+    ``list`` (available campaigns).  See docs/SCHEDULER.md.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Execute declarative task campaigns (Table 1, Section 8, the "
+            "chaos gate, a demo) on a warm worker pool with a "
+            "content-addressed result store."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p: "argparse.ArgumentParser") -> None:
+        from repro.sched.store import STORE_ENV
+
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help=f"result-store directory (default: ${STORE_ENV} or .repro-store)",
+        )
+
+    def add_campaign_args(p: "argparse.ArgumentParser") -> None:
+        p.add_argument(
+            "name", nargs="?", default=None,
+            help="campaign name (demo, table1, section8, chaos)",
+        )
+        p.add_argument(
+            "--demo", action="store_true",
+            help="shorthand for the 'demo' campaign",
+        )
+        p.add_argument(
+            "--points", type=int, default=8,
+            help="demo campaign: number of point tasks (default: 8)",
+        )
+        p.add_argument(
+            "--delay", type=float, default=0.05,
+            help="demo campaign: per-task sleep in seconds (default: 0.05)",
+        )
+        add_store(p)
+
+    for cmd, doc in (
+        ("run", "execute a campaign (tasks already in the store are skipped)"),
+        ("resume", "alias of run: resumption from the store is the default"),
+    ):
+        p = sub.add_parser(cmd, help=doc)
+        add_campaign_args(p)
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write the scheduler-lane Chrome trace (Perfetto) on completion",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress per-task progress lines"
+        )
+
+    p = sub.add_parser("status", help="per-task resume status against the store")
+    add_campaign_args(p)
+
+    p = sub.add_parser("prune", help="garbage-collect the result store")
+    add_store(p)
+    p.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="prune entries older than DAYS days (default: prune everything)",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true", help="report what would be pruned only"
+    )
+
+    sub.add_parser("list", help="list the available campaigns")
+
+    args = parser.parse_args(argv)
+
+    from repro.sched.store import STORE_ENV, ResultStore
+
+    def store_for(ns: "argparse.Namespace") -> ResultStore:
+        root = ns.store or os.environ.get(STORE_ENV) or ".repro-store"
+        return ResultStore(root)
+
+    if args.command == "list":
+        from repro.sched.campaigns import CAMPAIGNS
+
+        for name, builder in sorted(CAMPAIGNS.items()):
+            doc = (builder.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    if args.command == "prune":
+        store = store_for(args)
+        older = None if args.older_than is None else args.older_than * 86400.0
+        before = store.stats()
+        pruned = store.prune(older_than_s=older, dry_run=args.dry_run)
+        verb = "would prune" if args.dry_run else "pruned"
+        print(
+            f"{verb} {len(pruned)} of {before.entries} entries "
+            f"({before.quarantined} quarantined) from {store.root}"
+        )
+        return 0
+
+    from repro.sched.campaigns import build_campaign
+
+    name = "demo" if args.demo else args.name
+    if name is None:
+        parser.error(f"{args.command} needs a campaign name (or --demo)")
+    opts = {"points": args.points, "delay": args.delay} if name == "demo" else {}
+    try:
+        campaign = build_campaign(name, **opts)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = store_for(args)
+
+    if args.command == "status":
+        from repro.sched.campaign import campaign_status
+
+        rows = campaign_status(campaign, store)
+        done = sum(1 for _, s in rows if s == "done")
+        stored = sum(1 for _, s in rows if s != "inline")
+        for task_name, state in rows:
+            print(f"{state:8s} {task_name}")
+        stats = store.stats()
+        print(
+            f"\ncampaign {campaign.name}: {done}/{stored} stored task(s) done; "
+            f"store {store.root}: {stats.entries} entries, {stats.bytes} bytes"
+            + (f", {stats.quarantined} quarantined" if stats.quarantined else "")
+        )
+        return 0
+
+    # run / resume
+    from repro.sched.campaign import run_campaign
+
+    report = run_campaign(
+        campaign,
+        store,
+        progress=None if args.quiet else print,
+        trace_path=args.trace,
+    )
+    print(report.render())
+    if args.trace:
+        print(f"wrote scheduler trace to {args.trace} "
+              "(load it at https://ui.perfetto.dev)")
+    if report.cancelled:
+        print(f"re-run `python -m repro campaign run {name}` to resume")
+        return 130
+    return 0 if report.ok else 1
+
+
 def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
     """Strip ``--jobs N`` / ``--jobs=N`` from ``argv``; return (rest, jobs)."""
     rest: List[str] = []
@@ -302,12 +486,17 @@ def main(argv=None) -> int:
         print(__doc__)
         print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")
         print("other commands: trace (cost-provenance inspection; trace --help), "
-              "chaos (fault-injection gate; chaos --help)")
+              "chaos (fault-injection gate; chaos --help), "
+              "campaign (scheduler; campaign --help), version")
         return 0
+    if argv and argv[0] in ("version", "--version", "-V"):
+        return run_version()
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
     if argv and argv[0] == "chaos":
         return run_chaos(argv[1:])
+    if argv and argv[0] == "campaign":
+        return run_campaign_cli(argv[1:])
     chosen = argv or list(EXPERIMENTS)
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:

@@ -38,8 +38,10 @@ from repro.obs.records import (
 from repro.obs.exporters import (
     chrome_trace_events,
     read_jsonl,
+    scheduler_trace_events,
     write_chrome_trace,
     write_jsonl,
+    write_scheduler_trace,
 )
 
 __all__ = [
@@ -52,4 +54,6 @@ __all__ = [
     "read_jsonl",
     "write_chrome_trace",
     "chrome_trace_events",
+    "scheduler_trace_events",
+    "write_scheduler_trace",
 ]

@@ -28,6 +28,8 @@ __all__ = [
     "read_jsonl",
     "chrome_trace_events",
     "write_chrome_trace",
+    "scheduler_trace_events",
+    "write_scheduler_trace",
 ]
 
 PathOrFile = Union[str, IO[str]]
@@ -140,6 +142,120 @@ def chrome_trace_events(
             )
         clock += dur
     return events
+
+
+#: Process id of the scheduler lane in exported campaign traces.  Phase
+#: cost records export under pid 0; campaign task spans live in their own
+#: Perfetto process so the two layers never interleave on one row.
+SCHEDULER_PID = 1
+
+
+def scheduler_trace_events(
+    spans: Iterable[Dict[str, Any]],
+    pid: int = SCHEDULER_PID,
+) -> List[Dict[str, Any]]:
+    """Campaign task spans -> scheduler-lane trace events.
+
+    ``spans`` are the ``to_dict()`` forms of
+    :class:`repro.sched.campaign.TaskSpan` (plain mappings keep this
+    module free of a ``repro.sched`` import).  Executed and cached tasks
+    become complete ("X") events on the *wall-clock* axis (campaign-start
+    relative, seconds -> microseconds), one Perfetto thread row per pool
+    worker (cached/inline tasks on worker row 0, the scheduler's own
+    lane); failed and skipped tasks additionally emit an instant event so
+    the holes in a campaign timeline are labelled.  Metadata events name
+    the process "repro.sched campaign" and each worker row.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro.sched campaign"},
+        }
+    ]
+    named_tids = set()
+    for span in spans:
+        status = span.get("status", "?")
+        tid = int(span.get("worker") or 0)
+        if tid not in named_tids:
+            named_tids.add(tid)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"worker {tid}" if tid else "scheduler"},
+                }
+            )
+        ts = float(span.get("start") or 0.0) * 1e6
+        args = {
+            "key": span.get("key"),
+            "status": status,
+            "attempts": span.get("attempts"),
+            "error": span.get("error"),
+        }
+        if status in ("done", "cached"):
+            dur = max(0.0, float(span.get("end") or 0.0) * 1e6 - ts)
+            events.append(
+                {
+                    "name": f"{span.get('name', '?')}"
+                            + (" [cached]" if status == "cached" else ""),
+                    "cat": "task",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": f"{status}: {span.get('name', '?')}",
+                    "cat": "scheduler",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": max(ts, float(span.get("end") or 0.0) * 1e6),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def write_scheduler_trace(
+    spans: Iterable[Dict[str, Any]],
+    path: PathOrFile,
+    pid: int = SCHEDULER_PID,
+) -> int:
+    """Write campaign task spans as Chrome trace-event JSON; returns count.
+
+    Same container format as :func:`write_chrome_trace`; load the file at
+    https://ui.perfetto.dev to scrub a campaign's scheduling timeline —
+    per-worker occupancy, cache hits, retries, and failure holes.
+    """
+    events = scheduler_trace_events(spans, pid=pid)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.sched",
+            "clock": "campaign wall time (1 second = 1e6 us)",
+        },
+    }
+    fh, owned = _open_for(path, "w")
+    try:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+    return len(events)
 
 
 def write_chrome_trace(

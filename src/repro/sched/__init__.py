@@ -1,0 +1,72 @@
+"""repro.sched — campaign execution: warm workers, result store, DAG runner.
+
+The scale layer of the reproduction.  Regenerating Table 1 and the
+Section 8 suite means thousands of independent simulation points — and
+the chaos/adversary gates multiply that again.  This package turns those
+runs from per-driver scripts into a small execution service:
+
+* :mod:`repro.sched.pool` — :class:`~repro.sched.pool.WorkerPool`, a
+  persistent pool of warm worker processes: import :mod:`repro` once,
+  then stream pickled tasks, with crash isolation, watchdog timeouts and
+  worker recycling (process-per-point is the ``max_tasks_per_worker=1``
+  corner case).
+* :mod:`repro.sched.store` — :class:`~repro.sched.store.ResultStore`, a
+  content-addressed outcome store keyed by SHA-256 of (task spec,
+  code-relevant version), with atomic writes, schema-validated reads,
+  quarantine of corrupt entries, age-based :meth:`~repro.sched.store.ResultStore.prune`
+  GC, and :func:`~repro.sched.store.import_bench_cache` for migrating the
+  legacy per-driver ``BENCH_*.json`` caches.
+* :mod:`repro.sched.campaign` — declarative task DAGs
+  (:class:`~repro.sched.campaign.TaskSpec` /
+  :class:`~repro.sched.campaign.Campaign`) executed by
+  :func:`~repro.sched.campaign.run_campaign` with dependencies,
+  priorities, backpressure, mid-campaign cancel, store-backed resume, and
+  per-task :class:`~repro.sched.campaign.TaskSpan` spans exported to the
+  scheduler lane of the Chrome-trace exporter.
+* :mod:`repro.sched.campaigns` — the shipped campaigns: the four Table 1
+  drivers, the Section 8 suite, the chaos gate, and the demo graph behind
+  ``python -m repro campaign run demo``.
+
+See docs/SCHEDULER.md for the architecture and the CLI
+(``python -m repro campaign run|status|resume|prune``).
+"""
+
+from repro.sched.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignReport,
+    TaskSpan,
+    TaskSpec,
+    campaign_status,
+    run_campaign,
+)
+from repro.sched.pool import DEFAULT_MAX_TASKS_PER_WORKER, PoolEvent, WorkerPool
+from repro.sched.store import (
+    ResultStore,
+    StoreStats,
+    canonical_spec,
+    content_key,
+    fn_ref,
+    import_bench_cache,
+    task_spec,
+)
+
+__all__ = [
+    "WorkerPool",
+    "PoolEvent",
+    "DEFAULT_MAX_TASKS_PER_WORKER",
+    "ResultStore",
+    "StoreStats",
+    "content_key",
+    "canonical_spec",
+    "fn_ref",
+    "task_spec",
+    "import_bench_cache",
+    "TaskSpec",
+    "Campaign",
+    "TaskSpan",
+    "CampaignReport",
+    "CampaignError",
+    "run_campaign",
+    "campaign_status",
+]

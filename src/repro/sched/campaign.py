@@ -1,0 +1,457 @@
+"""Declarative campaigns: task DAGs executed on the warm pool + store.
+
+A **campaign** is a named task graph: each :class:`TaskSpec` names a
+picklable callable, its keyword arguments, the tasks it depends on, a
+priority, and per-task timeout/retry budgets.  :func:`run_campaign`
+executes the graph on a :class:`~repro.sched.pool.WorkerPool` with the
+outcomes persisted to a :class:`~repro.sched.store.ResultStore`:
+
+* **Dependencies** gate dispatch — a task runs only after every dep
+  succeeded; a failed dep marks its transitive dependents ``skipped``.
+* **Priorities** order the ready set (higher first, stable within a
+  priority), so long poles start early and pack the pool well.
+* **Backpressure** — at most ``max_in_flight`` tasks (default
+  ``2 * jobs``) are handed to the pool at once, so a huge campaign never
+  materialises its whole frontier as queued pickles.
+* **Resume** — a task whose content key is already in the store is served
+  from it (span status ``"cached"``) without touching the pool.  Kill a
+  campaign at any point and re-run it: only incomplete tasks execute.
+  Cancelling (Ctrl-C) shuts the pool down but keeps everything already
+  stored.
+* **Observability** — every task becomes a :class:`TaskSpan`; the spans
+  export to the scheduler lane of the Chrome-trace exporter
+  (:func:`repro.obs.exporters.scheduler_trace_events`), one Perfetto row
+  per worker, and stream as progress lines while the campaign runs.
+
+Inline tasks (``inline=True``) run in the scheduler process itself and
+receive their dependencies' outcomes as a first positional ``results``
+dict — the cheap aggregation stages (verdict tables, summaries) that
+need cross-task data but no isolation.  Inline outcomes are not stored:
+they are derived data, recomputed from stored results on resume.
+"""
+
+from __future__ import annotations
+
+import heapq
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sched.pool import PoolEvent, WorkerPool
+from repro.sched.store import ResultStore, task_spec
+
+__all__ = [
+    "TaskSpec",
+    "Campaign",
+    "TaskSpan",
+    "CampaignReport",
+    "CampaignError",
+    "run_campaign",
+    "campaign_status",
+]
+
+
+class CampaignError(ValueError):
+    """An invalid campaign graph (duplicate names, unknown deps, cycles)."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One node of a campaign graph.
+
+    ``fn`` must be picklable (module-level, or :func:`functools.partial`
+    of one) unless ``inline=True``.  Inline tasks are called as
+    ``fn(results, **kwargs)`` with ``results`` mapping each dep name to
+    its outcome dict; pool tasks are called as ``fn(**kwargs)`` and must
+    return a JSON-serializable outcome dict.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    priority: int = 0
+    timeout: Optional[float] = None
+    retries: int = 0
+    inline: bool = False
+
+    def spec_dict(self) -> Dict[str, Any]:
+        """The canonical (hashable) spec of this task's call."""
+        return task_spec(self.fn, self.kwargs)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, validated task graph."""
+
+    name: str
+    tasks: Tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject duplicate names, unknown deps and cycles (Kahn's order)."""
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise CampaignError(f"campaign {self.name!r}: duplicate task names {dupes}")
+        known = set(names)
+        for t in self.tasks:
+            missing = [d for d in t.deps if d not in known]
+            if missing:
+                raise CampaignError(
+                    f"campaign {self.name!r}: task {t.name!r} depends on "
+                    f"unknown task(s) {missing}"
+                )
+        # Kahn's algorithm; anything left over sits on a cycle.
+        remaining = {t.name: set(t.deps) for t in self.tasks}
+        while True:
+            free = [n for n, deps in remaining.items() if not deps]
+            if not free:
+                break
+            for n in free:
+                del remaining[n]
+            for deps in remaining.values():
+                deps.difference_update(free)
+        if remaining:
+            raise CampaignError(
+                f"campaign {self.name!r}: dependency cycle among {sorted(remaining)}"
+            )
+
+    def task(self, name: str) -> TaskSpec:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+
+@dataclass
+class TaskSpan:
+    """The scheduler's record of one task: what ran where, when, and how.
+
+    ``status`` is one of ``"done"`` (executed and stored), ``"cached"``
+    (served from the store), ``"failed"`` (attempts exhausted),
+    ``"skipped"`` (a dependency failed) or ``"pending"`` (campaign
+    cancelled first).  ``start``/``end`` are seconds since the campaign
+    started; ``worker`` is the pool worker id (0 for inline/cached/
+    unstarted tasks).
+    """
+
+    name: str
+    key: str
+    status: str
+    worker: int = 0
+    start: float = 0.0
+    end: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "key": self.key,
+            "status": self.status,
+            "worker": self.worker,
+            "start": self.start,
+            "end": self.end,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What :func:`run_campaign` hands back."""
+
+    campaign: str
+    spans: Tuple[TaskSpan, ...]
+    cancelled: bool
+    wall_time: float
+    store_root: str
+    pool_stats: Mapping[str, int]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.status] = out.get(span.status, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """True iff every task completed (executed or served from the store)."""
+        return not self.cancelled and all(
+            s.status in ("done", "cached") for s in self.spans
+        )
+
+    @property
+    def outcomes(self) -> Dict[str, Any]:
+        """Completed task names (the store has the outcome payloads)."""
+        return {s.name: s.status for s in self.spans if s.status in ("done", "cached")}
+
+    def render(self) -> str:
+        counts = self.counts
+        parts = [f"{counts.get(k, 0)} {k}" for k in
+                 ("done", "cached", "failed", "skipped", "pending") if counts.get(k)]
+        head = (
+            f"campaign {self.campaign}: {', '.join(parts) or 'empty'} "
+            f"in {self.wall_time:.2f}s"
+        )
+        lines = [head]
+        for span in self.spans:
+            if span.status in ("failed", "skipped"):
+                detail = f" — {span.error}" if span.error else ""
+                lines.append(f"  {span.status}: {span.name}{detail}")
+        return "\n".join(lines)
+
+
+def _store_key(store: ResultStore, task: TaskSpec) -> str:
+    return store.key_for(task.fn, task.kwargs)
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: ResultStore,
+    jobs: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+    max_in_flight: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    trace_path: Optional[str] = None,
+) -> CampaignReport:
+    """Execute ``campaign`` on a warm pool, persisting outcomes to ``store``.
+
+    Pass an existing ``pool`` to share workers across campaigns (it is not
+    shut down); otherwise one is created with ``jobs`` workers and torn
+    down at the end.  ``progress`` (e.g. ``print``) receives one line per
+    task state change.  ``trace_path`` writes the scheduler-lane Chrome
+    trace when the campaign finishes (see docs/SCHEDULER.md).
+
+    A ``KeyboardInterrupt`` cancels cleanly: in-flight work is abandoned,
+    everything already stored stays stored, and the report (``cancelled=
+    True``) lists the unfinished tasks as ``pending`` — re-running the
+    campaign resumes from the store.
+    """
+    owns_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(jobs=jobs)
+    if max_in_flight is None:
+        max_in_flight = 2 * pool.jobs
+    if max_in_flight < 1:
+        raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+
+    t0 = time.monotonic()
+
+    def now() -> float:
+        return time.monotonic() - t0
+
+    def emit(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    tasks = {t.name: t for t in campaign.tasks}
+    keys = {t.name: _store_key(store, t) for t in campaign.tasks}
+    spans: Dict[str, TaskSpan] = {}
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    attempts: Dict[str, int] = {name: 0 for name in tasks}
+    total = len(tasks)
+
+    # Resume pass: anything already in the store is complete, regardless of
+    # what happened to its deps in this or any previous run.
+    for task in campaign.tasks:
+        if task.inline:
+            continue  # inline tasks are derived data; always recomputed
+        cached = store.get_outcome(keys[task.name])
+        if cached is not None:
+            outcomes[task.name] = cached
+            spans[task.name] = TaskSpan(
+                task.name, keys[task.name], "cached", start=now(), end=now()
+            )
+            emit(f"[{len(outcomes)}/{total}] cached {task.name}")
+
+    remaining_deps = {
+        t.name: {d for d in t.deps if d not in outcomes}
+        for t in campaign.tasks
+        if t.name not in outcomes
+    }
+    failed: Dict[str, str] = {}
+    counter = 0
+    ready: List[Tuple[int, int, str]] = []  # (-priority, seq, name)
+    for t in campaign.tasks:
+        if t.name in remaining_deps and not remaining_deps[t.name]:
+            heapq.heappush(ready, (-t.priority, counter, t.name))
+            counter += 1
+
+    in_flight: Dict[str, float] = {}  # name -> dispatch time (campaign clock)
+    cancelled = False
+
+    def complete(name: str, outcome: Dict[str, Any], span: TaskSpan) -> None:
+        nonlocal counter
+        outcomes[name] = outcome
+        spans[name] = span
+        emit(f"[{len(outcomes)}/{total}] {span.status} {name} "
+             f"({span.end - span.start:.2f}s"
+             + (f", worker {span.worker}" if span.worker else "") + ")")
+        for other, deps in remaining_deps.items():
+            if name in deps:
+                deps.discard(name)
+                if not deps and other not in in_flight:
+                    heapq.heappush(ready, (-tasks[other].priority, counter, other))
+                    counter += 1
+
+    def fail(name: str, error: str) -> None:
+        failed[name] = error
+        span = spans.get(name) or TaskSpan(name, keys[name], "failed")
+        span.status = "failed"
+        span.error = error
+        span.attempts = attempts[name]
+        span.end = now()
+        spans[name] = span
+        emit(f"FAILED {name}: {error}")
+
+    def submit(name: str) -> None:
+        task = tasks[name]
+        attempts[name] += 1
+        in_flight[name] = now()
+        pool.submit(name, task.fn, task.kwargs, timeout=task.timeout)
+
+    restore_sigint = None
+    try:
+        # Loop invariant: after a dispatch pass, a non-empty ready heap
+        # implies backpressure, which implies in-flight work — so when both
+        # are empty nothing else can ever unblock and the campaign is over.
+        while ready or in_flight:
+            # Dispatch the frontier, highest priority first, under backpressure.
+            while ready and pool.in_flight < max_in_flight:
+                _, _, name = heapq.heappop(ready)
+                if name in outcomes or name in failed:
+                    continue
+                task = tasks[name]
+                if any(d in failed for d in task.deps):
+                    continue  # will be marked skipped at the end
+                if task.inline:
+                    start = now()
+                    results = {d: outcomes[d] for d in task.deps}
+                    try:
+                        value = task.fn(results, **dict(task.kwargs))
+                    except Exception as exc:
+                        attempts[name] += 1
+                        fail(name, f"{type(exc).__name__}: {exc}")
+                        continue
+                    attempts[name] += 1
+                    span = TaskSpan(name, keys[name], "done",
+                                    start=start, end=now(), attempts=1)
+                    complete(name, dict(value) if isinstance(value, Mapping) else {"value": value}, span)
+                else:
+                    submit(name)
+            if not in_flight:
+                if ready:
+                    # Backpressure from a shared pool still draining another
+                    # campaign's leftovers; give it a beat to free slots.
+                    pool.events(wait=0.1)
+                continue  # inline completions may have opened new frontier
+
+            for event in pool.events(wait=0.5):
+                name = event.key
+                if name not in tasks:  # a shared pool's stale leftovers
+                    continue
+                start = in_flight.pop(name, now())
+                task = tasks[name]
+                if event.ok and isinstance(event.payload, Mapping):
+                    outcome = dict(event.payload)
+                    store.put(keys[name], outcome, spec=task.spec_dict())
+                    span = TaskSpan(
+                        name, keys[name], "done", worker=event.worker_id,
+                        start=start, end=now(), attempts=attempts[name],
+                    )
+                    complete(name, outcome, span)
+                else:
+                    error = (
+                        str(event.payload) if not event.ok
+                        else f"outcome is not a mapping: {type(event.payload).__name__}"
+                    )
+                    if attempts[name] <= task.retries:
+                        emit(f"retry {name} (attempt {attempts[name] + 1}): {error}")
+                        submit(name)
+                    else:
+                        fail(name, error)
+    except KeyboardInterrupt:
+        cancelled = True
+        # `timeout -s INT` (and an impatient Ctrl-C Ctrl-C) delivers SIGINT
+        # both to the process and to its group, so a second interrupt can
+        # land mid-cleanup; mask it until the orderly report is out.
+        try:
+            restore_sigint = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except ValueError:  # not the main thread: nothing to mask
+            restore_sigint = None
+        pool.cancel_pending()
+        emit(f"campaign {campaign.name} cancelled — "
+             f"{len(outcomes)}/{total} task(s) stored; re-run to resume")
+    finally:
+        try:
+            if owns_pool:
+                pool.shutdown()
+        finally:
+            if restore_sigint is not None:
+                signal.signal(signal.SIGINT, restore_sigint)
+
+    # Classify whatever did not finish: the transitive closure of failure
+    # is "skipped" (task-list order is not necessarily topological, so
+    # iterate to a fixpoint); everything else — reachable only when the
+    # campaign was cancelled — is "pending".
+    blocked: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for task in campaign.tasks:
+            if task.name in spans or task.name in blocked:
+                continue
+            culprits = [d for d in task.deps if d in failed or d in blocked]
+            if culprits:
+                blocked[task.name] = ", ".join(culprits)
+                changed = True
+    for task in campaign.tasks:
+        if task.name in spans:
+            continue
+        if task.name in blocked:
+            spans[task.name] = TaskSpan(
+                task.name, keys[task.name], "skipped",
+                error=f"blocked by {blocked[task.name]}",
+            )
+        else:
+            spans[task.name] = TaskSpan(task.name, keys[task.name], "pending")
+
+    ordered = tuple(spans[t.name] for t in campaign.tasks)
+    report = CampaignReport(
+        campaign=campaign.name,
+        spans=ordered,
+        cancelled=cancelled,
+        wall_time=now(),
+        store_root=store.root,
+        pool_stats=dict(pool.stats),
+    )
+    if trace_path is not None:
+        from repro.obs.exporters import write_scheduler_trace
+
+        write_scheduler_trace([s.to_dict() for s in ordered], trace_path)
+    return report
+
+
+def campaign_status(campaign: Campaign, store: ResultStore) -> List[Tuple[str, str]]:
+    """Per-task resume status against the store, in campaign order.
+
+    Returns ``(task name, "done" | "pending" | "inline")`` rows — what
+    ``python -m repro campaign status`` prints.  ``inline`` tasks are
+    never stored, so their status is always recomputed at run time.
+    """
+    rows: List[Tuple[str, str]] = []
+    for task in campaign.tasks:
+        if task.inline:
+            rows.append((task.name, "inline"))
+        elif store.contains(_store_key(store, task)):
+            rows.append((task.name, "done"))
+        else:
+            rows.append((task.name, "pending"))
+    return rows

@@ -1,0 +1,315 @@
+"""The shipped campaigns: Table 1, Section 8, the chaos gate, and a demo.
+
+Each builder returns a validated :class:`~repro.sched.campaign.Campaign`
+over module-level (picklable) task functions:
+
+* ``table1`` — every cell of the four Table 1 drivers (QSM / s-QSM / BSP
+  time, plus the rounds table) as one task per (driver, problem,
+  variant-or-model, n) point, with one inline verdict task per driver
+  aggregating correctness and bound-tracking.  Points are prioritised by
+  ``n`` so the long poles start first and pack the pool.
+* ``section8`` — the Section 8 upper-bound suite: one task per (claim, n)
+  point, one inline verdict per claim re-running the driver's
+  constant-fit + trend check, and a final suite verdict.
+* ``chaos`` — the docs/ROBUSTNESS.md gate: one task per chaos case
+  (winner-policy sweep + adversary search + fault schedules), gated by an
+  inline all-survived verdict.
+* ``demo`` — a small diamond-shaped graph of cheap parity runs with an
+  adjustable per-task delay; this is what ``python -m repro campaign run
+  demo`` and the CI resume-after-kill check execute.
+
+Builders import the ``benchmarks`` drivers lazily so that ``repro.sched``
+itself never depends on the benchmark tree being importable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.sched.campaign import Campaign, TaskSpec
+
+__all__ = [
+    "CAMPAIGNS",
+    "build_campaign",
+    "demo_campaign",
+    "table1_campaign",
+    "section8_campaign",
+    "chaos_campaign",
+    "demo_task",
+    "run_chaos_case",
+]
+
+
+# -- task functions (module-level: every pool task must pickle) -------------
+
+
+def demo_task(n: int = 64, delay: float = 0.05) -> Dict[str, Any]:
+    """A cheap, self-verifying parity run padded by ``delay`` seconds.
+
+    The sleep stretches the campaign's wall time enough that the CI
+    resume check can kill it mid-run and observe a partial store.
+    """
+    from repro.algorithms.parity import parity_tree
+    from repro.core import SQSM, SQSMParams
+    from repro.problems import gen_bits, verify_parity
+
+    bits = gen_bits(n, seed=n)
+    result = parity_tree(SQSM(SQSMParams(g=4.0)), bits)
+    if delay > 0:
+        time.sleep(delay)
+    return {
+        "measured": float(result.time),
+        "correct": bool(verify_parity(bits, result.value)),
+        "n": n,
+    }
+
+
+def demo_summary(results: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Inline aggregation of the demo points: totals and a correctness bit."""
+    return {
+        "points": len(results),
+        "total_time": sum(r["measured"] for r in results.values()),
+        "correct": all(r["correct"] for r in results.values()),
+    }
+
+
+def run_chaos_case(
+    only: str,
+    n: int = 64,
+    seed: Any = 0,
+    budget: int = 24,
+    max_attempts: int = 3,
+) -> Dict[str, Any]:
+    """Run the chaos probes for the single case matching ``only``.
+
+    Wraps :func:`repro.faults.harness.run_chaos_suite` with a case filter
+    and flattens the report into a JSON-friendly outcome dict.
+    """
+    from repro.faults.harness import run_chaos_suite
+
+    report = run_chaos_suite(
+        n=n, seed=seed, budget=budget, max_attempts=max_attempts, only=only
+    )
+    if not report.results:
+        raise ValueError(f"no chaos case matches {only!r}")
+    return {
+        "case": only,
+        "correct": report.ok,
+        "probes": len(report.results),
+        "failures": [
+            {"probe": r.probe, "attempts": r.attempts, "note": r.note}
+            for r in report.failures
+        ],
+    }
+
+
+def _all_correct_verdict(
+    results: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Inline verdict: every dependency's outcome must say ``correct``."""
+    bad = sorted(name for name, r in results.items() if not r.get("correct"))
+    verdict = {"tasks": len(results), "correct": not bad}
+    if bad:
+        verdict["incorrect"] = bad
+    return verdict
+
+
+def _s8_claim_verdict(
+    results: Mapping[str, Mapping[str, Any]],
+    ns: Sequence[int] = (),
+) -> Dict[str, Any]:
+    """Inline per-claim check mirroring ``bench_s8_upper_bounds.collect``:
+
+    fit the constant at the smallest n, then require the measured curve to
+    track the claimed O() form (within 1.75x of the fit, non-growing
+    log-log ratio trend).
+    """
+    from repro.analysis.fit import ratio_trend
+
+    by_n = sorted(
+        ((r["measured"], r["claimed"]) for r in results.values()),
+        key=lambda pair: pair[1],
+    )
+    ns = sorted(ns) if ns else list(range(1, len(by_n) + 1))
+    measured = [m for m, _ in by_n]
+    claims = [c for _, c in by_n]
+    c = measured[0] / claims[0]
+    within = all(m <= 1.75 * c * v for m, v in zip(measured, claims))
+    trend = ratio_trend(ns, measured, claims)
+    return {
+        "correct": bool(within and trend <= 0.6),
+        "within": bool(within),
+        "trend": float(trend),
+        "fit_constant": float(c),
+    }
+
+
+# -- campaign builders ------------------------------------------------------
+
+
+def demo_campaign(points: int = 8, delay: float = 0.05) -> Campaign:
+    """A diamond graph of ``points`` cheap parity tasks plus a summary."""
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
+    tasks: List[TaskSpec] = []
+    names: List[str] = []
+    for i in range(points):
+        n = 32 + 16 * i  # distinct n => distinct content keys per point
+        name = f"demo/point-{i:02d}"
+        names.append(name)
+        tasks.append(
+            TaskSpec(name, demo_task, {"n": n, "delay": delay}, priority=i)
+        )
+    tasks.append(
+        TaskSpec("demo/summary", demo_summary, deps=tuple(names), inline=True)
+    )
+    return Campaign("demo", tasks)
+
+
+def _table1_driver_tasks(
+    prefix: str,
+    fn: Callable[..., Any],
+    axes: Mapping[str, Sequence[Any]],
+    ns: Sequence[int],
+) -> List[TaskSpec]:
+    """One task per grid cell of a Table 1 driver, plus its verdict."""
+    axis, values = next(iter(axes.items()))
+    tasks: List[TaskSpec] = []
+    names: List[str] = []
+    for problem in ("LAC", "OR", "Parity"):
+        for value in values:
+            for n in ns:
+                name = f"{prefix}/{problem}/{value}/n={n}"
+                names.append(name)
+                tasks.append(
+                    TaskSpec(
+                        name, fn,
+                        {"problem": problem, axis: value, "n": n},
+                        priority=n,  # big points are the long poles: start early
+                    )
+                )
+    tasks.append(
+        TaskSpec(
+            f"{prefix}/verdict", _all_correct_verdict,
+            deps=tuple(names), inline=True,
+        )
+    )
+    return tasks
+
+
+def table1_campaign(ns: Optional[Sequence[int]] = None) -> Campaign:
+    """Every cell of the four Table 1 drivers, one verdict per driver."""
+    from benchmarks.bench_table1_bsp_time import run_t1c_point
+    from benchmarks.bench_table1_qsm_time import run_t1a_point
+    from benchmarks.bench_table1_rounds import P_FOR, run_t1d_point
+    from benchmarks.bench_table1_sqsm_time import run_t1b_point
+    from benchmarks import bench_table1_qsm_time, bench_table1_sqsm_time
+    from benchmarks import bench_table1_bsp_time
+
+    variants = ("deterministic", "randomized")
+    tasks: List[TaskSpec] = []
+    tasks += _table1_driver_tasks(
+        "t1a", run_t1a_point, {"variant": variants},
+        list(ns) if ns else bench_table1_qsm_time.NS,
+    )
+    tasks += _table1_driver_tasks(
+        "t1b", run_t1b_point, {"variant": variants},
+        list(ns) if ns else bench_table1_sqsm_time.NS,
+    )
+    tasks += _table1_driver_tasks(
+        "t1c", run_t1c_point, {"variant": variants},
+        list(ns) if ns else bench_table1_bsp_time.NS,
+    )
+    # t1d sweeps (model, n) pairs with n/p fixed by the driver's SWEEP.
+    d_ns = [n for n in (list(ns) if ns else sorted(P_FOR)) if n in P_FOR]
+    tasks += _table1_driver_tasks(
+        "t1d", run_t1d_point, {"model": ("QSM", "s-QSM", "BSP")}, d_ns,
+    )
+    return Campaign("table1", tasks)
+
+
+def section8_campaign(ns: Optional[Sequence[int]] = None) -> Campaign:
+    """The Section 8 suite: (claim, n) points, per-claim and suite verdicts."""
+    from benchmarks import bench_s8_upper_bounds
+    from benchmarks.bench_s8_upper_bounds import run_s8_point
+
+    sweep = list(ns) if ns else list(bench_s8_upper_bounds.NS)
+    claims = bench_s8_upper_bounds._claims()
+    tasks: List[TaskSpec] = []
+    verdicts: List[str] = []
+    for idx, (claim_name, _, _) in enumerate(claims):
+        point_names = []
+        for n in sweep:
+            name = f"s8/claim-{idx:02d}/n={n}"
+            point_names.append(name)
+            tasks.append(
+                TaskSpec(name, run_s8_point, {"idx": idx, "n": n}, priority=n)
+            )
+        verdict = f"s8/claim-{idx:02d}/verdict"
+        verdicts.append(verdict)
+        tasks.append(
+            TaskSpec(
+                verdict, _s8_claim_verdict, {"ns": list(sweep)},
+                deps=tuple(point_names), inline=True,
+            )
+        )
+    tasks.append(
+        TaskSpec(
+            "s8/verdict", _all_correct_verdict,
+            deps=tuple(verdicts), inline=True,
+        )
+    )
+    return Campaign("section8", tasks)
+
+
+def chaos_campaign(
+    n: int = 64,
+    seed: Any = 0,
+    budget: int = 24,
+    max_attempts: int = 3,
+) -> Campaign:
+    """The chaos gate: one task per case, gated by an all-survived verdict."""
+    from repro.faults.harness import default_cases
+
+    tasks: List[TaskSpec] = []
+    names: List[str] = []
+    for case in default_cases(n=n, seed=seed):
+        name = f"chaos/{case.name}"
+        names.append(name)
+        tasks.append(
+            TaskSpec(
+                name, run_chaos_case,
+                {
+                    "only": case.name, "n": n, "seed": seed,
+                    "budget": budget, "max_attempts": max_attempts,
+                },
+            )
+        )
+    tasks.append(
+        TaskSpec(
+            "chaos/verdict", _all_correct_verdict,
+            deps=tuple(names), inline=True,
+        )
+    )
+    return Campaign("chaos", tasks)
+
+
+#: Name -> builder registry behind ``python -m repro campaign``.
+CAMPAIGNS: Dict[str, Callable[..., Campaign]] = {
+    "demo": demo_campaign,
+    "table1": table1_campaign,
+    "section8": section8_campaign,
+    "chaos": chaos_campaign,
+}
+
+
+def build_campaign(name: str, **opts: Any) -> Campaign:
+    """Build the named campaign, forwarding ``opts`` to its builder."""
+    try:
+        builder = CAMPAIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; available: {', '.join(sorted(CAMPAIGNS))}"
+        ) from None
+    return builder(**opts)

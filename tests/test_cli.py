@@ -9,6 +9,7 @@ class TestCLI:
     def test_experiment_registry_covers_design_index(self):
         assert set(EXPERIMENTS) == {
             "t1a", "t1b", "t1c", "t1d", "s8", "rel", "lb", "abl", "perf",
+            "sched",
         }
 
     def test_unknown_experiment_rejected(self, capsys):
@@ -86,6 +87,86 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert "winner" in out
         assert "fault" in out
+
+
+class TestVersionCommand:
+    def test_version_subcommand_prints_package_version(self, capsys):
+        from repro import __version__
+
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_version_flags(self, capsys):
+        from repro import __version__
+
+        for flag in ("--version", "-V"):
+            assert main([flag]) == 0
+            assert capsys.readouterr().out.strip() == __version__
+
+    def test_version_is_not_an_experiment(self):
+        assert "version" not in EXPERIMENTS
+
+
+class TestCampaignCommand:
+    def test_campaign_is_not_an_experiment(self):
+        assert "campaign" not in EXPERIMENTS
+
+    def test_campaign_list_names_shipped_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("demo", "table1", "section8", "chaos"):
+            assert name in out
+
+    def test_campaign_demo_runs_then_resumes_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--demo", "--points", "3",
+                     "--delay", "0", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "campaign demo:" in out
+        assert "4 done" in out  # 3 points + inline summary
+
+        # Second run: every stored point is served from the store.
+        assert main(["campaign", "resume", "--demo", "--points", "3",
+                     "--delay", "0", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "3 cached" in out
+
+    def test_campaign_status_and_prune(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet"]) == 0
+        capsys.readouterr()
+
+        # The spec (including --delay) is part of each task's content key,
+        # so status must be asked about the same campaign configuration.
+        assert main(["campaign", "status", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 stored task(s) done" in out
+        assert "inline" in out  # the summary task is never stored
+
+        assert main(["campaign", "prune", "--store", store, "--dry-run"]) == 0
+        assert "would prune 2" in capsys.readouterr().out
+        assert main(["campaign", "prune", "--store", store]) == 0
+        assert "pruned 2" in capsys.readouterr().out
+
+    def test_campaign_writes_scheduler_trace(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        trace = tmp_path / "sched-trace.json"
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet",
+                     "--trace", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "process_name" in names
+        assert any(n.startswith("demo/point-") for n in names)
+
+    def test_campaign_unknown_name_rejected(self, tmp_path, capsys):
+        assert main(["campaign", "run", "nope",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
 
 
 class TestJobsValidation:
