@@ -579,17 +579,28 @@ def parallel_sweep(
         for params in points:
             store_keys[point_key(params)] = store.key_for(scope, params, extra)
 
+    from repro.obs import metrics as _metrics
+
+    def _count_points(source: str, n: int = 1) -> None:
+        _metrics.REGISTRY.counter(
+            "repro_sweep_points_total", "sweep points by result source"
+        ).inc(n, source=source)
+
     outcomes: Dict[str, Dict[str, Any]] = {}
     pending: List[_Attempting] = []
     for params in points:
         key = point_key(params)
         if key in cache:
             outcomes[key] = cache[key]
+            if _metrics.REGISTRY.enabled:
+                _count_points("cache")
             continue
         if store is not None:
             stored = store.get_outcome(store_keys[key])
             if stored is not None and _valid_cache_entry(stored):
                 outcomes[key] = stored
+                if _metrics.REGISTRY.enabled:
+                    _count_points("store")
                 continue
         pending.append(_Attempting(dict(params)))
 
@@ -630,5 +641,14 @@ def parallel_sweep(
                         store_keys[task.key], value,
                         spec=task_spec(scope, task.params, extra),
                     )
+
+    if _metrics.REGISTRY.enabled and pending:
+        _count_points("run", len(pending))
+        failures = sum(task.failures for task in pending)
+        if failures:
+            _metrics.REGISTRY.counter(
+                "repro_sweep_point_failures_total",
+                "failed point attempts (each one a retry or a recorded error)",
+            ).inc(failures)
 
     return [point_from_outcome(params, outcomes[point_key(params)]) for params in points]

@@ -27,6 +27,16 @@ a warm worker pool with outcomes persisted to a content-addressed result
 store, so a killed campaign resumes from what it already computed.  See
 docs/SCHEDULER.md.
 
+``python -m repro metrics dump`` prints the process-wide runtime metrics
+registry (:mod:`repro.obs.metrics`) as a table — or the last snapshot of
+a ``--metrics`` JSONL stream; ``python -m repro campaign run --metrics``
+streams those snapshots while a campaign runs and ``python -m repro
+campaign status --follow`` tails them as live progress.  ``python -m
+repro bench check`` is the bench-regression watchdog: it diffs current
+``BENCH_*.json`` (or result-store) points against a committed baseline
+with noise-aware thresholds and exits nonzero on regression.  See
+docs/OBSERVABILITY.md.
+
 ``python -m repro version`` (or ``--version``) prints the package version
 — the same string that salts every result-store content key.
 
@@ -48,6 +58,8 @@ __all__ = [
     "run_trace",
     "run_chaos",
     "run_campaign_cli",
+    "run_metrics",
+    "run_bench",
     "run_version",
 ]
 
@@ -269,6 +281,242 @@ def run_version() -> int:
     return 0
 
 
+def _interval_value(text: str) -> float:
+    """Argparse type for ``--interval``: a positive, finite second count."""
+    import argparse
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {text!r}"
+        ) from None
+    if not value > 0 or math.isinf(value):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive finite number of seconds, got {text}"
+        )
+    return value
+
+
+def run_metrics(argv: List[str]) -> int:
+    """``python -m repro metrics``: inspect the runtime metrics registry.
+
+    ``dump`` prints the process-wide registry (:mod:`repro.obs.metrics`)
+    as an aligned table — or, with ``--snapshots PATH``, the last
+    :class:`~repro.obs.snapshot.MetricsSnapshot` of a JSONL stream
+    written by ``campaign run --metrics``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="Inspect the process-wide runtime metrics registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("dump", help="print the registry (or a snapshot file) as a table")
+    p.add_argument(
+        "--snapshots", default=None, metavar="PATH",
+        help="render the last snapshot of a metrics JSONL stream instead "
+        "of this process's live registry",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.metrics import REGISTRY, render_metrics_table
+
+    if args.snapshots:
+        from repro.obs.snapshot import read_snapshots
+
+        try:
+            snapshots = read_snapshots(args.snapshots)
+        except OSError as exc:
+            print(f"error: cannot read {args.snapshots}: {exc}", file=sys.stderr)
+            return 2
+        if not snapshots:
+            print(f"no snapshots in {args.snapshots}", file=sys.stderr)
+            return 1
+        last = snapshots[-1]
+        print(f"snapshot {last.seq} at t+{last.t_rel:.2f}s"
+              + (" (final)" if last.final else ""))
+        print(render_metrics_table(last.metrics))
+        return 0
+    if not REGISTRY.enabled:
+        print("(metrics registry disabled — set REPRO_METRICS=1 or use "
+              "campaign run --metrics)")
+    print(render_metrics_table(REGISTRY.collect()))
+    return 0
+
+
+def run_bench(argv: List[str]) -> int:
+    """``python -m repro bench check``: the bench-regression watchdog.
+
+    Diffs current bench points against a committed ``BENCH_*.json``
+    baseline with noise-aware, direction-aware relative tolerances
+    (:mod:`repro.obs.regress`), prints a markdown report (``--report``
+    also writes it to a file), and exits 0 clean / 1 on regression / 2 on
+    usage errors.  The current side is ``--current PATH``, ``--store
+    DIR`` (result-store outcomes), or — for the sched A/B schema — a
+    fresh ``--samples K`` median-of-k re-measurement.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Guard the committed bench trajectory: diff current points "
+            "against a baseline and fail on regression."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("check", help="diff current bench points against a baseline")
+    p.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="committed BENCH_*.json to diff against",
+    )
+    p.add_argument(
+        "--current", default=None, metavar="PATH",
+        help="current BENCH_*.json (default: re-measure sched-schema "
+        "baselines; other schemas need --current or --store)",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="use a result store's outcomes as the current side",
+    )
+    p.add_argument(
+        "--samples", type=int, default=1, metavar="K",
+        help="median-of-K re-measurements when regenerating (default: 1)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="relative tolerance for deterministic metrics (default: 0.01)",
+    )
+    p.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="FRAC",
+        help="relative tolerance for wall-clock ratio metrics (default: 0.6)",
+    )
+    p.add_argument(
+        "--strict-wall", action="store_true",
+        help="gate raw wall-clock metrics too (same-machine A/B use)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the markdown report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.samples < 1:
+        print(f"error: --samples must be >= 1, got {args.samples}", file=sys.stderr)
+        return 2
+
+    from repro.obs.regress import (
+        DEFAULT_TOLERANCE,
+        DEFAULT_WALL_TOLERANCE,
+        collect_sched_current,
+        compare_bench,
+        load_bench,
+        store_outcome_metrics,
+    )
+
+    try:
+        baseline = load_bench(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+
+    if args.current is not None:
+        try:
+            current = load_bench(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read current: {exc}", file=sys.stderr)
+            return 2
+        current_source = args.current
+    elif args.store is not None:
+        from repro.sched.store import ResultStore
+
+        current = store_outcome_metrics(ResultStore(args.store))
+        current_source = f"store:{args.store}"
+    elif "timings" in baseline or "throughput" in baseline:
+        print(f"re-measuring the sched bench ({args.samples} sample(s))...")
+        try:
+            current = collect_sched_current(samples=args.samples)
+        except ImportError:
+            print(
+                "error: the benchmarks tree is not importable here; pass "
+                "--current PATH (run with PYTHONPATH=src:. to re-measure)",
+                file=sys.stderr,
+            )
+            return 2
+        current_source = f"bench_sched.collect() median-of-{args.samples}"
+    else:
+        print(
+            "error: this baseline schema cannot be re-measured automatically; "
+            "pass --current PATH or --store DIR",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        report = compare_bench(
+            baseline,
+            current,
+            tolerance=DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance,
+            wall_tolerance=(
+                DEFAULT_WALL_TOLERANCE if args.wall_tolerance is None
+                else args.wall_tolerance
+            ),
+            strict_wall=args.strict_wall,
+            baseline_source=args.baseline,
+            current_source=current_source,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    markdown = report.render_markdown()
+    print(markdown)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.report}")
+    return 0 if report.ok else 1
+
+
+def _follow_metrics(path: str, follow: bool, interval: Optional[float]) -> int:
+    """Render a campaign's metrics-snapshot stream as live status lines.
+
+    Reads only the JSONL file the scheduler writes (``campaign run
+    --metrics``) — never attaches to the scheduler or worker processes.
+    With ``follow=True`` polls until the stream's ``final`` snapshot
+    appears; otherwise prints whatever is there and returns.
+    """
+    import time
+
+    from repro.obs.snapshot import default_interval, live_status_line, read_snapshots
+
+    poll = default_interval() if interval is None else interval
+    printed = 0
+    announced_wait = False
+    while True:
+        try:
+            snapshots = read_snapshots(path)
+        except OSError:
+            snapshots = []
+        for snap in snapshots[printed:]:
+            print(live_status_line(snap))
+        printed = len(snapshots)
+        if snapshots and snapshots[-1].final:
+            return 0
+        if not follow:
+            if not printed:
+                print(f"no metrics snapshots at {path} (start the campaign "
+                      "with --metrics)", file=sys.stderr)
+                return 1
+            return 0
+        if not printed and not announced_wait:
+            announced_wait = True
+            print(f"waiting for {path} ...", file=sys.stderr)
+        time.sleep(poll)
+
+
 def run_campaign_cli(argv: List[str]) -> int:
     """``python -m repro campaign``: drive the campaign scheduler.
 
@@ -324,7 +572,19 @@ def run_campaign_cli(argv: List[str]) -> int:
         add_campaign_args(p)
         p.add_argument(
             "--trace", default=None, metavar="PATH",
-            help="write the scheduler-lane Chrome trace (Perfetto) on completion",
+            help="write the Chrome trace (scheduler spans + metrics counter "
+            "lanes + per-task phase rows; Perfetto) on completion",
+        )
+        p.add_argument(
+            "--metrics", nargs="?", const="auto", default=None, metavar="PATH",
+            help="stream metrics snapshots to a JSONL file while running "
+            "(default PATH: <store>/metrics.jsonl); `campaign status "
+            "--follow` tails it",
+        )
+        p.add_argument(
+            "--interval", type=_interval_value, default=None, metavar="SECONDS",
+            help="snapshot cadence for --metrics "
+            "(default: $REPRO_METRICS_INTERVAL or 1.0)",
         )
         p.add_argument(
             "--quiet", action="store_true", help="suppress per-task progress lines"
@@ -332,6 +592,19 @@ def run_campaign_cli(argv: List[str]) -> int:
 
     p = sub.add_parser("status", help="per-task resume status against the store")
     add_campaign_args(p)
+    p.add_argument(
+        "--follow", action="store_true",
+        help="tail a running campaign's metrics snapshots as live progress "
+        "lines (stops at the final snapshot)",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="metrics JSONL stream to read (default: <store>/metrics.jsonl)",
+    )
+    p.add_argument(
+        "--interval", type=_interval_value, default=None, metavar="SECONDS",
+        help="--follow poll cadence (default: $REPRO_METRICS_INTERVAL or 1.0)",
+    )
 
     p = sub.add_parser("prune", help="garbage-collect the result store")
     add_store(p)
@@ -375,6 +648,15 @@ def run_campaign_cli(argv: List[str]) -> int:
 
     from repro.sched.campaigns import build_campaign
 
+    # A snapshot stream is self-describing, so following one needs no
+    # campaign definition — only a path (explicit or the store default).
+    if args.command == "status" and (args.follow or args.metrics):
+        store = store_for(args)
+        metrics_path = args.metrics or os.path.join(store.root, "metrics.jsonl")
+        return _follow_metrics(
+            metrics_path, follow=args.follow, interval=args.interval
+        )
+
     name = "demo" if args.demo else args.name
     if name is None:
         parser.error(f"{args.command} needs a campaign name (or --demo)")
@@ -405,16 +687,25 @@ def run_campaign_cli(argv: List[str]) -> int:
     # run / resume
     from repro.sched.campaign import run_campaign
 
+    metrics_path = args.metrics
+    if metrics_path == "auto":
+        metrics_path = os.path.join(store.root, "metrics.jsonl")
     report = run_campaign(
         campaign,
         store,
         progress=None if args.quiet else print,
         trace_path=args.trace,
+        metrics_path=metrics_path,
+        metrics_interval=args.interval,
     )
     print(report.render())
     if args.trace:
-        print(f"wrote scheduler trace to {args.trace} "
+        print(f"wrote campaign trace to {args.trace} "
               "(load it at https://ui.perfetto.dev)")
+    if metrics_path:
+        print(f"wrote metrics snapshots to {metrics_path} "
+              f"(watch live with `python -m repro campaign status --follow "
+              f"--metrics {metrics_path}`)")
     if report.cancelled:
         print(f"re-run `python -m repro campaign run {name}` to resume")
         return 130
@@ -473,11 +764,42 @@ def _validate_jobs_env() -> None:
         raise SystemExit(2)
 
 
+def _validate_metrics_interval_env() -> None:
+    """Reject a malformed ``REPRO_METRICS_INTERVAL`` up front (exit 2).
+
+    Same split as ``REPRO_JOBS``: the library's
+    :func:`repro.obs.snapshot.default_interval` stays lenient (a bad value
+    degrades to the 1.0s default), the CLI catches the typo loudly.
+    """
+    import math
+
+    env = os.environ.get("REPRO_METRICS_INTERVAL")
+    if env is None or not env.strip():
+        return
+    try:
+        value = float(env)
+    except ValueError:
+        print(
+            "error: REPRO_METRICS_INTERVAL must be a positive number of "
+            f"seconds, got {env!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if not value > 0 or math.isinf(value):
+        print(
+            "error: REPRO_METRICS_INTERVAL must be a positive finite number "
+            f"of seconds, got {env!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     argv, jobs = parse_jobs(argv)
     if jobs is None:
         _validate_jobs_env()  # an explicit --jobs overrides the environment
+    _validate_metrics_interval_env()  # --interval overrides it per command
     if jobs is not None:
         # parallel_sweep's default_jobs() reads this, so one flag fans out
         # to every sweep in the run (including ones in worker processes).
@@ -487,7 +809,9 @@ def main(argv=None) -> int:
         print("experiments:", ", ".join(EXPERIMENTS), "(default: all)")
         print("other commands: trace (cost-provenance inspection; trace --help), "
               "chaos (fault-injection gate; chaos --help), "
-              "campaign (scheduler; campaign --help), version")
+              "campaign (scheduler; campaign --help), "
+              "metrics (registry/snapshot dump; metrics --help), "
+              "bench (regression watchdog; bench --help), version")
         return 0
     if argv and argv[0] in ("version", "--version", "-V"):
         return run_version()
@@ -495,6 +819,10 @@ def main(argv=None) -> int:
         return run_trace(argv[1:])
     if argv and argv[0] == "chaos":
         return run_chaos(argv[1:])
+    if argv and argv[0] == "metrics":
+        return run_metrics(argv[1:])
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:])
     if argv and argv[0] == "campaign":
         return run_campaign_cli(argv[1:])
     chosen = argv or list(EXPERIMENTS)

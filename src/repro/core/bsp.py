@@ -27,6 +27,7 @@ from repro.core.cost import bsp_cost_terms, bsp_superstep_cost
 from repro.core.machine import PhaseClosedError
 from repro.core.params import BSPParams
 from repro.core.phase import SuperstepRecord
+from repro.obs import metrics as _metrics
 
 __all__ = ["BSP", "Superstep"]
 
@@ -271,6 +272,8 @@ class BSP:
         self.history.append(record)
         self.step_costs.append(cost)
         self.time += cost
+        if _metrics.REGISTRY.enabled:
+            _metrics.record_superstep(record, cost, len(step_faults))
         if self.record_costs:
             from repro.obs.records import build_superstep_cost_record
 

@@ -39,6 +39,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.phase import PhaseRecord
+from repro.obs import metrics as _metrics
 from repro.util.seeding import derive_rng
 
 __all__ = [
@@ -789,6 +790,8 @@ class SharedMemoryMachine:
         self.history.append(record)
         self.phase_costs.append(cost)
         self.time += cost
+        if _metrics.REGISTRY.enabled:
+            _metrics.record_phase(self.model_label, record, cost, len(phase_faults))
         if self.record_trace:
             from repro.core.trace import PhaseTrace
 

@@ -20,6 +20,22 @@ by phase, so a measured curve can be explained rather than just plotted:
   :func:`~repro.obs.exporters.read_jsonl` round-trip) and Chrome
   trace-event JSON (:func:`~repro.obs.exporters.write_chrome_trace`),
   loadable in Perfetto (https://ui.perfetto.dev) for timeline inspection.
+  Lane (pid) allocation is centralised in
+  :data:`~repro.obs.exporters.TRACE_LANES`;
+  :func:`~repro.obs.exporters.write_combined_trace` merges scheduler
+  spans, metrics counter lanes and phase rows into one view.
+* :mod:`~repro.obs.metrics` — the *runtime* counterpart of the records: a
+  process-wide, dependency-free registry of counters, gauges and log2
+  histograms threaded through the phase engines, the campaign scheduler
+  and the sweep runner; zero-cost when disabled (one predicate test per
+  site), like ``record_costs=``.
+* :mod:`~repro.obs.snapshot` — periodic
+  :class:`~repro.obs.snapshot.MetricsSnapshot` JSONL emission and the
+  live-status rendering behind ``python -m repro campaign status
+  --follow``.
+* :mod:`~repro.obs.regress` — the bench-regression watchdog behind
+  ``python -m repro bench check``: noise-aware baseline diffs of
+  ``BENCH_*.json`` / store-backed points with a markdown report.
 
 Machines collect records when constructed with ``record_costs=True`` (the
 flag mirrors ``record_trace=``); the collection cost is zero when the flag
@@ -37,12 +53,19 @@ from repro.obs.records import (
 )
 from repro.obs.exporters import (
     chrome_trace_events,
+    combined_trace_events,
+    lane_pid,
+    metrics_counter_events,
     read_jsonl,
     scheduler_trace_events,
     write_chrome_trace,
+    write_combined_trace,
     write_jsonl,
     write_scheduler_trace,
 )
+from repro.obs.metrics import REGISTRY, MetricsRegistry, render_metrics_table
+from repro.obs.regress import RegressionReport, compare_bench
+from repro.obs.snapshot import MetricsSnapshot, SnapshotWriter, read_snapshots
 
 __all__ = [
     "PhaseCostRecord",
@@ -56,4 +79,16 @@ __all__ = [
     "chrome_trace_events",
     "scheduler_trace_events",
     "write_scheduler_trace",
+    "metrics_counter_events",
+    "combined_trace_events",
+    "write_combined_trace",
+    "lane_pid",
+    "REGISTRY",
+    "MetricsRegistry",
+    "render_metrics_table",
+    "MetricsSnapshot",
+    "SnapshotWriter",
+    "read_snapshots",
+    "RegressionReport",
+    "compare_bench",
 ]

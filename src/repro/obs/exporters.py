@@ -19,7 +19,7 @@ Two formats, two audiences:
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, Iterable, List, Union
+from typing import IO, Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.obs.records import PhaseCostRecord
 
@@ -30,6 +30,15 @@ __all__ = [
     "write_chrome_trace",
     "scheduler_trace_events",
     "write_scheduler_trace",
+    "metrics_counter_events",
+    "combined_trace_events",
+    "write_combined_trace",
+    "lane_pid",
+    "lane_metadata_event",
+    "TRACE_LANES",
+    "PHASE_PID",
+    "SCHEDULER_PID",
+    "METRICS_PID",
 ]
 
 PathOrFile = Union[str, IO[str]]
@@ -85,9 +94,43 @@ def read_jsonl(path: PathOrFile) -> List[PhaseCostRecord]:
 _US_PER_COST_UNIT = 1.0
 
 
+#: The single source of truth for Perfetto lane (pid) allocation.  Every
+#: exporter in this module draws its pid from this table, so the phase,
+#: scheduler and metrics lanes can never collide however the writers are
+#: combined — and each lane is labelled by a ``process_name`` metadata
+#: event (:func:`lane_metadata_event`) rather than by bare pid numbers.
+TRACE_LANES: Dict[str, Tuple[int, str]] = {
+    "phase": (0, "repro.obs phase costs"),
+    "scheduler": (1, "repro.sched campaign"),
+    "metrics": (2, "repro.obs metrics"),
+}
+
+
+def lane_pid(lane: str) -> int:
+    """The pid assigned to a named lane (``"phase" | "scheduler" | "metrics"``)."""
+    try:
+        return TRACE_LANES[lane][0]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace lane {lane!r}; know {sorted(TRACE_LANES)}"
+        ) from None
+
+
+def lane_metadata_event(lane: str, pid: int = None) -> Dict[str, Any]:  # type: ignore[assignment]
+    """The ``process_name`` metadata event labelling a lane's Perfetto row."""
+    default_pid, name = TRACE_LANES[lane]
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": default_pid if pid is None else pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
 def chrome_trace_events(
     records: Iterable[PhaseCostRecord],
-    pid: int = 0,
+    pid: int = None,  # type: ignore[assignment]
     tid: int = 0,
 ) -> List[Dict[str, Any]]:
     """Records -> trace-event dicts (``ph: "X"``), on the simulated clock.
@@ -105,6 +148,8 @@ def chrome_trace_events(
     ``args`` — so a chaos run's Perfetto timeline pins each injection to
     the phase it hit.
     """
+    if pid is None:
+        pid = lane_pid("phase")
     events: List[Dict[str, Any]] = []
     clock = 0.0
     for rec in records:
@@ -144,10 +189,13 @@ def chrome_trace_events(
     return events
 
 
-#: Process id of the scheduler lane in exported campaign traces.  Phase
-#: cost records export under pid 0; campaign task spans live in their own
-#: Perfetto process so the two layers never interleave on one row.
-SCHEDULER_PID = 1
+#: Lane pids, exported as constants for callers that pass explicit pids.
+#: Phase cost records export under pid 0, campaign task spans under pid 1,
+#: metrics counters under pid 2 — three Perfetto processes that never
+#: interleave on one row (see :data:`TRACE_LANES`).
+PHASE_PID = lane_pid("phase")
+SCHEDULER_PID = lane_pid("scheduler")
+METRICS_PID = lane_pid("metrics")
 
 
 def scheduler_trace_events(
@@ -166,15 +214,7 @@ def scheduler_trace_events(
     the holes in a campaign timeline are labelled.  Metadata events name
     the process "repro.sched campaign" and each worker row.
     """
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": pid,
-            "tid": 0,
-            "args": {"name": "repro.sched campaign"},
-        }
-    ]
+    events: List[Dict[str, Any]] = [lane_metadata_event("scheduler", pid=pid)]
     named_tids = set()
     for span in spans:
         status = span.get("status", "?")
@@ -261,7 +301,7 @@ def write_scheduler_trace(
 def write_chrome_trace(
     records: Iterable[PhaseCostRecord],
     path: PathOrFile,
-    pid: int = 0,
+    pid: int = None,  # type: ignore[assignment]
     tid: int = 0,
 ) -> int:
     """Write records as Chrome trace-event JSON; returns the event count.
@@ -275,6 +315,139 @@ def write_chrome_trace(
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs", "clock": "simulated model time (1 cost unit = 1us)"},
+    }
+    fh, owned = _open_for(path, "w")
+    try:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+    return len(events)
+
+
+def metrics_counter_events(
+    snapshots: Iterable[Any],
+    pid: int = None,  # type: ignore[assignment]
+) -> List[Dict[str, Any]]:
+    """Metrics snapshots -> Perfetto counter-lane events (``ph: "C"``).
+
+    ``snapshots`` are :class:`repro.obs.snapshot.MetricsSnapshot` objects
+    (or their ``to_dict()`` forms).  Each counter/gauge series becomes one
+    counter track named ``metric{k=v,...}``; each histogram contributes
+    ``metric.count`` and ``metric.mean`` tracks.  Timestamps are the
+    snapshots' run-relative wall clock (seconds -> microseconds) — the
+    same axis as the scheduler spans, so the counters line up under a
+    campaign's task timeline in one Perfetto view.
+    """
+    if pid is None:
+        pid = lane_pid("metrics")
+    events: List[Dict[str, Any]] = [lane_metadata_event("metrics", pid=pid)]
+    for snap in snapshots:
+        data = snap if isinstance(snap, dict) else snap.to_dict()
+        ts = float(data.get("t_rel", 0.0)) * 1e6
+        for metric in data.get("metrics", ()):
+            name = metric.get("name", "?")
+            kind = metric.get("type", "?")
+            for sample in metric.get("samples", ()):
+                labels = sample.get("labels", {})
+                series = name + (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels else ""
+                )
+                if kind == "histogram":
+                    count = int(sample.get("count", 0))
+                    total = float(sample.get("sum", 0.0))
+                    values = {
+                        f"{series}.count": float(count),
+                        f"{series}.mean": (total / count) if count else 0.0,
+                    }
+                else:
+                    values = {series: float(sample.get("value", 0.0))}
+                for track, value in values.items():
+                    events.append(
+                        {
+                            "name": track,
+                            "cat": "metrics",
+                            "ph": "C",
+                            "ts": ts,
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {"value": value},
+                        }
+                    )
+    return events
+
+
+def combined_trace_events(
+    spans: Iterable[Dict[str, Any]] = (),
+    snapshots: Iterable[Any] = (),
+    phase_lanes: Sequence[Tuple[str, Iterable[PhaseCostRecord]]] = (),
+) -> List[Dict[str, Any]]:
+    """Merge scheduler spans, metrics snapshots and phase records into one
+    event list — the single-Perfetto-view export of a campaign run.
+
+    ``phase_lanes`` is a sequence of ``(label, records)`` pairs (typically
+    one per campaign task that returned ``cost_records``); each pair gets
+    its own ``tid`` row under the phase lane, labelled by a
+    ``thread_name`` metadata event.  The three lanes keep their pids from
+    :data:`TRACE_LANES`, so nothing collides.
+
+    Note the clocks differ by design: scheduler spans and metrics
+    counters share the campaign's wall clock, while each phase row runs
+    on its task's *simulated* cost clock (1 cost unit = 1 us).
+    """
+    events: List[Dict[str, Any]] = []
+    span_list = list(spans)
+    if span_list:
+        events.extend(scheduler_trace_events(span_list))
+    snap_list = list(snapshots)
+    if snap_list:
+        events.extend(metrics_counter_events(snap_list))
+    phase_pid = lane_pid("phase")
+    if phase_lanes:
+        events.append(lane_metadata_event("phase"))
+        for tid, (label, records) in enumerate(phase_lanes):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": phase_pid,
+                    "tid": tid,
+                    "args": {"name": str(label)},
+                }
+            )
+            events.extend(chrome_trace_events(records, pid=phase_pid, tid=tid))
+    return events
+
+
+def write_combined_trace(
+    path: PathOrFile,
+    spans: Iterable[Dict[str, Any]] = (),
+    snapshots: Iterable[Any] = (),
+    phase_lanes: Sequence[Tuple[str, Iterable[PhaseCostRecord]]] = (),
+) -> int:
+    """Write the merged campaign trace (spans + counters + phase rows).
+
+    Same container format as :func:`write_chrome_trace`; load the file at
+    https://ui.perfetto.dev and a single demo-campaign run shows its
+    scheduling timeline, its metrics counter lanes and the per-task
+    simulated phase timelines stacked in one view.  Returns the event
+    count.
+    """
+    events = combined_trace_events(
+        spans=spans, snapshots=snapshots, phase_lanes=phase_lanes
+    )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "clock": (
+                "scheduler/metrics: campaign wall time; "
+                "phase rows: simulated model time (1 cost unit = 1us)"
+            ),
+        },
     }
     fh, owned = _open_for(path, "w")
     try:

@@ -200,9 +200,15 @@ class RunCostSummary:
 
     @property
     def fractions(self) -> Dict[str, float]:
-        """Cost-weighted dominant-term fractions, summing to 1 (or empty)."""
+        """Cost-weighted dominant-term fractions, summing to 1.
+
+        A degenerate run whose phases all charged zero (``total_cost ==
+        0``) returns an **all-zero** dict over the observed dominant terms
+        — same keys as ``dominant_cost``, never a division by zero, and
+        an empty dict only for an empty record list.
+        """
         if self.total_cost <= 0:
-            return {}
+            return {term: 0.0 for term in self.dominant_cost}
         return {
             term: cost / self.total_cost
             for term, cost in self.dominant_cost.items()

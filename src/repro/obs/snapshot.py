@@ -1,0 +1,306 @@
+"""Periodic JSONL snapshots of the metrics registry.
+
+A :class:`MetricsSnapshot` freezes one ``MetricsRegistry.collect()``
+payload with a sequence number and two timestamps — wall-clock epoch
+seconds (``t_wall``) and seconds since the emitting run started
+(``t_rel``).  :class:`SnapshotWriter` appends snapshots to a JSONL file on
+a fixed cadence (``interval`` seconds, default 1.0 or
+``$REPRO_METRICS_INTERVAL``); the final snapshot of a run is marked
+``final=True`` so a follower knows the stream is complete.
+
+This is the transport behind two consumers:
+
+* ``python -m repro campaign status --follow`` tails the snapshot file and
+  renders live progress (:func:`live_status_line`) — the scheduler writes,
+  the status process reads, and no one attaches to the worker processes.
+* :func:`repro.obs.exporters.metrics_counter_events` turns a snapshot
+  stream into Perfetto counter-lane events riding the same trace as the
+  phase and scheduler spans.
+
+The JSONL round trip is exact: ``read_snapshots`` returns snapshots equal
+to the ones written (property- and unit-tested).  Counters are monotone
+across a stream — snapshot *i+1* never reports a smaller counter value
+than snapshot *i* (``tests/property/test_metrics_props.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = [
+    "MetricsSnapshot",
+    "SnapshotWriter",
+    "read_snapshots",
+    "default_interval",
+    "live_status_line",
+    "SNAPSHOT_SCHEMA",
+    "INTERVAL_ENV",
+    "DEFAULT_INTERVAL",
+]
+
+#: Schema tag stamped into every snapshot line.
+SNAPSHOT_SCHEMA = "repro.metrics/1"
+
+#: Environment variable overriding the default snapshot cadence (seconds).
+INTERVAL_ENV = "REPRO_METRICS_INTERVAL"
+
+#: Snapshot cadence when neither the CLI flag nor the env var says otherwise.
+DEFAULT_INTERVAL = 1.0
+
+
+def default_interval() -> float:
+    """The snapshot cadence: ``$REPRO_METRICS_INTERVAL`` or 1.0 seconds.
+
+    Lenient like :func:`repro.analysis.parallel_sweep.default_jobs`: a
+    malformed or non-positive value degrades to the default so library use
+    never explodes mid-run.  The CLI validates the same variable strictly
+    (exit 2) before it gets here — same split as ``REPRO_JOBS``.
+    """
+    env = os.environ.get(INTERVAL_ENV, "").strip()
+    if not env:
+        return DEFAULT_INTERVAL
+    try:
+        value = float(env)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    if value <= 0 or value != value or value == float("inf"):
+        return DEFAULT_INTERVAL
+    return value
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One frozen registry state: ``seq``-numbered, double-timestamped.
+
+    ``metrics`` is the ``MetricsRegistry.collect()`` payload verbatim.
+    ``final`` marks the last snapshot of a run (emitted on writer close),
+    which is how a ``--follow`` reader knows to stop tailing.
+    """
+
+    seq: int
+    t_wall: float
+    t_rel: float
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    final: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; :meth:`from_dict` inverts it exactly."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "seq": self.seq,
+            "t_wall": self.t_wall,
+            "t_rel": self.t_rel,
+            "final": self.final,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        schema = data.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(f"unknown snapshot schema {schema!r}")
+        return cls(
+            seq=int(data["seq"]),
+            t_wall=float(data["t_wall"]),
+            t_rel=float(data["t_rel"]),
+            metrics=[dict(m) for m in data.get("metrics", [])],
+            final=bool(data.get("final", False)),
+        )
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def metric(self, name: str) -> Optional[Dict[str, Any]]:
+        for metric in self.metrics:
+            if metric.get("name") == name:
+                return metric
+        return None
+
+    def value(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> float:
+        """A counter/gauge series value (0.0 when absent).
+
+        With ``labels=None`` returns the sum over every series of the
+        metric — the all-labels total.
+        """
+        metric = self.metric(name)
+        if metric is None:
+            return 0.0
+        want = None if labels is None else {k: str(v) for k, v in labels.items()}
+        total = 0.0
+        for sample in metric.get("samples", ()):
+            if want is None or sample.get("labels", {}) == want:
+                total += float(sample.get("value", 0.0))
+        return total
+
+    def histogram_stats(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[int, float]:
+        """``(count, sum)`` of a histogram (all series when ``labels=None``)."""
+        metric = self.metric(name)
+        if metric is None:
+            return (0, 0.0)
+        want = None if labels is None else {k: str(v) for k, v in labels.items()}
+        count, total = 0, 0.0
+        for sample in metric.get("samples", ()):
+            if want is None or sample.get("labels", {}) == want:
+                count += int(sample.get("count", 0))
+                total += float(sample.get("sum", 0.0))
+        return (count, total)
+
+
+class SnapshotWriter:
+    """Appends registry snapshots to a JSONL file on a fixed cadence.
+
+    The file is truncated on the first emit (a run owns its stream);
+    every emitted snapshot is also kept on ``self.snapshots`` so the
+    emitting process can hand the stream straight to the trace exporter
+    without re-reading the file.  ``close()`` emits a ``final=True``
+    snapshot unconditionally — even a sub-interval run produces at least
+    one complete snapshot.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        registry: Optional[MetricsRegistry] = None,
+        interval: Optional[float] = None,
+    ) -> None:
+        if interval is not None and not interval > 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.path = path
+        self.registry = REGISTRY if registry is None else registry
+        self.interval = default_interval() if interval is None else float(interval)
+        self.snapshots: List[MetricsSnapshot] = []
+        self._t0_wall = time.time()
+        self._t0 = time.monotonic()
+        self._last_emit: Optional[float] = None
+        self._fh: Optional[IO[str]] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> Optional[MetricsSnapshot]:
+        """Emit the final snapshot and close the file.  Idempotent."""
+        if self._closed:
+            return None
+        snap = self.emit(final=True)
+        self._closed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        return snap
+
+    # -- emission ----------------------------------------------------------
+
+    def maybe_emit(self) -> Optional[MetricsSnapshot]:
+        """Emit iff at least ``interval`` seconds passed since the last emit."""
+        now = time.monotonic()
+        if self._last_emit is not None and now - self._last_emit < self.interval:
+            return None
+        return self.emit()
+
+    def emit(self, final: bool = False) -> MetricsSnapshot:
+        """Unconditionally snapshot the registry and append one JSONL line."""
+        if self._closed:
+            raise RuntimeError("snapshot writer is closed")
+        now = time.monotonic()
+        snap = MetricsSnapshot(
+            seq=len(self.snapshots),
+            t_wall=self._t0_wall + (now - self._t0),
+            t_rel=now - self._t0,
+            metrics=self.registry.collect(),
+            final=final,
+        )
+        if self._fh is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(json.dumps(snap.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.snapshots.append(snap)
+        self._last_emit = now
+        return snap
+
+
+def read_snapshots(path: Union[str, IO[str]]) -> List[MetricsSnapshot]:
+    """Parse a snapshot JSONL stream written by :class:`SnapshotWriter`.
+
+    The round trip is exact: snapshots equal the ones written.  A torn
+    final line (the writer died mid-write) is skipped rather than raising,
+    so a live follower can read a file that is still being appended.
+    """
+    if isinstance(path, str):
+        fh = open(path, "r", encoding="utf-8")
+        owned = True
+    else:
+        fh, owned = path, False
+    try:
+        snapshots: List[MetricsSnapshot] = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a live stream
+            snapshots.append(MetricsSnapshot.from_dict(data))
+        return snapshots
+    finally:
+        if owned:
+            fh.close()
+
+
+def live_status_line(snapshot: MetricsSnapshot) -> str:
+    """One human line of campaign progress from a snapshot.
+
+    Renders done/cached/failed/retry counts, the ready frontier and
+    in-flight sizes, the store hit-rate, and an ETA estimated as
+    ``remaining * mean task latency / jobs`` from the task-latency
+    histogram — everything read from the snapshot, nothing from the
+    scheduler process.
+    """
+    done = snapshot.value("repro_campaign_tasks_total", {"status": "done"})
+    cached = snapshot.value("repro_campaign_tasks_total", {"status": "cached"})
+    failed = snapshot.value("repro_campaign_tasks_total", {"status": "failed"})
+    retries = snapshot.value("repro_campaign_retries_total")
+    total = snapshot.value("repro_campaign_tasks")
+    frontier = snapshot.value("repro_campaign_frontier_size")
+    in_flight = snapshot.value("repro_campaign_in_flight")
+    hits = snapshot.value("repro_store_hits_total")
+    misses = snapshot.value("repro_store_misses_total")
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.0%}" if lookups else "-"
+    complete = done + cached
+    parts = [
+        f"[{snapshot.t_rel:7.1f}s]",
+        f"{int(complete)}/{int(total)} done" if total else f"{int(complete)} done",
+        f"({int(cached)} cached)" if cached else "",
+        f"{int(failed)} failed" if failed else "",
+        f"{int(retries)} retried" if retries else "",
+        f"frontier {int(frontier)}",
+        f"in-flight {int(in_flight)}",
+        f"store hit-rate {hit_rate}",
+    ]
+    remaining = total - complete - failed
+    if remaining > 0:
+        count, latency_sum = snapshot.histogram_stats("repro_campaign_task_seconds")
+        jobs = snapshot.value("repro_campaign_jobs") or 1.0
+        if count:
+            eta = remaining * (latency_sum / count) / jobs
+            parts.append(f"ETA {eta:.1f}s")
+    if snapshot.final:
+        parts.append("(final)")
+    return "  ".join(p for p in parts if p)

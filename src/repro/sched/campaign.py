@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.sched.pool import PoolEvent, WorkerPool
 from repro.sched.store import ResultStore, task_spec
 
@@ -220,14 +221,24 @@ def run_campaign(
     max_in_flight: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    metrics_interval: Optional[float] = None,
 ) -> CampaignReport:
     """Execute ``campaign`` on a warm pool, persisting outcomes to ``store``.
 
     Pass an existing ``pool`` to share workers across campaigns (it is not
     shut down); otherwise one is created with ``jobs`` workers and torn
     down at the end.  ``progress`` (e.g. ``print``) receives one line per
-    task state change.  ``trace_path`` writes the scheduler-lane Chrome
-    trace when the campaign finishes (see docs/SCHEDULER.md).
+    task state change.  ``trace_path`` writes the Chrome trace when the
+    campaign finishes (see docs/SCHEDULER.md) — the scheduler lane, plus,
+    when metrics were on, the metrics counter lane and one phase-cost row
+    per task outcome that carried ``cost_records``.
+
+    ``metrics_path`` enables the process-wide metrics registry for the
+    run and streams periodic :class:`repro.obs.snapshot.MetricsSnapshot`
+    JSONL lines there (cadence ``metrics_interval`` seconds, default
+    ``$REPRO_METRICS_INTERVAL`` or 1.0) — the stream ``python -m repro
+    campaign status --follow`` tails for live progress.
 
     A ``KeyboardInterrupt`` cancels cleanly: in-flight work is abandoned,
     everything already stored stays stored, and the report (``cancelled=
@@ -241,6 +252,14 @@ def run_campaign(
         max_in_flight = 2 * pool.jobs
     if max_in_flight < 1:
         raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+
+    writer = None
+    was_enabled = _metrics.REGISTRY.enabled
+    if metrics_path is not None:
+        from repro.obs.snapshot import SnapshotWriter
+
+        _metrics.REGISTRY.enable()
+        writer = SnapshotWriter(metrics_path, interval=metrics_interval)
 
     t0 = time.monotonic()
 
@@ -258,6 +277,20 @@ def run_campaign(
     attempts: Dict[str, int] = {name: 0 for name in tasks}
     total = len(tasks)
 
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        registry.gauge(
+            "repro_campaign_tasks", "tasks in the running campaign"
+        ).set(total)
+        registry.gauge(
+            "repro_campaign_jobs", "pool workers serving the campaign"
+        ).set(pool.jobs)
+
+    def account(status: str) -> None:
+        registry.counter(
+            "repro_campaign_tasks_total", "task terminal states by status"
+        ).inc(status=status)
+
     # Resume pass: anything already in the store is complete, regardless of
     # what happened to its deps in this or any previous run.
     for task in campaign.tasks:
@@ -269,6 +302,11 @@ def run_campaign(
             spans[task.name] = TaskSpan(
                 task.name, keys[task.name], "cached", start=now(), end=now()
             )
+            if registry.enabled:
+                account("cached")
+                registry.counter(
+                    "repro_store_hits_total", "tasks served from the result store"
+                ).inc()
             emit(f"[{len(outcomes)}/{total}] cached {task.name}")
 
     remaining_deps = {
@@ -291,6 +329,11 @@ def run_campaign(
         nonlocal counter
         outcomes[name] = outcome
         spans[name] = span
+        if registry.enabled:
+            account(span.status)
+            registry.histogram(
+                "repro_campaign_task_seconds", "per-task campaign latency"
+            ).observe(max(0.0, span.end - span.start))
         emit(f"[{len(outcomes)}/{total}] {span.status} {name} "
              f"({span.end - span.start:.2f}s"
              + (f", worker {span.worker}" if span.worker else "") + ")")
@@ -309,12 +352,18 @@ def run_campaign(
         span.attempts = attempts[name]
         span.end = now()
         spans[name] = span
+        if registry.enabled:
+            account("failed")
         emit(f"FAILED {name}: {error}")
 
     def submit(name: str) -> None:
         task = tasks[name]
         attempts[name] += 1
         in_flight[name] = now()
+        if registry.enabled and attempts[name] == 1:
+            registry.counter(
+                "repro_store_misses_total", "tasks that had to execute"
+            ).inc()
         pool.submit(name, task.fn, task.kwargs, timeout=task.timeout)
 
     restore_sigint = None
@@ -323,6 +372,15 @@ def run_campaign(
         # implies backpressure, which implies in-flight work — so when both
         # are empty nothing else can ever unblock and the campaign is over.
         while ready or in_flight:
+            if registry.enabled:
+                registry.gauge(
+                    "repro_campaign_frontier_size", "ready-to-dispatch tasks"
+                ).set(len(ready))
+                registry.gauge(
+                    "repro_campaign_in_flight", "tasks handed to the pool"
+                ).set(len(in_flight))
+            if writer is not None:
+                writer.maybe_emit()
             # Dispatch the frontier, highest priority first, under backpressure.
             while ready and pool.in_flight < max_in_flight:
                 _, _, name = heapq.heappop(ready)
@@ -373,6 +431,10 @@ def run_campaign(
                         else f"outcome is not a mapping: {type(event.payload).__name__}"
                     )
                     if attempts[name] <= task.retries:
+                        if registry.enabled:
+                            registry.counter(
+                                "repro_campaign_retries_total", "task retry dispatches"
+                            ).inc()
                         emit(f"retry {name} (attempt {attempts[name] + 1}): {error}")
                         submit(name)
                     else:
@@ -420,6 +482,8 @@ def run_campaign(
                 task.name, keys[task.name], "skipped",
                 error=f"blocked by {blocked[task.name]}",
             )
+            if registry.enabled:
+                account("skipped")
         else:
             spans[task.name] = TaskSpan(task.name, keys[task.name], "pending")
 
@@ -432,10 +496,42 @@ def run_campaign(
         store_root=store.root,
         pool_stats=dict(pool.stats),
     )
-    if trace_path is not None:
-        from repro.obs.exporters import write_scheduler_trace
 
-        write_scheduler_trace([s.to_dict() for s in ordered], trace_path)
+    snapshots: Sequence[Any] = ()
+    if writer is not None:
+        if registry.enabled:
+            registry.gauge("repro_campaign_frontier_size").set(0)
+            registry.gauge("repro_campaign_in_flight").set(0)
+        writer.close()
+        snapshots = writer.snapshots
+        if not was_enabled:
+            registry.disable()
+
+    if trace_path is not None:
+        from repro.obs.exporters import write_combined_trace
+        from repro.obs.records import PhaseCostRecord
+
+        # Task outcomes that carried per-phase cost records (the demo
+        # tasks do) become one simulated-time phase row each, next to the
+        # scheduler spans and the metrics counter lane.
+        phase_lanes = []
+        for task in campaign.tasks:
+            outcome = outcomes.get(task.name)
+            if isinstance(outcome, Mapping) and outcome.get("cost_records"):
+                try:
+                    records = [
+                        PhaseCostRecord.from_dict(d)
+                        for d in outcome["cost_records"]
+                    ]
+                except (KeyError, TypeError, ValueError):
+                    continue  # a foreign/legacy outcome shape; not a trace row
+                phase_lanes.append((task.name, records))
+        write_combined_trace(
+            trace_path,
+            spans=[s.to_dict() for s in ordered],
+            snapshots=snapshots,
+            phase_lanes=phase_lanes,
+        )
     return report
 
 

@@ -55,13 +55,17 @@ def demo_task(n: int = 64, delay: float = 0.05) -> Dict[str, Any]:
     from repro.problems import gen_bits, verify_parity
 
     bits = gen_bits(n, seed=n)
-    result = parity_tree(SQSM(SQSMParams(g=4.0)), bits)
+    machine = SQSM(SQSMParams(g=4.0), record_costs=True)
+    result = parity_tree(machine, bits)
     if delay > 0:
         time.sleep(delay)
     return {
         "measured": float(result.time),
         "correct": bool(verify_parity(bits, result.value)),
         "n": n,
+        # Per-phase cost provenance rides the outcome so a campaign trace
+        # can show each task's simulated phase timeline (docs/SCHEDULER.md).
+        "cost_records": [rec.to_dict() for rec in machine.cost_records],
     }
 
 

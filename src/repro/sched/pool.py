@@ -43,6 +43,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.obs import metrics as _metrics
+
 __all__ = ["WorkerPool", "PoolEvent", "DEFAULT_MAX_TASKS_PER_WORKER"]
 
 #: Tasks a worker runs before it is retired and replaced.  High enough to
@@ -220,6 +222,10 @@ class WorkerPool:
         self._next_worker_id += 1
         self._workers.append(worker)
         self.stats["workers_spawned"] += 1
+        if _metrics.REGISTRY.enabled:
+            _metrics.REGISTRY.counter(
+                "repro_pool_workers_spawned_total", "worker processes started"
+            ).inc()
         return worker
 
     def _reap(self, worker: _Worker, kill: bool = False) -> None:
@@ -293,7 +299,13 @@ class WorkerPool:
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self._queue.append(_Task(key, fn, kwargs or {}, timeout))
+        if _metrics.REGISTRY.enabled:
+            _metrics.REGISTRY.counter(
+                "repro_pool_tasks_dispatched_total", "tasks submitted to the pool"
+            ).inc()
         self._dispatch()
+        if _metrics.REGISTRY.enabled:
+            self._update_metric_gauges()
 
     def cancel_pending(self) -> List[str]:
         """Drop every queued (not yet running) task; returns their keys."""
@@ -329,6 +341,38 @@ class WorkerPool:
                           worker.id, 0.0)
             )
 
+    # -- metrics -----------------------------------------------------------
+
+    def _update_metric_gauges(self) -> None:
+        """Refresh the pool's queue/occupancy gauges (registry enabled only)."""
+        registry = _metrics.REGISTRY
+        registry.gauge(
+            "repro_pool_queue_depth", "tasks waiting for a free worker"
+        ).set(len(self._queue))
+        registry.gauge(
+            "repro_pool_active_tasks", "tasks currently executing in workers"
+        ).set(self.active_count)
+
+    def _account_events(self, events: List[PoolEvent]) -> None:
+        """Account a batch of completions into the registry (enabled only)."""
+        registry = _metrics.REGISTRY
+        completed = registry.counter(
+            "repro_pool_tasks_completed_total", "task completions by status"
+        )
+        latency = registry.histogram(
+            "repro_pool_task_seconds", "per-task wall time inside workers"
+        )
+        for event in events:
+            completed.inc(status=event.status)
+            latency.observe(event.wall_time)
+        recycled = registry.counter(
+            "repro_pool_workers_recycled_total", "workers retired by recycling"
+        )
+        delta = self.stats["recycled"] - recycled.value()
+        if delta > 0:
+            recycled.inc(delta)
+        self._update_metric_gauges()
+
     # -- completion --------------------------------------------------------
 
     def events(self, wait: float = 0.5) -> List[PoolEvent]:
@@ -347,6 +391,8 @@ class WorkerPool:
 
         busy = [w for w in self._workers if w.current is not None]
         if not busy:
+            if _metrics.REGISTRY.enabled:
+                self._account_events(events)
             return events
         if not events:
             nearest = min(w.deadline for w in busy)
@@ -387,6 +433,8 @@ class WorkerPool:
                               worker.id, now - worker.started)
                 )
         self._dispatch()  # freed slots pick up queued work immediately
+        if _metrics.REGISTRY.enabled:
+            self._account_events(events)
         return events
 
     def _crash(self, worker: _Worker, task: _Task, now: float) -> PoolEvent:

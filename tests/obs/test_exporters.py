@@ -153,3 +153,111 @@ class TestChromeTrace:
         assert write_chrome_trace([], path) == 0
         with open(path, "r", encoding="utf-8") as fh:
             assert json.load(fh)["traceEvents"] == []
+
+
+class TestTraceLanes:
+    def test_lane_pids_are_distinct(self):
+        from repro.obs.exporters import (
+            METRICS_PID,
+            PHASE_PID,
+            SCHEDULER_PID,
+            TRACE_LANES,
+            lane_pid,
+        )
+
+        pids = [lane_pid(lane) for lane in TRACE_LANES]
+        assert len(set(pids)) == len(pids)
+        assert (PHASE_PID, SCHEDULER_PID, METRICS_PID) == (0, 1, 2)
+
+    def test_unknown_lane_raises(self):
+        from repro.obs.exporters import lane_pid
+
+        with pytest.raises(ValueError):
+            lane_pid("nope")
+
+    def test_lane_metadata_event_names_process(self):
+        from repro.obs.exporters import lane_metadata_event, lane_pid
+
+        ev = lane_metadata_event("metrics")
+        assert ev["ph"] == "M" and ev["name"] == "process_name"
+        assert ev["pid"] == lane_pid("metrics")
+        assert "metrics" in ev["args"]["name"]
+
+
+class TestMetricsCounterEvents:
+    def sample_snapshots(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.snapshot import MetricsSnapshot
+
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "").inc(2, status="ok")
+        r.histogram("repro_y_seconds", "").observe(4.0)
+        return [
+            MetricsSnapshot(seq=0, t_wall=0.0, t_rel=0.5, metrics=r.collect())
+        ]
+
+    def test_counter_and_histogram_tracks(self):
+        from repro.obs.exporters import METRICS_PID, metrics_counter_events
+
+        events = metrics_counter_events(self.sample_snapshots())
+        assert events[0]["ph"] == "M"  # process_name metadata leads
+        counters = [e for e in events if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "repro_x_total{status=ok}" in names
+        assert "repro_y_seconds.count" in names
+        assert "repro_y_seconds.mean" in names
+        for ev in counters:
+            assert ev["pid"] == METRICS_PID
+            assert ev["ts"] == pytest.approx(0.5e6)
+
+    def test_accepts_dict_form(self):
+        from repro.obs.exporters import metrics_counter_events
+
+        dicts = [s.to_dict() for s in self.sample_snapshots()]
+        assert metrics_counter_events(dicts) == metrics_counter_events(
+            self.sample_snapshots()
+        )
+
+
+class TestCombinedTrace:
+    def test_all_three_lanes_present_and_disjoint(self, tmp_path):
+        from repro.obs.exporters import TRACE_LANES, write_combined_trace
+
+        spans = [
+            {"name": "t", "status": "done", "worker": 1,
+             "start": 0.0, "end": 0.5, "key": "k", "attempts": 1},
+        ]
+        r_snaps = TestMetricsCounterEvents().sample_snapshots()
+        path = str(tmp_path / "combined.json")
+        count = write_combined_trace(
+            path, spans=spans, snapshots=r_snaps,
+            phase_lanes=[("task-a", sample_records())],
+        )
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        events = payload["traceEvents"]
+        assert count == len(events)
+        assert {e["pid"] for e in events} == {pid for pid, _ in TRACE_LANES.values()}
+        process_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert process_names == {name for _, name in TRACE_LANES.values()}
+
+    def test_phase_rows_get_distinct_tids_with_names(self):
+        from repro.obs.exporters import PHASE_PID, combined_trace_events
+
+        events = combined_trace_events(
+            phase_lanes=[("a", sample_records()), ("b", sample_records())]
+        )
+        rows = {
+            e["tid"]: e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == PHASE_PID
+        }
+        assert rows == {0: "a", 1: "b"}
+
+    def test_empty_inputs_yield_empty_trace(self):
+        from repro.obs.exporters import combined_trace_events
+
+        assert combined_trace_events() == []

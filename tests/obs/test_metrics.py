@@ -1,0 +1,267 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+These are the tentpole invariants: log2 bucketing is exact at powers of
+two, labelled series are independent, kind collisions raise, reset keeps
+registrations valid, and the machine hooks (record_phase /
+record_superstep) produce the documented series from real phase records.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import BSP, BSPParams, SQSM, SQSMParams
+from repro.obs.metrics import (
+    MAX_EXP,
+    MIN_EXP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_exponent,
+    record_phase,
+    record_superstep,
+    render_metrics_table,
+)
+
+
+class TestBucketExponent:
+    def test_exact_powers_of_two_land_in_own_bucket(self):
+        assert bucket_exponent(1.0) == 0
+        assert bucket_exponent(2.0) == 1
+        assert bucket_exponent(1024.0) == 10
+
+    def test_between_powers_rounds_up(self):
+        assert bucket_exponent(3.0) == 2
+        assert bucket_exponent(1.5) == 1
+
+    def test_non_positive_clamps_to_min(self):
+        assert bucket_exponent(0.0) == MIN_EXP
+        assert bucket_exponent(-5.0) == MIN_EXP
+
+    def test_huge_clamps_to_max(self):
+        assert bucket_exponent(2.0 ** 200) == MAX_EXP
+
+    def test_tiny_clamps_to_min(self):
+        assert bucket_exponent(2.0 ** -200) == MIN_EXP
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("c", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_inc_raises(self):
+        c = Counter("c", "help")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("c", "help")
+        c.inc(1, status="ok")
+        c.inc(2, status="fail")
+        assert c.value(status="ok") == 1
+        assert c.value(status="fail") == 2
+        assert c.total() == 3
+
+    def test_label_order_is_canonical(self):
+        c = Counter("c", "help")
+        c.inc(1, a=1, b=2)
+        c.inc(1, b=2, a=1)
+        assert c.value(a=1, b=2) == 2
+        assert len(c.samples()) == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g", "help")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value() == 4
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("g", "help")
+        g.dec(2)
+        assert g.value() == -2
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("h", "help")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 7.0
+        assert h.mean() == pytest.approx(7.0 / 3)
+
+    def test_nan_raises(self):
+        h = Histogram("h", "help")
+        with pytest.raises(ValueError):
+            h.observe(float("nan"))
+
+    def test_quantile_bounds_value(self):
+        h = Histogram("h", "help")
+        for v in range(1, 101):
+            h.observe(float(v))
+        q50 = h.quantile(0.5)
+        # Bucket upper bounds over-estimate by at most 2x.
+        assert 50 <= q50 <= 128
+
+    def test_empty_mean_and_quantile(self):
+        h = Histogram("h", "help")
+        assert h.mean() == 0.0
+        assert h.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        a = r.counter("x", "help")
+        b = r.counter("x", "other help ignored")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x", "help")
+        with pytest.raises(ValueError):
+            r.gauge("x", "help")
+
+    def test_reset_clears_values_but_keeps_registrations(self):
+        r = MetricsRegistry()
+        c = r.counter("x", "help")
+        c.inc(5)
+        r.reset()
+        assert c.value() == 0
+        # The cached reference is still the registered object.
+        assert r.counter("x", "help") is c
+
+    def test_enable_disable(self):
+        r = MetricsRegistry()
+        assert not r.enabled
+        r.enable()
+        assert r.enabled
+        r.disable()
+        assert not r.enabled
+
+    def test_collect_sorted_and_typed(self):
+        r = MetricsRegistry()
+        r.gauge("b", "h").set(1)
+        r.counter("a", "h").inc()
+        out = r.collect()
+        assert [m["name"] for m in out] == ["a", "b"]
+        assert [m["type"] for m in out] == ["counter", "gauge"]
+
+    def test_thread_safety_of_counter(self):
+        r = MetricsRegistry()
+        c = r.counter("x", "help")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "no metrics recorded" in render_metrics_table([])
+
+    def test_rows_present(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "h").inc(3, model="QSM")
+        text = render_metrics_table(r.collect())
+        assert "repro_x_total" in text
+        assert "model=QSM" in text
+
+
+class TestMachineHooks:
+    def test_record_phase_from_real_machine(self):
+        from repro.obs import metrics as m
+
+        registry = MetricsRegistry()
+        machine = SQSM(SQSMParams(g=2.0))
+        machine.load([0] * 8)
+        with machine.phase() as ph:
+            ph.write(0, 1, 0)
+            ph.write(1, 1, 1)
+            ph.local(0, 2)
+        record = machine.history[-1]
+        cost = machine.phase_costs[-1]
+        # Route record_phase through a scratch registry.
+        saved = m.REGISTRY
+        m.REGISTRY = registry
+        try:
+            record_phase(machine.model_label, record, cost, faults=1)
+        finally:
+            m.REGISTRY = saved
+        assert registry.counter("repro_phases_total", "").value(
+            model="s-QSM") == 1
+        assert registry.counter("repro_phase_cost_total", "").value(
+            model="s-QSM") == cost
+        # 2 writes + 2 local ops
+        assert registry.counter("repro_ops_total", "").value(model="s-QSM") == 4
+        assert registry.histogram("repro_contention_kappa", "").count(
+            model="s-QSM") == 1
+        assert registry.counter("repro_fault_events_total", "").value(
+            model="s-QSM") == 1
+
+    def test_record_superstep_observes_h_relation(self):
+        from repro.obs import metrics as m
+
+        registry = MetricsRegistry()
+        machine = BSP(4, BSPParams(g=2.0, L=4.0))
+        with machine.superstep() as step:
+            step.send(0, 1, "x")
+            step.send(0, 2, "y")
+            step.local(1, 3)
+        record = machine.history[-1]
+        cost = machine.step_costs[-1]
+        saved = m.REGISTRY
+        m.REGISTRY = registry
+        try:
+            record_superstep(record, cost)
+        finally:
+            m.REGISTRY = saved
+        assert registry.counter("repro_phases_total", "").value(model="BSP") == 1
+        # h = max over procs of max(sent, received) = 2 (proc 0 sent 2).
+        h = registry.histogram("repro_bsp_h_relation", "")
+        assert h.count() == 1
+        assert h.sum() == 2
+
+    def test_machine_records_when_registry_enabled(self):
+        from repro.obs import metrics as m
+
+        saved = m.REGISTRY
+        m.REGISTRY = MetricsRegistry()
+        m.REGISTRY.enable()
+        try:
+            machine = SQSM(SQSMParams(g=2.0))
+            machine.load([0] * 4)
+            with machine.phase() as ph:
+                ph.local(0, 1)
+            assert m.REGISTRY.counter("repro_phases_total", "").value(
+                model="s-QSM") == 1
+        finally:
+            m.REGISTRY = saved
+
+    def test_machine_records_nothing_when_disabled(self):
+        from repro.obs import metrics as m
+
+        saved = m.REGISTRY
+        m.REGISTRY = MetricsRegistry()
+        try:
+            machine = SQSM(SQSMParams(g=2.0))
+            machine.load([0] * 4)
+            with machine.phase() as ph:
+                ph.local(0, 1)
+            assert m.REGISTRY.names() == []
+        finally:
+            m.REGISTRY = saved

@@ -195,6 +195,19 @@ class TestSummaries:
         s = summarize([])
         assert s.phases == 0 and s.fractions == {}
 
+    def test_zero_total_cost_yields_all_zero_fractions(self):
+        # Regression: a degenerate run whose phases all charged zero used
+        # to divide by zero; it must return an all-zero dict instead (same
+        # keys as dominant_cost, empty only for an empty record list).
+        records = [
+            PhaseCostRecord(0, "QSM", {"m_op": 0.0, "kappa": 0.0}, "m_op", 0.0),
+            PhaseCostRecord(1, "QSM", {"m_op": 0.0, "kappa": 0.0}, "m_op", 0.0),
+        ]
+        s = summarize(records)
+        assert s.total_cost == 0.0
+        assert s.fractions == {"m_op": 0.0}
+        assert dominant_fractions(records) == {"m_op": 0.0}
+
     def test_dominant_fractions_accepts_machine_and_rounds(self):
         m = run_contended_phases(QSM(QSMParams(g=2.0), record_costs=True))
         fractions = dominant_fractions(m)

@@ -1,0 +1,174 @@
+"""Snapshot JSONL stream: exact round trips, final flags, live status.
+
+The writer truncates on first emit (a run owns its stream), always
+appends a ``final`` snapshot on close, and the reader tolerates a torn
+last line so a live follower can tail a file mid-write.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import (
+    DEFAULT_INTERVAL,
+    MetricsSnapshot,
+    SnapshotWriter,
+    default_interval,
+    live_status_line,
+    read_snapshots,
+)
+
+
+def scratch_registry():
+    r = MetricsRegistry()
+    r.counter("repro_campaign_tasks_total", "").inc(3, status="done")
+    r.gauge("repro_campaign_tasks", "").set(8)
+    r.histogram("repro_campaign_task_seconds", "").observe(0.5)
+    return r
+
+
+class TestRoundTrip:
+    def test_jsonl_read_write_identity(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        registry = scratch_registry()
+        writer = SnapshotWriter(path, registry=registry, interval=0.001)
+        writer.emit()
+        registry.counter("repro_campaign_tasks_total", "").inc(status="done")
+        writer.close()
+        back = read_snapshots(path)
+        assert back == writer.snapshots
+        assert [s.seq for s in back] == [0, 1]
+        assert [s.final for s in back] == [False, True]
+
+    def test_to_from_dict_exact(self):
+        snap = MetricsSnapshot(
+            seq=2, t_wall=100.5, t_rel=3.25,
+            metrics=scratch_registry().collect(), final=True,
+        )
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_from_dict_rejects_unknown_schema(self):
+        snap = MetricsSnapshot(seq=0, t_wall=0.0, t_rel=0.0, metrics=[])
+        data = snap.to_dict()
+        data["schema"] = "something/else"
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_dict(data)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        writer = SnapshotWriter(path, registry=scratch_registry(), interval=0.001)
+        writer.emit()
+        writer.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro.metrics/1", "seq": 99, "trunc')
+        back = read_snapshots(path)
+        assert [s.seq for s in back] == [0, 1]
+
+
+class TestSnapshotAccessors:
+    def test_value_sums_series_when_labels_none(self):
+        r = MetricsRegistry()
+        c = r.counter("x", "")
+        c.inc(1, status="ok")
+        c.inc(2, status="fail")
+        snap = MetricsSnapshot(seq=0, t_wall=0, t_rel=0, metrics=r.collect())
+        assert snap.value("x") == 3
+        assert snap.value("x", {"status": "ok"}) == 1
+        assert snap.value("missing") == 0.0
+
+    def test_histogram_stats(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", "")
+        h.observe(1.0)
+        h.observe(3.0)
+        snap = MetricsSnapshot(seq=0, t_wall=0, t_rel=0, metrics=r.collect())
+        count, total = snap.histogram_stats("h")
+        assert count == 2
+        assert total == 4.0
+
+
+class TestWriter:
+    def test_truncates_previous_stream(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        first = SnapshotWriter(path, registry=scratch_registry(), interval=0.001)
+        first.emit()
+        first.close()
+        second = SnapshotWriter(path, registry=scratch_registry(), interval=0.001)
+        second.close()
+        back = read_snapshots(path)
+        assert [s.seq for s in back] == [0]
+        assert back[0].final
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        writer = SnapshotWriter(path, registry=scratch_registry(), interval=0.001)
+        writer.close()
+        writer.close()
+        assert len(read_snapshots(path)) == 1
+
+    def test_maybe_emit_respects_interval(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        writer = SnapshotWriter(path, registry=scratch_registry(), interval=3600)
+        assert writer.maybe_emit() is not None  # first emit is unconditional
+        assert writer.maybe_emit() is None
+        writer.close()
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "metrics.jsonl")
+        writer = SnapshotWriter(path, registry=scratch_registry(), interval=0.001)
+        writer.close()
+        assert len(read_snapshots(path)) == 1
+
+    def test_rejects_non_positive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotWriter(str(tmp_path / "m.jsonl"), interval=0.0 - 1.0)
+
+
+class TestDefaultInterval:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS_INTERVAL", raising=False)
+        assert default_interval() == DEFAULT_INTERVAL
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "0.25")
+        assert default_interval() == 0.25
+
+    def test_malformed_env_degrades_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "soon")
+        assert default_interval() == DEFAULT_INTERVAL
+
+    def test_non_positive_env_degrades_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "-2")
+        assert default_interval() == DEFAULT_INTERVAL
+
+
+class TestLiveStatusLine:
+    def sample_snapshot(self, done=3, total=8, final=False):
+        r = MetricsRegistry()
+        r.gauge("repro_campaign_tasks", "").set(total)
+        r.gauge("repro_campaign_jobs", "").set(2)
+        r.gauge("repro_campaign_frontier_size", "").set(2)
+        r.gauge("repro_campaign_in_flight", "").set(1)
+        c = r.counter("repro_campaign_tasks_total", "")
+        c.inc(done, status="done")
+        c.inc(1, status="cached")
+        r.counter("repro_store_hits_total", "").inc(1)
+        r.counter("repro_store_misses_total", "").inc(3)
+        h = r.histogram("repro_campaign_task_seconds", "")
+        h.observe(0.5)
+        h.observe(1.5)
+        return MetricsSnapshot(
+            seq=0, t_wall=10.0, t_rel=2.5, metrics=r.collect(), final=final
+        )
+
+    def test_renders_progress_fields(self):
+        line = live_status_line(self.sample_snapshot())
+        assert "4/8 done" in line  # done + cached
+        assert "(1 cached)" in line
+        assert "frontier 2" in line
+        assert "in-flight 1" in line
+        assert "hit-rate 25%" in line
+        assert "ETA" in line
+
+    def test_final_flag_rendered(self):
+        line = live_status_line(self.sample_snapshot(final=True))
+        assert "(final)" in line

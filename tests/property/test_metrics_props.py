@@ -1,0 +1,82 @@
+"""Metrics/snapshot properties: monotone counters, exact round trips.
+
+Counters only ever accumulate, so any snapshot stream taken while a
+program runs must show non-decreasing values for every counter series —
+that is what makes ``campaign status --follow`` progress lines trustworthy.
+The stream itself must survive the JSONL round trip exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, bucket_exponent
+from repro.obs.snapshot import SnapshotWriter, read_snapshots
+
+# A program is a list of (metric index, amount) increments; snapshots are
+# taken every few steps.
+programs = st.lists(
+    st.tuples(st.integers(0, 3), st.floats(0.0, 1e6, allow_nan=False)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def counter_values(snapshot):
+    """{(name, label-tuple): value} for every counter series."""
+    out = {}
+    for metric in snapshot.metrics:
+        if metric["type"] != "counter":
+            continue
+        for sample in metric["samples"]:
+            key = (metric["name"], tuple(sorted(sample["labels"].items())))
+            out[key] = sample["value"]
+    return out
+
+
+@settings(max_examples=50, deadline=None)
+@given(program=programs, every=st.integers(1, 5))
+def test_counters_monotone_across_snapshots(program, every, tmp_path_factory):
+    registry = MetricsRegistry()
+    path = str(tmp_path_factory.mktemp("snaps") / "metrics.jsonl")
+    writer = SnapshotWriter(path, registry=registry, interval=3600.0)
+    writer.emit()
+    for step, (idx, amount) in enumerate(program):
+        registry.counter(f"repro_c{idx}_total", "").inc(amount, lane=idx % 2)
+        if step % every == 0:
+            writer.emit()
+    writer.close()
+    snaps = writer.snapshots
+    assert snaps[-1].final
+    assert [s.seq for s in snaps] == list(range(len(snaps)))
+    for prev, cur in zip(snaps, snaps[1:]):
+        before, after = counter_values(prev), counter_values(cur)
+        # No series ever vanishes, and none ever decreases.
+        assert set(before) <= set(after)
+        for key, value in before.items():
+            assert after[key] >= value
+
+
+@settings(max_examples=50, deadline=None)
+@given(program=programs)
+def test_snapshot_stream_round_trips_exactly(program, tmp_path_factory):
+    registry = MetricsRegistry()
+    path = str(tmp_path_factory.mktemp("snaps") / "metrics.jsonl")
+    writer = SnapshotWriter(path, registry=registry, interval=3600.0)
+    for idx, amount in program:
+        registry.counter(f"repro_c{idx}_total", "").inc(amount)
+        registry.histogram("repro_h", "").observe(amount + 1.0)
+        writer.emit()
+    writer.close()
+    assert read_snapshots(path) == writer.snapshots
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=st.floats(min_value=1e-300, max_value=1e300, allow_nan=False))
+def test_bucket_exponent_brackets_value(value):
+    exp = bucket_exponent(value)
+    # The bucket's upper bound is 2**exp; the value must not exceed it,
+    # and (when not clamped) must exceed the previous bucket's bound.
+    if exp < 63:
+        assert value <= 2.0 ** exp
+    if -30 < exp:
+        assert value > 2.0 ** (exp - 1)

@@ -206,3 +206,186 @@ class TestJobsValidation:
         monkeypatch.setenv("REPRO_JOBS", "many")
         assert main(["nope", "--jobs", "1"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_metrics_is_not_an_experiment(self):
+        assert "metrics" not in EXPERIMENTS
+
+    def test_dump_notes_disabled_registry(self, capsys):
+        assert main(["metrics", "dump"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_dump_renders_live_registry(self, capsys):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.counter("repro_test_total", "").inc(3)
+        try:
+            assert main(["metrics", "dump"]) == 0
+            assert "repro_test_total" in capsys.readouterr().out
+        finally:
+            REGISTRY.reset()
+
+    def test_dump_from_snapshot_file(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.snapshot import SnapshotWriter
+
+        registry = MetricsRegistry()
+        registry.counter("repro_snap_total", "").inc(7)
+        path = str(tmp_path / "metrics.jsonl")
+        SnapshotWriter(path, registry=registry).close()
+        assert main(["metrics", "dump", "--snapshots", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro_snap_total" in out
+        assert "(final)" in out
+
+    def test_dump_missing_snapshot_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["metrics", "dump", "--snapshots", missing]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestBenchCheckCommand:
+    def test_bench_is_not_an_experiment(self):
+        assert "bench" not in EXPERIMENTS
+
+    def write_bench(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    BASE = {
+        "x=1": {"measured": 10.0, "correct": True},
+        "x=2": {"measured": 40.0, "correct": True},
+    }
+
+    def test_baseline_vs_itself_exits_zero(self, tmp_path, capsys):
+        base = self.write_bench(tmp_path, "base.json", self.BASE)
+        assert main(["bench", "check", "--baseline", base,
+                     "--current", base]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_perturbed_point_exits_nonzero(self, tmp_path, capsys):
+        # The acceptance check: a point drifting beyond tolerance gates.
+        base = self.write_bench(tmp_path, "base.json", self.BASE)
+        perturbed = dict(self.BASE, **{
+            "x=2": {"measured": 80.0, "correct": True},
+        })
+        cur = self.write_bench(tmp_path, "cur.json", perturbed)
+        assert main(["bench", "check", "--baseline", base,
+                     "--current", cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "x=2.measured" in out
+
+    def test_report_file_written(self, tmp_path, capsys):
+        base = self.write_bench(tmp_path, "base.json", self.BASE)
+        report = tmp_path / "report.md"
+        assert main(["bench", "check", "--baseline", base, "--current", base,
+                     "--report", str(report)]) == 0
+        assert report.read_text().startswith("# Bench check: PASS")
+
+    def test_store_backed_current(self, tmp_path, capsys):
+        from repro.sched.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        key = store.key_for("demo:a", {"n": 1})
+        store.put(key, {"measured": 5.0, "correct": True})
+        base = self.write_bench(
+            tmp_path, "base.json", {key: {"measured": 5.0, "correct": True}}
+        )
+        assert main(["bench", "check", "--baseline", base,
+                     "--store", store_dir]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        assert main(["bench", "check", "--baseline",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCampaignMetricsFlags:
+    def test_run_writes_metrics_snapshots(self, tmp_path, capsys):
+        from repro.obs.snapshot import read_snapshots
+
+        store = str(tmp_path / "store")
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet",
+                     "--metrics", str(metrics)]) == 0
+        assert "wrote metrics snapshots" in capsys.readouterr().out
+        snaps = read_snapshots(str(metrics))
+        assert snaps and snaps[-1].final
+        # done + cached across the stream covers all three stored points.
+        assert snaps[-1].value("repro_campaign_tasks_total") == 3.0
+
+    def test_metrics_auto_lands_in_store(self, tmp_path, capsys):
+        import os
+
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet",
+                     "--metrics"]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(store, "metrics.jsonl"))
+
+    def test_status_metrics_renders_progress(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet",
+                     "--metrics"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", store,
+                     "--metrics",
+                     str(tmp_path / "store" / "metrics.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "(final)" in out
+
+    def test_status_metrics_missing_stream(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--store", str(tmp_path / "s"),
+                     "--metrics", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no metrics snapshots" in capsys.readouterr().err
+
+    def test_combined_trace_has_metrics_lane(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        trace = tmp_path / "trace.json"
+        assert main(["campaign", "run", "--demo", "--points", "2",
+                     "--delay", "0", "--store", store, "--quiet",
+                     "--trace", str(trace), "--metrics"]) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert {0, 1, 2} <= pids  # phase rows, scheduler spans, counters
+        assert any(e["ph"] == "C" for e in events)
+
+    def test_bad_interval_flag_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--demo", "--store",
+                  str(tmp_path / "s"), "--metrics", "--interval", "0"])
+        assert "interval" in capsys.readouterr().err.lower()
+
+
+class TestMetricsIntervalEnvValidation:
+    def test_malformed_env_rejected_at_cli(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "soon")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["nope"])
+        assert exc_info.value.code == 2
+        assert "REPRO_METRICS_INTERVAL" in capsys.readouterr().err
+
+    def test_nonpositive_env_rejected_at_cli(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "-1")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["nope"])
+        assert exc_info.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_valid_env_accepted(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "0.5")
+        assert main(["nope"]) == 2  # proceeds to the unknown-experiment error
+        assert "unknown experiment" in capsys.readouterr().err
