@@ -28,11 +28,13 @@ from typing import Dict, List
 
 from typing import Tuple
 
+import pytest
+
 from benchmarks.common import PerfRow, ns_from_env, print_perf_rows
 from repro.algorithms.parity import parity_blocks
 from repro.analysis.parallel_sweep import default_jobs, parallel_sweep
 from repro.analysis.sweep import sweep
-from repro.core import BSP, BSPParams, QSM, QSMParams
+from repro.core import BSP, BSPParams, QSM, QSMParams, have_numpy
 from repro.lowerbounds.formulas import bounds_for
 from repro.problems import gen_bits, verify_parity
 
@@ -209,6 +211,245 @@ def compare_sweeps(jobs: int = None) -> Dict[str, object]:
     }
 
 
+# --- reference vs vector engine: point throughput ----------------------------
+
+#: Processor count for the engine A/B.  Fewer procs than the issue-path
+#: micro-benchmarks => larger per-proc blocks (2000 cells at n=10^5), the
+#: regime the vector engine exists for (Table 1 sweeps at n ~ 10^5..10^6).
+POINT_PROCS = 50
+
+
+def time_point(engine: str = "reference", path: str = "scalar",
+               n: int = N_OPS, procs: int = POINT_PROCS) -> float:
+    """End-to-end seconds for one write phase + one read phase of ``n`` cells.
+
+    Unlike the issue-path micro-benchmarks above, this includes commit and
+    read resolution — it is the wall cost of executing one "point" of
+    simulated work on the selected engine.  ``path="scalar"`` issues one
+    API call per cell (the canonical reference-engine style);
+    ``path="block"`` issues one bulk call per processor chunk (the style
+    the vector engine turns into array operations).
+    """
+    m = QSM(QSMParams(g=2), seed=0, engine=engine)
+    chunks = _chunks(n, procs)
+    # Payloads are prepared outside the clock: the measurement is the
+    # engine executing the phase, not the harness fabricating test data.
+    # The vector engine is fed addresses/values in its native array form.
+    if engine == "vector":
+        import numpy as np
+
+        payloads = [np.arange(c.start, c.stop) for c in chunks]
+    else:
+        payloads = [list(c) for c in chunks]
+    t0 = time.perf_counter()
+    with m.phase() as ph:
+        if path == "scalar":
+            write = ph.write
+            for proc, chunk in enumerate(chunks):
+                for addr in chunk:
+                    write(proc, addr, addr)
+        else:
+            for proc, chunk in enumerate(chunks):
+                ph.write_cols(proc, chunk, payloads[proc])
+    handles: List = []
+    with m.phase() as ph:
+        if path == "scalar":
+            read = ph.read
+            for proc, chunk in enumerate(chunks):
+                for addr in chunk:
+                    handles.append(read(proc, addr))
+        else:
+            for proc, chunk in enumerate(chunks):
+                handles.append(ph.read_block(proc, chunk))
+    # Consume every delivered value so resolution cost is inside the clock.
+    acc = 0
+    if path == "scalar":
+        for h in handles:
+            acc += h.value
+    else:
+        for h in handles:
+            arr = getattr(h, "array", None)
+            acc += int(arr.sum()) if arr is not None else sum(h.values)
+    elapsed = time.perf_counter() - t0
+    assert acc == n * (n - 1) // 2, "engine delivered wrong values"
+    return elapsed
+
+
+def engine_point_rows(n: int = N_OPS, repeats: int = 3) -> List[PerfRow]:
+    """Reference-scalar / reference-block / vector-block point timings."""
+    variants = [("reference", "scalar"), ("reference", "block")]
+    if have_numpy():
+        variants.append(("vector", "block"))
+    rows = []
+    for engine, path in variants:
+        seconds = min(time_point(engine, path, n) for _ in range(repeats))
+        rows.append(PerfRow(f"point/{engine}-{path}", n, 2 * n, seconds))
+    return rows
+
+
+def vector_speedup(n: int = N_OPS, repeats: int = 3) -> Dict[str, float]:
+    """Vector-engine point throughput over the reference engine's.
+
+    ``vs_reference_scalar`` is the headline (the per-op execution the
+    vector engine replaces); ``vs_reference_block`` isolates the engine
+    swap with the API held fixed.  Requires numpy.
+    """
+    scalar = min(time_point("reference", "scalar", n) for _ in range(repeats))
+    block = min(time_point("reference", "block", n) for _ in range(repeats))
+    vector = min(time_point("vector", "block", n) for _ in range(repeats))
+    return {
+        "vs_reference_scalar": scalar / vector,
+        "vs_reference_block": block / vector,
+    }
+
+
+# --- Table 1 at scale: the parity fan-in point, swept over both engines ------
+
+FANIN_BLOCK = 32
+
+
+def _block_parity(handle) -> int:
+    arr = getattr(handle, "array", None)
+    if arr is not None:
+        return int(arr.sum()) & 1
+    return sum(handle.values) & 1
+
+
+def _fanin_parity(machine: QSM, bits, b: int = FANIN_BLOCK) -> int:
+    """Parity by b-ary fan-in using only block reads — O(g·b·log_b n) time.
+
+    Each level: processor ``j`` block-reads its group of ``<= b`` cells
+    (contention 1, ``m_rw = b``), then scalar-writes the group parity
+    (``m_rw = 1``).  Per-op issue cost is O(n/b) Python calls per level,
+    so the simulation itself stays fast enough to sweep to n ~ 10^6 on
+    the vector engine.
+    """
+    machine.load(bits, base=0)
+    base, size = 0, len(bits)
+    out = size
+    while size > 1:
+        groups = -(-size // b)
+        with machine.phase() as ph:
+            handles = [
+                ph.read_block(j, range(base + j * b, base + min((j + 1) * b, size)))
+                for j in range(groups)
+            ]
+        with machine.phase() as ph:
+            for j, h in enumerate(handles):
+                ph.write(j, out + j, _block_parity(h))
+        base, size = out, groups
+        out = base + groups
+    return machine.peek(base)
+
+
+def run_parity_fanin_point(n: int, g: float, engine: str) -> Dict[str, object]:
+    """One large-n Table 1a parity point on the selected engine (picklable)."""
+    bound_entry = bounds_for(table="1a", problem="Parity", variant="deterministic")[0]
+    m = QSM(QSMParams(g=g), engine=engine)
+    bits = gen_bits(n, seed=n)
+    value = _fanin_parity(m, bits)
+    return {
+        "measured": m.time,
+        "correct": verify_parity(bits, value),
+        "bound": bound_entry.fn(n, g),
+        "phases": m.phase_count,
+    }
+
+
+def table1_ns() -> List[int]:
+    """Large-n sweep sizes: {10^4, 10^5} by default, env-extendable to 10^6.
+
+    A dedicated env var (not ``REPRO_BENCH_NS``) so CI smoke grids don't
+    silently change the point keys ``bench check`` diffs against the
+    committed baseline.
+    """
+    return ns_from_env([10**4, 10**5], env="REPRO_PHASE_ENGINE_NS")
+
+
+def table1_engine_sweep(ns=None, jobs: int = None) -> List:
+    """The parity fan-in grid x both engines, via the ``engine=`` sweep axis."""
+    engines = ("reference", "vector") if have_numpy() else ("reference",)
+    return parallel_sweep(
+        {"n": ns if ns is not None else table1_ns(), "g": [2.0]},
+        run_parity_fanin_point,
+        jobs=jobs,
+        engine=engines,
+    )
+
+
+# --- the committed baseline payload (BENCH_phase_engine.json) ----------------
+
+def collect(jobs: int = None) -> Dict[str, object]:
+    """Measure the engine A/B and the large-n Table 1 sweep for ``bench check``.
+
+    Schema (see ``repro.obs.regress``): per-engine wall numbers live under
+    ``engines.<name>.seconds`` / ``.throughput`` (informational — never
+    gate), the reference/vector ratios under ``speedup`` (gated at the
+    loose wall tolerance), and the large-n parity points under ``table1``
+    (simulated costs — deterministic, gated at 1%).
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    engines: Dict[str, Dict[str, float]] = {}
+    for engine, path in [("reference", "scalar"), ("reference", "block"),
+                         ("vector", "block")]:
+        if engine == "vector" and not have_numpy():
+            continue
+        seconds = min(time_point(engine, path) for _ in range(3))
+        engines[f"{engine}-{path}"] = {
+            "seconds": seconds,
+            "throughput": 2 * N_OPS / seconds,
+        }
+    payload: Dict[str, object] = {
+        "n": N_OPS,
+        "vector_backend": have_numpy(),
+        "engines": engines,
+    }
+    if have_numpy():
+        payload["speedup"] = {
+            "vector_vs_reference_scalar": (
+                engines["reference-scalar"]["seconds"]
+                / engines["vector-block"]["seconds"]
+            ),
+            "vector_vs_reference_block": (
+                engines["reference-block"]["seconds"]
+                / engines["vector-block"]["seconds"]
+            ),
+        }
+    points = table1_engine_sweep(jobs=jobs)
+    table1: Dict[str, Dict[str, object]] = {}
+    for p in points:
+        key = "engine={engine},g={g:g},n={n}".format(**p.params)
+        table1[key] = {
+            "measured": p.measured,
+            "correct": p.correct,
+            "bound": p.bound,
+        }
+    payload["table1"] = table1
+    # Bit-equality across engines, visible in the baseline: every vector
+    # point's simulated cost must equal its reference twin's.
+    by_n: Dict[tuple, Dict[str, float]] = {}
+    for p in points:
+        by_n.setdefault((p.params["n"], p.params["g"]), {})[p.params["engine"]] = p.measured
+    payload["engines_agree"] = all(
+        len(set(v.values())) == 1 for v in by_n.values()
+    )
+    return payload
+
+
+def write_bench_json(payload: Dict[str, object], path: str = None) -> str:
+    """Persist the measurement to ``BENCH_phase_engine.json``; returns the path."""
+    import json
+    import os
+
+    if path is None:
+        root = os.environ.get("REPRO_BENCH_CACHE") or "."
+        path = os.path.join(root, "BENCH_phase_engine.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def main() -> None:
     rows = engine_rows()
     for kind in ("read", "write", "send"):
@@ -227,6 +468,32 @@ def main() -> None:
     )
     if not cmp["identical"]:
         raise SystemExit("parallel_sweep diverged from serial sweep")
+    print()
+    print_perf_rows(
+        f"Engine A/B: end-to-end point throughput (n={N_OPS})",
+        engine_point_rows(),
+        baseline="point/reference-scalar",
+    )
+    if have_numpy():
+        speedup = vector_speedup()
+        print(
+            f"vector engine: {speedup['vs_reference_scalar']:.0f}x the "
+            f"reference scalar path, {speedup['vs_reference_block']:.0f}x "
+            f"the reference block path"
+        )
+    print()
+    t0 = time.perf_counter()
+    points = table1_engine_sweep()
+    print(
+        f"Table 1a parity fan-in at scale (n in {table1_ns()}, both engines): "
+        f"{len(points)} points in {time.perf_counter() - t0:.2f}s, "
+        f"all correct: {all(p.correct for p in points)}"
+    )
+    for p in points:
+        print(
+            f"  n={p.params['n']:>8} engine={p.params['engine']:<9} "
+            f"measured={p.measured:.1f} bound={p.bound:.1f} ratio={p.ratio:.2f}"
+        )
 
 
 # --- pytest-benchmark targets ------------------------------------------------
@@ -255,6 +522,27 @@ def bench_parallel_sweep_is_drop_in(benchmark):
     cmp = benchmark(lambda: compare_sweeps(jobs=2))
     assert cmp["identical"]
     assert all(p.correct for p in cmp["parallel"])
+
+
+def bench_vector_point_speedup(benchmark):
+    # The tentpole claim: the vector engine executes a point >= 100x faster
+    # than the reference engine's per-op path (ISSUE 6 targets 100-1000x).
+    pytest.importorskip("numpy")
+    speedup = benchmark(lambda: vector_speedup()["vs_reference_scalar"])
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 100.0, f"vector engine only {speedup:.0f}x reference"
+
+
+def bench_table1_sweep_reaches_1e5(benchmark):
+    # The scale claim: a Table 1 parity sweep completes at n >= 10^5 on both
+    # engines, correct, with bit-identical simulated costs.
+    def run():
+        return table1_engine_sweep(ns=[10**5], jobs=1)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(p.correct for p in points)
+    measured = {p.measured for p in points}
+    assert len(measured) == 1, f"engines disagree on simulated cost: {measured}"
 
 
 if __name__ == "__main__":

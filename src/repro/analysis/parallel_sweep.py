@@ -505,6 +505,7 @@ def parallel_sweep(
     pool: Optional[Any] = None,
     store: Optional[Any] = None,
     store_scope: Optional[str] = None,
+    engine: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Run ``run(**point)`` over the grid with ``jobs`` workers.
 
@@ -531,7 +532,14 @@ def parallel_sweep(
       store version)`` instead, unifying every driver's resume cache in
       one place;
     * ``timeout`` / ``retries`` / ``backoff`` / ``on_error`` add the fault
-      tolerance described in the module docstring.
+      tolerance described in the module docstring;
+    * with ``engine`` (one engine name or a sequence of them), an
+      ``"engine"`` axis of :func:`repro.core.resolve_engine`-resolved
+      names is injected into the grid, so each point runs as
+      ``run(**point, engine=<name>)`` and point keys (cache/store
+      identity) carry the engine they were measured on.  Note that
+      ``engine="vector"`` resolves to ``"reference"`` on hosts without
+      numpy — the injected axis records what actually ran.
 
     ``run`` must be picklable (a module-level function) when worker
     processes are used; serial execution has no pickling requirement
@@ -554,6 +562,14 @@ def parallel_sweep(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if store is not None and cache_path is not None:
         raise ValueError("pass either cache_path or store, not both")
+    if engine is not None:
+        from repro.core.engine_vector import resolve_engine
+
+        names = [engine] if isinstance(engine, str) else list(engine)
+        if "engine" in grid:
+            raise ValueError("grid already has an 'engine' axis; drop the engine= argument")
+        grid = dict(grid)
+        grid["engine"] = [resolve_engine(name) for name in names]
 
     points = grid_points(grid)
     jobs = default_jobs() if jobs is None else int(jobs)

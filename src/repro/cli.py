@@ -375,8 +375,9 @@ def run_bench(argv: List[str]) -> int:
     )
     p.add_argument(
         "--current", default=None, metavar="PATH",
-        help="current BENCH_*.json (default: re-measure sched-schema "
-        "baselines; other schemas need --current or --store)",
+        help="current BENCH_*.json (default: re-measure sched- and "
+        "phase-engine-schema baselines; other schemas need --current or "
+        "--store)",
     )
     p.add_argument(
         "--store", default=None, metavar="DIR",
@@ -435,6 +436,20 @@ def run_bench(argv: List[str]) -> int:
 
         current = store_outcome_metrics(ResultStore(args.store))
         current_source = f"store:{args.store}"
+    elif "engines" in baseline:
+        from repro.obs.regress import collect_phase_engine_current
+
+        print(f"re-measuring the phase-engine bench ({args.samples} sample(s))...")
+        try:
+            current = collect_phase_engine_current(samples=args.samples)
+        except ImportError:
+            print(
+                "error: the benchmarks tree is not importable here; pass "
+                "--current PATH (run with PYTHONPATH=src:. to re-measure)",
+                file=sys.stderr,
+            )
+            return 2
+        current_source = f"bench_phase_engine.collect() median-of-{args.samples}"
     elif "timings" in baseline or "throughput" in baseline:
         print(f"re-measuring the sched bench ({args.samples} sample(s))...")
         try:

@@ -16,10 +16,26 @@ Public surface
 * Round accounting (Section 2.3): :mod:`repro.core.rounds`.
 * GSM-to-other-model bound translation (Claims 2.1/2.2):
   :mod:`repro.core.mapping`.
+* Execution engines: every machine takes ``engine="reference"|"vector"``
+  (default via ``$REPRO_ENGINE``); see :mod:`repro.core.engine_vector` and
+  the phase-instruction IR in :mod:`repro.core.ir`.
 """
 
 from repro.core.bsp import BSP, Superstep
+from repro.core.engine_vector import ENGINE_ENV, ENGINES, have_numpy, resolve_engine
 from repro.core.gsm import GSM
+from repro.core.ir import (
+    LocalOp,
+    ReadBlockOp,
+    ReadOp,
+    SendBlockOp,
+    SendOp,
+    WorkOp,
+    WriteBlockOp,
+    WriteOp,
+    run_phase,
+    run_superstep,
+)
 from repro.core.machine import (
     BlockReadHandle,
     MemoryConflictError,
@@ -62,4 +78,18 @@ __all__ = [
     "RoundAuditor",
     "RoundViolation",
     "round_budget",
+    "ENGINE_ENV",
+    "ENGINES",
+    "resolve_engine",
+    "have_numpy",
+    "ReadOp",
+    "ReadBlockOp",
+    "WriteOp",
+    "WriteBlockOp",
+    "LocalOp",
+    "SendOp",
+    "SendBlockOp",
+    "WorkOp",
+    "run_phase",
+    "run_superstep",
 ]

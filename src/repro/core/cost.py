@@ -11,17 +11,27 @@ first argmax in mapping order is the phase's *dominant term* — the
 provenance the observability layer (:mod:`repro.obs`) records per phase.
 Term order is canonical per model: local work first, then the bandwidth
 term, then contention/latency, so ties resolve to the cheaper explanation.
+
+Every term value (and every cost) is a ``float``, whatever the parameter
+spelling: gap parameters accept ints, and ``g * m_rw`` would otherwise
+stay ``int`` for ``g=2`` but turn ``float`` for ``g=2.0`` — making
+dominant-term dumps and JSONL round-trips compare unequal across runs
+that are numerically identical.  The queue aggregations go through
+:func:`queue_max` so engines exposing a compact queue mapping (the vector
+engine's ``CountQueue``) are aggregated in O(1) instead of via a
+full ``values()`` scan.
 """
 
 from __future__ import annotations
 
 from math import ceil
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.core.params import BSPParams, GSMParams, QSMParams, SQSMParams
-from repro.core.phase import PhaseRecord, SuperstepRecord
+from repro.core.phase import PhaseRecord, SuperstepRecord, queue_max
 
 __all__ = [
+    "queue_max",
     "qsm_phase_cost",
     "qsm_cost_terms",
     "sqsm_phase_cost",
@@ -43,10 +53,10 @@ def qsm_phase_cost(record: PhaseRecord, params: QSMParams) -> float:
     stated.
     """
     if params.unit_time_concurrent_reads:
-        kappa = float(max(1, max(record.write_queue.values(), default=0)))
+        kappa = float(max(1, queue_max(record.write_queue)))
     else:
         kappa = float(record.kappa)
-    return max(float(record.m_op), params.g * record.m_rw, kappa)
+    return float(max(float(record.m_op), params.g * record.m_rw, kappa))
 
 
 def qsm_cost_terms(record: PhaseRecord, params: QSMParams) -> Dict[str, float]:
@@ -56,27 +66,29 @@ def qsm_cost_terms(record: PhaseRecord, params: QSMParams) -> Dict[str, float]:
     write-queue contention only, matching :func:`qsm_phase_cost`.
     """
     if params.unit_time_concurrent_reads:
-        kappa = float(max(1, max(record.write_queue.values(), default=0)))
+        kappa = float(max(1, queue_max(record.write_queue)))
     else:
         kappa = float(record.kappa)
     return {
         "m_op": float(record.m_op),
-        "g*m_rw": params.g * record.m_rw,
+        "g*m_rw": float(params.g * record.m_rw),
         "kappa": kappa,
     }
 
 
 def sqsm_phase_cost(record: PhaseRecord, params: SQSMParams) -> float:
     """s-QSM phase cost ``max(m_op, g * m_rw, g * kappa)`` (Section 2.1)."""
-    return max(float(record.m_op), params.g * record.m_rw, params.g * record.kappa)
+    return float(
+        max(float(record.m_op), params.g * record.m_rw, params.g * record.kappa)
+    )
 
 
 def sqsm_cost_terms(record: PhaseRecord, params: SQSMParams) -> Dict[str, float]:
     """The three s-QSM charge terms: ``m_op``, ``g*m_rw``, ``g*kappa``."""
     return {
         "m_op": float(record.m_op),
-        "g*m_rw": params.g * record.m_rw,
-        "g*kappa": params.g * record.kappa,
+        "g*m_rw": float(params.g * record.m_rw),
+        "g*kappa": float(params.g * record.kappa),
     }
 
 
@@ -97,7 +109,7 @@ def gsm_phase_cost(record: PhaseRecord, params: GSMParams) -> float:
     Local computation is free on the GSM (it is a lower-bound model), so
     ``m_op`` does not appear.
     """
-    return params.mu * gsm_big_steps(record, params)
+    return float(params.mu * gsm_big_steps(record, params))
 
 
 def gsm_cost_terms(record: PhaseRecord, params: GSMParams) -> Dict[str, float]:
@@ -110,14 +122,14 @@ def gsm_cost_terms(record: PhaseRecord, params: GSMParams) -> Dict[str, float]:
     """
     mu = params.mu
     return {
-        "mu*ceil(m_rw/alpha)": mu * ceil(record.m_rw / params.alpha),
-        "mu*ceil(kappa/beta)": mu * ceil(record.kappa / params.beta),
+        "mu*ceil(m_rw/alpha)": float(mu * ceil(record.m_rw / params.alpha)),
+        "mu*ceil(kappa/beta)": float(mu * ceil(record.kappa / params.beta)),
     }
 
 
 def bsp_superstep_cost(record: SuperstepRecord, params: BSPParams) -> float:
     """BSP superstep cost ``max(w, g * h, L)`` (Section 2.1)."""
-    return max(float(record.w), params.g * record.h, params.L)
+    return float(max(float(record.w), params.g * record.h, params.L))
 
 
 def bsp_cost_terms(record: SuperstepRecord, params: BSPParams) -> Dict[str, float]:
@@ -131,6 +143,6 @@ def bsp_cost_terms(record: SuperstepRecord, params: BSPParams) -> Dict[str, floa
     """
     return {
         "L": float(params.L),
-        "g*h": params.g * record.h,
+        "g*h": float(params.g * record.h),
         "w": float(record.w),
     }

@@ -440,6 +440,24 @@ class Phase:
             self._writes_per_proc.get(proc, 0) + len(addrs)
         )
 
+    def write_cols(self, proc: int, addrs: Sequence[int], values: Sequence[Any]) -> None:
+        """Processor ``proc`` writes parallel columns: ``values[i]`` into
+        ``addrs[i]``.
+
+        Column form of :meth:`write_block` — semantically identical to
+        ``ph.write_block(proc, list(zip(addrs, values)))`` but without
+        building the pair list, and the form the vector engine consumes
+        without unzipping.  The columns must have equal length.
+        """
+        self._check_open()
+        self._machine._check_proc(proc)
+        if len(addrs) != len(values):
+            raise ValueError(
+                f"write_cols needs parallel columns of equal length, got "
+                f"{len(addrs)} addresses and {len(values)} values"
+            )
+        self.write_block(proc, list(zip(addrs, values)))
+
     def _insert_writes(self, proc: int, addrs: Sequence[int], values: Sequence[Any]) -> None:
         """Per-item write insertion (the path that handles colliding cells)."""
         writes = self._writes
@@ -481,7 +499,7 @@ class Phase:
         if not self._open:
             raise PhaseClosedError("phase already committed")
 
-    def _build_record(self, index: int) -> PhaseRecord:
+    def _scalar_read_queue(self) -> Dict[int, int]:
         # Contention counts *distinct processors* per cell (Section 2.1):
         # duplicate requests by one processor count once toward kappa (they
         # still count per-request toward the processor's m_rw).  When the
@@ -489,21 +507,25 @@ class Phase:
         # queue has length one and the dict builds in a single C-level pass.
         readers = self._readers
         if readers and sum(self._reads_per_proc.values()) == len(readers):
-            read_queue = dict.fromkeys(readers, 1)
-        else:
-            read_queue = {addr: len(procs) for addr, procs in readers.items()}
+            return dict.fromkeys(readers, 1)
+        return {addr: len(procs) for addr, procs in readers.items()}
+
+    def _dict_write_queue(self) -> Dict[int, int]:
         writes = self._writes
         if not self._write_collision:
-            write_queue = dict.fromkeys(writes, 1)
-        else:
-            write_queue = {
-                addr: (
-                    len({p for p, _ in entry})
-                    if type(entry) is Collided
-                    else 1
-                )
-                for addr, entry in writes.items()
-            }
+            return dict.fromkeys(writes, 1)
+        return {
+            addr: (
+                len({p for p, _ in entry})
+                if type(entry) is Collided
+                else 1
+            )
+            for addr, entry in writes.items()
+        }
+
+    def _build_record(self, index: int) -> PhaseRecord:
+        read_queue = self._scalar_read_queue()
+        write_queue = self._dict_write_queue()
         return PhaseRecord(
             index=index,
             reads_per_proc=dict(self._reads_per_proc),
@@ -512,6 +534,19 @@ class Phase:
             read_queue=read_queue,
             write_queue=write_queue,
         )
+
+    def _resolve_reads(self, machine: "SharedMemoryMachine") -> None:
+        """Resolve every read handle against pre-phase memory (engine hook)."""
+        read_cell = machine._read_cell
+        for handle in self._reads:
+            if type(handle) is ReadHandle:
+                handle._resolve(read_cell(handle.addr))
+            else:  # BlockReadHandle
+                handle._resolve([read_cell(a) for a in handle.addrs])
+
+    def _apply_writes(self, machine: "SharedMemoryMachine") -> None:
+        """Apply this phase's writes to memory (engine hook)."""
+        machine._resolve_writes(self)
 
     def __enter__(self) -> "Phase":
         return self
@@ -567,10 +602,22 @@ class SharedMemoryMachine:
         counts, wall time) to ``machine.cost_records``.  Zero-cost when
         off: the operation-issue paths are untouched and the commit pays
         a single predicate test.
+    engine:
+        ``"reference"`` (pure-Python, the default), ``"vector"`` (numpy
+        batch engine — see :mod:`repro.core.engine_vector`), or ``None``
+        to consult ``$REPRO_ENGINE``.  Both engines are bit-equal; the
+        vector engine falls back to reference when numpy is unavailable.
     """
 
     #: Model tag used in cost records / result tables; subclasses override.
     model_label = "shared-memory"
+
+    #: Whether a single writer's value is stored as-is ("store the value"
+    #: semantics — QSM/s-QSM/PRAM).  Models whose write rule transforms
+    #: values even without a collision (GSM strong queuing) set this False;
+    #: the vector engine then always materializes its write log so the
+    #: model's own ``_resolve_writes`` runs.
+    _plain_write_semantics = True
 
     def __init__(
         self,
@@ -582,6 +629,7 @@ class SharedMemoryMachine:
         record_costs: bool = False,
         winner_policy: Optional[Any] = None,
         fault_plan: Optional[Any] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if num_processors is not None:
             if type(num_processors) is not int:
@@ -599,7 +647,17 @@ class SharedMemoryMachine:
                 raise ValueError(f"memory_size must be >= 1, got {memory_size}")
         self.num_processors = num_processors
         self.memory_size = memory_size
-        self._memory: Dict[int, Any] = {}
+        from repro.core.engine_vector import resolve_engine
+
+        self.engine = resolve_engine(engine)
+        if self.engine == "vector":
+            from repro.core.engine_vector import DenseMemory, VectorPhase
+
+            self._memory: Dict[int, Any] = DenseMemory(memory_size)
+            self._phase_factory = VectorPhase
+        else:
+            self._memory = {}
+            self._phase_factory = Phase
         # Highest address ever written (-1 when untouched); kept current by
         # poke() and _commit() so next_free_address() is O(1) instead of
         # max() over the whole memory footprint.
@@ -694,7 +752,7 @@ class SharedMemoryMachine:
         if self._phase_open:
             raise PhaseClosedError("a phase is already open; phases cannot nest")
         self._phase_open = True
-        phase = Phase(self)
+        phase = self._phase_factory(self)
         if self.record_costs:
             phase._t_open = perf_counter()
         return phase
@@ -718,6 +776,14 @@ class SharedMemoryMachine:
         assumed to reside in shared memory (or be distributed, on the BSP)
         at time zero.
         """
+        scatter = getattr(self._memory, "scatter", None)
+        if scatter is not None and values and type(base) is int and base >= 0:
+            span = range(base, base + len(values))
+            if self.memory_size is None or span[-1] < self.memory_size:
+                scatter(span, list(values))
+                if span[-1] > self._high_water:
+                    self._high_water = span[-1]
+                return
         for offset, value in enumerate(values):
             self.poke(base + offset, value)
 
@@ -770,14 +836,11 @@ class SharedMemoryMachine:
     def _commit(self, phase: Phase) -> None:
         record = phase._build_record(len(self.history))
         cost = self._phase_cost(record)
-        # Resolve reads against pre-phase memory, then apply writes.
-        read_cell = self._read_cell
-        for handle in phase._reads:
-            if type(handle) is ReadHandle:
-                handle._resolve(read_cell(handle.addr))
-            else:  # BlockReadHandle
-                handle._resolve([read_cell(a) for a in handle.addrs])
-        self._resolve_writes(phase)
+        # Resolve reads against pre-phase memory, then apply writes.  Both
+        # steps go through the phase so an engine-specific Phase subclass
+        # can substitute bulk gathers / slice assignments.
+        phase._resolve_reads(self)
+        phase._apply_writes(self)
         # The phase's interval hull tracks its exact max written address.
         if phase._write_hi > self._high_water:
             self._high_water = phase._write_hi

@@ -17,7 +17,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple
 
-__all__ = ["PhaseRecord", "SuperstepRecord"]
+__all__ = ["PhaseRecord", "SuperstepRecord", "queue_max"]
+
+
+def queue_max(queue: Mapping[int, int], default: int = 0) -> int:
+    """``max(queue.values(), default=default)`` for a per-cell queue mapping.
+
+    Queue mappings may be plain dicts (reference engine) or compact lazy
+    mappings exposing a ``max_value()`` aggregate (the vector engine's
+    ``CountQueue``); routing aggregation through here keeps the cost
+    formulas O(1) on the compact form instead of materializing a dict with
+    one entry per touched cell.
+    """
+    fast = getattr(queue, "max_value", None)
+    if fast is not None:
+        return fast() if queue else default
+    return max(queue.values(), default=default)
 
 
 @dataclass(frozen=True)
@@ -66,9 +81,7 @@ class PhaseRecord:
         A phase with no reads or writes has contention 1 by definition
         (Section 2.1).
         """
-        max_read = max(self.read_queue.values(), default=0)
-        max_write = max(self.write_queue.values(), default=0)
-        return max(1, max_read, max_write)
+        return max(1, queue_max(self.read_queue), queue_max(self.write_queue))
 
     @property
     def total_reads(self) -> int:

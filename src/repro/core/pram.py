@@ -78,6 +78,7 @@ class PRAM(SharedMemoryMachine):
         record_costs: bool = False,
         winner_policy: Optional[Any] = None,
         fault_plan: Optional[Any] = None,
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -88,6 +89,7 @@ class PRAM(SharedMemoryMachine):
             record_costs=record_costs,
             winner_policy=winner_policy,
             fault_plan=fault_plan,
+            engine=engine,
         )
         self.params = params if params is not None else PRAMParams()
 

@@ -39,6 +39,7 @@ class QSM(SharedMemoryMachine):
         record_costs: bool = False,
         winner_policy: Optional[Any] = None,
         fault_plan: Optional[Any] = None,
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__(
             num_processors=num_processors,
@@ -49,6 +50,7 @@ class QSM(SharedMemoryMachine):
             record_costs=record_costs,
             winner_policy=winner_policy,
             fault_plan=fault_plan,
+            engine=engine,
         )
         self.params = params if params is not None else QSMParams()
 

@@ -45,19 +45,27 @@ class QSMGDParams:
 
 def qsm_gd_phase_cost(record: PhaseRecord, params: QSMGDParams) -> float:
     """Phase cost ``max(m_op, g * m_rw, d * kappa)``."""
-    return max(
-        float(record.m_op),
-        params.g * record.m_rw,
-        params.d * record.kappa,
+    return float(
+        max(
+            float(record.m_op),
+            params.g * record.m_rw,
+            params.d * record.kappa,
+        )
     )
 
 
 def qsm_gd_cost_terms(record: PhaseRecord, params: QSMGDParams):
-    """The three QSM(g,d) charge terms: ``m_op``, ``g*m_rw``, ``d*kappa``."""
+    """The three QSM(g,d) charge terms: ``m_op``, ``g*m_rw``, ``d*kappa``.
+
+    Every value is a ``float``: gap parameters may be ints, and a term like
+    ``g * m_rw`` must not change type (int vs float) with the parameter
+    spelling — dominant-term tie-breaking and JSONL round-trips are
+    type-stable only when the terms are.
+    """
     return {
         "m_op": float(record.m_op),
-        "g*m_rw": params.g * record.m_rw,
-        "d*kappa": params.d * record.kappa,
+        "g*m_rw": float(params.g * record.m_rw),
+        "d*kappa": float(params.d * record.kappa),
     }
 
 
@@ -77,6 +85,7 @@ class QSMGD(QSM):
         record_costs: bool = False,
         winner_policy=None,
         fault_plan=None,
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__(
             params=None,
@@ -88,6 +97,7 @@ class QSMGD(QSM):
             record_costs=record_costs,
             winner_policy=winner_policy,
             fault_plan=fault_plan,
+            engine=engine,
         )
         self.params = params if params is not None else QSMGDParams()  # type: ignore[assignment]
 

@@ -45,6 +45,7 @@ __all__ = [
     "compare_bench",
     "load_bench",
     "collect_sched_current",
+    "collect_phase_engine_current",
     "store_outcome_metrics",
     "DEFAULT_TOLERANCE",
     "DEFAULT_WALL_TOLERANCE",
@@ -340,6 +341,25 @@ def collect_sched_current(samples: int = 1, jobs: Optional[int] = None) -> Dict[
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     from benchmarks.bench_sched import collect
+
+    return _merge_samples([collect(jobs=jobs) for _ in range(samples)])
+
+
+def collect_phase_engine_current(
+    samples: int = 1, jobs: Optional[int] = None
+) -> Dict[str, Any]:
+    """Re-measure the phase-engine A/B bench ``samples`` times (median-of-k).
+
+    The current side for ``BENCH_phase_engine.json`` baselines (the
+    ``"engines"`` schema): per-engine wall numbers are informational,
+    the reference-vs-vector ``speedup`` ratios gate at the loose wall
+    tolerance, and the large-n ``table1`` simulated costs gate at the
+    tight deterministic tolerance.  Requires the ``benchmarks`` tree on
+    the path, like :func:`collect_sched_current`.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    from benchmarks.bench_phase_engine import collect
 
     return _merge_samples([collect(jobs=jobs) for _ in range(samples)])
 

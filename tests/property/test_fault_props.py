@@ -60,6 +60,10 @@ class TestWinnerIndependence:
 
 
 class TestFaultSurvival:
+    # The plans carry up to 2 faults, and faults can fire across *different*
+    # attempts (e.g. a crash spends itself in attempt 1 while a delay only
+    # reaches its trigger step in attempt 2) — so a clean attempt is only
+    # guaranteed by attempt max_faults + 1 = 3.
     @given(bits_lists, st.integers(0, 2**20))
     @settings(max_examples=30, deadline=None)
     def test_parity_tree_survives_random_corruption(self, bits, seed):
@@ -72,7 +76,7 @@ class TestFaultSurvival:
             ).value,
             verify=lambda v: v == sum(bits) % 2,
         )
-        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
         assert outcome.ok, outcome.note
 
     @given(bits_lists, st.integers(0, 2**20))
@@ -86,7 +90,7 @@ class TestFaultSurvival:
             ).value,
             verify=lambda v: v == sum(bits) % 2,
         )
-        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
         assert outcome.ok, outcome.note
 
     @given(
@@ -106,7 +110,7 @@ class TestFaultSurvival:
             ).value,
             verify=lambda v: list(v) == truth,
         )
-        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
         assert outcome.ok, outcome.note
 
     @given(bits_lists, st.integers(0, 2**20))
@@ -120,5 +124,5 @@ class TestFaultSurvival:
             ).value,
             verify=lambda v: v == (1 if any(bits) else 0),
         )
-        outcome = run_self_checking(case, fault_plan=plan, max_attempts=2)
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
         assert outcome.ok, outcome.note
