@@ -495,19 +495,39 @@ def run_bench(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
-def _follow_metrics(path: str, follow: bool, interval: Optional[float]) -> int:
+#: How long ``campaign status --follow`` waits for the snapshot file to
+#: appear before giving up (overridable with ``--wait``).
+DEFAULT_FOLLOW_WAIT = 30.0
+
+
+def _follow_metrics(
+    path: str,
+    follow: bool,
+    interval: Optional[float],
+    wait: Optional[float] = None,
+) -> int:
     """Render a campaign's metrics-snapshot stream as live status lines.
 
     Reads only the JSONL file the scheduler writes (``campaign run
     --metrics``) — never attaches to the scheduler or worker processes.
     With ``follow=True`` polls until the stream's ``final`` snapshot
     appears; otherwise prints whatever is there and returns.
+
+    A follow may legitimately start before the file exists — ``python -m
+    repro serve`` hands tenants a snapshot path as soon as the service
+    boots, before the first emit — so the not-yet-created phase is a
+    bounded wait-and-retry (``wait`` seconds, default
+    :data:`DEFAULT_FOLLOW_WAIT`) instead of an immediate error.  Once
+    the first snapshot lands, following is unbounded (the stream ends
+    with its ``final`` snapshot).
     """
     import time
 
     from repro.obs.snapshot import default_interval, live_status_line, read_snapshots
 
     poll = default_interval() if interval is None else interval
+    deadline_s = DEFAULT_FOLLOW_WAIT if wait is None else wait
+    deadline = time.monotonic() + deadline_s
     printed = 0
     announced_wait = False
     while True:
@@ -526,9 +546,17 @@ def _follow_metrics(path: str, follow: bool, interval: Optional[float]) -> int:
                       "with --metrics)", file=sys.stderr)
                 return 1
             return 0
-        if not printed and not announced_wait:
-            announced_wait = True
-            print(f"waiting for {path} ...", file=sys.stderr)
+        if not printed:
+            if time.monotonic() >= deadline:
+                print(
+                    f"gave up waiting for {path} after {deadline_s:.0f}s "
+                    "(start the campaign with --metrics, or raise --wait)",
+                    file=sys.stderr,
+                )
+                return 1
+            if not announced_wait:
+                announced_wait = True
+                print(f"waiting for {path} ...", file=sys.stderr)
         time.sleep(poll)
 
 
@@ -620,6 +648,11 @@ def run_campaign_cli(argv: List[str]) -> int:
         "--interval", type=_interval_value, default=None, metavar="SECONDS",
         help="--follow poll cadence (default: $REPRO_METRICS_INTERVAL or 1.0)",
     )
+    p.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="--follow: how long to wait for a not-yet-created snapshot "
+        f"file before giving up (default: {DEFAULT_FOLLOW_WAIT:.0f})",
+    )
 
     p = sub.add_parser("prune", help="garbage-collect the result store")
     add_store(p)
@@ -669,7 +702,8 @@ def run_campaign_cli(argv: List[str]) -> int:
         store = store_for(args)
         metrics_path = args.metrics or os.path.join(store.root, "metrics.jsonl")
         return _follow_metrics(
-            metrics_path, follow=args.follow, interval=args.interval
+            metrics_path, follow=args.follow, interval=args.interval,
+            wait=args.wait,
         )
 
     name = "demo" if args.demo else args.name
@@ -725,6 +759,216 @@ def run_campaign_cli(argv: List[str]) -> int:
         print(f"re-run `python -m repro campaign run {name}` to resume")
         return 130
     return 0 if report.ok else 1
+
+
+def run_serve(argv: List[str]) -> int:
+    """``python -m repro serve``: the multi-tenant campaign service.
+
+    Subcommands: ``run`` (boot the HTTP service), ``submit`` (POST a
+    campaign as a tenant, optionally watching it to completion),
+    ``watch`` (attach to a job's SSE stream) and ``campaigns`` (list
+    what the server accepts).  See docs/SERVICE.md for the wire
+    contracts and a curl walkthrough.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve campaign submissions over HTTP: many tenants, one warm "
+            "worker pool, fair-share queueing, content-addressed dedup, "
+            "and an SSE live dashboard."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_url(p: "argparse.ArgumentParser") -> None:
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8023",
+            help="service base URL (default: http://127.0.0.1:8023)",
+        )
+        p.add_argument(
+            "--tenant", default=None,
+            help="tenant name sent as X-Repro-Tenant (default: anonymous)",
+        )
+
+    p = sub.add_parser("run", help="boot the service")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8023,
+        help="bind port (default: 8023; 0 picks an ephemeral port)",
+    )
+    from repro.sched.store import STORE_ENV
+
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=f"result-store directory (default: ${STORE_ENV} or .repro-store)",
+    )
+    p.add_argument(
+        "--interval", type=_interval_value, default=None, metavar="SECONDS",
+        help="SSE snapshot cadence (default: $REPRO_METRICS_INTERVAL or 1.0)",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also append snapshots to a JSONL file (`campaign status "
+        "--follow --metrics PATH` tails it, waiting for it to appear)",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=4, metavar="N",
+        help="per-tenant concurrent job quota (default: 4)",
+    )
+    p.add_argument(
+        "--max-tasks-in-flight", type=int, default=None, metavar="N",
+        help="per-tenant cap on pool tasks held at once (default: none)",
+    )
+    p.add_argument(
+        "--max-tasks-per-job", type=int, default=4096, metavar="N",
+        help="largest admissible campaign (default: 4096 tasks)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
+
+    p = sub.add_parser("submit", help="submit a campaign to a running service")
+    p.add_argument("name", help="campaign name (see `serve campaigns`)")
+    add_url(p)
+    p.add_argument(
+        "--points", type=int, default=None,
+        help="demo campaign: number of point tasks",
+    )
+    p.add_argument(
+        "--delay", type=float, default=None,
+        help="demo campaign: per-task sleep in seconds",
+    )
+    p.add_argument(
+        "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="generic campaign option (repeatable; values parsed as JSON)",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="stream the job to completion and exit 0 only if it finished",
+    )
+    p.add_argument(
+        "--cancel-on-disconnect", action="store_true",
+        help="with --watch: cancel the job if this client disconnects",
+    )
+
+    p = sub.add_parser("watch", help="attach to a job's SSE stream")
+    p.add_argument("job", help="job id, e.g. job-0001")
+    add_url(p)
+    p.add_argument(
+        "--cancel-on-disconnect", action="store_true",
+        help="cancel the job if this client disconnects",
+    )
+
+    p = sub.add_parser("campaigns", help="list the submittable campaigns")
+    add_url(p)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        from repro.sched.tenancy import TenantQuota
+        from repro.serve.http import create_server, serve_forever
+        from repro.serve.service import CampaignService
+
+        store_root = args.store or os.environ.get(STORE_ENV) or ".repro-store"
+        try:
+            quota = TenantQuota(
+                max_jobs=args.max_jobs,
+                max_tasks_in_flight=args.max_tasks_in_flight,
+                max_tasks_per_job=args.max_tasks_per_job,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        service = CampaignService(
+            store_root,
+            quota=quota,
+            snapshot_interval=args.interval,
+            metrics_path=args.metrics,
+            progress=None if args.quiet else print,
+        )
+        server = create_server(
+            service, host=args.host, port=args.port,
+            log=None if args.quiet else (lambda line: print(line, file=sys.stderr)),
+        )
+        host, port = server.server_address[:2]
+        print(f"serving on http://{host}:{port} (store {store_root}; "
+              f"dashboard at /, contracts repro.serve/1)")
+        if args.metrics:
+            print(f"streaming snapshots to {args.metrics} (tail with "
+                  f"`python -m repro campaign status --follow "
+                  f"--metrics {args.metrics}`)")
+        try:
+            serve_forever(server)
+        except KeyboardInterrupt:
+            print("\nshutting down (queued/running jobs stay resumable)")
+        return 0
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, tenant=args.tenant)
+
+    try:
+        if args.command == "campaigns":
+            for entry in client.campaigns():
+                opts = ", ".join(
+                    f"{o['name']}={o['default']}" for o in entry["options"]
+                ) or "-"
+                print(f"{entry['name']:10s} {entry['summary']}  [{opts}]")
+            return 0
+
+        if args.command == "submit":
+            options: dict = {}
+            for pair in args.option:
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    print(f"error: --option needs KEY=VALUE, got {pair!r}",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    options[key] = _json.loads(value)
+                except ValueError:
+                    options[key] = value
+            if args.points is not None:
+                options["points"] = args.points
+            if args.delay is not None:
+                options["delay"] = args.delay
+            job = client.submit(args.name, options)
+            print(f"submitted {job['id']} ({job['campaign']}, "
+                  f"tenant {job['tenant']}, {job['tasks']} tasks)")
+            if not args.watch:
+                print(_json.dumps(job, indent=2, sort_keys=True))
+                return 0
+            final = _watch_job(client, job["id"], args.cancel_on_disconnect)
+            print(_json.dumps(final, indent=2, sort_keys=True))
+            return 0 if final.get("state") == "done" else 1
+
+        # watch
+        final = _watch_job(client, args.job, args.cancel_on_disconnect)
+        print(_json.dumps(final, indent=2, sort_keys=True))
+        return 0 if final.get("state") == "done" else 1
+    except ServeError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _watch_job(client, job_id: str, cancel_on_disconnect: bool) -> dict:
+    """Stream a job's SSE events, printing state changes; returns the final view."""
+    last_line = None
+    view = client.job(job_id)
+    for envelope in client.watch(job_id, cancel_on_disconnect=cancel_on_disconnect):
+        view = envelope["job"]
+        counts = " ".join(f"{k}:{v}" for k, v in sorted(view["counts"].items()))
+        line = f"{view['id']} {view['state']}  {counts}"
+        if line != last_line:
+            print(line)
+            last_line = line
+    return view
 
 
 def parse_jobs(argv: List[str]) -> Tuple[List[str], Optional[int]]:
@@ -825,6 +1069,7 @@ def main(argv=None) -> int:
         print("other commands: trace (cost-provenance inspection; trace --help), "
               "chaos (fault-injection gate; chaos --help), "
               "campaign (scheduler; campaign --help), "
+              "serve (multi-tenant campaign service; serve --help), "
               "metrics (registry/snapshot dump; metrics --help), "
               "bench (regression watchdog; bench --help), version")
         return 0
@@ -840,6 +1085,8 @@ def main(argv=None) -> int:
         return run_bench(argv[1:])
     if argv and argv[0] == "campaign":
         return run_campaign_cli(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     chosen = argv or list(EXPERIMENTS)
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:

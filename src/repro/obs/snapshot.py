@@ -74,6 +74,11 @@ def default_interval() -> float:
     return value
 
 
+def _labels_match(have: Mapping[str, Any], want: Mapping[str, str]) -> bool:
+    """True when every wanted label pair appears in ``have`` (subset match)."""
+    return all(have.get(k) == v for k, v in want.items())
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """One frozen registry state: ``seq``-numbered, double-timestamped.
@@ -101,6 +106,30 @@ class MetricsSnapshot:
         }
 
     @classmethod
+    def capture(
+        cls,
+        registry: Optional[MetricsRegistry] = None,
+        seq: int = 0,
+        t_wall: Optional[float] = None,
+        t_rel: float = 0.0,
+        final: bool = False,
+    ) -> "MetricsSnapshot":
+        """Freeze ``registry``'s current state into a snapshot.
+
+        The file-less counterpart of :meth:`SnapshotWriter.emit` (which
+        now delegates here): ``python -m repro serve`` captures snapshots
+        directly for its SSE stream without ever touching a JSONL file.
+        """
+        reg = REGISTRY if registry is None else registry
+        return cls(
+            seq=seq,
+            t_wall=time.time() if t_wall is None else t_wall,
+            t_rel=t_rel,
+            metrics=reg.collect(),
+            final=final,
+        )
+
+    @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
         schema = data.get("schema", SNAPSHOT_SCHEMA)
         if schema != SNAPSHOT_SCHEMA:
@@ -124,8 +153,13 @@ class MetricsSnapshot:
     def value(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> float:
         """A counter/gauge series value (0.0 when absent).
 
-        With ``labels=None`` returns the sum over every series of the
-        metric — the all-labels total.
+        ``labels`` matches as a *subset*: a sample counts when every
+        wanted label pair appears in it, extra labels notwithstanding.
+        That keeps roll-ups like :func:`live_status_line` working when
+        the multi-tenant service stamps a ``tenant`` label onto the
+        campaign series — ``{"status": "done"}`` sums over all tenants,
+        ``{"status": "done", "tenant": "alice"}`` narrows to one.  With
+        ``labels=None`` returns the sum over every series of the metric.
         """
         metric = self.metric(name)
         if metric is None:
@@ -133,21 +167,21 @@ class MetricsSnapshot:
         want = None if labels is None else {k: str(v) for k, v in labels.items()}
         total = 0.0
         for sample in metric.get("samples", ()):
-            if want is None or sample.get("labels", {}) == want:
+            if want is None or _labels_match(sample.get("labels", {}), want):
                 total += float(sample.get("value", 0.0))
         return total
 
     def histogram_stats(
         self, name: str, labels: Optional[Mapping[str, Any]] = None
     ) -> Tuple[int, float]:
-        """``(count, sum)`` of a histogram (all series when ``labels=None``)."""
+        """``(count, sum)`` of a histogram, subset-matched like :meth:`value`."""
         metric = self.metric(name)
         if metric is None:
             return (0, 0.0)
         want = None if labels is None else {k: str(v) for k, v in labels.items()}
         count, total = 0, 0.0
         for sample in metric.get("samples", ()):
-            if want is None or sample.get("labels", {}) == want:
+            if want is None or _labels_match(sample.get("labels", {}), want):
                 count += int(sample.get("count", 0))
                 total += float(sample.get("sum", 0.0))
         return (count, total)
@@ -215,11 +249,11 @@ class SnapshotWriter:
         if self._closed:
             raise RuntimeError("snapshot writer is closed")
         now = time.monotonic()
-        snap = MetricsSnapshot(
+        snap = MetricsSnapshot.capture(
+            registry=self.registry,
             seq=len(self.snapshots),
             t_wall=self._t0_wall + (now - self._t0),
             t_rel=now - self._t0,
-            metrics=self.registry.collect(),
             final=final,
         )
         if self._fh is None:

@@ -26,14 +26,23 @@ runs from per-driver scripts into a small execution service:
 * :mod:`repro.sched.campaigns` — the shipped campaigns: the four Table 1
   drivers, the Section 8 suite, the chaos gate, and the demo graph behind
   ``python -m repro campaign run demo``.
+* :mod:`repro.sched.tenancy` — the multi-tenant layer behind
+  ``python -m repro serve``:
+  :class:`~repro.sched.tenancy.FairShareMultiplexer` interleaves many
+  concurrent :class:`~repro.sched.campaign.CampaignExecution` state
+  machines on one shared pool with per-tenant fair-share round-robin,
+  :class:`~repro.sched.tenancy.TenantQuota` admission limits, and live
+  cross-tenant dedup of in-flight content keys.
 
 See docs/SCHEDULER.md for the architecture and the CLI
-(``python -m repro campaign run|status|resume|prune``).
+(``python -m repro campaign run|status|resume|prune``), and
+docs/SERVICE.md for the multi-tenant HTTP service on top.
 """
 
 from repro.sched.campaign import (
     Campaign,
     CampaignError,
+    CampaignExecution,
     CampaignReport,
     TaskSpan,
     TaskSpec,
@@ -49,6 +58,12 @@ from repro.sched.store import (
     fn_ref,
     import_bench_cache,
     task_spec,
+)
+from repro.sched.tenancy import (
+    FairShareMultiplexer,
+    JobRecord,
+    QuotaExceeded,
+    TenantQuota,
 )
 
 __all__ = [
@@ -67,6 +82,11 @@ __all__ = [
     "TaskSpan",
     "CampaignReport",
     "CampaignError",
+    "CampaignExecution",
     "run_campaign",
     "campaign_status",
+    "FairShareMultiplexer",
+    "JobRecord",
+    "TenantQuota",
+    "QuotaExceeded",
 ]

@@ -28,6 +28,14 @@ receive their dependencies' outcomes as a first positional ``results``
 dict — the cheap aggregation stages (verdict tables, summaries) that
 need cross-task data but no isolation.  Inline outcomes are not stored:
 they are derived data, recomputed from stored results on resume.
+
+The DAG-stepping state itself lives in :class:`CampaignExecution`, an
+incremental state machine with no pool loop of its own.  ``run_campaign``
+drives exactly one execution to completion on one pool; the multi-tenant
+service multiplexer (:class:`repro.sched.tenancy.FairShareMultiplexer`,
+behind ``python -m repro serve``) drives many concurrent executions on a
+single shared pool, which is why the stepping logic is factored out here
+rather than inlined in the driver loop.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ __all__ = [
     "TaskSpan",
     "CampaignReport",
     "CampaignError",
+    "CampaignExecution",
     "run_campaign",
     "campaign_status",
 ]
@@ -213,6 +222,324 @@ def _store_key(store: ResultStore, task: TaskSpec) -> str:
     return store.key_for(task.fn, task.kwargs)
 
 
+class CampaignExecution:
+    """Incremental DAG state machine for one campaign — no pool loop inside.
+
+    The execution owns the graph bookkeeping (resume pass, ready
+    frontier, dependency unlocking, retries accounting, the final
+    skipped/pending classification) and the store writes; *when* tasks
+    are handed to a pool, and to which pool, is the driver's business.
+    Two drivers exist:
+
+    * :func:`run_campaign` — one execution, one pool, runs to completion;
+    * :class:`repro.sched.tenancy.FairShareMultiplexer` — many concurrent
+      executions (one per tenant job) interleaved on one shared pool,
+      with per-tenant fair-share and live cross-job dedup.
+
+    ``labels`` (e.g. ``{"tenant": "alice"}``) are folded into every
+    metrics-registry series the execution touches, so a multi-tenant
+    snapshot can be sliced per tenant while unlabeled single-campaign
+    runs keep their PR-5 series shapes.
+
+    Driver protocol::
+
+        ex = CampaignExecution(campaign, store)     # resume pass runs here
+        while ex.has_pending:
+            name = ex.pop_ready()
+            if name is None: ...wait for events...
+            elif ex.tasks[name].inline: ex.run_inline(name)
+            else: spec = ex.start(name); pool.submit(name, spec.fn, ...)
+            for event in pool.events():
+                if ex.record_event(event) == "retry":
+                    spec = ex.start(event.key); pool.submit(...)
+        spans = ex.finish(cancelled=False)
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        store: ResultStore,
+        clock: Optional[Callable[[], float]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if clock is None:
+            t0 = time.monotonic()
+            clock = lambda: time.monotonic() - t0  # noqa: E731
+        self.campaign = campaign
+        self.store = store
+        self.clock = clock
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._progress = progress
+        self.tasks: Dict[str, TaskSpec] = {t.name: t for t in campaign.tasks}
+        self.keys: Dict[str, str] = {
+            t.name: _store_key(store, t) for t in campaign.tasks
+        }
+        self.total = len(self.tasks)
+        self.spans: Dict[str, TaskSpan] = {}
+        self.outcomes: Dict[str, Dict[str, Any]] = {}
+        self.attempts: Dict[str, int] = {name: 0 for name in self.tasks}
+        self.failed: Dict[str, str] = {}
+        self.in_flight: Dict[str, float] = {}  # name -> dispatch time
+        self._counter = 0
+        self._ready: List[Tuple[int, int, str]] = []  # (-priority, seq, name)
+        self._finished_spans: Optional[Tuple[TaskSpan, ...]] = None
+
+        # Resume pass: anything already in the store is complete, regardless
+        # of what happened to its deps in this or any previous run.
+        for task in campaign.tasks:
+            if task.inline:
+                continue  # inline tasks are derived data; always recomputed
+            cached = store.get_outcome(self.keys[task.name])
+            if cached is not None:
+                now = self.clock()
+                self.outcomes[task.name] = cached
+                self.spans[task.name] = TaskSpan(
+                    task.name, self.keys[task.name], "cached", start=now, end=now
+                )
+                if _metrics.REGISTRY.enabled:
+                    self._account("cached")
+                    _metrics.REGISTRY.counter(
+                        "repro_store_hits_total", "tasks served from the result store"
+                    ).inc(**self.labels)
+                self._emit(f"[{len(self.outcomes)}/{self.total}] cached {task.name}")
+
+        self.remaining_deps: Dict[str, set] = {
+            t.name: {d for d in t.deps if d not in self.outcomes}
+            for t in campaign.tasks
+            if t.name not in self.outcomes
+        }
+        for t in campaign.tasks:
+            if t.name in self.remaining_deps and not self.remaining_deps[t.name]:
+                self._push_ready(t.name)
+
+    # -- small shared helpers ----------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        if self._progress is not None:
+            self._progress(line)
+
+    def _account(self, status: str) -> None:
+        _metrics.REGISTRY.counter(
+            "repro_campaign_tasks_total", "task terminal states by status"
+        ).inc(status=status, **self.labels)
+
+    def _push_ready(self, name: str) -> None:
+        heapq.heappush(self._ready, (-self.tasks[name].priority, self._counter, name))
+        self._counter += 1
+
+    # -- state queries ------------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        """True while the execution still has ready or in-flight work.
+
+        Loop invariant (same as PR 4's driver): a non-empty ready heap
+        under backpressure implies in-flight work, so when both drain
+        nothing can ever unblock again and the campaign is over.
+        """
+        return bool(self._ready or self.in_flight)
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Span status counts so far (terminal states only)."""
+        out: Dict[str, int] = {}
+        for span in self.spans.values():
+            out[span.status] = out.get(span.status, 0) + 1
+        return out
+
+    # -- dispatch side ------------------------------------------------------
+
+    def pop_ready(self) -> Optional[str]:
+        """Next dispatchable task name (highest priority), or ``None``.
+
+        Entries obsoleted since they were enqueued — already completed,
+        failed, or transitively blocked by a failure (classified
+        ``skipped`` by :meth:`finish`) — are silently drained.
+        """
+        while self._ready:
+            _, _, name = heapq.heappop(self._ready)
+            if name in self.outcomes or name in self.failed:
+                continue
+            if any(d in self.failed for d in self.tasks[name].deps):
+                continue  # will be marked skipped at the end
+            return name
+        return None
+
+    def requeue(self, name: str) -> None:
+        """Put a claimed-but-never-dispatched task back on the frontier.
+
+        Used by the multiplexer when a live-dedup wait falls through (the
+        job owning the in-flight key failed): the waiter must execute the
+        task itself after all.
+        """
+        self.in_flight.pop(name, None)
+        self._push_ready(name)
+
+    def abandon(self, name: str) -> None:
+        """Drop an in-flight task without any terminal span (cancelled job)."""
+        self.in_flight.pop(name, None)
+
+    def start(self, name: str) -> TaskSpec:
+        """Claim ``name`` for dispatch: bump attempts, mark in flight."""
+        task = self.tasks[name]
+        self.attempts[name] += 1
+        self.in_flight[name] = self.clock()
+        if _metrics.REGISTRY.enabled and self.attempts[name] == 1:
+            _metrics.REGISTRY.counter(
+                "repro_store_misses_total", "tasks that had to execute"
+            ).inc(**self.labels)
+        return task
+
+    def run_inline(self, name: str) -> bool:
+        """Execute an inline task in this process; True iff it succeeded."""
+        task = self.tasks[name]
+        start = self.clock()
+        results = {d: self.outcomes[d] for d in task.deps}
+        try:
+            value = task.fn(results, **dict(task.kwargs))
+        except Exception as exc:
+            self.attempts[name] += 1
+            self.fail(name, f"{type(exc).__name__}: {exc}")
+            return False
+        self.attempts[name] += 1
+        span = TaskSpan(name, self.keys[name], "done",
+                        start=start, end=self.clock(), attempts=1)
+        self.complete(
+            name, dict(value) if isinstance(value, Mapping) else {"value": value}, span
+        )
+        return True
+
+    # -- completion side ----------------------------------------------------
+
+    def complete(self, name: str, outcome: Dict[str, Any], span: TaskSpan) -> None:
+        """Record a terminal success span and unlock dependents."""
+        self.outcomes[name] = outcome
+        self.spans[name] = span
+        if _metrics.REGISTRY.enabled:
+            self._account(span.status)
+            _metrics.REGISTRY.histogram(
+                "repro_campaign_task_seconds", "per-task campaign latency"
+            ).observe(max(0.0, span.end - span.start), **self.labels)
+        self._emit(f"[{len(self.outcomes)}/{self.total}] {span.status} {name} "
+                   f"({span.end - span.start:.2f}s"
+                   + (f", worker {span.worker}" if span.worker else "") + ")")
+        for other, deps in self.remaining_deps.items():
+            if name in deps:
+                deps.discard(name)
+                if not deps and other not in self.in_flight:
+                    self._push_ready(other)
+
+    def complete_cached(self, name: str, outcome: Dict[str, Any]) -> None:
+        """Serve ``name`` from an outcome computed elsewhere (live dedup).
+
+        The multiplexer calls this when another job stored the same
+        content key — after this execution's own resume pass already ran.
+        """
+        start = self.in_flight.pop(name, self.clock())
+        span = TaskSpan(name, self.keys[name], "cached",
+                        start=start, end=self.clock(),
+                        attempts=self.attempts[name])
+        if _metrics.REGISTRY.enabled:
+            _metrics.REGISTRY.counter(
+                "repro_store_hits_total", "tasks served from the result store"
+            ).inc(**self.labels)
+        self.complete(name, outcome, span)
+
+    def fail(self, name: str, error: str) -> None:
+        """Record a terminal failure span (attempts exhausted)."""
+        self.failed[name] = error
+        span = self.spans.get(name) or TaskSpan(name, self.keys[name], "failed")
+        span.status = "failed"
+        span.error = error
+        span.attempts = self.attempts[name]
+        span.end = self.clock()
+        self.spans[name] = span
+        if _metrics.REGISTRY.enabled:
+            self._account("failed")
+        self._emit(f"FAILED {name}: {error}")
+
+    def record_event(self, event: PoolEvent) -> str:
+        """Fold one pool completion into the graph state.
+
+        ``event.key`` must be this execution's task name (drivers that
+        namespace pool keys strip the prefix first).  Returns ``"done"``,
+        ``"retry"`` (the driver must re-:meth:`start` and resubmit) or
+        ``"failed"``.
+        """
+        name = event.key
+        start = self.in_flight.pop(name, self.clock())
+        task = self.tasks[name]
+        if event.ok and isinstance(event.payload, Mapping):
+            outcome = dict(event.payload)
+            self.store.put(self.keys[name], outcome, spec=task.spec_dict())
+            span = TaskSpan(
+                name, self.keys[name], "done", worker=event.worker_id,
+                start=start, end=self.clock(), attempts=self.attempts[name],
+            )
+            self.complete(name, outcome, span)
+            return "done"
+        error = (
+            str(event.payload) if not event.ok
+            else f"outcome is not a mapping: {type(event.payload).__name__}"
+        )
+        if self.attempts[name] <= task.retries:
+            if _metrics.REGISTRY.enabled:
+                _metrics.REGISTRY.counter(
+                    "repro_campaign_retries_total", "task retry dispatches"
+                ).inc(**self.labels)
+            self._emit(f"retry {name} (attempt {self.attempts[name] + 1}): {error}")
+            return "retry"
+        self.fail(name, error)
+        return "failed"
+
+    # -- termination --------------------------------------------------------
+
+    def finish(self, cancelled: bool = False) -> Tuple[TaskSpan, ...]:
+        """Classify unfinished tasks and return the spans in campaign order.
+
+        The transitive closure of failure is ``skipped`` (task-list order
+        is not necessarily topological, so iterate to a fixpoint);
+        everything else — reachable only when the campaign was cancelled —
+        is ``pending``.  Idempotent: repeated calls return the same tuple.
+        """
+        if self._finished_spans is not None:
+            return self._finished_spans
+        blocked: Dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for task in self.campaign.tasks:
+                if task.name in self.spans or task.name in blocked:
+                    continue
+                culprits = [
+                    d for d in task.deps if d in self.failed or d in blocked
+                ]
+                if culprits:
+                    blocked[task.name] = ", ".join(culprits)
+                    changed = True
+        for task in self.campaign.tasks:
+            if task.name in self.spans:
+                continue
+            if task.name in blocked:
+                self.spans[task.name] = TaskSpan(
+                    task.name, self.keys[task.name], "skipped",
+                    error=f"blocked by {blocked[task.name]}",
+                )
+                if _metrics.REGISTRY.enabled:
+                    self._account("skipped")
+            else:
+                self.spans[task.name] = TaskSpan(
+                    task.name, self.keys[task.name], "pending"
+                )
+        self._finished_spans = tuple(self.spans[t.name] for t in self.campaign.tasks)
+        return self._finished_spans
+
+
 def run_campaign(
     campaign: Campaign,
     store: ResultStore,
@@ -266,179 +593,55 @@ def run_campaign(
     def now() -> float:
         return time.monotonic() - t0
 
-    def emit(line: str) -> None:
-        if progress is not None:
-            progress(line)
-
-    tasks = {t.name: t for t in campaign.tasks}
-    keys = {t.name: _store_key(store, t) for t in campaign.tasks}
-    spans: Dict[str, TaskSpan] = {}
-    outcomes: Dict[str, Dict[str, Any]] = {}
-    attempts: Dict[str, int] = {name: 0 for name in tasks}
-    total = len(tasks)
-
     registry = _metrics.REGISTRY
     if registry.enabled:
         registry.gauge(
             "repro_campaign_tasks", "tasks in the running campaign"
-        ).set(total)
+        ).set(len(campaign.tasks))
         registry.gauge(
             "repro_campaign_jobs", "pool workers serving the campaign"
         ).set(pool.jobs)
 
-    def account(status: str) -> None:
-        registry.counter(
-            "repro_campaign_tasks_total", "task terminal states by status"
-        ).inc(status=status)
-
-    # Resume pass: anything already in the store is complete, regardless of
-    # what happened to its deps in this or any previous run.
-    for task in campaign.tasks:
-        if task.inline:
-            continue  # inline tasks are derived data; always recomputed
-        cached = store.get_outcome(keys[task.name])
-        if cached is not None:
-            outcomes[task.name] = cached
-            spans[task.name] = TaskSpan(
-                task.name, keys[task.name], "cached", start=now(), end=now()
-            )
-            if registry.enabled:
-                account("cached")
-                registry.counter(
-                    "repro_store_hits_total", "tasks served from the result store"
-                ).inc()
-            emit(f"[{len(outcomes)}/{total}] cached {task.name}")
-
-    remaining_deps = {
-        t.name: {d for d in t.deps if d not in outcomes}
-        for t in campaign.tasks
-        if t.name not in outcomes
-    }
-    failed: Dict[str, str] = {}
-    counter = 0
-    ready: List[Tuple[int, int, str]] = []  # (-priority, seq, name)
-    for t in campaign.tasks:
-        if t.name in remaining_deps and not remaining_deps[t.name]:
-            heapq.heappush(ready, (-t.priority, counter, t.name))
-            counter += 1
-
-    in_flight: Dict[str, float] = {}  # name -> dispatch time (campaign clock)
+    execution = CampaignExecution(campaign, store, clock=now, progress=progress)
     cancelled = False
 
-    def complete(name: str, outcome: Dict[str, Any], span: TaskSpan) -> None:
-        nonlocal counter
-        outcomes[name] = outcome
-        spans[name] = span
-        if registry.enabled:
-            account(span.status)
-            registry.histogram(
-                "repro_campaign_task_seconds", "per-task campaign latency"
-            ).observe(max(0.0, span.end - span.start))
-        emit(f"[{len(outcomes)}/{total}] {span.status} {name} "
-             f"({span.end - span.start:.2f}s"
-             + (f", worker {span.worker}" if span.worker else "") + ")")
-        for other, deps in remaining_deps.items():
-            if name in deps:
-                deps.discard(name)
-                if not deps and other not in in_flight:
-                    heapq.heappush(ready, (-tasks[other].priority, counter, other))
-                    counter += 1
-
-    def fail(name: str, error: str) -> None:
-        failed[name] = error
-        span = spans.get(name) or TaskSpan(name, keys[name], "failed")
-        span.status = "failed"
-        span.error = error
-        span.attempts = attempts[name]
-        span.end = now()
-        spans[name] = span
-        if registry.enabled:
-            account("failed")
-        emit(f"FAILED {name}: {error}")
-
-    def submit(name: str) -> None:
-        task = tasks[name]
-        attempts[name] += 1
-        in_flight[name] = now()
-        if registry.enabled and attempts[name] == 1:
-            registry.counter(
-                "repro_store_misses_total", "tasks that had to execute"
-            ).inc()
-        pool.submit(name, task.fn, task.kwargs, timeout=task.timeout)
+    def dispatch(name: str) -> None:
+        spec = execution.start(name)
+        pool.submit(name, spec.fn, spec.kwargs, timeout=spec.timeout)
 
     restore_sigint = None
     try:
-        # Loop invariant: after a dispatch pass, a non-empty ready heap
-        # implies backpressure, which implies in-flight work — so when both
-        # are empty nothing else can ever unblock and the campaign is over.
-        while ready or in_flight:
+        while execution.has_pending:
             if registry.enabled:
                 registry.gauge(
                     "repro_campaign_frontier_size", "ready-to-dispatch tasks"
-                ).set(len(ready))
+                ).set(execution.ready_count)
                 registry.gauge(
                     "repro_campaign_in_flight", "tasks handed to the pool"
-                ).set(len(in_flight))
+                ).set(len(execution.in_flight))
             if writer is not None:
                 writer.maybe_emit()
             # Dispatch the frontier, highest priority first, under backpressure.
-            while ready and pool.in_flight < max_in_flight:
-                _, _, name = heapq.heappop(ready)
-                if name in outcomes or name in failed:
-                    continue
-                task = tasks[name]
-                if any(d in failed for d in task.deps):
-                    continue  # will be marked skipped at the end
-                if task.inline:
-                    start = now()
-                    results = {d: outcomes[d] for d in task.deps}
-                    try:
-                        value = task.fn(results, **dict(task.kwargs))
-                    except Exception as exc:
-                        attempts[name] += 1
-                        fail(name, f"{type(exc).__name__}: {exc}")
-                        continue
-                    attempts[name] += 1
-                    span = TaskSpan(name, keys[name], "done",
-                                    start=start, end=now(), attempts=1)
-                    complete(name, dict(value) if isinstance(value, Mapping) else {"value": value}, span)
+            while pool.in_flight < max_in_flight:
+                name = execution.pop_ready()
+                if name is None:
+                    break
+                if execution.tasks[name].inline:
+                    execution.run_inline(name)
                 else:
-                    submit(name)
-            if not in_flight:
-                if ready:
+                    dispatch(name)
+            if not execution.in_flight:
+                if execution.has_pending:
                     # Backpressure from a shared pool still draining another
                     # campaign's leftovers; give it a beat to free slots.
                     pool.events(wait=0.1)
                 continue  # inline completions may have opened new frontier
 
             for event in pool.events(wait=0.5):
-                name = event.key
-                if name not in tasks:  # a shared pool's stale leftovers
-                    continue
-                start = in_flight.pop(name, now())
-                task = tasks[name]
-                if event.ok and isinstance(event.payload, Mapping):
-                    outcome = dict(event.payload)
-                    store.put(keys[name], outcome, spec=task.spec_dict())
-                    span = TaskSpan(
-                        name, keys[name], "done", worker=event.worker_id,
-                        start=start, end=now(), attempts=attempts[name],
-                    )
-                    complete(name, outcome, span)
-                else:
-                    error = (
-                        str(event.payload) if not event.ok
-                        else f"outcome is not a mapping: {type(event.payload).__name__}"
-                    )
-                    if attempts[name] <= task.retries:
-                        if registry.enabled:
-                            registry.counter(
-                                "repro_campaign_retries_total", "task retry dispatches"
-                            ).inc()
-                        emit(f"retry {name} (attempt {attempts[name] + 1}): {error}")
-                        submit(name)
-                    else:
-                        fail(name, error)
+                if event.key not in execution.tasks:
+                    continue  # a shared pool's stale leftovers
+                if execution.record_event(event) == "retry":
+                    dispatch(event.key)
     except KeyboardInterrupt:
         cancelled = True
         # `timeout -s INT` (and an impatient Ctrl-C Ctrl-C) delivers SIGINT
@@ -449,8 +652,10 @@ def run_campaign(
         except ValueError:  # not the main thread: nothing to mask
             restore_sigint = None
         pool.cancel_pending()
-        emit(f"campaign {campaign.name} cancelled — "
-             f"{len(outcomes)}/{total} task(s) stored; re-run to resume")
+        if progress is not None:
+            progress(f"campaign {campaign.name} cancelled — "
+                     f"{len(execution.outcomes)}/{execution.total} task(s) stored; "
+                     "re-run to resume")
     finally:
         try:
             if owns_pool:
@@ -459,35 +664,7 @@ def run_campaign(
             if restore_sigint is not None:
                 signal.signal(signal.SIGINT, restore_sigint)
 
-    # Classify whatever did not finish: the transitive closure of failure
-    # is "skipped" (task-list order is not necessarily topological, so
-    # iterate to a fixpoint); everything else — reachable only when the
-    # campaign was cancelled — is "pending".
-    blocked: Dict[str, str] = {}
-    changed = True
-    while changed:
-        changed = False
-        for task in campaign.tasks:
-            if task.name in spans or task.name in blocked:
-                continue
-            culprits = [d for d in task.deps if d in failed or d in blocked]
-            if culprits:
-                blocked[task.name] = ", ".join(culprits)
-                changed = True
-    for task in campaign.tasks:
-        if task.name in spans:
-            continue
-        if task.name in blocked:
-            spans[task.name] = TaskSpan(
-                task.name, keys[task.name], "skipped",
-                error=f"blocked by {blocked[task.name]}",
-            )
-            if registry.enabled:
-                account("skipped")
-        else:
-            spans[task.name] = TaskSpan(task.name, keys[task.name], "pending")
-
-    ordered = tuple(spans[t.name] for t in campaign.tasks)
+    ordered = execution.finish(cancelled=cancelled)
     report = CampaignReport(
         campaign=campaign.name,
         spans=ordered,
@@ -516,7 +693,7 @@ def run_campaign(
         # scheduler spans and the metrics counter lane.
         phase_lanes = []
         for task in campaign.tasks:
-            outcome = outcomes.get(task.name)
+            outcome = execution.outcomes.get(task.name)
             if isinstance(outcome, Mapping) and outcome.get("cost_records"):
                 try:
                     records = [

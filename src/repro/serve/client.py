@@ -1,0 +1,155 @@
+"""A thin urllib client for the campaign service.
+
+The library half of ``python -m repro serve submit|watch|campaigns``:
+plain ``urllib.request`` (stdlib-only, like everything else in
+:mod:`repro.serve`), ``repro.serve/1`` envelopes in and out, and SSE
+watching built on the same :func:`~repro.serve.sse.iter_sse` parser the
+tests exercise.  Server-side contract errors surface as
+:class:`ServeError` carrying the machine-readable ``code`` and HTTP
+status from the error envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.serve.contracts import SCHEMA, TENANT_HEADER
+from repro.serve.sse import iter_sse
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A ``repro.serve/1`` error envelope, decoded."""
+
+    def __init__(self, code: str, message: str, status: int) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one service instance as one tenant."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8023",
+        tenant: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ):
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers[TENANT_HEADER] = self.tenant
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urlrequest.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            )
+        except urlerror.HTTPError as exc:
+            raise self._decode_error(exc)
+
+    def _json(self, path: str, method: str = "GET", body: Any = None) -> Dict[str, Any]:
+        with self._request(path, method=method, body=body) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    @staticmethod
+    def _decode_error(exc: urlerror.HTTPError) -> ServeError:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            detail = payload.get("error", {})
+            return ServeError(
+                detail.get("code", "http_error"),
+                detail.get("message", str(exc)),
+                exc.code,
+            )
+        except ValueError:
+            return ServeError("http_error", str(exc), exc.code)
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(
+        self, campaign: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """``POST /v1/jobs``; returns the ``job`` object of the envelope."""
+        body = {"schema": SCHEMA, "campaign": campaign, "options": dict(options or {})}
+        return self._json("/v1/jobs", method="POST", body=body)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json(f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self, all_tenants: bool = False) -> List[Dict[str, Any]]:
+        suffix = "?all=1" if all_tenants else ""
+        return self._json(f"/v1/jobs{suffix}")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json(f"/v1/jobs/{job_id}", method="DELETE")["job"]
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        return self._json("/v1/campaigns")["campaigns"]
+
+    def healthy(self) -> bool:
+        try:
+            with self._request("/healthz") as resp:
+                return resp.status == 200
+        except (ServeError, urlerror.URLError, OSError):
+            return False
+
+    def watch(
+        self,
+        job_id: str,
+        cancel_on_disconnect: bool = False,
+        timeout: float = 600.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's SSE events as decoded JSON payloads.
+
+        Yields each ``job`` envelope as it arrives; returns when the
+        server closes the stream on the job's terminal event.  With
+        ``cancel_on_disconnect`` the server cancels the job if this
+        stream dies instead of completing.
+        """
+        suffix = "?cancel_on_disconnect=1" if cancel_on_disconnect else ""
+        resp = self._request(f"/v1/jobs/{job_id}/events{suffix}", timeout=timeout)
+
+        def chunks() -> Iterator[str]:
+            with resp:
+                while True:
+                    block = resp.read1(4096)
+                    if not block:
+                        return
+                    yield block.decode("utf-8", errors="replace")
+
+        for event in iter_sse(chunks()):
+            if event["event"] == "job":
+                yield json.loads(event["data"])
+
+    def wait(self, job_id: str, timeout: float = 600.0) -> Dict[str, Any]:
+        """Watch until terminal; returns the final ``job`` object."""
+        last: Optional[Dict[str, Any]] = None
+        for envelope in self.watch(job_id, timeout=timeout):
+            last = envelope["job"]
+        if last is None:
+            # Stream closed without a frame (server restart mid-watch).
+            last = self.job(job_id)
+        return last

@@ -1,0 +1,93 @@
+"""Server-Sent Events framing: the writer-side formatter and a parser.
+
+SSE frames are text blocks separated by a blank line; each block carries
+``event:`` / ``data:`` field lines (https://html.spec.whatwg.org/
+multipage/server-sent-events.html).  The service writes frames with
+:func:`format_sse_event`; :func:`iter_sse` parses a *chunk stream* back
+into events with the same torn-tail tolerance as
+:func:`repro.obs.snapshot.read_snapshots`: chunks may split anywhere —
+mid-line, mid-frame — and an incomplete trailing frame (the connection
+died mid-write) is dropped rather than surfaced half-parsed.
+
+Only the fields the service emits are interpreted (``event``, ``data``,
+``id``); comment lines (leading ``:``, used as keep-alives) and unknown
+fields are ignored per the spec.  Multi-line ``data`` joins with ``\\n``,
+also per the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+__all__ = ["format_sse_event", "iter_sse"]
+
+
+def format_sse_event(
+    data: str, event: Optional[str] = None, event_id: Optional[str] = None
+) -> str:
+    """One wire-ready SSE frame (trailing blank line included).
+
+    ``data`` may span lines; each becomes its own ``data:`` field line so
+    a conforming parser reassembles the original string exactly.
+    """
+    parts = []
+    if event_id is not None:
+        parts.append(f"id: {event_id}")
+    if event is not None:
+        parts.append(f"event: {event}")
+    for line in data.split("\n"):
+        parts.append(f"data: {line}")
+    return "\n".join(parts) + "\n\n"
+
+
+def iter_sse(chunks: Iterable[str]) -> Iterator[Dict[str, str]]:
+    """Parse a chunked SSE byte-stream's text into event dicts.
+
+    Yields ``{"event": name, "data": payload}`` (plus ``"id"`` when sent)
+    per complete frame; ``event`` defaults to ``"message"`` per the spec.
+    Tolerates arbitrary chunk boundaries and drops an unterminated final
+    frame, mirroring ``read_snapshots`` skipping a torn JSONL tail.
+    """
+    buffer = ""
+    fields: Dict[str, str] = {}
+    data_lines: list = []
+
+    def flush() -> Optional[Dict[str, str]]:
+        if not fields and not data_lines:
+            return None
+        out = {
+            "event": fields.get("event", "message"),
+            "data": "\n".join(data_lines),
+        }
+        if "id" in fields:
+            out["id"] = fields["id"]
+        fields.clear()
+        del data_lines[:]
+        return out
+
+    for chunk in chunks:
+        buffer += chunk
+        while True:
+            newline = buffer.find("\n")
+            if newline < 0:
+                break
+            line, buffer = buffer[:newline], buffer[newline + 1:]
+            line = line.rstrip("\r")
+            if not line:
+                event = flush()
+                if event is not None:
+                    yield event
+                continue
+            if line.startswith(":"):
+                continue  # comment / keep-alive
+            name, sep, value = line.partition(":")
+            if not sep:
+                name, value = line, ""
+            elif value.startswith(" "):
+                value = value[1:]
+            if name == "data":
+                data_lines.append(value)
+            elif name in ("event", "id"):
+                fields[name] = value
+    # Anything still buffered lacks its terminating blank line: a torn
+    # frame from a dead writer.  Drop it.

@@ -1,0 +1,111 @@
+"""The live status page: one self-contained HTML string, no build step.
+
+Served at ``GET /``.  The page opens an ``EventSource`` on
+``/v1/events`` and renders the two event kinds the service broadcasts:
+``job`` envelopes update the jobs table, ``snapshot`` payloads
+(``repro.metrics/1``) update the counters strip — done/cached/failed
+task totals, store hit-rate, pool in-flight — the same numbers
+``python -m repro campaign status --follow`` prints, just in a browser.
+Everything inline (CSS and JS), zero external requests, so the page
+works from a curl-saved file as well as from the server.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """\
+<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro campaign service</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem; background: #101418; color: #d8dee6; }
+  h1 { font-size: 1.1rem; letter-spacing: .04em; }
+  .strip { display: flex; gap: 2rem; margin: 1rem 0; flex-wrap: wrap; }
+  .stat { background: #1a2028; padding: .6rem 1rem; border-radius: 6px; }
+  .stat b { display: block; font-size: 1.4rem; }
+  .stat span { font-size: .75rem; color: #8a94a3; }
+  table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+  th, td { text-align: left; padding: .35rem .7rem; font-size: .85rem;
+           border-bottom: 1px solid #242c36; }
+  th { color: #8a94a3; font-weight: normal; }
+  .state-done { color: #6fd08c; } .state-failed { color: #e06c75; }
+  .state-running { color: #61afef; } .state-cancelled { color: #c8a35f; }
+  .state-queued { color: #8a94a3; }
+  #link { color: #8a94a3; font-size: .75rem; }
+</style>
+</head>
+<body>
+<h1>repro campaign service</h1>
+<div id="link">live via /v1/events (SSE, repro.serve/1 + repro.metrics/1)</div>
+<div class="strip">
+  <div class="stat"><b id="done">0</b><span>tasks done</span></div>
+  <div class="stat"><b id="cached">0</b><span>tasks cached</span></div>
+  <div class="stat"><b id="failed">0</b><span>tasks failed</span></div>
+  <div class="stat"><b id="hitrate">-</b><span>store hit-rate</span></div>
+  <div class="stat"><b id="inflight">0</b><span>pool in-flight</span></div>
+</div>
+<table>
+  <thead><tr>
+    <th>job</th><th>tenant</th><th>campaign</th><th>state</th>
+    <th>tasks</th><th>counts</th><th>error</th>
+  </tr></thead>
+  <tbody id="jobs"></tbody>
+</table>
+<script>
+  const jobs = new Map();
+  function metricValue(metrics, name, want) {
+    const m = metrics.find(x => x.name === name);
+    if (!m) return 0;
+    let total = 0;
+    for (const s of (m.samples || [])) {
+      const labels = s.labels || {};
+      let ok = true;
+      for (const k in (want || {})) if (labels[k] !== want[k]) ok = false;
+      if (ok) total += s.value || 0;
+    }
+    return total;
+  }
+  function renderJobs() {
+    const body = document.getElementById("jobs");
+    body.innerHTML = "";
+    for (const job of [...jobs.values()].sort((a, b) => a.id < b.id ? -1 : 1)) {
+      const tr = document.createElement("tr");
+      const counts = Object.entries(job.counts || {})
+        .map(([k, v]) => k + ":" + v).join(" ");
+      tr.innerHTML =
+        `<td>${job.id}</td><td>${job.tenant}</td><td>${job.campaign}</td>` +
+        `<td class="state-${job.state}">${job.state}</td>` +
+        `<td>${job.tasks}</td><td>${counts}</td><td>${job.error || ""}</td>`;
+      body.appendChild(tr);
+    }
+  }
+  const source = new EventSource("/v1/events");
+  source.addEventListener("job", e => {
+    const view = JSON.parse(e.data);
+    jobs.set(view.job.id, view.job);
+    renderJobs();
+  });
+  source.addEventListener("snapshot", e => {
+    const snap = JSON.parse(e.data);
+    const m = snap.metrics || [];
+    document.getElementById("done").textContent =
+      metricValue(m, "repro_campaign_tasks_total", {status: "done"});
+    document.getElementById("cached").textContent =
+      metricValue(m, "repro_campaign_tasks_total", {status: "cached"});
+    document.getElementById("failed").textContent =
+      metricValue(m, "repro_campaign_tasks_total", {status: "failed"});
+    const hits = metricValue(m, "repro_store_hits_total");
+    const misses = metricValue(m, "repro_store_misses_total");
+    document.getElementById("hitrate").textContent =
+      (hits + misses) ? Math.round(100 * hits / (hits + misses)) + "%" : "-";
+    document.getElementById("inflight").textContent =
+      metricValue(m, "repro_serve_pool_in_flight");
+  });
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,136 @@
+"""The repro.serve/1 wire contracts: round trips, validation, the registry."""
+
+import pytest
+
+from repro.sched.campaign import Campaign, TaskSpec
+from repro.sched.tenancy import JobRecord
+from repro.sched.campaign import CampaignExecution
+from repro.sched.store import ResultStore
+from repro.serve.contracts import (
+    SCHEMA,
+    ContractError,
+    SubmitRequest,
+    error_view,
+    job_view,
+    jobs_view,
+)
+from repro.serve.registry import CampaignEntry, OptionSpec, default_registry
+
+
+def ok():
+    return {"correct": True}
+
+
+# -- SubmitRequest -----------------------------------------------------------
+
+def test_submit_request_round_trip():
+    req = SubmitRequest("demo", {"points": 4, "delay": 0.0})
+    assert SubmitRequest.from_dict(req.to_dict()) == req
+    assert req.to_dict()["schema"] == SCHEMA
+
+
+def test_submit_request_minimal():
+    req = SubmitRequest.from_dict({"schema": SCHEMA, "campaign": "demo"})
+    assert req.campaign == "demo"
+    assert req.options == {}
+
+
+@pytest.mark.parametrize("body,code", [
+    ("not an object", "bad_request"),
+    ({}, "bad_schema"),
+    ({"schema": "repro.serve/99", "campaign": "demo"}, "bad_schema"),
+    ({"schema": SCHEMA}, "bad_request"),
+    ({"schema": SCHEMA, "campaign": ""}, "bad_request"),
+    ({"schema": SCHEMA, "campaign": 7}, "bad_request"),
+    ({"schema": SCHEMA, "campaign": "demo", "options": []}, "bad_request"),
+    ({"schema": SCHEMA, "campaign": "demo", "bogus": 1}, "bad_request"),
+])
+def test_submit_request_rejects(body, code):
+    with pytest.raises(ContractError) as excinfo:
+        SubmitRequest.from_dict(body)
+    assert excinfo.value.code == code
+    assert excinfo.value.status == 400
+
+
+def test_error_view_shape():
+    view = error_view("quota_jobs", "too many")
+    assert view["schema"] == SCHEMA
+    assert view["error"] == {"code": "quota_jobs", "message": "too many"}
+
+
+# -- job_view ----------------------------------------------------------------
+
+def _job(tmp_path):
+    campaign = Campaign("tiny", (TaskSpec("a", ok),))
+    execution = CampaignExecution(campaign, ResultStore(str(tmp_path / "store")))
+    return JobRecord("job-0001", "alice", campaign, execution)
+
+
+def test_job_view_envelope(tmp_path):
+    view = job_view(_job(tmp_path))
+    assert view["schema"] == SCHEMA
+    job = view["job"]
+    assert job["id"] == "job-0001"
+    assert job["tenant"] == "alice"
+    assert job["campaign"] == "tiny"
+    assert job["state"] == "queued"
+    assert job["tasks"] == 1
+    assert job["counts"] == {"pending": 1}
+
+
+def test_jobs_view_envelope(tmp_path):
+    view = jobs_view([_job(tmp_path)])
+    assert view["schema"] == SCHEMA
+    assert [j["id"] for j in view["jobs"]] == ["job-0001"]
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_default_registry_covers_shipped_campaigns():
+    registry = default_registry()
+    assert set(registry) == {"demo", "table1", "section8", "chaos"}
+    demo = registry["demo"].to_dict()
+    assert [o["name"] for o in demo["options"]] == ["points", "delay"]
+
+
+def test_registry_builds_demo_with_options():
+    campaign = default_registry()["demo"].build({"points": 3, "delay": 0.0})
+    assert campaign.name == "demo"
+    assert len(campaign.tasks) == 4  # 3 points + summary
+
+
+def test_registry_rejects_unknown_option():
+    with pytest.raises(ContractError) as excinfo:
+        default_registry()["demo"].build({"bogus": 1})
+    assert excinfo.value.code == "bad_option"
+
+
+def test_registry_rejects_out_of_bounds():
+    with pytest.raises(ContractError) as excinfo:
+        default_registry()["demo"].build({"points": 100000})
+    assert excinfo.value.code == "bad_option"
+
+
+def test_registry_rejects_wrong_type():
+    with pytest.raises(ContractError) as excinfo:
+        default_registry()["demo"].build({"points": 2.5})
+    assert excinfo.value.code == "bad_option"
+    with pytest.raises(ContractError):
+        default_registry()["demo"].build({"points": True})
+
+
+def test_registry_accepts_int_where_float_declared():
+    campaign = default_registry()["demo"].build({"points": 2, "delay": 0})
+    assert len(campaign.tasks) == 3
+
+
+def test_option_spec_rejects_bad_kind():
+    with pytest.raises(ValueError):
+        OptionSpec("x", "str", "hello")
+
+
+def test_campaign_entry_without_options_rejects_any():
+    entry = CampaignEntry("table1", "stock grid")
+    with pytest.raises(ContractError) as excinfo:
+        entry.build({"ns": [64]})
+    assert "allowed: (none)" in str(excinfo.value)

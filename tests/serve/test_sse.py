@@ -1,0 +1,89 @@
+"""SSE framing: the formatter/parser round trip and torn-stream tolerance.
+
+Mirrors the ``read_snapshots`` contract from ``repro.obs.snapshot``: a
+parser fed a live stream must survive arbitrary chunk boundaries and
+drop an unterminated trailing frame instead of surfacing it half-parsed.
+"""
+
+import json
+
+from repro.serve.sse import format_sse_event, iter_sse
+
+
+def events(chunks):
+    return list(iter_sse(chunks))
+
+
+def test_format_single_frame():
+    frame = format_sse_event('{"x": 1}', event="job")
+    assert frame == 'event: job\ndata: {"x": 1}\n\n'
+
+
+def test_round_trip_one_event():
+    frame = format_sse_event('{"x": 1}', event="job")
+    assert events([frame]) == [{"event": "job", "data": '{"x": 1}'}]
+
+
+def test_round_trip_multiple_events():
+    stream = (
+        format_sse_event("a", event="job")
+        + format_sse_event("b", event="snapshot")
+        + format_sse_event("c")
+    )
+    got = events([stream])
+    assert [e["event"] for e in got] == ["job", "snapshot", "message"]
+    assert [e["data"] for e in got] == ["a", "b", "c"]
+
+
+def test_multiline_data_reassembles():
+    payload = "line one\nline two\nline three"
+    frame = format_sse_event(payload, event="job")
+    assert frame.count("data: ") == 3
+    assert events([frame]) == [{"event": "job", "data": payload}]
+
+
+def test_event_id_round_trip():
+    frame = format_sse_event("x", event="job", event_id="42")
+    assert events([frame]) == [{"event": "job", "data": "x", "id": "42"}]
+
+
+def test_torn_chunk_boundaries():
+    """Chunks split mid-line and mid-frame must not corrupt events."""
+    stream = format_sse_event('{"seq": 1}', event="snapshot") + format_sse_event(
+        '{"seq": 2}', event="snapshot"
+    )
+    for size in (1, 2, 3, 5, 7):
+        chunks = [stream[i:i + size] for i in range(0, len(stream), size)]
+        got = events(chunks)
+        assert [json.loads(e["data"])["seq"] for e in got] == [1, 2], size
+
+
+def test_incomplete_trailing_frame_dropped():
+    """A writer that died mid-frame must not surface a torn event."""
+    stream = format_sse_event("complete", event="job") + "event: job\ndata: half"
+    got = events([stream])
+    assert got == [{"event": "job", "data": "complete"}]
+
+
+def test_comment_keepalives_ignored():
+    stream = ": ping\n\n" + format_sse_event("x", event="job") + ": ping\n\n"
+    assert events([stream]) == [{"event": "job", "data": "x"}]
+
+
+def test_crlf_line_endings():
+    stream = "event: job\r\ndata: x\r\n\r\n"
+    assert events([stream]) == [{"event": "job", "data": "x"}]
+
+
+def test_space_after_colon_stripped_once():
+    assert events(["data:  padded\n\n"]) == [{"event": "message", "data": " padded"}]
+
+
+def test_unknown_fields_ignored():
+    stream = "retry: 100\nevent: job\ndata: x\n\n"
+    assert events([stream]) == [{"event": "job", "data": "x"}]
+
+
+def test_empty_stream():
+    assert events([]) == []
+    assert events([""]) == []

@@ -1,11 +1,11 @@
-"""Documentation reference checker: links, file:line refs, doctests.
+"""Documentation reference checker: links, file:line refs, doctests, JSON.
 
 Run from the repository root (CI's ``docs`` job does; so does
 ``tests/test_docs.py``):
 
     PYTHONPATH=src python tools/check_docs.py
 
-Three checks over ``README.md`` and every ``docs/*.md``:
+Four checks over ``README.md`` and every ``docs/*.md``:
 
 1. **Relative markdown links** ``[text](target)`` must point at a file
    or directory that exists (anchors are stripped; ``http(s)://`` and
@@ -18,6 +18,12 @@ Three checks over ``README.md`` and every ``docs/*.md``:
    are executed with :mod:`doctest`.  Blocks within one document share a
    namespace in order, so a later block may use names a former one
    defined.
+4. **JSON examples** in fenced ```` ```json ```` blocks must parse.  In
+   ``docs/SERVICE.md`` — the wire-contract reference — every example
+   object must additionally carry a ``"schema"`` field matching
+   ``repro.<name>/<version>`` (the ``repro.serve/1`` / ``repro.metrics/1``
+   convention), so a copy-pasted example is always a valid, versioned
+   envelope.
 
 Exit status 0 when everything resolves, 1 otherwise (with one line per
 failure).
@@ -27,6 +33,7 @@ from __future__ import annotations
 
 import doctest
 import glob
+import json
 import os
 import re
 import sys
@@ -40,6 +47,16 @@ _FILE_LINE_RE = re.compile(r"`([\w./-]+\.(?:py|md|txt|json|yml|toml)):(\d+)`")
 
 #: Fenced python code blocks.
 _PY_BLOCK_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+#: Fenced JSON example blocks.
+_JSON_BLOCK_RE = re.compile(r"^```json\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+#: Versioned schema tags: repro.serve/1, repro.metrics/1, ...
+_SCHEMA_RE = re.compile(r"^repro\.[a-z_]+/\d+$")
+
+#: Documents whose JSON examples are wire contracts and must be
+#: schema-versioned envelopes.
+_CONTRACT_DOCS = ("SERVICE.md",)
 
 
 def _doc_files(root: str) -> List[str]:
@@ -111,6 +128,61 @@ def run_doctests(path: str, text: str) -> Tuple[List[str], int]:
     return errors, total
 
 
+def check_json_examples(path: str, text: str) -> Tuple[List[str], int]:
+    """Parse the document's JSON examples; returns (errors, n_blocks).
+
+    Contract documents (``_CONTRACT_DOCS``) get the stricter check: the
+    example (or, for a JSONL/SSE excerpt, each of its lines) must be an
+    object whose ``"schema"`` matches the ``repro.<name>/<version>``
+    convention.
+    """
+    contract = os.path.basename(path) in _CONTRACT_DOCS
+    errors: List[str] = []
+    total = 0
+    for i, match in enumerate(_JSON_BLOCK_RE.finditer(text)):
+        block = match.group(1).strip()
+        if not block:
+            continue
+        total += 1
+        lineno = text.count("\n", 0, match.start()) + 1
+        try:
+            documents = [json.loads(block)]
+        except ValueError:
+            # Not one document — try JSONL (snapshot streams, SSE data
+            # excerpts are one JSON object per line).
+            documents = []
+            for j, line in enumerate(block.splitlines()):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    documents.append(json.loads(line))
+                except ValueError as exc:
+                    errors.append(
+                        f"{path}: unparseable JSON example in block {i} "
+                        f"(near line {lineno}, line {j + 1} of block): {exc}"
+                    )
+                    documents = []
+                    break
+        if not contract:
+            continue
+        for doc in documents:
+            if not isinstance(doc, dict):
+                errors.append(
+                    f"{path}: contract JSON example in block {i} (near line "
+                    f"{lineno}) is not an object"
+                )
+                continue
+            schema = doc.get("schema")
+            if not isinstance(schema, str) or not _SCHEMA_RE.match(schema):
+                errors.append(
+                    f"{path}: contract JSON example in block {i} (near line "
+                    f"{lineno}) lacks a versioned 'schema' field "
+                    f"(got {schema!r})"
+                )
+    return errors, total
+
+
 def main(argv: List[str]) -> int:
     root = argv[0] if argv else os.getcwd()
     files = _doc_files(root)
@@ -118,7 +190,7 @@ def main(argv: List[str]) -> int:
         print(f"no documentation files found under {root}", file=sys.stderr)
         return 1
     all_errors: List[str] = []
-    checked_links = checked_refs = checked_examples = 0
+    checked_links = checked_refs = checked_examples = checked_json = 0
     for path in files:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read()
@@ -129,13 +201,16 @@ def main(argv: List[str]) -> int:
         doc_errors, examples = run_doctests(path, text)
         all_errors += doc_errors
         checked_examples += examples
+        json_errors, json_blocks = check_json_examples(path, text)
+        all_errors += json_errors
+        checked_json += json_blocks
     for error in all_errors:
         print(error, file=sys.stderr)
     status = "FAIL" if all_errors else "ok"
     print(
         f"check_docs: {len(files)} files, {checked_links} links, "
-        f"{checked_refs} file:line refs, {checked_examples} doctest examples "
-        f"-> {status}"
+        f"{checked_refs} file:line refs, {checked_examples} doctest examples, "
+        f"{checked_json} JSON examples -> {status}"
     )
     return 1 if all_errors else 0
 
