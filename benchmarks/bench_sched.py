@@ -16,6 +16,13 @@ All three must produce bit-identical sweep results (also pinned by
 ``tests/property/test_sched_props.py``); the point of the bench is the
 points-per-second ratio, written to ``BENCH_sched.json`` alongside the
 raw timings.  Run it via ``python -m repro sched``.
+
+A second leg (``hosts``) measures the TCP worker fabric
+(docs/DISTRIBUTED.md): the same demo-task list drained over 1, 2, and 4
+simulated hosts — local worker processes dialling a
+:class:`~repro.sched.net.pool.RemoteWorkerPool` on 127.0.0.1.  The
+committed acceptance floors are 1.6x at 2 hosts and 2.4x (near-linear)
+at 4; ``bench check`` re-measures both legs against the baseline.
 """
 
 from __future__ import annotations
@@ -40,12 +47,89 @@ GRID = {
 
 EXECUTORS = ("serial", "process", "pool")
 
+#: The multi-host A/B leg: one TCP fabric, N simulated hosts (local
+#: worker processes dialling 127.0.0.1), the same task list each time.
+#: Tasks sleep HOST_TASK_DELAY so the leg measures scheduling/fan-out,
+#: not numpy throughput — with 24 tasks of 20ms the serial floor is
+#: ~0.5s and near-linear scaling is visible well above timer noise.
+HOST_COUNTS = (1, 2, 4)
+HOST_TASKS = 24
+HOST_TASK_DELAY = 0.02
+
 
 def _grid_size(grid: Dict[str, List]) -> int:
     total = 1
     for values in grid.values():
         total *= len(values)
     return total
+
+
+def _measure_hosts(hosts: int, tasks: int = HOST_TASKS,
+                   delay: float = HOST_TASK_DELAY) -> float:
+    """Wall time to drain ``tasks`` demo points over ``hosts`` TCP workers.
+
+    Registration is setup, not measured; the clock covers submit →
+    last completion.  Any non-``ok`` event fails the bench — the fabric
+    under no injected faults must be loss-free (docs/DISTRIBUTED.md).
+    """
+    from repro.sched.campaigns import demo_task
+    from repro.sched.net.pool import RemoteWorkerPool
+    from repro.sched.net.worker import spawn_local_workers
+
+    pool = RemoteWorkerPool(port=0, jobs=hosts)
+    procs = spawn_local_workers(pool.address, hosts, name_prefix=f"bench{hosts}")
+    try:
+        deadline = time.monotonic() + 30.0
+        while len(pool.registry.live()) < hosts:
+            pool.events(wait=0.05)
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"only {len(pool.registry.live())}/{hosts} "
+                                   "bench workers registered")
+        # One warm task per host before the clock starts: the first task
+        # on a fresh worker pays the demo-task module import, which would
+        # otherwise bill a per-host constant against the scaling curve.
+        for i in range(hosts):
+            pool.submit(f"h{hosts}-warm{i}", demo_task, {"n": 32, "delay": 0.0})
+        warmed = 0
+        while warmed < hosts:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"hosts={hosts} warmup stalled")
+            warmed += sum(1 for e in pool.events(wait=0.2) if e.status == "ok")
+        t0 = time.perf_counter()
+        for i in range(tasks):
+            pool.submit(f"h{hosts}-t{i}", demo_task, {"n": 32, "delay": delay})
+        done = 0
+        while done < tasks:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"hosts={hosts} leg stalled at {done}/{tasks}")
+            for event in pool.events(wait=0.2):
+                if event.status != "ok":
+                    raise RuntimeError(
+                        f"hosts={hosts} task {event.key} {event.status}: "
+                        f"{event.payload}"
+                    )
+                if not event.payload.get("correct"):
+                    raise RuntimeError(f"hosts={hosts} task {event.key} incorrect")
+                done += 1
+        return time.perf_counter() - t0
+    finally:
+        pool.shutdown()
+        for proc in procs:
+            proc.wait(timeout=10)
+
+
+def collect_hosts() -> Dict[str, object]:
+    """The 1-vs-2-vs-4 simulated-host scaling summary."""
+    timings = {str(h): _measure_hosts(h) for h in HOST_COUNTS}
+    t1 = timings["1"]
+    return {
+        "tasks": HOST_TASKS,
+        "task_delay_s": HOST_TASK_DELAY,
+        "timings": timings,
+        "throughput": {h: HOST_TASKS / t for h, t in timings.items()},
+        "speedup_2x": t1 / timings["2"],
+        "speedup_4x": t1 / timings["4"],
+    }
 
 
 def collect(jobs: Optional[int] = None) -> Dict[str, object]:
@@ -69,6 +153,7 @@ def collect(jobs: Optional[int] = None) -> Dict[str, object]:
         "speedup_pool_vs_process": timings["process"] / timings["pool"],
         "identical": identical,
         "correct": identical and all(p.correct for p in results["pool"]),
+        "hosts": collect_hosts(),
     }
 
 
@@ -115,10 +200,42 @@ def main() -> None:
         f"{summary['speedup_pool_vs_process']:.2f}x point throughput; "
         f"results identical: {summary['identical']}"
     )
+    hosts = summary["hosts"]
+    host_rows = [
+        PerfRow(
+            path=f"{h} host(s)",
+            n=hosts["tasks"],
+            ops=hosts["tasks"],
+            seconds=hosts["timings"][str(h)],
+            note="TCP fabric, local simulated hosts",
+        )
+        for h in HOST_COUNTS
+    ]
+    print()
+    print_perf_rows(
+        f"Remote fabric scaling on {hosts['tasks']} demo tasks "
+        f"({hosts['task_delay_s'] * 1000:.0f}ms each)",
+        host_rows,
+        baseline="1 host(s)",
+    )
+    print(
+        f"\nfabric scaling: {hosts['speedup_2x']:.2f}x at 2 hosts, "
+        f"{hosts['speedup_4x']:.2f}x at 4 hosts"
+    )
     out = write_bench_json(summary)
     print(f"wrote {out}")
     if not summary["correct"]:
         raise SystemExit("executors disagreed or produced incorrect points")
+    if hosts["speedup_2x"] < 1.6:
+        raise SystemExit(
+            f"fabric scaling regressed: {hosts['speedup_2x']:.2f}x at 2 hosts "
+            "(acceptance floor: 1.6x)"
+        )
+    if hosts["speedup_4x"] < 2.4:
+        raise SystemExit(
+            f"fabric scaling regressed: {hosts['speedup_4x']:.2f}x at 4 hosts "
+            "(near-linear floor: 2.4x)"
+        )
 
 
 # --- pytest-benchmark targets ------------------------------------------------

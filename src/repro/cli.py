@@ -245,21 +245,52 @@ def run_chaos(argv: List[str]) -> int:
         "--skip-sweep-demo", action="store_true",
         help="skip the fault-tolerant sweep-runner demo",
     )
+    parser.add_argument(
+        "--net", action="store_true",
+        help="also run the network chaos suite (real TCP workers behind a "
+             "fault-injecting proxy; see docs/DISTRIBUTED.md)",
+    )
+    parser.add_argument(
+        "--net-only", action="store_true",
+        help="run only the network chaos suite",
+    )
+    parser.add_argument(
+        "--net-points", type=int, default=6,
+        help="points per network chaos case (default: 6)",
+    )
+    parser.add_argument(
+        "--fault-log", default=None, metavar="PATH",
+        help="append frame-level network fault verdicts to PATH (JSONL)",
+    )
     args = parser.parse_args(argv)
 
     from repro.faults.harness import render_chaos_report, run_chaos_suite
 
-    report = run_chaos_suite(
-        n=args.n,
-        seed=args.seed,
-        budget=args.budget,
-        max_attempts=args.max_attempts,
-        only=args.only,
-    )
-    print(render_chaos_report(report))
-    ok = report.ok
+    ok = True
+    if not args.net_only:
+        report = run_chaos_suite(
+            n=args.n,
+            seed=args.seed,
+            budget=args.budget,
+            max_attempts=args.max_attempts,
+            only=args.only,
+        )
+        print(render_chaos_report(report))
+        ok = report.ok
 
-    if not args.skip_sweep_demo:
+    if args.net or args.net_only:
+        from repro.faults.net_harness import run_net_chaos_suite
+
+        print("\nnetwork chaos (TCP fleet behind the fault proxy):")
+        net_report = run_net_chaos_suite(
+            points=args.net_points,
+            fault_log=args.fault_log,
+            only=args.only if args.net_only else None,
+        )
+        print(render_chaos_report(net_report))
+        ok = ok and net_report.ok
+
+    if not args.skip_sweep_demo and not args.net_only:
         from repro.faults.sweep_demo import run_sweep_demo
 
         print("\nsweep-runner fault demo (worker crash / hung point / torn cache):")
@@ -829,6 +860,15 @@ def run_serve(argv: List[str]) -> int:
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress lines"
     )
+    p.add_argument(
+        "--workers-port", type=int, default=None, metavar="PORT",
+        help="listen for TCP workers instead of spawning local pipe workers "
+        "(0 picks an ephemeral port; join with `python -m repro worker`)",
+    )
+    p.add_argument(
+        "--workers-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for the worker fabric (default: 127.0.0.1)",
+    )
 
     p = sub.add_parser("submit", help="submit a campaign to a running service")
     p.add_argument("name", help="campaign name (see `serve campaigns`)")
@@ -865,6 +905,9 @@ def run_serve(argv: List[str]) -> int:
     p = sub.add_parser("campaigns", help="list the submittable campaigns")
     add_url(p)
 
+    p = sub.add_parser("workers", help="show the service's worker fleet")
+    add_url(p)
+
     args = parser.parse_args(argv)
 
     if args.command == "run":
@@ -888,6 +931,8 @@ def run_serve(argv: List[str]) -> int:
             snapshot_interval=args.interval,
             metrics_path=args.metrics,
             progress=None if args.quiet else print,
+            workers_port=args.workers_port,
+            workers_host=args.workers_host,
         )
         server = create_server(
             service, host=args.host, port=args.port,
@@ -896,6 +941,10 @@ def run_serve(argv: List[str]) -> int:
         host, port = server.server_address[:2]
         print(f"serving on http://{host}:{port} (store {store_root}; "
               f"dashboard at /, contracts repro.serve/1)")
+        if args.workers_port is not None:
+            whost, wport = service.mux.pool.address
+            print(f"worker fabric on {whost}:{wport} (join with "
+                  f"`python -m repro worker {whost} {wport}`)")
         if args.metrics:
             print(f"streaming snapshots to {args.metrics} (tail with "
                   f"`python -m repro campaign status --follow "
@@ -917,6 +966,23 @@ def run_serve(argv: List[str]) -> int:
                     f"{o['name']}={o['default']}" for o in entry["options"]
                 ) or "-"
                 print(f"{entry['name']:10s} {entry['summary']}  [{opts}]")
+            return 0
+
+        if args.command == "workers":
+            view = client.workers()
+            listen = view.get("listen")
+            if listen:
+                print(f"worker fabric listening on {listen} "
+                      f"({view['live']} live)")
+            else:
+                print(f"local pipe pool ({view['live']} live)")
+            for row in view["workers"]:
+                latency = row.get("heartbeat_latency_s")
+                beat = f"{latency * 1000:.1f}ms" if latency is not None else "-"
+                current = row.get("current") or "-"
+                print(f"  {row['name']:20s} {row['state']:8s} "
+                      f"gen={row['generation']} done={row['tasks_done']} "
+                      f"beat={beat} task={current}")
             return 0
 
         if args.command == "submit":
@@ -955,6 +1021,57 @@ def run_serve(argv: List[str]) -> int:
     except OSError as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
+
+
+def run_worker_cli(argv: List[str]) -> int:
+    """``python -m repro worker``: join a scheduler's TCP worker fabric.
+
+    Dials the scheduler (``serve run --workers-port`` or a bare
+    :class:`~repro.sched.net.pool.RemoteWorkerPool`), registers under a
+    stable name, and serves tasks until stopped, evicted, or out of
+    reconnect budget.  See docs/DISTRIBUTED.md for the protocol and the
+    exit-code contract.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description=(
+            "Run one TCP worker: register with a scheduler, execute tasks, "
+            "answer heartbeats, redial with backoff when the link drops."
+        ),
+    )
+    parser.add_argument("host", help="scheduler address")
+    parser.add_argument("port", type=int, help="scheduler worker port")
+    parser.add_argument(
+        "--name", default=None,
+        help="stable worker identity (default: <hostname>-<pid>); reusing "
+        "a name bumps its generation and evicts the older connection",
+    )
+    parser.add_argument(
+        "--no-reconnect", action="store_true",
+        help="exit on a lost connection instead of redialling",
+    )
+    parser.add_argument(
+        "--max-reconnects", type=int, default=None, metavar="N",
+        help="bound redial attempts (default: unbounded)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-dial connect/registration timeout (default: 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.sched.net.worker import run_worker
+
+    return run_worker(
+        args.host,
+        args.port,
+        name=args.name,
+        reconnect=not args.no_reconnect,
+        max_reconnects=args.max_reconnects,
+        connect_timeout=args.connect_timeout,
+    )
 
 
 def _watch_job(client, job_id: str, cancel_on_disconnect: bool) -> dict:
@@ -1070,6 +1187,7 @@ def main(argv=None) -> int:
               "chaos (fault-injection gate; chaos --help), "
               "campaign (scheduler; campaign --help), "
               "serve (multi-tenant campaign service; serve --help), "
+              "worker (join a TCP worker fabric; worker --help), "
               "metrics (registry/snapshot dump; metrics --help), "
               "bench (regression watchdog; bench --help), version")
         return 0
@@ -1087,6 +1205,8 @@ def main(argv=None) -> int:
         return run_campaign_cli(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "worker":
+        return run_worker_cli(argv[1:])
     chosen = argv or list(EXPERIMENTS)
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:

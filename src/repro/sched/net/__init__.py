@@ -1,0 +1,46 @@
+"""Multi-host worker fabric: the warm pool over TCP.
+
+:class:`~repro.sched.net.pool.RemoteWorkerPool` speaks a length-prefixed
+pickle frame protocol (:mod:`repro.sched.net.frames`) to remote worker
+processes (:mod:`repro.sched.net.worker`) that register with the
+scheduler and heartbeat for liveness (:mod:`repro.sched.net.registry`).
+The pool exposes exactly the :class:`~repro.sched.pool.WorkerPool`
+surface — ``submit`` / ``events`` / ``in_flight`` / ``stats`` — so
+:func:`~repro.sched.campaign.run_campaign` and
+:class:`~repro.sched.tenancy.FairShareMultiplexer` drive it unchanged.
+
+Failure semantics (docs/DISTRIBUTED.md): a lost or partitioned worker is
+handled exactly like a crashed one.  Its in-flight task requeues with
+bounded exponential backoff; only when the delivery budget is exhausted
+does the caller see a ``"crash"`` event and its own retry policy take
+over.  The content-addressed :class:`~repro.sched.store.ResultStore` is
+the shared cross-host cache, so any host's completed point is served
+everywhere.  :mod:`repro.sched.net.proxy` is the chaos shim that injects
+:mod:`repro.faults.net` frame-level network faults between the two.
+"""
+
+from repro.sched.net.frames import (
+    ConnectionClosed,
+    FrameError,
+    MAX_FRAME_BYTES,
+    frame_type,
+    recv_frame,
+    send_frame,
+)
+from repro.sched.net.pool import RemoteWorkerPool
+from repro.sched.net.registry import WorkerInfo, WorkerRegistry
+from repro.sched.net.worker import run_worker, spawn_local_workers
+
+__all__ = [
+    "ConnectionClosed",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "frame_type",
+    "recv_frame",
+    "send_frame",
+    "RemoteWorkerPool",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "run_worker",
+    "spawn_local_workers",
+]

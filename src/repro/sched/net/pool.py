@@ -1,0 +1,516 @@
+"""``RemoteWorkerPool``: the warm pool over TCP, drop-in for ``WorkerPool``.
+
+The pool owns a listening socket.  Remote workers
+(:mod:`repro.sched.net.worker`) connect, register by name, and then
+serve exactly the pipe pool's task protocol over length-prefixed pickle
+frames (:mod:`repro.sched.net.frames`).  The public surface is the
+:class:`~repro.sched.pool.WorkerPool` duck type — ``jobs``, ``submit``,
+``events``, ``in_flight``, ``active_count``, ``queued_count``,
+``cancel_pending``, ``shutdown``, ``stats`` — so
+:func:`~repro.sched.campaign.run_campaign` and
+:class:`~repro.sched.tenancy.FairShareMultiplexer` drive it unchanged.
+
+Like the pipe pool, it is **polled, not threaded**: all socket work
+(accepting registrations, heartbeats, reads, dispatch, watchdogs)
+happens inside :meth:`events` calls on the caller's scheduler loop.
+Drivers that poll a pipe pool already call ``events`` regularly; the
+``needs_poll`` attribute tells the multiplexer to keep calling even
+when nothing is in flight, so heartbeats and registrations progress on
+an idle pool.
+
+Failure semantics (docs/DISTRIBUTED.md's failure matrix):
+
+* **Lost worker** (dead connection, or heartbeat silence beyond
+  ``heartbeat_timeout``) — its in-flight task is *requeued by the pool*
+  with exponential backoff, because a lost link says nothing about the
+  task.  Each task carries a delivery budget (``max_deliveries``); when
+  it is exhausted the caller finally sees a ``"crash"`` event and the
+  caller's bounded-retry policy takes over — a partitioned worker
+  degrades into exactly a crashed one.
+* **Timeout** — the task watchdog (monotonic deadline, as in the pipe
+  pool) reports ``"timeout"`` and drops the connection; a hung task is
+  a task property, so it is *not* requeued.  A late result from a
+  worker that was written off is recognised as stale and dropped.
+* **Split-brain registration** — a second ``hello`` with a live name
+  evicts the older connection (latest wins); the evicted side's task
+  requeues like a lost worker's.
+* **Duplicate frames** (chaos ``duplicate``) — results are matched
+  against the worker's current assignment; a second copy is stale and
+  dropped.  Tasks are idempotent by the store's content-addressed
+  contract, so at-least-once delivery is safe.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.sched.net.frames import (
+    ConnectionClosed,
+    FrameError,
+    enable_nodelay,
+    frame_type,
+    recv_frame,
+    send_frame,
+)
+from repro.sched.net.registry import WorkerInfo, WorkerRegistry
+from repro.sched.pool import PoolEvent
+
+__all__ = [
+    "RemoteWorkerPool",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_MAX_DELIVERIES",
+]
+
+#: Seconds between heartbeat pings to each live worker.
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+
+#: Seconds of pong silence after which a worker is declared lost.
+DEFAULT_HEARTBEAT_TIMEOUT = 2.5
+
+#: Times one task may be handed to a worker before a lost delivery
+#: surfaces to the caller as a ``"crash"`` event.
+DEFAULT_MAX_DELIVERIES = 3
+
+
+class _NetTask:
+    __slots__ = ("key", "fn", "kwargs", "timeout", "deliveries", "not_before")
+
+    def __init__(self, key: str, fn: Callable[..., Any],
+                 kwargs: Mapping[str, Any], timeout: Optional[float]) -> None:
+        self.key = key
+        self.fn = fn
+        self.kwargs = dict(kwargs)
+        self.timeout = timeout
+        self.deliveries = 0
+        #: Monotonic time before which a requeued task must not redispatch.
+        self.not_before = 0.0
+
+
+class RemoteWorkerPool:
+    """A pool of remote TCP workers behind the ``WorkerPool`` surface.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address for the worker listener (``port=0``: ephemeral;
+        read the real one back from :attr:`address`).
+    jobs:
+        Expected worker count — the backpressure denominator callers
+        use (``max_in_flight = 2 * pool.jobs``), *not* a spawn count:
+        workers are external processes that register themselves.
+    heartbeat_interval / heartbeat_timeout:
+        Ping cadence and the pong-silence bound past which a worker is
+        lost.  Both are monotonic-clock arithmetic.
+    max_deliveries:
+        Per-task delivery budget before a lost worker's task surfaces
+        as a ``"crash"`` event to the caller's retry policy.
+    backoff_base / backoff_max:
+        Requeue backoff: delivery ``k`` redispatches no sooner than
+        ``min(backoff_base * 2**(k-1), backoff_max)`` seconds later.
+    """
+
+    #: Tells the multiplexer to call :meth:`events` even while idle, so
+    #: registrations and heartbeats progress without in-flight tasks.
+    needs_poll = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 4,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+    ) -> None:
+        if int(jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval and timeout must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({heartbeat_interval})"
+            )
+        if int(max_deliveries) < 1:
+            raise ValueError(f"max_deliveries must be >= 1, got {max_deliveries}")
+        self.jobs = int(jobs)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.max_deliveries = int(max_deliveries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+
+        self.registry = WorkerRegistry()
+        self._queue: List[_NetTask] = []
+        self._pending_events: List[PoolEvent] = []
+        #: Keys written off by the watchdog; a late result for one is stale.
+        self._written_off: Dict[str, float] = {}
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "tasks_completed": 0,
+            "workers_spawned": 0,   # registrations, for WorkerPool parity
+            "recycled": 0,          # remote workers are never recycled here
+            "crashes": 0,
+            "timeouts": 0,
+            "workers_lost": 0,
+            "workers_reconnected": 0,
+            "requeues": 0,
+            "stale_results": 0,
+        }
+
+        self._sel = selectors.DefaultSelector()
+        self._listener = socket.create_server((host, port), backlog=16)
+        self._listener.setblocking(False)
+        self._sel.register(self._listener, selectors.EVENT_READ, "listener")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "RemoteWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The listener's ``(host, port)`` — what workers connect to."""
+        return self._listener.getsockname()[:2]
+
+    def shutdown(self) -> None:
+        """Stop every worker, drop queued tasks, close the listener."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.clear()
+        for worker in self.registry.live():
+            self._send_safe(worker, ("stop",))
+            self._close_worker(worker, "stopped")
+        try:
+            self._sel.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._sel.close()
+
+    # -- WorkerPool surface ------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for w in self.registry.live() if w.busy)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        return self.active_count + self.queued_count
+
+    def submit(
+        self,
+        key: str,
+        fn: Callable[..., Any],
+        kwargs: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue ``fn(**kwargs)`` under ``key``; FIFO within the pool."""
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self._queue.append(_NetTask(key, fn, kwargs or {}, timeout))
+        if _metrics.REGISTRY.enabled:
+            _metrics.REGISTRY.counter(
+                "repro_pool_tasks_dispatched_total", "tasks submitted to the pool"
+            ).inc()
+        self._dispatch()
+
+    def cancel_pending(self) -> List[str]:
+        """Drop every queued (not yet dispatched) task; returns their keys."""
+        keys = [task.key for task in self._queue]
+        self._queue.clear()
+        return keys
+
+    def events(self, wait: float = 0.5) -> List[PoolEvent]:
+        """Service the fabric, then collect completions for up to ``wait`` s.
+
+        One call accepts pending registrations, reads worker frames,
+        sends due heartbeats, expires pong and task deadlines, requeues
+        or fails lost deliveries, and dispatches eligible queued tasks.
+        Returns as soon as at least one event is available; ``[]`` on a
+        quiet interval.
+        """
+        deadline = time.monotonic() + max(0.0, wait)
+        events: List[PoolEvent] = []
+        while True:
+            self._drain_pending(events)
+            now = time.monotonic()
+            self._check_timers(now, events)
+            self._dispatch()
+            if events or self._closed:
+                break
+            remaining = deadline - now
+            if remaining <= 0:
+                break
+            timeout = max(0.001, min(remaining, self._next_timer(now)))
+            try:
+                ready = self._sel.select(timeout)
+            except OSError:  # selector closed under us (shutdown race)
+                break
+            for key, _ in ready:
+                if key.data == "listener":
+                    self._accept()
+                else:
+                    self._read_worker(key.data, events)
+            if events:
+                # One more service pass so freed workers pick up queued
+                # tasks before control returns to the caller.
+                self._check_timers(time.monotonic(), events)
+                self._dispatch()
+                break
+        if _metrics.REGISTRY.enabled:
+            self._account_events(events)
+        return events
+
+    def fleet(self) -> List[Dict[str, Any]]:
+        """Fleet-view rows for ``/v1/workers`` (live + terminal history)."""
+        return self.registry.rows()
+
+    # -- internals ---------------------------------------------------------
+
+    def _drain_pending(self, events: List[PoolEvent]) -> None:
+        if self._pending_events:
+            events.extend(self._pending_events)
+            self._pending_events.clear()
+
+    def _next_timer(self, now: float) -> float:
+        """Seconds until the nearest heartbeat/watchdog/backoff timer."""
+        horizon = self.heartbeat_interval
+        for worker in self.registry.live():
+            horizon = min(
+                horizon,
+                worker.last_pong + self.heartbeat_timeout - now,
+                worker.deadline - now,
+            )
+        for task in self._queue:
+            if task.not_before > now:
+                horizon = min(horizon, task.not_before - now)
+        return max(0.001, horizon)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            # Blocking frame I/O with a bounded patience: a peer that
+            # stalls mid-frame longer than the heartbeat timeout is dead.
+            conn.settimeout(self.heartbeat_timeout)
+            enable_nodelay(conn)
+            try:
+                hello = recv_frame(conn)
+                if frame_type(hello) != "hello":
+                    raise FrameError(f"expected hello, got {hello[0]!r}")
+                name = str(hello[1])
+                meta = dict(hello[2]) if len(hello) > 2 and hello[2] else {}
+            except (FrameError, OSError, socket.timeout, IndexError):
+                conn.close()
+                continue
+            worker, evicted = self.registry.register(name, conn, addr, meta)
+            if evicted is not None:
+                self._send_safe(evicted, ("evict", f"superseded by {worker.id}"))
+                self._unhook(evicted)
+                self._requeue_or_crash(
+                    evicted, f"worker {name!r} superseded (split-brain eviction)"
+                )
+            self.stats["workers_spawned"] += 1
+            if worker.generation > 1:
+                self.stats["workers_reconnected"] += 1
+            try:
+                send_frame(conn, ("welcome", worker.id, worker.generation))
+            except OSError:
+                self._lose(worker, "died during registration")
+                continue
+            self._sel.register(conn, selectors.EVENT_READ, worker)
+            self.registry.update_gauge()
+
+    def _read_worker(self, worker: WorkerInfo, events: List[PoolEvent]) -> None:
+        try:
+            frame = recv_frame(worker.conn)
+        except (ConnectionClosed, FrameError, OSError, socket.timeout) as exc:
+            self._lose(worker, f"connection lost ({exc})")
+            return
+        kind = frame[0]
+        if kind in ("ok", "error"):
+            _, key, payload, wall = frame
+            task = worker.current
+            if task is None or task.key != key:
+                # A duplicate frame, or a result for a task the watchdog
+                # already wrote off — stale either way.
+                self.stats["stale_results"] += 1
+                self._written_off.pop(key, None)
+                return
+            worker.current = None
+            worker.deadline = float("inf")
+            worker.tasks_done += 1
+            self.stats["tasks_completed"] += 1
+            events.append(PoolEvent(key, kind, payload, worker.id, wall))
+        elif kind == "pong":
+            self.registry.record_pong(worker, int(frame[1]), float(frame[2]))
+        elif kind == "hello":
+            self._lose(worker, "protocol error: duplicate hello")
+        else:
+            self._lose(worker, f"protocol error: unexpected {kind!r} frame")
+
+    def _check_timers(self, now: float, events: List[PoolEvent]) -> None:
+        for worker in self.registry.live():
+            if worker.busy and now >= worker.deadline:
+                # Watchdog: a hung task is a task property — report
+                # "timeout", do NOT requeue, and write the key off so a
+                # late result is recognised as stale.
+                task = worker.current
+                worker.current = None
+                self.stats["timeouts"] += 1
+                self._written_off[task.key] = now
+                events.append(
+                    PoolEvent(task.key, "timeout",
+                              f"timed out after {task.timeout}s",
+                              worker.id, now - worker.started)
+                )
+                self._lose(worker, "task watchdog expired", requeue=False)
+                continue
+            if now - worker.last_pong > self.heartbeat_timeout:
+                self._lose(
+                    worker,
+                    f"heartbeat silence > {self.heartbeat_timeout}s "
+                    "(lost or partitioned)",
+                )
+                continue
+            if (
+                worker.ping_sent is None
+                and now - worker.last_pong >= self.heartbeat_interval
+            ):
+                worker.ping_seq += 1
+                worker.ping_sent = (worker.ping_seq, now)
+                if not self._send_safe(worker, ("ping", worker.ping_seq, now)):
+                    self._lose(worker, "connection lost (ping send failed)")
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        now = time.monotonic()
+        for worker in self.registry.live():
+            if worker.busy:
+                continue
+            task = self._pop_eligible(now)
+            if task is None:
+                return
+            task.deliveries += 1
+            worker.current = task
+            worker.started = now
+            worker.deadline = (
+                now + task.timeout if task.timeout is not None else float("inf")
+            )
+            try:
+                send_frame(worker.conn, ("task", task.key, task.fn, task.kwargs))
+            except (OSError, FrameError) as exc:
+                self._lose(worker, f"connection lost (task send failed: {exc})")
+
+    def _pop_eligible(self, now: float) -> Optional[_NetTask]:
+        """FIFO pop of the first queued task whose backoff has elapsed."""
+        for i, task in enumerate(self._queue):
+            if task.not_before <= now:
+                return self._queue.pop(i)
+        return None
+
+    def _lose(self, worker: WorkerInfo, reason: str, requeue: bool = True) -> None:
+        """A worker's connection is gone: drop it, salvage its task."""
+        self._unhook(worker)
+        self.registry.drop(worker, "lost")
+        self.stats["workers_lost"] += 1
+        self.registry.update_gauge()
+        if requeue:
+            self._requeue_or_crash(worker, reason)
+        else:
+            worker.current = None
+
+    def _requeue_or_crash(self, worker: WorkerInfo, reason: str) -> None:
+        """Requeue the worker's in-flight task, or fail it as a crash."""
+        task = worker.current
+        worker.current = None
+        worker.deadline = float("inf")
+        if task is None:
+            return
+        if task.deliveries < self.max_deliveries:
+            backoff = min(
+                self.backoff_base * (2 ** max(0, task.deliveries - 1)),
+                self.backoff_max,
+            )
+            task.not_before = time.monotonic() + backoff
+            self._queue.append(task)
+            self.stats["requeues"] += 1
+            if _metrics.REGISTRY.enabled:
+                _metrics.REGISTRY.counter(
+                    "repro_net_tasks_requeued_total",
+                    "in-flight tasks requeued off lost/evicted workers",
+                ).inc()
+        else:
+            self.stats["crashes"] += 1
+            self._pending_events.append(
+                PoolEvent(
+                    task.key, "crash",
+                    f"worker {worker.name!r} lost: {reason}; "
+                    f"{task.deliveries} deliveries exhausted",
+                    worker.id, 0.0,
+                )
+            )
+
+    def _unhook(self, worker: WorkerInfo) -> None:
+        try:
+            self._sel.unregister(worker.conn)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _close_worker(self, worker: WorkerInfo, state: str) -> None:
+        self._unhook(worker)
+        self.registry.drop(worker, state)
+        worker.current = None
+
+    def _send_safe(self, worker: WorkerInfo, frame: Tuple[Any, ...]) -> bool:
+        try:
+            send_frame(worker.conn, frame)
+            return True
+        except (OSError, FrameError):
+            return False
+
+    # -- metrics -----------------------------------------------------------
+
+    def _account_events(self, events: List[PoolEvent]) -> None:
+        registry = _metrics.REGISTRY
+        if events:
+            completed = registry.counter(
+                "repro_pool_tasks_completed_total", "task completions by status"
+            )
+            latency = registry.histogram(
+                "repro_pool_task_seconds", "per-task wall time inside workers"
+            )
+            for event in events:
+                completed.inc(status=event.status)
+                latency.observe(event.wall_time)
+        registry.gauge(
+            "repro_pool_queue_depth", "tasks waiting for a free worker"
+        ).set(len(self._queue))
+        registry.gauge(
+            "repro_pool_active_tasks", "tasks currently executing in workers"
+        ).set(self.active_count)

@@ -1,0 +1,227 @@
+"""The remote worker process: connect, register, serve tasks, heartbeat.
+
+``run_worker`` is the whole lifecycle: dial the scheduler, introduce
+itself with a ``hello`` (name + pid/host meta), then serve ``task``
+frames with the same ``fn(**kwargs)`` -> ``("ok"|"error", key, payload,
+wall)`` contract the pipe workers honour.  Tasks execute on a side
+thread so the serve loop keeps answering ``ping`` frames while a task
+runs — a busy worker must still prove liveness, otherwise every long
+task would read as a partition.
+
+Connection loss triggers reconnect with bounded exponential backoff
+under the *same name*: the scheduler's registry recognises the name and
+bumps its generation, so the fleet view shows one worker that
+reconnected rather than a parade of strangers.  Two exits are final:
+``stop`` (clean shutdown, exit 0) and ``evict`` (a newer registration
+took this worker's name, exit 3) — an evicted worker reconnecting would
+just re-evict its successor and flap forever.
+
+Duplicated ``task`` frames (chaos ``duplicate`` faults) are queued and
+served in order; the scheduler matches results against its current
+assignment and drops stale ones, so at-least-once delivery is safe.
+
+``spawn_local_workers`` boots N of these as subprocesses against a
+local pool — the simulated multi-host fleet the chaos harness, the CI
+``chaos-net`` job, and the 1/2/4-host benchmark legs all stand on.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+from repro.sched.net.frames import (
+    ConnectionClosed,
+    FrameError,
+    enable_nodelay,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["run_worker", "spawn_local_workers", "EXIT_STOPPED", "EXIT_LOST", "EXIT_EVICTED"]
+
+EXIT_STOPPED = 0   #: scheduler sent ``stop``
+EXIT_LOST = 1      #: connection lost and reconnect budget exhausted
+EXIT_EVICTED = 3   #: a newer registration superseded this name
+
+
+class _Runner(threading.Thread):
+    """Executes one task off the serve loop; leaves the reply in ``frame``.
+
+    ``wake`` is the serve loop's self-pipe: one byte on completion makes
+    its ``select`` return immediately instead of on the next poll tick,
+    which keeps per-task latency at the network RTT rather than the poll
+    interval (the difference between 2x and near-linear host scaling in
+    ``benchmarks/bench_sched.py``).
+    """
+
+    def __init__(self, key: str, fn: Any, kwargs: dict,
+                 wake: Optional[socket.socket] = None) -> None:
+        super().__init__(daemon=True, name=f"repro-net-task-{key}")
+        self.key = key
+        self.fn = fn
+        self.kwargs = kwargs
+        self.frame: Optional[Tuple[Any, ...]] = None
+        self._wake = wake
+
+    def run(self) -> None:
+        start = time.monotonic()
+        try:
+            value = self.fn(**self.kwargs)
+            self.frame = ("ok", self.key, value, time.monotonic() - start)
+        except BaseException as exc:  # mirror the pipe worker: report, don't die
+            self.frame = (
+                "error", self.key,
+                f"{type(exc).__name__}: {exc}",
+                time.monotonic() - start,
+            )
+        finally:
+            if self._wake is not None:
+                try:
+                    self._wake.send(b"\0")
+                except OSError:
+                    pass  # serve loop already gone; exit code covers it
+
+
+def _serve(sock: socket.socket) -> int:
+    """Serve one registered connection until stop/evict/loss.
+
+    Returns an ``EXIT_*`` code for terminal frames; raises
+    :class:`ConnectionClosed` (or ``OSError``) when the link dies and
+    the caller should consider reconnecting.
+    """
+    runner: Optional[_Runner] = None
+    inbox: List[Tuple[Any, ...]] = []
+    wake_r, wake_w = socket.socketpair()
+    try:
+        while True:
+            # The reply is ready once ``frame`` is set — the runner may
+            # still be mid-teardown (it wakes us from its ``finally``, a
+            # beat before ``is_alive()`` flips), and waiting for thread
+            # death here would eat the wake-up and stall a full poll tick.
+            if runner is not None and (
+                runner.frame is not None or not runner.is_alive()
+            ):
+                if runner.frame is not None:
+                    send_frame(sock, runner.frame)
+                runner = None
+            if runner is None and inbox:
+                _, key, fn, kwargs = inbox.pop(0)
+                runner = _Runner(key, fn, dict(kwargs), wake=wake_w)
+                runner.start()
+            readable, _, _ = select.select([sock, wake_r], [], [], 0.05)
+            if wake_r in readable:
+                wake_r.recv(64)  # drain; the loop top reaps the runner
+            if sock not in readable:
+                continue
+            frame = recv_frame(sock)
+            kind = frame[0]
+            if kind == "task":
+                if runner is None:
+                    _, key, fn, kwargs = frame
+                    runner = _Runner(key, fn, dict(kwargs), wake=wake_w)
+                    runner.start()
+                else:
+                    inbox.append(frame)
+            elif kind == "ping":
+                send_frame(sock, ("pong", frame[1], frame[2]))
+            elif kind == "stop":
+                return EXIT_STOPPED
+            elif kind == "evict":
+                return EXIT_EVICTED
+            # Anything else (a duplicated welcome, say) is noise; ignore it.
+    finally:
+        wake_r.close()
+        wake_w.close()
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    reconnect: bool = True,
+    max_reconnects: Optional[int] = None,
+    backoff_base: float = 0.1,
+    backoff_max: float = 2.0,
+    connect_timeout: float = 5.0,
+) -> int:
+    """Serve tasks from the scheduler at ``(host, port)`` until told to stop.
+
+    Blocks for the worker's whole life; returns an ``EXIT_*`` code.
+    ``name`` defaults to ``<hostname>-<pid>``; keep it stable across
+    restarts of the same slot so reconnects bump a generation instead of
+    minting a new identity.  ``max_reconnects`` bounds redials after a
+    lost connection (``None`` = unbounded, the chaos-friendly default);
+    the *initial* connection gets the same budget.
+    """
+    name = name or f"{socket.gethostname()}-{os.getpid()}"
+    meta = {"pid": os.getpid(), "host": socket.gethostname()}
+    attempts = 0
+    while True:
+        sock: Optional[socket.socket] = None
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+            enable_nodelay(sock)
+            # Registration is bounded by the connect timeout: a partition
+            # that ate the hello must not pin the worker waiting for a
+            # welcome that will never come — fail fast and redial.
+            send_frame(sock, ("hello", name, meta))
+            welcome = recv_frame(sock)
+            if welcome[0] != "welcome":
+                raise FrameError(f"expected welcome, got {welcome[0]!r}")
+            sock.settimeout(30.0)  # frame reads are select-gated; backstop only
+            attempts = 0  # a successful registration resets the redial budget
+            return _serve(sock)
+        except (ConnectionClosed, FrameError, OSError, socket.timeout):
+            attempts += 1
+            if not reconnect or (
+                max_reconnects is not None and attempts > max_reconnects
+            ):
+                return EXIT_LOST
+            time.sleep(min(backoff_base * (2 ** (attempts - 1)), backoff_max))
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+def spawn_local_workers(
+    address: Tuple[str, int],
+    count: int,
+    name_prefix: str = "local",
+    reconnect: bool = True,
+    connect_timeout: float = 5.0,
+) -> List[subprocess.Popen]:
+    """Boot ``count`` worker subprocesses dialling ``address``.
+
+    The simulated multi-host fleet: each worker is a real OS process
+    with its own interpreter, named ``{name_prefix}-{i}``.  Returns the
+    ``Popen`` handles; callers own reaping them (``pool.shutdown()``
+    sends every live worker ``stop``, after which they exit 0).
+    """
+    host, port = address
+    bootstrap = (
+        "import sys; from repro.sched.net.worker import run_worker; "
+        "sys.exit(run_worker({host!r}, {port}, name={name!r}, "
+        "reconnect={reconnect!r}, connect_timeout={connect_timeout!r}))"
+    )
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = []
+    for i in range(count):
+        code = bootstrap.format(
+            host=host, port=port, name=f"{name_prefix}-{i}",
+            reconnect=reconnect, connect_timeout=connect_timeout,
+        )
+        procs.append(subprocess.Popen([sys.executable, "-c", code], env=env))
+    return procs

@@ -39,6 +39,8 @@ this three-way equality.
 
 from __future__ import annotations
 
+import os
+import stat
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
@@ -77,10 +79,36 @@ class PoolEvent:
         return self.status == "ok"
 
 
+def _close_inherited_sockets(keep_fd: int) -> None:
+    """Close every socket fd a ``fork`` copied into this worker.
+
+    A forked worker inherits whatever sockets its parent held open — an
+    HTTP listen socket, accepted SSE connections, TCP fabric links.  The
+    copies keep those connections half-alive: the parent closing its end
+    no longer sends a FIN, so a peer writing to a "closed" socket never
+    sees an error (the serve disconnect probe), and a killed server's
+    port stays bound by its own workers.  Workers are compute-only;
+    their duplex pipe (a socketpair) is the one socket they need.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (FileNotFoundError, NotADirectoryError, OSError):
+        return  # no /proc (macOS): inherited sockets stay open, as before
+    for fd in fds:
+        if fd < 3 or fd == keep_fd:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
 def _worker_main(conn, warmup: Optional[Callable[[], None]]) -> None:
     """Worker-process loop: import once, then serve tasks until told to stop."""
     import repro  # noqa: F401 - the warm import the pool exists to amortise
 
+    _close_inherited_sockets(conn.fileno())
     if warmup is not None:
         warmup()
     while True:
@@ -166,6 +194,10 @@ class WorkerPool:
     :func:`functools.partial` of them, plain data) — the same contract
     process-per-point execution always had.
     """
+
+    #: Local pipe workers need no servicing while idle; the multiplexer
+    #: skips events() on an empty pool.  The TCP pool overrides this.
+    needs_poll = False
 
     def __init__(
         self,
@@ -280,6 +312,31 @@ class WorkerPool:
     def in_flight(self) -> int:
         """Submitted-but-unreported tasks (queued + active)."""
         return self.active_count + self.queued_count
+
+    def fleet(self) -> List[Dict[str, Any]]:
+        """Worker rows for the ``/v1/workers`` fleet view.
+
+        Local pipe workers in the same shape the TCP pool reports
+        (``transport: "pipe"``; no address, generations, or heartbeat —
+        a pipe to a child process is never partitioned).
+        """
+        return [
+            {
+                "id": w.id,
+                "name": f"pipe-{w.id}",
+                "state": "live",
+                "generation": 1,
+                "addr": None,
+                "pid": w.proc.pid,
+                "host": None,
+                "tasks_done": w.tasks_done,
+                "current": w.current.key if w.current is not None else None,
+                "registered": None,
+                "heartbeat_latency_s": None,
+                "transport": "pipe",
+            }
+            for w in self._workers
+        ]
 
     def submit(
         self,

@@ -186,17 +186,34 @@ class ResultStore:
         }
         path = self.path_for(key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(prefix=".store-", dir=directory)
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, indent=1, sort_keys=True, default=repr)
-            os.replace(tmp, path)  # atomic: readers never see a torn entry
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        return path
+        # A concurrent prune() may rmdir the shard directory between our
+        # makedirs and the mkstemp/replace below (it only removes *empty*
+        # shards, and ours is empty until the replace lands).  That
+        # surfaces as FileNotFoundError here; recreate the shard and try
+        # again rather than failing a task whose result is in hand.
+        for attempt in range(3):
+            os.makedirs(directory, exist_ok=True)
+            try:
+                fd, tmp = tempfile.mkstemp(prefix=".store-", dir=directory)
+            except FileNotFoundError:
+                continue
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh, indent=1, sort_keys=True, default=repr)
+                os.replace(tmp, path)  # atomic: readers never see a torn entry
+            except FileNotFoundError:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                continue
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            return path
+        raise OSError(
+            f"could not persist {key}: shard directory {directory} kept "
+            "vanishing (racing prune?)"
+        )
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The full entry for ``key``, or None when missing/quarantined.

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -56,6 +55,7 @@ from repro.obs import metrics as _metrics
 from repro.sched.campaign import Campaign, CampaignExecution, PoolEvent, TaskSpan
 from repro.sched.pool import WorkerPool
 from repro.sched.store import ResultStore
+from repro.util.clock import wallclock
 
 __all__ = [
     "TenantQuota",
@@ -129,7 +129,10 @@ class JobRecord:
     campaign: Campaign
     execution: CampaignExecution
     state: str = "queued"
-    created: float = field(default_factory=time.time)
+    # wallclock(), not time.time(): job timestamps feed duration math in
+    # views and snapshots, and a wall-clock step mid-job must not make a
+    # duration negative (or mask a stall).  See repro/util/clock.py.
+    created: float = field(default_factory=wallclock)
     started: float = 0.0
     finished: float = 0.0
     error: Optional[str] = None
@@ -319,8 +322,13 @@ class FairShareMultiplexer:
             self._dispatch()
             busy = self.pool.in_flight > 0
         # The blocking wait happens outside the lock so submissions and
-        # cancellations from HTTP threads never stall behind it.
-        events = self.pool.events(wait=wait) if busy else []
+        # cancellations from HTTP threads never stall behind it.  Pools
+        # that ask to be polled while idle (RemoteWorkerPool: accepting
+        # registrations, heartbeating) are polled regardless of load.
+        if busy or getattr(self.pool, "needs_poll", False):
+            events = self.pool.events(wait=wait)
+        else:
+            events = []
         with self._lock:
             self._collect(events)
             self._dispatch()  # completions freed slots and unlocked deps
@@ -357,7 +365,7 @@ class FairShareMultiplexer:
             if job.state != "queued":
                 continue
             job.state = "running"
-            job.started = time.time()
+            job.started = wallclock()
             changed.append(job)
             if not job.execution.has_pending:
                 # Fully served by the resume pass (or an empty campaign).
@@ -527,7 +535,7 @@ class FairShareMultiplexer:
                     f"{s.name}: {s.error}" for s in bad[:3] if s.error
                 ) or f"{len(bad)} task(s) failed"
         job.state = state
-        job.finished = time.time()
+        job.finished = wallclock()
         self._newly_finished.append(job)
         if _metrics.REGISTRY.enabled:
             _metrics.REGISTRY.counter(

@@ -109,6 +109,10 @@ class ServeClient:
     def campaigns(self) -> List[Dict[str, Any]]:
         return self._json("/v1/campaigns")["campaigns"]
 
+    def workers(self) -> Dict[str, Any]:
+        """``GET /v1/workers``; the full fleet envelope (rows + listen)."""
+        return self._json("/v1/workers")
+
     def healthy(self) -> bool:
         try:
             with self._request("/healthz") as resp:

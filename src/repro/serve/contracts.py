@@ -28,6 +28,7 @@ __all__ = [
     "SubmitRequest",
     "job_view",
     "jobs_view",
+    "fleet_view",
     "error_view",
     "DEFAULT_TENANT",
     "TENANT_HEADER",
@@ -151,3 +152,25 @@ def jobs_view(jobs: Any) -> Dict[str, Any]:
         "schema": SCHEMA,
         "jobs": [job_view(j)["job"] for j in jobs],
     }
+
+
+def fleet_view(pool: Any) -> Dict[str, Any]:
+    """The worker-fleet envelope (``GET /v1/workers``, SSE ``workers``).
+
+    Both pool flavours answer ``fleet()`` with the same row shape —
+    pipe workers report ``transport: "pipe"`` with no address or
+    heartbeat, TCP workers report ``transport: "tcp"`` plus their
+    registration state, generation, and last heartbeat latency
+    (docs/DISTRIBUTED.md).  ``listen`` is the TCP pool's worker-facing
+    address (absent for a pipe pool).
+    """
+    rows = pool.fleet() if hasattr(pool, "fleet") else []
+    out: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "workers": rows,
+        "live": sum(1 for r in rows if r.get("state") == "live"),
+    }
+    address = getattr(pool, "address", None)
+    if address is not None:
+        out["listen"] = f"{address[0]}:{address[1]}"
+    return out

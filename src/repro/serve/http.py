@@ -13,7 +13,8 @@ POST    ``/v1/jobs``                    submit (``repro.serve/1`` body)
 GET     ``/v1/jobs``                    this tenant's jobs (``?all=1``: every)
 GET     ``/v1/jobs/<id>``               one job envelope
 DELETE  ``/v1/jobs/<id>``               cancel (tenant-checked)
-GET     ``/v1/events``                  global SSE: ``job`` + ``snapshot``
+GET     ``/v1/workers``                 the worker-fleet envelope
+GET     ``/v1/events``                  global SSE: ``job``/``snapshot``/``workers``
 GET     ``/v1/jobs/<id>/events``        one job's SSE; closes on terminal
 ======  ==============================  =======================================
 
@@ -129,6 +130,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             elif path == "/v1/jobs":
                 tenant = None if query.get("all") else self._tenant()
                 self._send_json(jobs_view(self.service.jobs(tenant)))
+            elif path == "/v1/workers":
+                self._send_json(self.service.workers())
             elif path == "/v1/events":
                 self._stream_events(job_id=None, query=query)
             elif path.startswith("/v1/jobs/"):

@@ -13,7 +13,10 @@ with two kinds of events:
   a job changes state (queued → running → done/failed/cancelled);
 * ``snapshot`` — a ``repro.metrics/1``
   :class:`~repro.obs.snapshot.MetricsSnapshot` captured on a fixed
-  cadence, the same payload ``SnapshotWriter`` writes to JSONL.
+  cadence, the same payload ``SnapshotWriter`` writes to JSONL;
+* ``workers`` — a :func:`~repro.serve.contracts.fleet_view` envelope
+  whenever the worker fleet changes shape (a worker registers, goes
+  lost, is evicted, or finishes a task).
 
 Slow consumers never stall the scheduler: queues are bounded and the
 oldest event is dropped on overflow (SSE consumers are refresh-tolerant
@@ -41,7 +44,7 @@ from repro.sched.tenancy import (
     QuotaExceeded,
     TenantQuota,
 )
-from repro.serve.contracts import ContractError, SubmitRequest, job_view
+from repro.serve.contracts import ContractError, SubmitRequest, fleet_view, job_view
 from repro.serve.registry import CampaignEntry, default_registry
 
 __all__ = ["CampaignService", "Subscription"]
@@ -93,6 +96,8 @@ class CampaignService:
         snapshot_interval: Optional[float] = None,
         metrics_path: Optional[str] = None,
         progress: Optional[Any] = None,
+        workers_port: Optional[int] = None,
+        workers_host: str = "127.0.0.1",
     ) -> None:
         self.store = ResultStore(store_path)
         self.registry = default_registry() if registry is None else dict(registry)
@@ -105,9 +110,26 @@ class CampaignService:
             )
         self._metrics_were_enabled = _metrics.REGISTRY.enabled
         _metrics.REGISTRY.enable()
-        self.mux = FairShareMultiplexer(
-            self.store, jobs=jobs, quota=quota, progress=progress
-        )
+        # With a workers port the service runs on the TCP fabric: remote
+        # workers dial in and register (docs/DISTRIBUTED.md); without one
+        # it keeps the local duplex-pipe pool.  The remote pool is handed
+        # to the multiplexer as an external pool, so the service — not
+        # mux.shutdown() — owns its lifecycle.
+        self._remote_pool: Optional[Any] = None
+        if workers_port is not None:
+            from repro.sched.net.pool import RemoteWorkerPool
+
+            self._remote_pool = RemoteWorkerPool(
+                host=workers_host, port=workers_port, jobs=jobs if jobs else 4
+            )
+            self.mux = FairShareMultiplexer(
+                self.store, pool=self._remote_pool, jobs=jobs, quota=quota,
+                progress=progress,
+            )
+        else:
+            self.mux = FairShareMultiplexer(
+                self.store, jobs=jobs, quota=quota, progress=progress
+            )
         self._subs: List[Subscription] = []
         self._subs_lock = threading.Lock()
         self._stop = threading.Event()
@@ -143,6 +165,8 @@ class CampaignService:
             self._thread.join(timeout=30.0)
             self._thread = None
         self.mux.shutdown()
+        if self._remote_pool is not None:
+            self._remote_pool.shutdown()
         self._broadcast_snapshot(final=True)
         if self._metrics_fh is not None:
             self._metrics_fh.close()
@@ -200,6 +224,14 @@ class CampaignService:
         self.mux.cancel(job_id)
         return job
 
+    def workers(self) -> Dict[str, Any]:
+        """The worker-fleet envelope for ``GET /v1/workers``.
+
+        ``fleet()`` is a read-only snapshot on both pool flavours, safe
+        to call from handler threads while the scheduler polls.
+        """
+        return fleet_view(self.mux.pool)
+
     def campaigns(self) -> Dict[str, Any]:
         """The campaign catalogue envelope for ``GET /v1/campaigns``."""
         from repro.serve.contracts import SCHEMA
@@ -235,14 +267,36 @@ class CampaignService:
 
     def _loop(self) -> None:
         next_snap = time.monotonic()
+        fleet_digest: Optional[Tuple[Any, ...]] = None
         while not self._stop.is_set():
             changed = self.mux.step(wait=0.2)
             for job in changed:
                 self._broadcast_job(job)
+            digest = self._fleet_digest()
+            if digest != fleet_digest:
+                fleet_digest = digest
+                self._broadcast_workers()
             now = time.monotonic()
             if changed or now >= next_snap:
                 self._broadcast_snapshot()
                 next_snap = now + self.snapshot_interval
+
+    def _fleet_digest(self) -> Tuple[Any, ...]:
+        # Heartbeat latencies jitter every pong; digest only the fields
+        # whose change is worth an SSE event.
+        pool = self.mux.pool
+        rows = pool.fleet() if hasattr(pool, "fleet") else []
+        return tuple(
+            (r.get("id"), r.get("state"), r.get("current"), r.get("tasks_done"))
+            for r in rows
+        )
+
+    def _broadcast_workers(self) -> None:
+        data = json.dumps(fleet_view(self.mux.pool), sort_keys=True)
+        with self._subs_lock:
+            subs = [s for s in self._subs if s.job_id is None]
+        for sub in subs:
+            sub.push("workers", data)
 
     def _broadcast_job(self, job: JobRecord) -> None:
         data = json.dumps(job_view(job), sort_keys=True)

@@ -1,0 +1,39 @@
+"""Monotonic-derived timestamps for scheduler bookkeeping.
+
+Timeout and watchdog math must never consult the wall clock: an NTP
+step, a manual ``date`` change, or a VM migration can move ``time.time``
+backwards (spuriously "expiring" a deadline and killing a healthy
+worker) or forwards (masking a genuinely hung one).  Every deadline in
+:mod:`repro.sched` therefore lives on ``time.monotonic``.
+
+Display timestamps are the opposite problem: job records and wire
+envelopes want epoch seconds a human (or another host) can read.
+:func:`wallclock` bridges the two — it anchors one wall-clock reading
+taken at import time to the monotonic clock and extrapolates from
+there, so the *sequence* of stamps taken by one process is guaranteed
+non-decreasing even while the wall clock jumps underneath it.  Two
+stamps taken before and after a backwards NTP step still order
+correctly; the absolute value drifts from "true" wall time only by
+however far the system clock was adjusted after process start, which is
+exactly the trade a scheduler wants.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wallclock", "MONO_ANCHOR", "WALL_ANCHOR"]
+
+#: The paired readings every :func:`wallclock` stamp extrapolates from.
+WALL_ANCHOR = time.time()
+MONO_ANCHOR = time.monotonic()
+
+
+def wallclock() -> float:
+    """Epoch-style seconds derived from the monotonic clock.
+
+    ``WALL_ANCHOR + (monotonic() - MONO_ANCHOR)``: comparable to
+    ``time.time()`` for display, but immune to wall-clock jumps — within
+    one process the returned values never decrease.
+    """
+    return WALL_ANCHOR + (time.monotonic() - MONO_ANCHOR)

@@ -102,6 +102,21 @@ class TestSelfChecking:
         assert outcome.attempts == 2
         assert "recovered" in outcome.note
 
+    def test_transient_fault_spends_exactly_once_across_retries(self):
+        # The recovery contract: the fault fires on the attempt reaching
+        # its trigger, stays exhausted for every later attempt, and the
+        # firing log shows exactly one event.
+        case, plan = self._flaky_case()
+        assert not plan.faults[0].exhausted
+        outcome = run_self_checking(case, fault_plan=plan, max_attempts=3)
+        assert outcome.ok
+        assert plan.fired == 1
+        assert plan.faults[0].exhausted
+        # A further run against the same plan is clean on attempt 1.
+        again = run_self_checking(case, fault_plan=plan, max_attempts=3)
+        assert again.ok and again.attempts == 1
+        assert plan.fired == 1
+
     def test_reports_failure_when_attempts_exhausted(self):
         case, plan = self._flaky_case()
         outcome = run_self_checking(case, fault_plan=plan, max_attempts=1)

@@ -1,0 +1,186 @@
+"""Network fault plans and the chaos proxy: per-frame verdicts on the wire."""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.faults.net import NET_FAULT_KINDS, NetFault, NetFaultPlan
+from repro.sched.net.frames import ConnectionClosed, recv_frame, send_frame
+from repro.sched.net.proxy import ChaosProxy
+
+
+class TestNetFault:
+    def test_kind_table(self):
+        assert NET_FAULT_KINDS == ("drop", "delay", "duplicate", "partition", "reconnect")
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            NetFault("jitter")
+        with pytest.raises(ValueError):
+            NetFault("drop", direction="up")
+        with pytest.raises(ValueError):
+            NetFault("drop", frame="warp")
+        with pytest.raises(ValueError):
+            NetFault("drop", nth=0)
+        with pytest.raises(ValueError):
+            NetFault("delay", delay_s=0)
+        with pytest.raises(ValueError):
+            NetFault("partition", duration_s=0)
+
+    def test_spec_dict_round_trip(self):
+        plan = NetFaultPlan([{"kind": "drop", "direction": "c2s", "frame": "ok", "nth": 3}])
+        assert plan.to_specs() == [
+            {"kind": "drop", "nth": 3, "direction": "c2s", "frame": "ok"}
+        ]
+
+    def test_plan_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            NetFaultPlan(["drop"])
+
+
+class TestDecide:
+    def test_nth_match_fires_spend_once(self):
+        plan = NetFaultPlan([NetFault("drop", direction="c2s", frame="ok", nth=2)])
+        assert plan.decide("c2s", "ok") == ("forward", None)     # match 1
+        assert plan.decide("s2c", "ok") == ("forward", None)     # wrong direction
+        assert plan.decide("c2s", "ping") == ("forward", None)   # wrong frame
+        action, fault = plan.decide("c2s", "ok")                 # match 2: fires
+        assert action == "drop" and fault.kind == "drop"
+        assert plan.decide("c2s", "ok") == ("forward", None)     # spent
+        assert plan.fired == 1
+        assert plan.events[0].kind == "drop"
+        assert plan.events[0].detail["frame"] == "ok"
+
+    def test_unlimited_firings(self):
+        plan = NetFaultPlan([NetFault("drop", frame="ping", firings=None)])
+        for _ in range(3):
+            assert plan.decide("s2c", "ping")[0] == "drop"
+        assert plan.fired == 3
+
+    def test_partition_window_blackholes_everything(self):
+        plan = NetFaultPlan(
+            [NetFault("partition", direction="c2s", frame="ok", duration_s=0.2)]
+        )
+        action, fault = plan.decide("c2s", "ok")
+        assert action == "blackhole"  # the trigger frame is inside the window
+        assert fault.kind == "partition"
+        assert plan.partitioned
+        assert plan.decide("s2c", "task") == ("blackhole", None)
+        assert plan.decide("c2s", "hello") == ("blackhole", None)
+        time.sleep(0.25)
+        assert not plan.partitioned
+        assert plan.decide("c2s", "hello") == ("forward", None)
+
+    def test_manual_partition(self):
+        plan = NetFaultPlan()
+        plan.partition(0.15)
+        assert plan.partitioned
+        assert plan.decide("c2s", "ok")[0] == "blackhole"
+        assert plan.events[0].detail["trigger"] == "manual"
+        time.sleep(0.2)
+        assert plan.decide("c2s", "ok") == ("forward", None)
+
+    def test_reset_rearms(self):
+        plan = NetFaultPlan([NetFault("drop", frame="ok")])
+        assert plan.decide("c2s", "ok")[0] == "drop"
+        plan.reset()
+        assert plan.fired == 0
+        assert plan.decide("c2s", "ok")[0] == "drop"
+
+
+class _Upstream:
+    """A scheduler stand-in: accepts one connection, records frames."""
+
+    def __init__(self):
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.conn = None
+
+    @property
+    def address(self):
+        return self.listener.getsockname()[:2]
+
+    def accept(self):
+        self.conn, _ = self.listener.accept()
+        self.conn.settimeout(5.0)
+        return self.conn
+
+    def close(self):
+        if self.conn is not None:
+            self.conn.close()
+        self.listener.close()
+
+
+class TestChaosProxy:
+    def test_transparent_forwarding_and_log(self, tmp_path):
+        log = tmp_path / "frames.jsonl"
+        upstream = _Upstream()
+        try:
+            with ChaosProxy(
+                upstream.address, log_path=str(log), log_label="t"
+            ) as proxy:
+                client = socket.create_connection(proxy.address, timeout=5.0)
+                client.settimeout(5.0)
+                server = upstream.accept()
+                send_frame(client, ("hello", "w", {}))
+                assert recv_frame(server) == ("hello", "w", {})
+                send_frame(server, ("welcome", 1, 1))
+                assert recv_frame(client) == ("welcome", 1, 1)
+                client.close()
+                server.close()
+        finally:
+            upstream.close()
+        rows = [json.loads(line) for line in log.read_text().splitlines()]
+        assert [r["frame"] for r in rows] == ["hello", "welcome"]
+        assert [r["dir"] for r in rows] == ["c2s", "s2c"]
+        assert all(r["action"] == "forward" and r["case"] == "t" for r in rows)
+
+    def test_drop_and_duplicate(self):
+        plan = NetFaultPlan([
+            NetFault("drop", direction="c2s", frame="ping", nth=1),
+            NetFault("duplicate", direction="c2s", frame="pong", nth=1),
+        ])
+        upstream = _Upstream()
+        try:
+            with ChaosProxy(upstream.address, plan=plan) as proxy:
+                client = socket.create_connection(proxy.address, timeout=5.0)
+                client.settimeout(5.0)
+                server = upstream.accept()
+                send_frame(client, ("ping", 1, 0.0))   # dropped
+                send_frame(client, ("pong", 1, 0.0))   # duplicated
+                send_frame(client, ("stop",))          # forwarded
+                assert recv_frame(server) == ("pong", 1, 0.0)
+                assert recv_frame(server) == ("pong", 1, 0.0)
+                assert recv_frame(server) == ("stop",)
+                client.close()
+                server.close()
+        finally:
+            upstream.close()
+
+    def test_reconnect_fault_tears_the_link(self):
+        plan = NetFaultPlan([NetFault("reconnect", direction="c2s", frame="ping")])
+        upstream = _Upstream()
+        try:
+            with ChaosProxy(upstream.address, plan=plan) as proxy:
+                client = socket.create_connection(proxy.address, timeout=5.0)
+                client.settimeout(5.0)
+                server = upstream.accept()
+                send_frame(client, ("ping", 1, 0.0))
+                with pytest.raises((ConnectionClosed, OSError)):
+                    recv_frame(server)  # link closed, frame never arrives
+        finally:
+            upstream.close()
+
+    def test_eof_propagates_both_ways(self):
+        upstream = _Upstream()
+        try:
+            with ChaosProxy(upstream.address) as proxy:
+                client = socket.create_connection(proxy.address, timeout=5.0)
+                client.settimeout(5.0)
+                server = upstream.accept()
+                server.close()  # scheduler writes the worker off
+                with pytest.raises((ConnectionClosed, OSError)):
+                    recv_frame(client)
+        finally:
+            upstream.close()

@@ -1,0 +1,64 @@
+"""Fleet-chaos harness: reference determinism and one end-to-end case.
+
+The full five-case suite runs in CI's ``chaos-net`` job (``python -m
+repro chaos --net-only``); here we keep tier-1 wall time bounded by
+exercising the machinery through its cheapest case only.
+"""
+
+import json
+
+from repro.faults.harness import render_chaos_report
+from repro.faults.net_harness import (
+    chaos_point_task,
+    default_net_cases,
+    point_kwargs,
+    run_net_chaos_suite,
+    serial_reference,
+)
+
+
+def test_chaos_point_task_is_deterministic():
+    a = chaos_point_task(**point_kwargs(0))
+    b = chaos_point_task(**point_kwargs(0))
+    assert a == b
+    assert a["correct"]
+
+
+def test_serial_reference_covers_every_point():
+    ref = serial_reference(3)
+    assert sorted(ref) == ["p0", "p1", "p2"]
+    assert len({r["n"] for r in ref.values()}) == 3  # distinct inputs
+
+
+def test_shipped_cases_cover_the_failure_matrix():
+    names = [c.name for c in default_net_cases()]
+    assert names == [
+        "sigkill-mid-campaign",
+        "reconnect-after-requeue",
+        "split-brain-registration",
+        "partition-mid-superstep",
+        "sigkill-plus-partition",
+    ]
+
+
+def test_sigkill_case_end_to_end(tmp_path):
+    log = tmp_path / "frames.jsonl"
+    report = run_net_chaos_suite(
+        points=3, fault_log=str(log), only="sigkill-mid-campaign"
+    )
+    assert len(report.results) == 1
+    result = report.results[0]
+    assert result.ok, result.note
+    assert "requeues=" in result.note
+    rendered = render_chaos_report(report)
+    assert "sigkill-mid-campaign" in rendered
+    # The frame-level artifact exists and parses.
+    rows = [json.loads(line) for line in log.read_text().splitlines()]
+    assert rows and all(r["case"] == "sigkill-mid-campaign" for r in rows)
+    assert any(r["frame"] == "ok" for r in rows)
+
+
+def test_unknown_filter_yields_empty_ok_report():
+    report = run_net_chaos_suite(points=2, only="no-such-case")
+    assert report.results == []
+    assert report.ok

@@ -1,0 +1,161 @@
+"""Wire framing: round-trips, bounds, torn connections."""
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.sched.net.frames import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    frame_type,
+    recv_frame,
+    recv_frame_bytes,
+    send_frame,
+)
+
+
+def pair():
+    return socket.socketpair()
+
+
+def test_round_trip_every_frame_type():
+    frames = [
+        ("hello", "w1", {"pid": 1, "host": "h"}),
+        ("welcome", 7, 2),
+        ("evict", "superseded"),
+        ("task", "job/point", len, {"obj": [1, 2, 3]}),
+        ("ok", "job/point", {"value": 42}, 0.5),
+        ("error", "job/point", "ValueError: nope", 0.1),
+        ("ping", 3, 123.456),
+        ("pong", 3, 123.456),
+        ("stop",),
+    ]
+    a, b = pair()
+    try:
+        for frame in frames:
+            send_frame(a, frame)
+            assert recv_frame(b) == frame
+    finally:
+        a.close()
+        b.close()
+
+
+def test_encode_decode_inverse():
+    frame = ("ok", "k", {"n": 5}, 0.25)
+    assert decode_frame(encode_frame(frame)[4:]) == frame
+
+
+def test_frame_type_validates_shape():
+    assert frame_type(("ping", 1, 0.0)) == "ping"
+    with pytest.raises(FrameError):
+        frame_type(["ping", 1, 0.0])  # not a tuple
+    with pytest.raises(FrameError):
+        frame_type(())
+    with pytest.raises(FrameError):
+        frame_type((42, "x"))
+    with pytest.raises(FrameError):
+        frame_type(("warp", 1))  # unknown tag
+
+
+def test_oversized_frame_rejected_on_send():
+    with pytest.raises(FrameError):
+        encode_frame(("task", "k", None, {"blob": b"x" * (MAX_FRAME_BYTES + 1)}))
+
+
+def test_bad_length_prefix_rejected():
+    a, b = pair()
+    try:
+        a.sendall(struct.pack(">I", 0))
+        with pytest.raises(FrameError):
+            recv_frame_bytes(b)
+    finally:
+        a.close()
+        b.close()
+    a, b = pair()
+    try:
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError):
+            recv_frame_bytes(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_unpicklable_payload_is_frame_error():
+    a, b = pair()
+    try:
+        payload = b"\x00not a pickle"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_close_raises_connection_closed_at_boundary():
+    a, b = pair()
+    a.close()
+    try:
+        with pytest.raises(ConnectionClosed) as exc:
+            recv_frame(b)
+        assert "mid-frame" not in str(exc.value)
+    finally:
+        b.close()
+
+
+def test_torn_mid_frame_distinguished():
+    a, b = pair()
+    try:
+        wire = encode_frame(("ok", "k", {"v": 1}, 0.0))
+        a.sendall(wire[: len(wire) // 2])
+        a.close()
+        with pytest.raises(ConnectionClosed) as exc:
+            recv_frame(b)
+        assert "mid-frame" in str(exc.value)
+    finally:
+        b.close()
+
+
+def test_recv_frame_bytes_preserves_payload_for_forwarding():
+    # The chaos proxy forwards raw payload bytes; they must re-decode.
+    a, b = pair()
+    try:
+        frame = ("task", "k", max, {"a": 1})
+        send_frame(a, frame)
+        raw = recv_frame_bytes(b)
+        assert decode_frame(raw) == frame
+        assert pickle.loads(raw) == frame
+    finally:
+        a.close()
+        b.close()
+
+
+def test_interleaved_frames_from_threads_stay_whole():
+    # sendall is atomic per call under the GIL for blocking sockets; a
+    # reader must see whole frames regardless of writer interleaving.
+    a, b = pair()
+    frames = [("ping", i, float(i)) for i in range(50)]
+    try:
+        def write(chunk):
+            for frame in chunk:
+                send_frame(a, frame)
+        threads = [
+            threading.Thread(target=write, args=(frames[:25],)),
+            threading.Thread(target=write, args=(frames[25:],)),
+        ]
+        for t in threads:
+            t.start()
+        seen = [recv_frame(b) for _ in range(50)]
+        for t in threads:
+            t.join()
+        assert sorted(seen) == sorted(frames)
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,107 @@
+"""Registry semantics: generations, split-brain eviction, heartbeat state."""
+
+import time
+
+import pytest
+
+from repro.sched.net.registry import WORKER_STATES, WorkerRegistry
+
+
+class FakeConn:
+    def close(self):
+        pass
+
+
+ADDR = ("127.0.0.1", 4242)
+
+
+def test_register_assigns_ids_and_generation():
+    reg = WorkerRegistry()
+    w1, evicted = reg.register("alpha", FakeConn(), ADDR, {"pid": 11})
+    assert evicted is None
+    assert w1.state == "live"
+    assert w1.generation == 1
+    w2, evicted = reg.register("beta", FakeConn(), ADDR)
+    assert evicted is None
+    assert w2.id != w1.id
+    assert {w.name for w in reg.live()} == {"alpha", "beta"}
+
+
+def test_split_brain_latest_registration_wins():
+    reg = WorkerRegistry()
+    old, _ = reg.register("alpha", FakeConn(), ADDR)
+    new, evicted = reg.register("alpha", FakeConn(), ADDR)
+    assert evicted is old
+    assert old.state == "evicted"
+    assert new.state == "live"
+    assert new.generation == 2
+    assert reg.by_name("alpha") is new
+    assert [w.name for w in reg.live()] == ["alpha"]
+
+
+def test_reconnect_after_loss_bumps_generation():
+    reg = WorkerRegistry()
+    w1, _ = reg.register("alpha", FakeConn(), ADDR)
+    reg.drop(w1, "lost")
+    assert reg.by_name("alpha") is None
+    w2, evicted = reg.register("alpha", FakeConn(), ADDR)
+    assert evicted is None  # the old registration was already out
+    assert w2.generation == 2
+
+
+def test_drop_validates_state():
+    reg = WorkerRegistry()
+    w, _ = reg.register("alpha", FakeConn(), ADDR)
+    with pytest.raises(ValueError):
+        reg.drop(w, "live")
+    with pytest.raises(ValueError):
+        reg.drop(w, "vanished")
+    reg.drop(w, "stopped")
+    assert w.state == "stopped"
+    assert w.state in WORKER_STATES
+
+
+def test_pong_bookkeeping_and_expiry():
+    reg = WorkerRegistry()
+    w, _ = reg.register("alpha", FakeConn(), ADDR)
+    now = time.monotonic()
+    w.ping_seq = 1
+    w.ping_sent = (1, now - 0.01)
+    reg.record_pong(w, 1, now - 0.01)
+    assert w.ping_sent is None
+    assert w.last_latency is not None and w.last_latency >= 0.0
+    assert reg.expired(timeout=10.0) == []
+    assert reg.expired(timeout=0.0, now=w.last_pong + 1.0) == [w]
+
+
+def test_stale_pong_seq_still_proves_liveness():
+    reg = WorkerRegistry()
+    w, _ = reg.register("alpha", FakeConn(), ADDR)
+    w.ping_sent = (5, time.monotonic())
+    reg.record_pong(w, 3, time.monotonic())  # an old echo
+    assert w.ping_sent == (5, w.ping_sent[1])  # outstanding ping unresolved
+    assert reg.expired(timeout=1.0) == []  # but the pong reset the deadline
+
+
+def test_rows_keep_terminal_history():
+    reg = WorkerRegistry()
+    w1, _ = reg.register("alpha", FakeConn(), ADDR, {"pid": 1, "host": "h"})
+    reg.drop(w1, "lost")
+    w2, _ = reg.register("alpha", FakeConn(), ADDR, {"pid": 2, "host": "h"})
+    rows = reg.rows()
+    assert [r["state"] for r in rows] == ["lost", "live"]
+    assert [r["generation"] for r in rows] == [1, 2]
+    assert all(r["transport"] == "tcp" for r in rows)
+    assert rows[1]["pid"] == 2
+
+
+def test_row_shows_current_task_key():
+    reg = WorkerRegistry()
+    w, _ = reg.register("alpha", FakeConn(), ADDR)
+
+    class Task:
+        key = "job/p3"
+
+    w.current = Task()
+    assert w.busy
+    assert w.to_row()["current"] == "job/p3"

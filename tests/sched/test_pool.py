@@ -31,6 +31,20 @@ def hang(seconds=60.0):
     return {"done": True}
 
 
+def socket_fd_count():
+    """Count socket fds open in the worker (its task pipe included)."""
+    import stat
+
+    count = 0
+    for name in os.listdir("/proc/self/fd"):
+        try:
+            if stat.S_ISSOCK(os.fstat(int(name)).st_mode):
+                count += 1
+        except OSError:
+            continue
+    return {"sockets": count}
+
+
 def drain(pool, expected, wait=0.5, budget=30.0):
     """Collect events until ``expected`` keys completed (or time out)."""
     events = {}
@@ -137,6 +151,29 @@ class TestFailureIsolation:
             events = drain(pool, 1)
         assert events["gen"].status == "error"
         assert "not sendable" in events["gen"].payload
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs /proc (Linux)"
+    )
+    def test_forked_worker_drops_inherited_sockets(self):
+        # A worker forked while the parent holds open sockets must not
+        # keep copies: an inherited fd holds a connection half-alive
+        # after the real owner closes it (the peer's writes keep
+        # succeeding, so disconnects go undetected), and a killed
+        # server's listen port stays bound by its own workers.  The one
+        # socket a worker may hold is its own task pipe (a socketpair).
+        import socket as socketlib
+
+        parked = socketlib.socketpair()
+        try:
+            with WorkerPool(jobs=1) as pool:
+                pool.submit("fds", socket_fd_count)
+                events = drain(pool, 1)
+        finally:
+            for end in parked:
+                end.close()
+        assert events["fds"].ok
+        assert events["fds"].payload == {"sockets": 1}
 
 
 def unpicklable_result():

@@ -215,3 +215,131 @@ class TestBenchCacheMigration:
         store = ResultStore(str(tmp_path / "store"))
         with pytest.raises(ValueError, match="not a sweep cache"):
             import_bench_cache(store, str(bad), point_fn)
+
+
+class TestConcurrentWriters:
+    """put() under contention: same-key racers and the prune-rmdir race."""
+
+    def test_same_key_concurrent_puts_neither_raises(self, tmp_path):
+        import threading
+
+        store = ResultStore(str(tmp_path / "store"))
+        key = store.key_for(point_fn, {"n": 4})
+        errors = []
+
+        def write(tag):
+            try:
+                for _ in range(50):
+                    store.put(key, {"measured": 16.0, "correct": True, "by": tag})
+            except BaseException as exc:  # noqa: BLE001 - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Whoever won, the entry is whole and valid (no quarantine).
+        outcome = store.get_outcome(key)
+        assert outcome is not None and outcome["measured"] == 16.0
+        assert not os.path.exists(store.path_for(key) + ".quarantined")
+
+    def test_put_survives_prune_rmdir_between_makedirs_and_mkstemp(
+        self, tmp_path, monkeypatch
+    ):
+        import tempfile as _tempfile
+
+        store = ResultStore(str(tmp_path / "store"))
+        real_mkstemp = _tempfile.mkstemp
+        raced = {"done": False}
+
+        def racing_mkstemp(*args, **kwargs):
+            if not raced["done"]:
+                raced["done"] = True
+                # A concurrent prune() rmdirs the (empty) shard just now.
+                os.rmdir(kwargs["dir"])
+                return real_mkstemp(*args, **kwargs)  # raises FileNotFoundError
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr("repro.sched.store.tempfile.mkstemp", racing_mkstemp)
+        key = store.key_for(point_fn, {"n": 8})
+        path = store.put(key, {"measured": 32.0, "correct": True})
+        assert raced["done"]
+        assert os.path.exists(path)
+        assert store.get_outcome(key)["measured"] == 32.0
+
+    def test_put_survives_prune_rmdir_before_replace(self, tmp_path, monkeypatch):
+        import shutil
+
+        store = ResultStore(str(tmp_path / "store"))
+        real_replace = os.replace
+        raced = {"count": 0}
+
+        def racing_replace(src, dst):
+            if raced["count"] == 0 and ".store-" in src:
+                raced["count"] += 1
+                shutil.rmtree(os.path.dirname(dst))  # prune wins the race
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.sched.store.os.replace", racing_replace)
+        key = store.key_for(point_fn, {"n": 16})
+        store.put(key, {"measured": 64.0, "correct": True})
+        assert raced["count"] == 1
+        assert store.get_outcome(key)["measured"] == 64.0
+
+    def test_concurrent_put_and_prune_stress(self, tmp_path):
+        import threading
+
+        store = ResultStore(str(tmp_path / "store"))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(200):
+                    key = store.key_for(point_fn, {"n": i})
+                    store.put(key, {"measured": float(i), "correct": True})
+            except BaseException as exc:  # noqa: BLE001 - the assertion target
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def pruner():
+            while not stop.is_set():
+                try:
+                    store.prune(older_than_s=0)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=pruner)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestCrashDuringWrite:
+    def test_crash_mid_write_leaves_no_partial_object(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path / "store"))
+        key = store.key_for(point_fn, {"n": 4})
+
+        def exploding_dump(*args, **kwargs):
+            raise KeyboardInterrupt  # the harshest interruption json can see
+
+        monkeypatch.setattr("repro.sched.store.json.dump", exploding_dump)
+        with pytest.raises(KeyboardInterrupt):
+            store.put(key, {"measured": 16.0, "correct": True})
+        monkeypatch.undo()
+        # No entry, no quarantine, no leaked temp file anywhere.
+        assert store.get(key) is None
+        leftovers = [
+            name
+            for root, _, names in os.walk(str(tmp_path / "store"))
+            for name in names
+        ]
+        assert leftovers == []
+        # The next attempt (the retry a crashed task gets) lands cleanly.
+        store.put(key, {"measured": 16.0, "correct": True})
+        assert store.get_outcome(key)["measured"] == 16.0

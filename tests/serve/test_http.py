@@ -195,15 +195,28 @@ def test_watch_stream_closes_on_terminal(server):
 def test_disconnect_with_cancel_on_disconnect_cancels_job(server):
     """A watching tenant that vanishes mid-campaign cancels its job."""
     client = client_for(server, tenant="alice")
-    # Long enough (8 points x 1s over 2 workers ~ 4s) that the server's
-    # keep-alive write hits the dead socket well before completion.
-    job = client.submit("demo", {"points": 8, "delay": 1.0})
-    resp = client._request(
-        f"/v1/jobs/{job['id']}/events?cancel_on_disconnect=1", timeout=30
+    # Long enough (16 points x 2s over 2 workers ~ 16s) that the server's
+    # keep-alive write hits the dead socket well before completion: the
+    # first write after the FIN still lands in the kernel buffer, so
+    # detection costs two ping intervals (~2-3s), not one.
+    job = client.submit("demo", {"points": 16, "delay": 2.0})
+    # A raw socket, not urllib: the disconnect must happen at the OS
+    # level (FIN, then RST against the server's next writes).  urllib's
+    # response.close() leaves the fd to a reference cycle the cyclic GC
+    # collects at its leisure, so the server would keep writing pings
+    # into a live socket and never see the tenant vanish.
+    import socket as socketlib
+    host, port = server.server_address[:2]
+    raw = socketlib.create_connection((host, port), timeout=10)
+    raw.sendall(
+        (
+            f"GET /v1/jobs/{job['id']}/events?cancel_on_disconnect=1 HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\nX-Repro-Tenant: alice\r\n\r\n"
+        ).encode("ascii")
     )
-    # Read one frame so the stream is established, then drop the socket.
-    resp.read1(1)
-    resp.close()
+    # Read one chunk so the stream is established, then drop the socket.
+    assert raw.recv(1)
+    raw.close()
     deadline = time.monotonic() + 20
     while client.job(job["id"])["state"] not in ("cancelled", "done"):
         assert time.monotonic() < deadline

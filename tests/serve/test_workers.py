@@ -1,0 +1,173 @@
+"""The worker-fleet surface: fleet_view, /v1/workers, the workers SSE event."""
+
+import json
+import subprocess
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.sched.net.worker import spawn_local_workers
+from repro.sched.pool import WorkerPool
+from repro.serve.client import ServeClient
+from repro.serve.contracts import SCHEMA, fleet_view
+from repro.serve.http import create_server, serve_forever
+from repro.serve.service import CampaignService
+from repro.serve.sse import iter_sse
+
+
+def _noop():
+    return None
+
+
+class TestFleetView:
+    def test_pipe_pool_rows(self):
+        # Pipe workers spawn lazily; the fleet is empty until tasks arrive.
+        pool = WorkerPool(jobs=2)
+        try:
+            assert fleet_view(pool) == {"schema": SCHEMA, "workers": [], "live": 0}
+            pool.submit("a", _noop)
+            pool.submit("b", _noop)
+            done = 0
+            deadline = time.monotonic() + 15
+            while done < 2 and time.monotonic() < deadline:
+                done += len(pool.events(wait=0.2))
+            view = fleet_view(pool)
+            assert view["schema"] == SCHEMA
+            assert view["live"] == 2
+            assert "listen" not in view
+            for row in view["workers"]:
+                assert row["transport"] == "pipe"
+                assert row["state"] == "live"
+                assert row["addr"] is None
+                assert isinstance(row["pid"], int)
+        finally:
+            pool.shutdown()
+
+    def test_poolless_object_yields_empty_fleet(self):
+        view = fleet_view(object())
+        assert view == {"schema": SCHEMA, "workers": [], "live": 0}
+
+
+def _boot(service):
+    srv = create_server(service, port=0)
+    thread = threading.Thread(target=serve_forever, args=(srv,), daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}", tenant="alice")
+    deadline = time.monotonic() + 10
+    while not client.healthy():
+        assert time.monotonic() < deadline, "server did not come up"
+        time.sleep(0.05)
+    return srv, thread, client
+
+
+class TestPipeServer:
+    def test_v1_workers_route(self, tmp_path):
+        service = CampaignService(
+            str(tmp_path / "store"), jobs=2, snapshot_interval=0.1
+        )
+        srv, thread, client = _boot(service)
+        try:
+            view = client.workers()
+            assert view["schema"] == SCHEMA
+            assert view["workers"] == [] and view["live"] == 0  # lazy spawn
+            job = client.submit("demo", {"points": 3, "delay": 0.0})
+            assert client.wait(job["id"], timeout=30)["state"] == "done"
+            view = client.workers()
+            assert view["live"] >= 1
+            assert {r["transport"] for r in view["workers"]} == {"pipe"}
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+
+
+class TestRemoteServer:
+    @pytest.fixture
+    def remote(self, tmp_path):
+        service = CampaignService(
+            str(tmp_path / "store"),
+            jobs=2,
+            snapshot_interval=0.1,
+            workers_port=0,
+        )
+        srv, thread, client = _boot(service)
+        procs = spawn_local_workers(service.mux.pool.address, 2)
+        # Wait for both registrations before yielding: shutdown only
+        # sends ``stop`` to workers the registry knows about, and an
+        # unregistered worker left behind would redial the closed
+        # listener forever (the chaos-friendly default).
+        deadline = time.monotonic() + 15
+        while client.workers()["live"] < 2:
+            assert time.monotonic() < deadline, "workers never registered"
+            time.sleep(0.05)
+        try:
+            yield service, srv, client
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+    def test_remote_fleet_serves_a_campaign(self, remote):
+        service, srv, client = remote
+        # Workers register asynchronously; the route reflects them live.
+        deadline = time.monotonic() + 10
+        while client.workers()["live"] < 2:
+            assert time.monotonic() < deadline, "workers never registered"
+            time.sleep(0.05)
+        view = client.workers()
+        assert view["listen"] == "%s:%d" % service.mux.pool.address
+        assert {r["transport"] for r in view["workers"]} == {"tcp"}
+        assert all(r["generation"] == 1 for r in view["workers"])
+
+        job = client.submit("demo", {"points": 3, "delay": 0.0})
+        final = client.wait(job["id"], timeout=30)
+        assert final["state"] == "done"
+        assert final["counts"] == {"done": 4}
+        done = sum(r["tasks_done"] for r in client.workers()["workers"])
+        assert done >= 1  # the summary task may run on either worker
+
+    def test_global_stream_carries_workers_events(self, remote):
+        service, srv, client = remote
+        host, port = srv.server_address[:2]
+        req = urllib.request.Request(f"http://{host}:{port}/v1/events")
+        resp = urllib.request.urlopen(req, timeout=10)
+        # The fleet registered before this stream attached, so force a
+        # digest change (tasks_done moves) the subscriber will see.
+        client.submit("demo", {"points": 2, "delay": 0.0})
+
+        def chunks():
+            with resp:
+                deadline = time.monotonic() + 15
+                while time.monotonic() < deadline:
+                    block = resp.read1(4096)
+                    if not block:
+                        return
+                    yield block.decode("utf-8")
+
+        seen = None
+        for event in iter_sse(chunks()):
+            if event["event"] == "workers":
+                seen = json.loads(event["data"])
+                break
+        assert seen is not None, "no workers event on the global stream"
+        assert seen["schema"] == SCHEMA
+        assert "listen" in seen
+
+    def test_stop_shuts_the_owned_remote_pool_down(self, remote):
+        service, srv, client = remote
+        deadline = time.monotonic() + 10
+        while client.workers()["live"] < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        srv.shutdown()  # serve_forever's finally runs service.stop()
+        deadline = time.monotonic() + 10
+        while not service.mux.pool._closed:
+            assert time.monotonic() < deadline, "remote pool not shut down"
+            time.sleep(0.05)

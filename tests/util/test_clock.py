@@ -1,0 +1,23 @@
+"""wallclock(): monotonic-derived epoch stamps."""
+
+import time
+
+from repro.util.clock import MONO_ANCHOR, WALL_ANCHOR, wallclock
+
+
+def test_tracks_epoch_time():
+    # Within one process and no clock adjustment, wallclock ~ time.time.
+    assert abs(wallclock() - time.time()) < 5.0
+
+
+def test_never_decreases():
+    stamps = [wallclock() for _ in range(100)]
+    assert stamps == sorted(stamps)
+
+
+def test_derivation_is_monotonic_plus_anchor():
+    before = time.monotonic()
+    stamp = wallclock()
+    after = time.monotonic()
+    assert WALL_ANCHOR + (before - MONO_ANCHOR) <= stamp
+    assert stamp <= WALL_ANCHOR + (after - MONO_ANCHOR)
