@@ -35,6 +35,13 @@ Module / function          Paper claim
 ``reductions``             size-preserving reductions parity -> list ranking
                            and parity -> sorting (Section 3, closing note)
 ========================  ====================================================
+
+The post-1998 machines in :mod:`repro.models` reuse this suite: PEM (a
+shared-memory machine) runs ``parity_tree`` / ``or_tree_writes`` /
+``list_rank`` / ``sort_shared`` / ``lac_prefix`` as-is with B-ary fan-ins
+picked by the shared helpers, and MPC (a BSP subclass) runs the ``*_bsp``
+functions plus the s-ary re-tunings in :mod:`repro.algorithms.mpc`
+(``parity_mpc``, ``or_mpc``, ``list_rank_mpc``).
 """
 
 from repro.algorithms.common import Allocator, RunResult

@@ -26,6 +26,7 @@ __all__ = [
     "Allocator",
     "default_tree_fanin",
     "bsp_fanin",
+    "mpc_fanin",
     "model_name",
     "CostMeter",
 ]
@@ -114,6 +115,8 @@ def fresh_allocator(machine: Machine) -> Allocator:
 def model_name(machine: Machine) -> str:
     """Short model tag for result tables (checks subclasses before bases)."""
     from repro.core.qsm_gd import QSMGD
+    from repro.models.mpc import MPC
+    from repro.models.pem import PEM
 
     if isinstance(machine, SQSM):
         return "s-QSM"
@@ -123,6 +126,10 @@ def model_name(machine: Machine) -> str:
         return "QSM"
     if isinstance(machine, GSM):
         return "GSM"
+    if isinstance(machine, PEM):
+        return "PEM"
+    if isinstance(machine, MPC):  # before BSP: MPC subclasses it
+        return "MPC"
     if isinstance(machine, BSP):
         return "BSP"
     raise TypeError(f"unsupported machine type: {type(machine)!r}")
@@ -140,8 +147,12 @@ def default_tree_fanin(machine: Machine, contention_cheap: bool = False) -> int:
       per-phase cost proportionally.
     * GSM: ``alpha`` reads per processor and ``beta`` contention fit in one
       big-step, so fan-in ``max(2, min(alpha, beta))``.
+    * PEM: ``B`` reads per processor are one block I/O, so fan-in
+      ``max(2, B)`` — the tree height shrinks to ``log n / log B`` at one
+      I/O per level.
     """
     from repro.core.qsm_gd import QSMGD
+    from repro.models.pem import PEM
 
     if isinstance(machine, SQSM):
         return 2
@@ -157,13 +168,38 @@ def default_tree_fanin(machine: Machine, contention_cheap: bool = False) -> int:
     if isinstance(machine, GSM):
         prm = machine.params
         return max(2, int(min(prm.alpha, prm.beta)))
+    if isinstance(machine, PEM):
+        return max(2, int(machine.params.B))
     raise TypeError(f"tree fan-in undefined for machine type: {type(machine)!r}")
 
 
 def bsp_fanin(machine: BSP) -> int:
     """BSP reduction fan-in ``max(2, L/g)``: receiving ``L/g`` messages costs
-    ``g * (L/g) = L``, no more than the superstep floor ``L`` already charged."""
+    ``g * (L/g) = L``, no more than the superstep floor ``L`` already charged.
+
+    An :class:`~repro.models.mpc.MPC` machine (a BSP subclass carrying
+    :class:`~repro.core.params.MPCParams` instead of g/L) dispatches to
+    :func:`mpc_fanin`, so the ``*_bsp`` algorithms pick the ``s``-ary
+    tuning on MPC without per-call-site changes.
+    """
+    from repro.models.mpc import MPC
+
+    if isinstance(machine, MPC):
+        return mpc_fanin(machine)
     if not isinstance(machine, BSP):
         raise TypeError(f"expected BSP, got {type(machine)!r}")
     prm = machine.params
     return max(2, int(prm.L // prm.g))
+
+
+def mpc_fanin(machine: Any) -> int:
+    """MPC reduction fan-in ``max(2, s)``: a machine may receive up to ``s``
+    words per round at the unit round charge (``h <= s`` keeps
+    :func:`repro.core.cost.mpc_round_cost` at its floor), so ``s``-ary
+    reduction trees give the ``O(log_s n)``-round algorithms the MPC
+    literature states."""
+    from repro.models.mpc import MPC
+
+    if not isinstance(machine, MPC):
+        raise TypeError(f"expected MPC, got {type(machine)!r}")
+    return max(2, int(machine.params.s))

@@ -20,13 +20,28 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from repro.algorithms.common import Allocator, CostMeter, RunResult, fresh_allocator
+from repro.core.bsp import BSP
 from repro.core.gsm import GSM
 from repro.core.qsm import QSM
 from repro.core.sqsm import SQSM
 
-__all__ = ["list_rank"]
+__all__ = ["list_rank", "list_rank_bsp"]
 
 SharedMachine = Union[QSM, SQSM, GSM]
+
+
+def _validate_list(next_ptrs: Sequence[Optional[int]]) -> None:
+    n = len(next_ptrs)
+    seen = set()
+    for i, nxt in enumerate(next_ptrs):
+        if nxt is not None:
+            if not 0 <= nxt < n:
+                raise ValueError(f"next[{i}]={nxt} out of range")
+            if nxt in seen:
+                raise ValueError(f"node {nxt} has two predecessors; not a list")
+            if nxt == i:
+                raise ValueError(f"node {i} points to itself")
+            seen.add(nxt)
 
 
 def list_rank(
@@ -48,16 +63,7 @@ def list_rank(
     w = list(weights) if weights is not None else [1] * n
     if len(w) != n:
         raise ValueError(f"weights length {len(w)} != list length {n}")
-    seen = set()
-    for i, nxt in enumerate(next_ptrs):
-        if nxt is not None:
-            if not 0 <= nxt < n:
-                raise ValueError(f"next[{i}]={nxt} out of range")
-            if nxt in seen:
-                raise ValueError(f"node {nxt} has two predecessors; not a list")
-            if nxt == i:
-                raise ValueError(f"node {i} points to itself")
-            seen.add(nxt)
+    _validate_list(next_ptrs)
     alloc = alloc or fresh_allocator(machine)
     meter = CostMeter(machine)
 
@@ -100,3 +106,83 @@ def list_rank(
 
     ranks = [dist for _, dist in state]
     return meter.result(ranks, iterations=iterations)
+
+
+def list_rank_bsp(
+    machine: BSP,
+    next_ptrs: Sequence[Optional[int]],
+    weights: Optional[Sequence[float]] = None,
+) -> RunResult:
+    """Distributed pointer jumping on the BSP (and its MPC subclass).
+
+    Node ``i`` lives on component ``i // ceil(n/p)``.  Each jump iteration
+    is two supersteps: every unfinished node sends a query to the component
+    owning its successor, which replies with the successor's current
+    ``(next, dist)`` pair; the node then composes exactly as the shared-
+    memory :func:`list_rank` does.  The per-superstep ``h`` stays at the
+    block size ``ceil(n/p)`` (successor pointers are injective among active
+    nodes), so the total is ``ceil(log2 n)`` iterations of two h-relations
+    — ``O((L + g n/p) log n)`` BSP time, and ``Theta(log n)`` rounds on an
+    MPC with ``s >= n/p`` (see :func:`repro.algorithms.mpc.list_rank_mpc`).
+    """
+    if not isinstance(machine, BSP):
+        raise TypeError(f"expected BSP, got {type(machine)!r}")
+    n = len(next_ptrs)
+    if n == 0:
+        return RunResult(value=[], time=0.0, phases=0)
+    w = list(weights) if weights is not None else [1] * n
+    if len(w) != n:
+        raise ValueError(f"weights length {len(w)} != list length {n}")
+    _validate_list(next_ptrs)
+    meter = CostMeter(machine)
+    p = machine.p
+    block = -(-n // p)
+
+    def owner(node: int) -> int:
+        return node // block
+
+    # Superstep 0: distribute the (next, dist) state; dist[i] starts at w[i].
+    machine.scatter([(next_ptrs[i], w[i]) for i in range(n)], key="lr_state")
+    state: List[tuple] = [(next_ptrs[i], w[i]) for i in range(n)]
+    with machine.superstep() as ss:
+        for m in range(p):
+            ss.local(m, max(1, len(machine.store[m]["lr_state"])))
+
+    iterations = 0
+    while any(nxt is not None for nxt, _ in state):
+        # Query superstep: node i asks owner(next[i]) for next[i]'s state.
+        with machine.superstep() as ss:
+            for i in range(n):
+                nxt, _ = state[i]
+                if nxt is not None:
+                    ss.send(owner(i), owner(nxt), ("q", i, nxt))
+        queries = []
+        for m in range(p):
+            for _, payload in machine.inbox(m):
+                queries.append(payload)
+        # Reply superstep: the owner ships (next, dist) of the queried node
+        # back — read from the pre-update state, so the composition below
+        # is the synchronous jump the shared-memory algorithm performs.
+        with machine.superstep() as ss:
+            replied = False
+            for _, asker, node in queries:
+                ss.send(owner(node), owner(asker), ("r", asker, state[node]))
+                replied = True
+            if not replied:  # pragma: no cover - loop guard makes this unreachable
+                ss.local(0, 1)
+        updates = {}
+        for m in range(p):
+            for _, payload in machine.inbox(m):
+                _, asker, (nxt_j, dist_j) = payload
+                nxt_i, dist_i = state[asker]
+                updates[asker] = (nxt_j, dist_i + dist_j)
+        state_changed = False
+        for i, new_state in updates.items():
+            state[i] = new_state
+            state_changed = True
+        iterations += 1
+        if not state_changed or iterations > 2 * n + 4:
+            raise RuntimeError("pointer jumping failed to converge; cyclic input?")
+
+    ranks = [dist for _, dist in state]
+    return meter.result(ranks, iterations=iterations, block=block)

@@ -64,6 +64,13 @@ def _default_or_fanin(machine: SharedMachine, n: int) -> int:
     if isinstance(machine, GSM):
         # beta units of contention fit in a big-step.
         return max(2, int(machine.params.beta))
+    from repro.models.pem import PEM
+
+    if isinstance(machine, PEM):
+        # Contention serializes at the block level (cost max(1, kappa)),
+        # so write tournaments keep the binary fan-in; the block win is
+        # on the read side (see parity's B-ary trees).
+        return 2
     raise TypeError(f"unsupported machine: {type(machine)!r}")
 
 

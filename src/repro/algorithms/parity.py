@@ -69,6 +69,11 @@ def _default_fanin(machine: SharedMachine, fan_in: Optional[int]) -> int:
         return fan_in
     if isinstance(machine, GSM):
         return max(2, int(machine.params.alpha))
+    from repro.models.pem import PEM
+
+    if isinstance(machine, PEM):
+        # B reads are one block I/O: B-ary trees cost one I/O per level.
+        return max(2, int(machine.params.B))
     return 2
 
 

@@ -124,6 +124,12 @@ def _sched() -> None:
     main()
 
 
+def _xmodel() -> None:
+    from benchmarks.bench_cross_model import main
+
+    main()
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "t1a": _t1a,
     "t1b": _t1b,
@@ -135,6 +141,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "abl": _abl,
     "perf": _perf,
     "sched": _sched,
+    "xmodel": _xmodel,
 }
 
 
@@ -305,10 +312,32 @@ def run_chaos(argv: List[str]) -> int:
 
 
 def run_version() -> int:
-    """``python -m repro version``: print the package version string."""
+    """``python -m repro version``: version plus the resolved phase engine.
+
+    The second line surfaces what :func:`repro.core.engine_vector.resolve_engine`
+    would pick for machines built in this process — including the silent-ish
+    numpy fallback ("vector -> reference") that would otherwise only show as
+    a one-time warning.
+    """
     from repro import __version__
+    from repro.core.engine_vector import ENGINE_ENV, have_numpy, resolve_engine
+    import os
+    import warnings
 
     print(__version__)
+    requested = os.environ.get(ENGINE_ENV) or "reference"
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # version output stays clean
+            resolved = resolve_engine()
+    except ValueError as exc:
+        print(f"engine: error ({exc})", file=sys.stderr)
+        return 2
+    detail = "numpy available" if have_numpy() else "numpy unavailable"
+    if requested != resolved:
+        print(f"engine: {resolved} (requested {requested!r}; {detail})")
+    else:
+        print(f"engine: {resolved} ({detail})")
     return 0
 
 
@@ -386,8 +415,9 @@ def run_bench(argv: List[str]) -> int:
     (:mod:`repro.obs.regress`), prints a markdown report (``--report``
     also writes it to a file), and exits 0 clean / 1 on regression / 2 on
     usage errors.  The current side is ``--current PATH``, ``--store
-    DIR`` (result-store outcomes), or — for the sched A/B schema — a
-    fresh ``--samples K`` median-of-k re-measurement.
+    DIR`` (result-store outcomes), or — for the sched A/B, phase-engine
+    and cross-model schemas — a fresh ``--samples K`` median-of-k
+    re-measurement.
     """
     import argparse
 
@@ -406,8 +436,8 @@ def run_bench(argv: List[str]) -> int:
     )
     p.add_argument(
         "--current", default=None, metavar="PATH",
-        help="current BENCH_*.json (default: re-measure sched- and "
-        "phase-engine-schema baselines; other schemas need --current or "
+        help="current BENCH_*.json (default: re-measure sched-, phase-engine- "
+        "and cross-model-schema baselines; other schemas need --current or "
         "--store)",
     )
     p.add_argument(
@@ -481,6 +511,20 @@ def run_bench(argv: List[str]) -> int:
             )
             return 2
         current_source = f"bench_phase_engine.collect() median-of-{args.samples}"
+    elif "cells" in baseline:
+        from repro.obs.regress import collect_cross_model_current
+
+        print(f"re-measuring the cross-model bench ({args.samples} sample(s))...")
+        try:
+            current = collect_cross_model_current(samples=args.samples)
+        except ImportError:
+            print(
+                "error: the benchmarks tree is not importable here; pass "
+                "--current PATH (run with PYTHONPATH=src:. to re-measure)",
+                file=sys.stderr,
+            )
+            return 2
+        current_source = f"bench_cross_model.collect() median-of-{args.samples}"
     elif "timings" in baseline or "throughput" in baseline:
         print(f"re-measuring the sched bench ({args.samples} sample(s))...")
         try:
@@ -605,7 +649,8 @@ def run_campaign_cli(argv: List[str]) -> int:
         prog="python -m repro campaign",
         description=(
             "Execute declarative task campaigns (Table 1, Section 8, the "
-            "chaos gate, a demo) on a warm worker pool with a "
+            "chaos gate, the cross-model table, a demo) on a warm worker "
+            "pool with a "
             "content-addressed result store."
         ),
     )
@@ -622,7 +667,7 @@ def run_campaign_cli(argv: List[str]) -> int:
     def add_campaign_args(p: "argparse.ArgumentParser") -> None:
         p.add_argument(
             "name", nargs="?", default=None,
-            help="campaign name (demo, table1, section8, chaos)",
+            help="campaign name (demo, table1, section8, chaos, cross_model)",
         )
         p.add_argument(
             "--demo", action="store_true",

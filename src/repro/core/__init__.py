@@ -10,7 +10,8 @@ Public surface
 --------------
 
 * Parameter dataclasses: :class:`QSMParams`, :class:`SQSMParams`,
-  :class:`GSMParams`, :class:`BSPParams`.
+  :class:`GSMParams`, :class:`BSPParams` (plus :class:`MPCParams` /
+  :class:`PEMParams` for the post-1998 machines in :mod:`repro.models`).
 * Machines: :class:`QSM`, :class:`SQSM`, :class:`GSM`, :class:`BSP`.
 * Cost formulas (pure functions): :mod:`repro.core.cost`.
 * Round accounting (Section 2.3): :mod:`repro.core.rounds`.
@@ -44,7 +45,14 @@ from repro.core.machine import (
     ReadHandle,
     SharedMemoryMachine,
 )
-from repro.core.params import BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.params import (
+    BSPParams,
+    GSMParams,
+    MPCParams,
+    PEMParams,
+    QSMParams,
+    SQSMParams,
+)
 from repro.core.pram import PRAM, ConcurrencyViolation, PRAMParams
 from repro.core.phase import PhaseRecord, SuperstepRecord
 from repro.core.qsm import QSM
@@ -71,6 +79,8 @@ __all__ = [
     "PhaseClosedError",
     "BSPParams",
     "GSMParams",
+    "MPCParams",
+    "PEMParams",
     "QSMParams",
     "SQSMParams",
     "PhaseRecord",

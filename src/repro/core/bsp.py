@@ -179,6 +179,8 @@ class BSP:
         from repro.core.engine_vector import resolve_engine
 
         self.engine = resolve_engine(engine)
+        if _metrics.REGISTRY.enabled:
+            _metrics.record_engine(self.engine, self.model_label)
         if self.engine == "vector":
             from repro.core.engine_vector import VectorSuperstep
 
@@ -265,6 +267,15 @@ class BSP:
         :func:`repro.core.cost.bsp_cost_terms` for the tie order)."""
         return bsp_cost_terms(record, self.params)
 
+    def _superstep_cost(self, record: SuperstepRecord) -> float:
+        """Charge for one committed superstep (subclass cost hook).
+
+        Invariant (shared with the phase machines' ``_phase_cost``):
+        equals ``max(self._cost_terms(record).values())``.  MPC overrides
+        both hooks with its capacity-tiled round charge.
+        """
+        return bsp_superstep_cost(record, self.params)
+
     def _check_component(self, proc: int) -> None:
         if not isinstance(proc, int) or isinstance(proc, bool):
             raise TypeError(f"component id must be an int, got {proc!r}")
@@ -313,13 +324,15 @@ class BSP:
             sent_per_proc=dict(step._sent),
             received_per_proc=received,
         )
-        cost = bsp_superstep_cost(record, self.params)
+        cost = self._superstep_cost(record)
         self._inboxes = new_inboxes
         self.history.append(record)
         self.step_costs.append(cost)
         self.time += cost
         if _metrics.REGISTRY.enabled:
-            _metrics.record_superstep(record, cost, len(step_faults))
+            _metrics.record_superstep(
+                record, cost, len(step_faults), model=self.model_label
+            )
         if self.record_costs:
             from repro.obs.records import build_superstep_cost_record
 
@@ -331,6 +344,7 @@ class BSP:
                     record,
                     wall_time=perf_counter() - getattr(step, "_t_open", perf_counter()),
                     faults=step_faults,
+                    model=self.model_label,
                 )
             )
         self._step_open = False

@@ -27,7 +27,14 @@ from __future__ import annotations
 from math import ceil
 from typing import Dict, Mapping
 
-from repro.core.params import BSPParams, GSMParams, QSMParams, SQSMParams
+from repro.core.params import (
+    BSPParams,
+    GSMParams,
+    MPCParams,
+    PEMParams,
+    QSMParams,
+    SQSMParams,
+)
 from repro.core.phase import PhaseRecord, SuperstepRecord, queue_max
 
 __all__ = [
@@ -41,6 +48,10 @@ __all__ = [
     "gsm_cost_terms",
     "bsp_superstep_cost",
     "bsp_cost_terms",
+    "mpc_round_cost",
+    "mpc_cost_terms",
+    "pem_phase_cost",
+    "pem_cost_terms",
 ]
 
 
@@ -145,4 +156,57 @@ def bsp_cost_terms(record: SuperstepRecord, params: BSPParams) -> Dict[str, floa
         "L": float(params.L),
         "g*h": float(params.g * record.h),
         "w": float(record.w),
+    }
+
+
+def mpc_round_cost(record: SuperstepRecord, params: MPCParams) -> float:
+    """MPC effective-round charge ``max(1, h / s)``.
+
+    A round whose h-relation fits each machine's local memory ``s`` costs
+    exactly one round; a round exchanging more than ``s`` words per
+    machine cannot happen in the model and is charged the ``h/s`` rounds
+    it would tile over.  Summing this charge over supersteps makes
+    ``machine.time`` the capacity-respecting round count the MPC lower
+    bounds (``repro.lowerbounds.formulas``, table ``"mpc"``) are stated
+    against.  Local computation is free (MPC, like the GSM, is a
+    communication-bounded model).
+    """
+    return float(max(1.0, record.h / params.s))
+
+
+def mpc_cost_terms(record: SuperstepRecord, params: MPCParams) -> Dict[str, float]:
+    """The two MPC charge terms: ``round`` (the floor of 1) and ``h/s``.
+
+    ``round`` leads the mapping so a superstep within memory capacity
+    attributes to the round floor even when ``h/s`` ties it at exactly 1 —
+    at the floor, sending fewer words would not have made the round
+    cheaper.
+    """
+    return {
+        "round": 1.0,
+        "h/s": float(record.h / params.s),
+    }
+
+
+def pem_phase_cost(record: PhaseRecord, params: PEMParams) -> float:
+    """PEM phase cost ``max(ceil(m_rw / B), kappa)`` (parallel I/Os).
+
+    A processor touching ``m_rw`` shared cells moves them through its
+    cache in blocks of ``B`` — ``ceil(m_rw / B)`` block I/Os; concurrent
+    access to one cell serializes at the block level, charging the queue
+    depth ``kappa``.  Local computation inside the cache is free: PEM
+    measures I/O complexity only, like the GSM measures big-steps.
+    """
+    return float(max(ceil(record.m_rw / params.B), record.kappa))
+
+
+def pem_cost_terms(record: PhaseRecord, params: PEMParams) -> Dict[str, float]:
+    """The two PEM charge terms: ``ceil(m_rw/B)`` and ``kappa``.
+
+    The bandwidth (I/O-volume) term leads so ties at depth-1 contention
+    attribute to the block transfers, mirroring the GSM term order.
+    """
+    return {
+        "ceil(m_rw/B)": float(ceil(record.m_rw / params.B)),
+        "kappa": float(record.kappa),
     }

@@ -27,14 +27,17 @@ vector ops are *materialized* into the reference engine's write dict in
 issue order and the reference resolution code runs unchanged — so the
 fallback is by construction exact, just slower.
 
-If numpy is unavailable, :func:`resolve_engine` silently resolves
-``"vector"`` to ``"reference"`` so environment-driven selection cannot
-break a minimal install.
+If numpy is unavailable, :func:`resolve_engine` resolves ``"vector"`` to
+``"reference"`` — with a one-time ``RuntimeWarning`` — so environment-driven
+selection degrades instead of crashing a minimal install, while the
+downgrade still leaves a visible trace (the warning, the ``engine``
+attribute on every machine, and ``python -m repro version``).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Mapping, MutableMapping
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -78,14 +81,21 @@ def have_numpy() -> bool:
     return np is not None
 
 
+#: Set once the first vector->reference numpy fallback has been warned
+#: about, so a sweep constructing thousands of machines warns exactly once.
+_numpy_fallback_warned = False
+
+
 def resolve_engine(engine: Optional[str] = None) -> str:
     """Resolve an ``engine=`` argument to a concrete engine name.
 
     ``None`` consults ``$REPRO_ENGINE`` (empty/unset means
     ``"reference"``).  An unrecognised name raises ``ValueError``;
-    ``"vector"`` without numpy resolves to ``"reference"`` (the documented
-    fallback) so env-driven selection degrades instead of crashing.
+    ``"vector"`` without numpy resolves to ``"reference"`` with a one-time
+    ``RuntimeWarning`` (the documented fallback) so env-driven selection
+    degrades visibly instead of crashing.
     """
+    global _numpy_fallback_warned
     if engine is None:
         engine = os.environ.get(ENGINE_ENV) or "reference"
     if engine not in ENGINES:
@@ -94,6 +104,15 @@ def resolve_engine(engine: Optional[str] = None) -> str:
             f"(set via the engine= argument or ${ENGINE_ENV})"
         )
     if engine == "vector" and np is None:
+        if not _numpy_fallback_warned:
+            _numpy_fallback_warned = True
+            warnings.warn(
+                "engine='vector' requested but numpy is not importable; "
+                "falling back to the bit-equal (but slower) reference "
+                "engine for this process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return "reference"
     return engine
 

@@ -606,7 +606,8 @@ class SharedMemoryMachine:
         ``"reference"`` (pure-Python, the default), ``"vector"`` (numpy
         batch engine — see :mod:`repro.core.engine_vector`), or ``None``
         to consult ``$REPRO_ENGINE``.  Both engines are bit-equal; the
-        vector engine falls back to reference when numpy is unavailable.
+        vector engine falls back to reference (with a one-time
+        ``RuntimeWarning``) when numpy is unavailable.
     """
 
     #: Model tag used in cost records / result tables; subclasses override.
@@ -650,6 +651,8 @@ class SharedMemoryMachine:
         from repro.core.engine_vector import resolve_engine
 
         self.engine = resolve_engine(engine)
+        if _metrics.REGISTRY.enabled:
+            _metrics.record_engine(self.engine, self.model_label)
         if self.engine == "vector":
             from repro.core.engine_vector import DenseMemory, VectorPhase
 

@@ -3,6 +3,11 @@
 Every simulator takes one of these frozen dataclasses.  Validation happens at
 construction so an invalid machine cannot be built; derived quantities used
 by the cost formulas (``mu``/``lam`` on the GSM) are exposed as properties.
+
+The two post-1998 models grown on the same substrate (``repro.models``)
+keep their parameters here too: :class:`MPCParams` (per-machine local
+memory ``s``) and :class:`PEMParams` (private cache ``M``, block size
+``B``).
 """
 
 from __future__ import annotations
@@ -10,7 +15,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["QSMParams", "SQSMParams", "GSMParams", "BSPParams"]
+__all__ = [
+    "QSMParams",
+    "SQSMParams",
+    "GSMParams",
+    "BSPParams",
+    "MPCParams",
+    "PEMParams",
+]
 
 
 def _check_gap(name: str, value) -> None:
@@ -117,4 +129,55 @@ class BSPParams:
         if self.L < self.g:
             raise ValueError(
                 f"paper assumes L >= g throughout; got L={self.L} < g={self.g}"
+            )
+
+
+def _check_count(name: str, value) -> None:
+    """A count parameter must be a true int >= 1 (bool is rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an int >= 1, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+@dataclass(frozen=True)
+class MPCParams:
+    """MPC per-machine local memory ``s`` (words per round).
+
+    In the Massively Parallel Computation model each of ``p`` machines
+    holds ``s = n^epsilon`` words and a round exchanges at most ``s``
+    words per machine.  The simulator charges a round routing an
+    h-relation ``max(1, h / s)`` — an exchange that fits local memory is
+    one round, one exceeding it tiles over ``ceil-like h/s`` delivery
+    slots — so ``machine.time`` is the *effective* (capacity-respecting)
+    round count the Charikar–Ma–Tan bounds are stated against.
+    """
+
+    s: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_gap("MPC local memory s", self.s)
+
+
+@dataclass(frozen=True)
+class PEMParams:
+    """PEM private cache size ``M`` and block size ``B`` (in words).
+
+    In the Parallel External Memory model of Arge, Goodrich, Nelson &
+    Sitchinava each of ``p`` processors owns a private cache of ``M``
+    words and moves data to/from shared memory in blocks of ``B`` words;
+    the measure is parallel I/O complexity.  The paper's regime (and the
+    Jacob–Lieber–Sitchinava bounds) assumes ``M >= B``; we enforce it.
+    """
+
+    M: int = 64
+    B: int = 8
+
+    def __post_init__(self) -> None:
+        _check_count("PEM cache size M", self.M)
+        _check_count("PEM block size B", self.B)
+        if self.M < self.B:
+            raise ValueError(
+                f"PEM assumes M >= B (a cache holds at least one block); "
+                f"got M={self.M} < B={self.B}"
             )

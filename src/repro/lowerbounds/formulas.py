@@ -13,6 +13,14 @@ Layout follows the paper:
   (problem x model x deterministic/randomized x time/rounds) with the
   formula text as printed; the bench harness iterates this to regenerate
   Table 1.
+* **Post-1998 models** (tables ``"mpc"`` / ``"pem"``) — matching bounds for
+  the machines in :mod:`repro.models`: the Roughgarden–Vassilvitskii–Wang
+  ``Omega(log_s n)`` MPC round bound for any function depending on all
+  inputs (with the conditional ``Omega(log n)`` list-ranking bound of the
+  one-cycle-vs-two-cycles conjecture studied by Charikar–Ma–Tan), and the
+  PEM I/O bounds of Arge–Goodrich–Nelson–Sitchinava /
+  Jacob–Lieber–Sitchinava.  ``benchmarks/bench_cross_model.py`` reads these
+  for the MPC/PEM rows of its cross-model Table 1.
 
 All formulas return *values of the asymptotic expression with the hidden
 constant set to 1* and with ``log`` clamped to ``>= 1``
@@ -78,6 +86,17 @@ __all__ = [
     "qsm_broadcast_time",
     "sqsm_broadcast_time",
     "bsp_broadcast_time",
+    # Post-1998 models (tables 'mpc' / 'pem'; see repro.models)
+    "mpc_parity_rounds",
+    "mpc_or_rounds",
+    "mpc_listrank_rounds",
+    "pem_scan_io",
+    "pem_sort_io",
+    "pem_listrank_io",
+    # CRCW-PRAM steps (table 'pram'; classical results the paper builds on)
+    "pram_parity_steps",
+    "pram_or_steps",
+    "pram_listrank_steps",
 ]
 
 
@@ -339,26 +358,117 @@ def bsp_parity_rounds(n: int, g: float, L: float, p: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Post-1998 models: MPC round bounds and PEM I/O bounds
+#
+# Not from the 1998 paper, but encoded in the same registry so the bench
+# harness can print one cross-model table (benchmarks/bench_cross_model.py).
+# MPC bounds are stated in (n, s); PEM bounds in (n, p, M, B).
+# ---------------------------------------------------------------------------
+
+def mpc_parity_rounds(n: int, s: float) -> float:
+    """``Omega(log n / log s)`` MPC rounds for parity.
+
+    Roughgarden–Vassilvitskii–Wang (JACM 2018): in the ``s``-shuffle model
+    any function that depends on all ``n`` inputs needs ``>= log_s n``
+    rounds — one machine's view after ``r`` rounds is a function of at most
+    ``s^r`` input words.  Tight: the ``s``-ary tree of
+    :func:`repro.algorithms.mpc.parity_mpc` matches it.
+    """
+    return log2p(n) / log2p(s)
+
+
+def mpc_or_rounds(n: int, s: float) -> float:
+    """``Omega(log n / log s)`` MPC rounds for OR — same fan-in argument as
+    :func:`mpc_parity_rounds` (OR depends on all inputs); tight via
+    :func:`repro.algorithms.mpc.or_mpc`."""
+    return log2p(n) / log2p(s)
+
+
+def mpc_listrank_rounds(n: int, s: float) -> float:
+    """Conditional ``Omega(log n)`` MPC rounds for list ranking.
+
+    For ``s = n^epsilon`` the one-cycle-vs-two-cycles conjecture (see
+    Roughgarden–Vassilvitskii–Wang and the refinements of Charikar–Ma–Tan,
+    STOC 2020) implies no ``o(log n)``-round algorithm distinguishes the
+    cycle structures list ranking resolves; pointer jumping
+    (:func:`repro.algorithms.mpc.list_rank_mpc`) meets it at ``O(log n)``.
+    Unconditionally only :func:`mpc_parity_rounds`'s ``log_s n`` is known.
+    """
+    return log2p(n)
+
+
+def pem_scan_io(n: int, p: float, M: float, B: float) -> float:
+    """``Omega(n / (pB))`` parallel I/Os: every input block must be read.
+
+    The PEM scan bound (Arge–Goodrich–Nelson–Sitchinava, SPAA 2008) — tight
+    for OR and parity, where one pass over the ``n/B`` blocks split across
+    ``p`` processors suffices.
+    """
+    return max(1.0, n / (p * B))
+
+
+def pem_sort_io(n: int, p: float, M: float, B: float) -> float:
+    """``Omega((n/(pB)) log_{M/B}(n/B))`` parallel I/Os for sorting
+    (Arge–Goodrich–Nelson–Sitchinava's PEM counterpart of the
+    Aggarwal–Vitter bound)."""
+    return max(1.0, n / (p * B)) * log_base(max(n / B, 2.0), max(M / B, 2.0))
+
+
+def pem_listrank_io(n: int, p: float, M: float, B: float) -> float:
+    """``Omega((n/(pB)) log_{M/B}(n/B))`` parallel I/Os for list ranking.
+
+    Jacob–Lieber–Sitchinava (MFCS 2014) show PEM list ranking is as hard as
+    sorting (permuting), so the sort bound applies verbatim.
+    """
+    return pem_sort_io(n, p, M, B)
+
+
+def pram_parity_steps(n: int) -> float:
+    """``Omega(log n / log log n)`` CRCW-PRAM steps for parity
+    (Beame–Håstad, JACM 1989) — the classical bound the 1998 paper's
+    Section 3 transfers to the bridging models.  Tight via the pattern
+    method (:func:`repro.algorithms.pram_algos.parity_crcw`)."""
+    return log2p(n) / loglog2p(n)
+
+
+def pram_or_steps(n: int) -> float:
+    """``Omega(1)`` CRCW-PRAM steps for OR — trivial, and met by the
+    one-step concurrent write of :func:`repro.algorithms.pram_algos.or_crcw`;
+    listed so the cross-model table shows the contention-free baseline
+    the QSM/s-QSM/BSP bounds contrast against."""
+    return 1.0
+
+
+def pram_listrank_steps(n: int) -> float:
+    """``Omega(log n / log log n)`` CRCW-PRAM steps for list ranking, via
+    the size-preserving parity -> list-ranking reduction
+    (:mod:`repro.algorithms.reductions`, the paper's Section 3 closing
+    note) carrying :func:`pram_parity_steps` over."""
+    return log2p(n) / loglog2p(n)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class Bound:
-    """One cell of Table 1.
+    """One cell of Table 1 (or of the post-1998 extension tables).
 
     ``fn`` takes ``(n, g)`` for QSM/s-QSM time bounds, ``(n, g, L, p)`` for
     BSP time bounds, ``(n, g, p)`` for QSM/s-QSM rounds and
     ``(n, g, L, p)`` for BSP rounds — matching the per-model signatures
-    above.  ``tight`` marks the Theta entries.
+    above.  The post-1998 tables use ``(n, s)`` for MPC rounds and
+    ``(n, p, M, B)`` for PEM I/Os.  ``tight`` marks the Theta entries.
     """
 
-    table: str  # '1a' | '1b' | '1c' | '1d'
-    model: str  # 'QSM' | 's-QSM' | 'BSP'
-    problem: str  # 'LAC' | 'OR' | 'Parity'
+    table: str  # '1a' | '1b' | '1c' | '1d' | 'mpc' | 'pem' | 'pram'
+    model: str  # 'QSM' | 's-QSM' | 'BSP' | 'MPC' | 'PEM' | 'PRAM'
+    problem: str  # 'LAC' | 'OR' | 'Parity' | 'ListRank' | 'Sort'
     variant: str  # 'deterministic' | 'randomized'
-    kind: str  # 'time' | 'rounds'
+    kind: str  # 'time' | 'rounds' | 'io' | 'steps'
     fn: Callable[..., float]
-    text: str  # the formula as printed in the paper
+    text: str  # the formula as printed in the source paper
     tight: bool = False
 
 
@@ -421,6 +531,29 @@ ALL_BOUNDS: List[Bound] = [
           "log n/log(n/p)", tight=True),
     Bound("1d", "BSP", "Parity", "randomized", "rounds", bsp_parity_rounds,
           "log n/log(n/p)", tight=True),
+    # --- Post-1998: MPC rounds (s-shuffle fan-in argument; see repro.models) ---
+    Bound("mpc", "MPC", "Parity", "deterministic", "rounds", mpc_parity_rounds,
+          "log n/log s  [RVW18]", tight=True),
+    Bound("mpc", "MPC", "OR", "deterministic", "rounds", mpc_or_rounds,
+          "log n/log s  [RVW18]", tight=True),
+    Bound("mpc", "MPC", "ListRank", "randomized", "rounds", mpc_listrank_rounds,
+          "log n  [conditional: 1-vs-2-cycles, CMT20]"),
+    # --- Post-1998: PEM parallel I/Os ---
+    Bound("pem", "PEM", "Parity", "deterministic", "io", pem_scan_io,
+          "n/(pB)  [AGNS08 scan]", tight=True),
+    Bound("pem", "PEM", "OR", "deterministic", "io", pem_scan_io,
+          "n/(pB)  [AGNS08 scan]", tight=True),
+    Bound("pem", "PEM", "ListRank", "deterministic", "io", pem_listrank_io,
+          "(n/(pB))*log_{M/B}(n/B)  [JLS14]"),
+    Bound("pem", "PEM", "Sort", "deterministic", "io", pem_sort_io,
+          "(n/(pB))*log_{M/B}(n/B)  [AGNS08]"),
+    # --- CRCW-PRAM steps (classical baselines for the cross-model table) ---
+    Bound("pram", "PRAM", "Parity", "deterministic", "steps", pram_parity_steps,
+          "log n/loglog n  [Beame-Hastad]", tight=True),
+    Bound("pram", "PRAM", "OR", "deterministic", "steps", pram_or_steps,
+          "1  [concurrent write]", tight=True),
+    Bound("pram", "PRAM", "ListRank", "deterministic", "steps", pram_listrank_steps,
+          "log n/loglog n  [via parity reduction]"),
 ]
 
 

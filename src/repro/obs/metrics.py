@@ -52,6 +52,7 @@ __all__ = [
     "render_metrics_table",
     "record_phase",
     "record_superstep",
+    "record_engine",
     "MIN_EXP",
     "MAX_EXP",
     "METRICS_ENV",
@@ -441,18 +442,21 @@ def record_phase(model: str, record: Any, cost: float, faults: int = 0) -> None:
         ).inc(faults, model=model)
 
 
-def record_superstep(record: Any, cost: float, faults: int = 0) -> None:
-    """Account one committed BSP superstep into the registry.
+def record_superstep(
+    record: Any, cost: float, faults: int = 0, model: str = "BSP"
+) -> None:
+    """Account one committed BSP-family superstep into the registry.
 
     The h-relation is ``max_i max(s_i, r_i)`` — the same quantity the
     ``g*h`` term charges (:func:`repro.core.cost.bsp_cost_terms`).
+    ``model`` is the machine's ``model_label`` (``"BSP"`` or ``"MPC"``).
     """
     REGISTRY.counter(
         "repro_phases_total", "committed phases per model"
-    ).inc(model="BSP")
+    ).inc(model=model)
     REGISTRY.counter(
         "repro_phase_cost_total", "accumulated simulated cost per model"
-    ).inc(cost, model="BSP")
+    ).inc(cost, model=model)
     ops = (
         sum(record.work_per_proc.values())
         + sum(record.sent_per_proc.values())
@@ -461,7 +465,7 @@ def record_superstep(record: Any, cost: float, faults: int = 0) -> None:
     if ops:
         REGISTRY.counter(
             "repro_ops_total", "reads + writes + local ops issued per model"
-        ).inc(ops, model="BSP")
+        ).inc(ops, model=model)
     h = 0
     if record.sent_per_proc:
         h = max(record.sent_per_proc.values())
@@ -474,4 +478,17 @@ def record_superstep(record: Any, cost: float, faults: int = 0) -> None:
     if faults:
         REGISTRY.counter(
             "repro_fault_events_total", "injected-fault events fired"
-        ).inc(faults, model="BSP")
+        ).inc(faults, model=model)
+
+def record_engine(engine: str, model: str) -> None:
+    """Mark a machine construction with its *resolved* phase engine.
+
+    A build-info-style gauge: ``repro_engine_info{engine=..., model=...}``
+    counts machines built per (engine, model) pair, so a dashboard (or
+    ``metrics dump``) shows at a glance whether a run that asked for the
+    vector engine actually got it or fell back to reference
+    (:func:`repro.core.engine_vector.resolve_engine`).
+    """
+    REGISTRY.gauge(
+        "repro_engine_info", "machines built per resolved phase engine"
+    ).inc(engine=engine, model=model)

@@ -57,7 +57,7 @@ class PhaseCostRecord:
         0-based phase (superstep) number within the machine's history.
     model:
         Model tag: ``"QSM"``, ``"s-QSM"``, ``"QSM(g,d)"``, ``"GSM"``,
-        ``"BSP"`` or ``"PRAM"``.
+        ``"BSP"``, ``"PRAM"``, ``"MPC"`` or ``"PEM"``.
     terms:
         Term name -> charged value, in the model's canonical term order.
     dominant:
@@ -159,8 +159,13 @@ def build_superstep_cost_record(
     record: "SuperstepRecord",  # noqa: F821 - structural; avoids an import cycle
     wall_time: float = 0.0,
     faults: Tuple[Mapping[str, Any], ...] = (),
+    model: str = "BSP",
 ) -> PhaseCostRecord:
-    """Assemble a :class:`PhaseCostRecord` from a BSP superstep."""
+    """Assemble a :class:`PhaseCostRecord` from a BSP-family superstep.
+
+    ``model`` is the machine's ``model_label`` — ``"BSP"`` (the default)
+    or ``"MPC"``, whose supersteps share this record shape.
+    """
     from repro.core.phase import merge_counts
 
     contention: Dict[int, int] = {}
@@ -168,7 +173,7 @@ def build_superstep_cost_record(
         contention[received] = contention.get(received, 0) + 1
     return PhaseCostRecord(
         index=index,
-        model="BSP",
+        model=model,
         terms=dict(terms),
         dominant=dominant_of(terms),
         cost=float(cost),
@@ -266,6 +271,7 @@ def machine_cost_records(machine: Any) -> List[PhaseCostRecord]:
                 build_superstep_cost_record(
                     rec.index, machine._cost_terms(rec), cost, rec,
                     faults=tuple(faults_by_step.get(rec.index, ())),
+                    model=machine.model_label,
                 )
             )
         return rebuilt

@@ -46,6 +46,7 @@ __all__ = [
     "load_bench",
     "collect_sched_current",
     "collect_phase_engine_current",
+    "collect_cross_model_current",
     "store_outcome_metrics",
     "DEFAULT_TOLERANCE",
     "DEFAULT_WALL_TOLERANCE",
@@ -360,6 +361,25 @@ def collect_phase_engine_current(
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     from benchmarks.bench_phase_engine import collect
+
+    return _merge_samples([collect(jobs=jobs) for _ in range(samples)])
+
+
+def collect_cross_model_current(
+    samples: int = 1, jobs: Optional[int] = None
+) -> Dict[str, Any]:
+    """Re-measure the cross-model table ``samples`` times (median-of-k).
+
+    The current side for ``BENCH_cross_model.json`` baselines (the
+    ``"cells"`` schema): every cell's ``measured`` / ``bound`` / ``correct``
+    is a deterministic simulated cost, so the whole payload gates at the
+    tight 1% tolerance, and the MPC/PEM ``engines_agree_*`` booleans fail
+    the check on any true -> false flip.  Requires the ``benchmarks`` tree
+    on the path, like :func:`collect_sched_current`.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    from benchmarks.bench_cross_model import collect
 
     return _merge_samples([collect(jobs=jobs) for _ in range(samples)])
 

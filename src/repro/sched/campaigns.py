@@ -14,6 +14,10 @@ over module-level (picklable) task functions:
 * ``chaos`` — the docs/ROBUSTNESS.md gate: one task per chaos case
   (winner-policy sweep + adversary search + fault schedules), gated by an
   inline all-survived verdict.
+* ``cross_model`` — the cross-model table of
+  ``benchmarks/bench_cross_model.py``: one task per (problem, model, n)
+  cell over all seven models (QSM, s-QSM, QSM(g,d), BSP, PRAM, MPC, PEM),
+  a per-problem verdict, and a suite verdict.
 * ``demo`` — a small diamond-shaped graph of cheap parity runs with an
   adjustable per-task delay; this is what ``python -m repro campaign run
   demo`` and the CI resume-after-kill check execute.
@@ -36,6 +40,7 @@ __all__ = [
     "table1_campaign",
     "section8_campaign",
     "chaos_campaign",
+    "cross_model_campaign",
     "demo_task",
     "run_chaos_case",
 ]
@@ -299,12 +304,56 @@ def chaos_campaign(
     return Campaign("chaos", tasks)
 
 
+def cross_model_campaign(ns: Optional[Sequence[int]] = None) -> Campaign:
+    """The cross-model table: one task per (problem, model, n) cell.
+
+    Mirrors ``benchmarks/bench_cross_model.py`` — every problem is run on
+    all seven models (QSM, s-QSM, QSM(g,d), BSP, PRAM, MPC, PEM) with a
+    per-problem all-correct verdict and a suite verdict on top.
+    """
+    from benchmarks import bench_cross_model
+    from benchmarks.bench_cross_model import run_cross_model_point
+
+    sweep = list(ns) if ns else list(bench_cross_model.NS)
+    tasks: List[TaskSpec] = []
+    verdicts: List[str] = []
+    for problem in bench_cross_model.PROBLEMS:
+        point_names = []
+        for model in bench_cross_model.MODELS:
+            for n in sweep:
+                name = f"xmodel/{problem}/{model}/n={n}"
+                point_names.append(name)
+                tasks.append(
+                    TaskSpec(
+                        name, run_cross_model_point,
+                        {"problem": problem, "model": model, "n": n},
+                        priority=n,
+                    )
+                )
+        verdict = f"xmodel/{problem}/verdict"
+        verdicts.append(verdict)
+        tasks.append(
+            TaskSpec(
+                verdict, _all_correct_verdict,
+                deps=tuple(point_names), inline=True,
+            )
+        )
+    tasks.append(
+        TaskSpec(
+            "xmodel/verdict", _all_correct_verdict,
+            deps=tuple(verdicts), inline=True,
+        )
+    )
+    return Campaign("cross_model", tasks)
+
+
 #: Name -> builder registry behind ``python -m repro campaign``.
 CAMPAIGNS: Dict[str, Callable[..., Campaign]] = {
     "demo": demo_campaign,
     "table1": table1_campaign,
     "section8": section8_campaign,
     "chaos": chaos_campaign,
+    "cross_model": cross_model_campaign,
 }
 
 

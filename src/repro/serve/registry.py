@@ -141,6 +141,11 @@ def default_registry() -> Dict[str, CampaignEntry]:
             "the Section 8 experiment suite at its stock grid",
         ),
         CampaignEntry(
+            "cross_model",
+            "the cross-model table: each problem on all 7 cost models "
+            "(QSM, s-QSM, QSM(g,d), BSP, PRAM, MPC, PEM) at the stock grid",
+        ),
+        CampaignEntry(
             "chaos",
             "the robustness gate: algorithms under adversarial policies",
             (

@@ -58,6 +58,46 @@ class TestResolveEngine:
         monkeypatch.delenv(ENGINE_ENV)
         assert QSM().engine == "reference"
 
+    def test_numpy_fallback_warns_exactly_once(self, monkeypatch):
+        import warnings
+
+        import repro.core.engine_vector as ev
+
+        monkeypatch.setattr(ev, "np", None)
+        monkeypatch.setattr(ev, "_numpy_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert ev.resolve_engine("vector") == "reference"
+        # Second resolution in the same process stays quiet (a sweep
+        # building thousands of machines must not spam the warning).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ev.resolve_engine("vector") == "reference"
+
+    def test_no_warning_when_numpy_present(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_engine("vector") == "vector"
+
+    def test_engine_label_recorded_in_metrics(self):
+        from repro.core import QSM
+        from repro.obs.metrics import MetricsRegistry
+        import repro.obs.metrics as metrics_mod
+
+        registry = MetricsRegistry()
+        registry.enable()
+        old = metrics_mod.REGISTRY
+        metrics_mod.REGISTRY = registry
+        try:
+            QSM(engine="reference")
+            QSM(engine="vector")
+        finally:
+            metrics_mod.REGISTRY = old
+        gauge = registry.gauge("repro_engine_info")
+        assert gauge.value(engine="reference", model="QSM") == 1.0
+        assert gauge.value(engine="vector", model="QSM") == 1.0
+
 
 class TestCountQueue:
     def test_range_structure_equals_reference_dict(self):

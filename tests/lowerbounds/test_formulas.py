@@ -24,10 +24,20 @@ from repro.lowerbounds.formulas import (
 
 class TestRegistry:
     def test_27_table_cells(self):
-        assert len(ALL_BOUNDS) == 27
+        # The 1998 paper's Table 1 is 27 cells; the post-1998 extension
+        # tables (mpc/pem, see repro.models) and the classical PRAM
+        # baselines add 3 + 4 + 3 more.
+        table1 = [b for b in ALL_BOUNDS if b.table in ("1a", "1b", "1c", "1d")]
+        assert len(table1) == 27
+        assert len(bounds_for(table="mpc")) == 3
+        assert len(bounds_for(table="pem")) == 4
+        assert len(bounds_for(table="pram")) == 3
+        assert len(ALL_BOUNDS) == 37
 
     def test_tables_covered(self):
-        assert {b.table for b in ALL_BOUNDS} == {"1a", "1b", "1c", "1d"}
+        assert {b.table for b in ALL_BOUNDS} == {
+            "1a", "1b", "1c", "1d", "mpc", "pem", "pram"
+        }
 
     def test_each_time_table_has_six_cells(self):
         # 3 problems x {deterministic, randomized}.
@@ -82,6 +92,38 @@ class TestValues:
     def test_sqsm_vs_bsp_rounds_equal(self):
         assert sqsm_or_rounds(2**12, 2.0, 2**8) == pytest.approx(
             bsp_or_rounds(2**12, 2.0, 8.0, 2**8)
+        )
+
+
+class TestPost98Values:
+    def test_mpc_parity_rounds(self):
+        from repro.lowerbounds.formulas import mpc_parity_rounds
+
+        # log n / log s at n=2^16, s=16: 16/4 = 4.
+        assert mpc_parity_rounds(2**16, 16.0) == pytest.approx(4.0)
+
+    def test_mpc_listrank_conditional_log_n(self):
+        from repro.lowerbounds.formulas import mpc_listrank_rounds, mpc_parity_rounds
+
+        # The conditional bound ignores s and dominates the fan-in bound.
+        assert mpc_listrank_rounds(2**16, 16.0) == pytest.approx(16.0)
+        assert mpc_listrank_rounds(2**16, 16.0) >= mpc_parity_rounds(2**16, 16.0)
+
+    def test_pem_scan_io(self):
+        from repro.lowerbounds.formulas import pem_scan_io
+
+        # n/(pB) at n=2^12, p=4, B=8: 4096/32 = 128; floor at 1.
+        assert pem_scan_io(2**12, 4.0, 64.0, 8.0) == pytest.approx(128.0)
+        assert pem_scan_io(4, 4.0, 64.0, 8.0) == pytest.approx(1.0)
+
+    def test_pem_sort_io_equals_listrank_io(self):
+        from repro.lowerbounds.formulas import pem_listrank_io, pem_sort_io
+
+        # n=2^12, p=4, M=64, B=8: (n/(pB)) * log_{8}(512) = 128 * 3 = 384,
+        # and JLS reduce list ranking to sorting, so the bounds coincide.
+        assert pem_sort_io(2**12, 4.0, 64.0, 8.0) == pytest.approx(384.0)
+        assert pem_listrank_io(2**12, 4.0, 64.0, 8.0) == pytest.approx(
+            pem_sort_io(2**12, 4.0, 64.0, 8.0)
         )
 
 

@@ -160,6 +160,61 @@ class TestCompare:
             compare_bench({}, {}, tolerance=-1)
 
 
+CROSS_MODEL = {
+    # BENCH_cross_model.json-style payload: one cells block per problem,
+    # a cell per (model, n), plus engine bit-equality booleans.
+    "schema": "cross_model/1",
+    "models": ["QSM", "MPC", "PEM"],
+    "cells": {
+        "Parity": {
+            "model=QSM,n=64": {"measured": 24.0, "bound": 12.0, "correct": True},
+            "model=MPC,n=64": {"measured": 3.0, "bound": 3.0, "correct": True},
+        },
+        "OR": {
+            "model=PEM,n=64": {"measured": 9.0, "bound": 1.0, "correct": True},
+        },
+    },
+    "engines_agree_mpc": True,
+    "engines_agree_pem": True,
+}
+
+
+class TestCrossModelSchema:
+    def test_flatten_keeps_cells_drops_config(self):
+        flat = flatten_metrics(CROSS_MODEL)
+        assert flat["cells.Parity.model=MPC,n=64.measured"] == 3.0
+        assert flat["cells.OR.model=PEM,n=64.bound"] == 1.0
+        assert flat["engines_agree_mpc"] is True
+        # The schema marker and the model-name list are config, not metrics.
+        assert "schema" not in flat
+        assert not any(k.startswith("models") for k in flat)
+
+    def test_baseline_vs_itself_passes(self):
+        assert compare_bench(CROSS_MODEL, CROSS_MODEL).ok
+
+    def test_perturbed_cell_gates_at_tight_tolerance(self):
+        # Simulated costs are deterministic: a >1% drift is a real change.
+        current = json.loads(json.dumps(CROSS_MODEL))
+        current["cells"]["Parity"]["model=MPC,n=64"]["measured"] = 4.0
+        report = compare_bench(CROSS_MODEL, current)
+        assert not report.ok
+        assert {d.metric for d in report.regressions} == {
+            "cells.Parity.model=MPC,n=64.measured"
+        }
+
+    def test_engine_agreement_flip_fails(self):
+        current = json.loads(json.dumps(CROSS_MODEL))
+        current["engines_agree_pem"] = False
+        report = compare_bench(CROSS_MODEL, current)
+        assert [d.metric for d in report.regressions] == ["engines_agree_pem"]
+
+    def test_collector_rejects_zero_samples(self):
+        from repro.obs.regress import collect_cross_model_current
+
+        with pytest.raises(ValueError):
+            collect_cross_model_current(samples=0)
+
+
 class TestReport:
     def test_markdown_has_verdict_and_rows(self):
         current = json.loads(json.dumps(SWEEP_CACHE))

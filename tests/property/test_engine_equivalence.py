@@ -42,6 +42,7 @@ from repro.core import (
 )
 from repro.faults.plan import random_fault_plan
 from repro.faults.winners import FirstWriterWins, LastWriterWins, SeededWinners
+from repro.models import MPC, PEM, MPCParams, PEMParams
 
 ADDRS = st.integers(0, 15)
 VALUES = st.integers(-5, 5)
@@ -100,6 +101,13 @@ MACHINES = [
     pytest.param(
         lambda eng: GSM(seed=7, record_trace=True, record_costs=True, engine=eng),
         id="gsm",
+    ),
+    pytest.param(
+        lambda eng: PEM(
+            PEMParams(M=16, B=4), seed=7, record_trace=True,
+            record_costs=True, engine=eng,
+        ),
+        id="pem",
     ),
 ]
 
@@ -180,6 +188,27 @@ class TestSharedMemoryBitEquality:
             run_phase(machine, writes)
         assert ref.history == vec.history
         assert ref._memory == vec._memory
+
+    @pytest.mark.parametrize(
+        "policy",
+        [FirstWriterWins(), LastWriterWins(), SeededWinners(99)],
+        ids=["first", "last", "seeded"],
+    )
+    @given(writes=write_phases)
+    @settings(max_examples=15, deadline=None)
+    def test_pem_winner_policies_replay_identically(self, policy, writes):
+        # PEM routes collisions through the same _pick_winner choke point
+        # as the QSM family; the draws must be engine-independent there too.
+        make = lambda eng: PEM(
+            PEMParams(M=16, B=4), seed=11, winner_policy=policy, engine=eng
+        )
+        ref, vec = make("reference"), make("vector")
+        for machine in (ref, vec):
+            policy.reset()
+            run_phase(machine, writes)
+        assert ref.history == vec.history
+        assert ref._memory == vec._memory
+        assert ref.phase_costs == vec.phase_costs
 
     @given(writes=write_phases, seed=st.integers(0, 2**16))
     @settings(max_examples=25, deadline=None)
@@ -262,6 +291,48 @@ class TestBSPBitEquality:
         def run(eng):
             plan = random_fault_plan("bsp", seed=seed, max_faults=2, procs=4)
             machine = BSP(4, BSPParams(g=2, L=2), fault_plan=plan, engine=eng)
+            for _ in range(3):
+                run_superstep(machine, program)
+            return machine
+
+        ref, vec = run("reference"), run("vector")
+        assert ref.history == vec.history
+        assert ref.step_costs == vec.step_costs
+        assert all(ref.inbox(i) == vec.inbox(i) for i in range(4))
+        assert [e.to_dict() for e in ref.fault_events] == [
+            e.to_dict() for e in vec.fault_events
+        ]
+
+
+class TestMPCBitEquality:
+    # MPC is a BSP subclass with a different round charge, so the same
+    # randomized send programs exercise its commit path; records, round
+    # costs and inboxes must match across engines bit-for-bit.
+    send_programs = TestBSPBitEquality.send_programs
+
+    @given(program=send_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_round_streams_identical(self, program):
+        def make(eng):
+            return MPC(4, MPCParams(s=3), record_costs=True, engine=eng)
+
+        ref, vec = make("reference"), make("vector")
+        for machine in (ref, vec):
+            run_superstep(machine, program)
+            run_superstep(machine, program[::-1])
+        assert ref.history == vec.history
+        assert ref.step_costs == vec.step_costs
+        assert ref.rounds == vec.rounds
+        assert ref.max_message_volume == vec.max_message_volume
+        assert all(ref.inbox(i) == vec.inbox(i) for i in range(4))
+        assert _sans_wall(ref.cost_records) == _sans_wall(vec.cost_records)
+
+    @given(program=send_programs, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_fault_plans_route_identically(self, program, seed):
+        def run(eng):
+            plan = random_fault_plan("bsp", seed=seed, max_faults=2, procs=4)
+            machine = MPC(4, MPCParams(s=3), fault_plan=plan, engine=eng)
             for _ in range(3):
                 run_superstep(machine, program)
             return machine

@@ -88,9 +88,21 @@ def test_jobs_view_envelope(tmp_path):
 
 def test_default_registry_covers_shipped_campaigns():
     registry = default_registry()
-    assert set(registry) == {"demo", "table1", "section8", "chaos"}
+    assert set(registry) == {
+        "demo", "table1", "section8", "chaos", "cross_model"
+    }
     demo = registry["demo"].to_dict()
     assert [o["name"] for o in demo["options"]] == ["points", "delay"]
+
+
+def test_registry_builds_cross_model_campaign():
+    # The cross-model table runs at its stock grid (no tenant options)
+    # and covers all 7 models for each problem.
+    campaign = default_registry()["cross_model"].build({})
+    assert campaign.name == "cross_model"
+    points = [t for t in campaign.tasks if not t.name.endswith("/verdict")]
+    models = {t.name.split("/")[2] for t in points}
+    assert models == {"QSM", "s-QSM", "QSM(g,d)", "BSP", "PRAM", "MPC", "PEM"}
 
 
 def test_registry_builds_demo_with_options():

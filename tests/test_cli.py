@@ -9,7 +9,7 @@ class TestCLI:
     def test_experiment_registry_covers_design_index(self):
         assert set(EXPERIMENTS) == {
             "t1a", "t1b", "t1c", "t1d", "s8", "rel", "lb", "abl", "perf",
-            "sched",
+            "sched", "xmodel",
         }
 
     def test_unknown_experiment_rejected(self, capsys):
@@ -90,18 +90,40 @@ class TestChaosCommand:
 
 
 class TestVersionCommand:
-    def test_version_subcommand_prints_package_version(self, capsys):
+    def test_version_subcommand_prints_version_and_engine(self, capsys):
         from repro import __version__
 
         assert main(["version"]) == 0
-        assert capsys.readouterr().out.strip() == __version__
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == __version__
+        assert lines[1].startswith("engine: ")
+        assert "numpy" in lines[1]
+
+    def test_version_reports_env_selected_engine(self, capsys, monkeypatch):
+        from repro.core.engine_vector import have_numpy
+
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
+        assert main(["version"]) == 0
+        engine_line = capsys.readouterr().out.strip().splitlines()[1]
+        if have_numpy():
+            assert engine_line.startswith("engine: vector")
+        else:  # the documented numpy fallback is surfaced, not silent
+            assert engine_line.startswith("engine: reference")
+            assert "requested 'vector'" in engine_line
+
+    def test_version_rejects_bad_engine_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        assert main(["version"]) == 2
+        assert "engine" in capsys.readouterr().err
 
     def test_version_flags(self, capsys):
         from repro import __version__
 
         for flag in ("--version", "-V"):
             assert main([flag]) == 0
-            assert capsys.readouterr().out.strip() == __version__
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert lines[0] == __version__
+            assert lines[1].startswith("engine: ")
 
     def test_version_is_not_an_experiment(self):
         assert "version" not in EXPERIMENTS
@@ -114,7 +136,7 @@ class TestCampaignCommand:
     def test_campaign_list_names_shipped_campaigns(self, capsys):
         assert main(["campaign", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("demo", "table1", "section8", "chaos"):
+        for name in ("demo", "table1", "section8", "chaos", "cross_model"):
             assert name in out
 
     def test_campaign_demo_runs_then_resumes_from_store(self, tmp_path, capsys):
@@ -305,6 +327,58 @@ class TestBenchCheckCommand:
         assert main(["bench", "check", "--baseline",
                      str(tmp_path / "nope.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+    CROSS_MODEL = {
+        "schema": "cross_model/1",
+        "models": ["MPC", "PEM"],
+        "cells": {
+            "Parity": {
+                "model=MPC,n=64": {"measured": 3.0, "bound": 3.0,
+                                   "correct": True},
+                "model=PEM,n=64": {"measured": 9.0, "bound": 1.0,
+                                   "correct": True},
+            },
+        },
+        "engines_agree_mpc": True,
+        "engines_agree_pem": True,
+    }
+
+    def test_cross_model_perturbed_point_exits_nonzero(self, tmp_path, capsys):
+        # BENCH_cross_model.json diffs at the deterministic 1% tolerance.
+        base = self.write_bench(tmp_path, "base.json", self.CROSS_MODEL)
+        import json
+
+        perturbed = json.loads(json.dumps(self.CROSS_MODEL))
+        perturbed["cells"]["Parity"]["model=MPC,n=64"]["measured"] = 4.0
+        cur = self.write_bench(tmp_path, "cur.json", perturbed)
+        assert main(["bench", "check", "--baseline", base,
+                     "--current", cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "cells.Parity.model=MPC,n=64.measured" in out
+
+    def test_cross_model_schema_auto_remeasures(self, tmp_path, capsys,
+                                                monkeypatch):
+        # A baseline with a "cells" block dispatches to the cross-model
+        # collector when no --current/--store is given.
+        import repro.obs.regress as regress
+
+        calls = {}
+
+        def fake_collect(samples=1, jobs=None):
+            calls["samples"] = samples
+            import json
+
+            return json.loads(json.dumps(self.CROSS_MODEL))
+
+        monkeypatch.setattr(regress, "collect_cross_model_current",
+                            fake_collect)
+        base = self.write_bench(tmp_path, "base.json", self.CROSS_MODEL)
+        assert main(["bench", "check", "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "re-measuring the cross-model bench" in out
+        assert "PASS" in out
+        assert calls["samples"] == 1
 
 
 class TestCampaignMetricsFlags:
