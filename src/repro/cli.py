@@ -145,19 +145,86 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
+def _run_trace_merge(argv: List[str]) -> int:
+    """``python -m repro trace merge``: fold span files into one Perfetto view.
+
+    Reads one or more ``repro.trace/1`` JSONL files (the scheduler's sink
+    plus any per-worker ``REPRO_TRACE_PATH`` files from other hosts),
+    deduplicates spans by ``(trace_id, span_id)``, and writes a single
+    trace-event JSON whose flow arrows link each request span down
+    through job, task, and exec rows.  Also prints the percentile SLO
+    summary computed over the merged spans.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace merge",
+        description=(
+            "Merge repro.trace/1 span files (scheduler + workers, any "
+            "number of hosts) into one Perfetto-loadable trace with flow "
+            "links, and print the percentile SLO summary."
+        ),
+    )
+    parser.add_argument(
+        "files", nargs="+", metavar="SPANS.jsonl",
+        help="repro.trace/1 files to merge (later duplicates are dropped)",
+    )
+    parser.add_argument(
+        "--out", default="trace-merged.json", metavar="PATH",
+        help="output trace-event JSON (default: trace-merged.json)",
+    )
+    parser.add_argument(
+        "--slo-json", default=None, metavar="PATH",
+        help="also write the SLO summary as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.exporters import write_combined_trace
+    from repro.obs.tracing import merge_trace_files, slo_summary
+
+    spans = merge_trace_files(args.files)
+    if not spans:
+        print("error: no repro.trace/1 spans found in "
+              + ", ".join(args.files), file=sys.stderr)
+        return 1
+    count = write_combined_trace(args.out, trace_spans=spans)
+    traces = sorted({s.get("trace_id") for s in spans})
+    hosts = sorted({s.get("host") for s in spans if s.get("host")})
+    print(f"merged {len(spans)} span(s) across {len(traces)} trace(s) "
+          f"from {len(args.files)} file(s)"
+          + (f" ({', '.join(hosts)})" if hosts else ""))
+    print(f"wrote {count} trace events to {args.out} "
+          "(load at https://ui.perfetto.dev)")
+    summary = slo_summary(spans)
+    print(_format_slo(summary))
+    if args.slo_json:
+        with open(args.slo_json, "w", encoding="utf-8") as fh:
+            _json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote SLO summary to {args.slo_json}")
+    return 0
+
+
 def run_trace(argv: List[str]) -> int:
     """``python -m repro trace``: run one algorithm with cost recording on.
 
     Prints the per-phase cost breakdown (:func:`repro.analysis.timeline.explain`)
     and the dominant-term summary, then optionally exports the records.
+    The ``merge`` subcommand (:func:`_run_trace_merge`) instead folds
+    ``repro.trace/1`` distributed-trace span files into one Perfetto view.
     """
+    if argv and argv[0] == "merge":
+        return _run_trace_merge(argv[1:])
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
         description=(
             "Run one algorithm on a cost-recording machine and inspect / "
-            "export its per-phase cost provenance."
+            "export its per-phase cost provenance.  (`trace merge` folds "
+            "repro.trace/1 distributed-trace span files into one "
+            "Perfetto view instead.)"
         ),
     )
     parser.add_argument(
@@ -567,6 +634,19 @@ def run_bench(argv: List[str]) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             fh.write(markdown)
         print(f"wrote {args.report}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path and not report.ok:
+        # A failed gate surfaces its full diff table on the Actions run
+        # summary page, so nobody has to dig through step logs for the
+        # regressing metric.
+        try:
+            with open(summary_path, "a", encoding="utf-8") as fh:
+                fh.write(f"## bench check failed: {args.baseline}\n\n")
+                fh.write(markdown)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"warning: cannot write GITHUB_STEP_SUMMARY: {exc}",
+                  file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -914,6 +994,11 @@ def run_serve(argv: List[str]) -> int:
         "--workers-host", default="127.0.0.1", metavar="HOST",
         help="bind address for the worker fabric (default: 127.0.0.1)",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable distributed tracing and append repro.trace/1 spans "
+        "to PATH (also enabled by REPRO_TRACE=1; see docs/OBSERVABILITY.md)",
+    )
 
     p = sub.add_parser("submit", help="submit a campaign to a running service")
     p.add_argument("name", help="campaign name (see `serve campaigns`)")
@@ -953,6 +1038,9 @@ def run_serve(argv: List[str]) -> int:
     p = sub.add_parser("workers", help="show the service's worker fleet")
     add_url(p)
 
+    p = sub.add_parser("slo", help="print the service's percentile latency SLOs")
+    add_url(p)
+
     args = parser.parse_args(argv)
 
     if args.command == "run":
@@ -970,6 +1058,15 @@ def run_serve(argv: List[str]) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        from repro.obs import tracing as _tracing
+
+        if args.trace:
+            _tracing.enable_tracing(path=args.trace)
+            print(f"tracing to {args.trace} (repro.trace/1; merge with "
+                  f"`python -m repro trace merge {args.trace} --out trace.json`)")
+        elif _tracing.TRACER.enabled:
+            print("tracing enabled via REPRO_TRACE "
+                  "(pass --trace PATH to capture spans to a file)")
         service = CampaignService(
             store_root,
             quota=quota,
@@ -1011,6 +1108,15 @@ def run_serve(argv: List[str]) -> int:
                     f"{o['name']}={o['default']}" for o in entry["options"]
                 ) or "-"
                 print(f"{entry['name']:10s} {entry['summary']}  [{opts}]")
+            return 0
+
+        if args.command == "slo":
+            slo = client.slo()
+            if not slo.get("enabled"):
+                print("tracing is off on this service (start it with "
+                      "REPRO_TRACE=1 or --trace PATH); no SLO data")
+                return 0
+            print(_format_slo(slo))
             return 0
 
         if args.command == "workers":
@@ -1119,8 +1225,25 @@ def run_worker_cli(argv: List[str]) -> int:
     )
 
 
+def _format_slo(slo: dict) -> str:
+    """One status line from a ``GET /v1/slo`` payload body."""
+    def bucket(b: dict) -> str:
+        if not b.get("count"):
+            return "no samples"
+        return (f"p50={b['p50']:.3f}s p95={b['p95']:.3f}s "
+                f"p99={b['p99']:.3f}s (n={b['count']})")
+
+    task = slo.get("task", {})
+    e2e = slo.get("end_to_end", {})
+    return f"slo: task {bucket(task)} | end-to-end {bucket(e2e)}"
+
+
 def _watch_job(client, job_id: str, cancel_on_disconnect: bool) -> dict:
-    """Stream a job's SSE events, printing state changes; returns the final view."""
+    """Stream a job's SSE events, printing state changes; returns the final view.
+
+    On traced services the terminal line is followed by the job's
+    ``trace_id`` and the service's current percentile SLOs.
+    """
     last_line = None
     view = client.job(job_id)
     for envelope in client.watch(job_id, cancel_on_disconnect=cancel_on_disconnect):
@@ -1130,6 +1253,14 @@ def _watch_job(client, job_id: str, cancel_on_disconnect: bool) -> dict:
         if line != last_line:
             print(line)
             last_line = line
+    if view.get("trace_id"):
+        print(f"trace: {view['trace_id']}")
+        try:
+            slo = client.slo()
+            if slo.get("enabled"):
+                print(_format_slo(slo))
+        except Exception:
+            pass  # an old server without /v1/slo; the watch still succeeded
     return view
 
 

@@ -46,6 +46,7 @@ the CI ``chaos-net`` job uploads.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -159,6 +160,43 @@ def _assert_identical(done: Dict[str, Any], reference: Dict[str, Dict[str, Any]]
         assert got == truth, f"{key}: distributed outcome differs from serial run"
 
 
+def _assert_fault_log_tail(
+    fault_log: Optional[str], case: str, expected: int
+) -> None:
+    """The frame log's durability invariant: nothing buffered, nothing torn.
+
+    The proxy fsyncs each verdict line before forwarding (or killing)
+    the frame it describes, so after a case — however violently it ended
+    — the log must hold *every* line the proxy allocated a sequence
+    number for, each one complete JSON, in sequence order.  A tail
+    swallowed by stdio buffering or a torn last line fails here.
+    """
+    if not fault_log or expected <= 0:
+        return
+    rows: List[Dict[str, Any]] = []
+    with open(fault_log, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                raise AssertionError(
+                    f"{fault_log}:{lineno}: torn/invalid fault-log line"
+                )
+            if row.get("case") == case:
+                rows.append(row)
+    assert len(rows) == expected, (
+        f"fault log holds {len(rows)} line(s) for {case!r}, "
+        f"proxy wrote {expected} — tail lost"
+    )
+    seqs = [int(r.get("seq", -1)) for r in rows]
+    assert seqs == list(range(1, expected + 1)), (
+        f"fault-log seq order broken for {case!r}: {seqs}"
+    )
+
+
 def _run_through_proxy(
     points: int,
     fault_log: Optional[str],
@@ -220,6 +258,9 @@ def _run_through_proxy(
             finally:
                 pool.shutdown()
                 _reap(procs)
+    # The proxy is closed now: its sequence counter is final, so the
+    # file must hold exactly that many well-formed lines for this case.
+    _assert_fault_log_tail(fault_log, case, proxy.log_lines)
     return note
 
 
@@ -366,7 +407,7 @@ def _case_sigkill_plus_partition(points: int, fault_log: Optional[str]) -> str:
                             f"p{i}: stored outcome differs from serial run"
                         )
                     stats = pool.stats
-                    return (
+                    note = (
                         f"store-backed; requeues={stats['requeues']}; "
                         f"lost={stats['workers_lost']}; "
                         f"reconnected={stats['workers_reconnected']}"
@@ -374,6 +415,10 @@ def _case_sigkill_plus_partition(points: int, fault_log: Optional[str]) -> str:
                 finally:
                     pool.shutdown()
                     _reap(procs)
+    _assert_fault_log_tail(
+        fault_log, "sigkill-plus-partition", proxy.log_lines
+    )
+    return note
 
 
 def default_net_cases() -> List[NetChaosCase]:

@@ -36,6 +36,11 @@ by phase, so a measured curve can be explained rather than just plotted:
 * :mod:`~repro.obs.regress` — the bench-regression watchdog behind
   ``python -m repro bench check``: noise-aware baseline diffs of
   ``BENCH_*.json`` / store-backed points with a markdown report.
+* :mod:`~repro.obs.tracing` — distributed spans (``repro.trace/1``):
+  W3C-``traceparent``-style context propagated from the HTTP front door
+  through the scheduler and the worker fabric down to per-phase cost
+  records, plus exact p50/p95/p99 SLO summaries over span durations;
+  zero-cost unless ``$REPRO_TRACE`` switches it on.
 
 Machines collect records when constructed with ``record_costs=True`` (the
 flag mirrors ``record_trace=``); the collection cost is zero when the flag
@@ -66,6 +71,16 @@ from repro.obs.exporters import (
 from repro.obs.metrics import REGISTRY, MetricsRegistry, render_metrics_table
 from repro.obs.regress import RegressionReport, compare_bench
 from repro.obs.snapshot import MetricsSnapshot, SnapshotWriter, read_snapshots
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    parse_traceparent,
+    slo_summary,
+)
 
 __all__ = [
     "PhaseCostRecord",
@@ -91,4 +106,12 @@ __all__ = [
     "read_snapshots",
     "RegressionReport",
     "compare_bench",
+    "Span",
+    "SpanContext",
+    "TRACER",
+    "Tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "parse_traceparent",
+    "slo_summary",
 ]

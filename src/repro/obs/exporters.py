@@ -31,6 +31,7 @@ __all__ = [
     "scheduler_trace_events",
     "write_scheduler_trace",
     "metrics_counter_events",
+    "trace_span_events",
     "combined_trace_events",
     "write_combined_trace",
     "lane_pid",
@@ -39,6 +40,7 @@ __all__ = [
     "PHASE_PID",
     "SCHEDULER_PID",
     "METRICS_PID",
+    "SERVICE_PID",
 ]
 
 PathOrFile = Union[str, IO[str]]
@@ -103,11 +105,12 @@ TRACE_LANES: Dict[str, Tuple[int, str]] = {
     "phase": (0, "repro.obs phase costs"),
     "scheduler": (1, "repro.sched campaign"),
     "metrics": (2, "repro.obs metrics"),
+    "service": (3, "repro.serve distributed trace"),
 }
 
 
 def lane_pid(lane: str) -> int:
-    """The pid assigned to a named lane (``"phase" | "scheduler" | "metrics"``)."""
+    """The pid assigned to a named lane (phase/scheduler/metrics/service)."""
     try:
         return TRACE_LANES[lane][0]
     except KeyError:
@@ -196,6 +199,118 @@ def chrome_trace_events(
 PHASE_PID = lane_pid("phase")
 SCHEDULER_PID = lane_pid("scheduler")
 METRICS_PID = lane_pid("metrics")
+SERVICE_PID = lane_pid("service")
+
+#: One Perfetto thread row per span kind, outermost first, so a trace
+#: reads top-down: HTTP request over job over tasks over executions.
+_TRACE_KIND_ROWS: Dict[str, int] = {
+    "request": 0,
+    "job": 1,
+    "task": 2,
+    "exec": 3,
+    "internal": 4,
+}
+
+
+def _flow_id(span_id: str) -> int:
+    """A stable positive 63-bit flow id derived from a span id."""
+    try:
+        return int(span_id, 16) & 0x7FFFFFFFFFFFFFFF
+    except (TypeError, ValueError):
+        return abs(hash(span_id)) & 0x7FFFFFFFFFFFFFFF
+
+
+def _trace_layout(
+    rows: List[Dict[str, Any]],
+    t0: float = None,  # type: ignore[assignment]
+) -> List[Tuple[Dict[str, Any], float, float, int]]:
+    """Place ``repro.trace/1`` span dicts on the wall-clock axis.
+
+    Returns ``(row, ts_us, dur_us, tid)`` per span, with timestamps
+    relative to ``t0`` (default: the earliest span start in the batch).
+    """
+    if t0 is None:
+        starts = [float(r.get("start") or 0.0) for r in rows]
+        t0 = min(starts) if starts else 0.0
+    out = []
+    for row in rows:
+        start = float(row.get("start") or 0.0)
+        end = float(row.get("end") or start)
+        ts = (start - t0) * 1e6
+        dur = max(0.0, (end - start) * 1e6)
+        tid = _TRACE_KIND_ROWS.get(str(row.get("kind", "internal")), 4)
+        out.append((row, ts, dur, tid))
+    return out
+
+
+def trace_span_events(
+    rows: Iterable[Dict[str, Any]],
+    pid: int = SERVICE_PID,
+    t0: float = None,  # type: ignore[assignment]
+) -> List[Dict[str, Any]]:
+    """``repro.trace/1`` span dicts -> service-lane events with flow links.
+
+    Each finished span becomes a complete ("X") event on the wall-clock
+    axis (earliest span = t=0), one thread row per span kind (request /
+    job / task / exec).  Every parent-child edge *within the batch*
+    additionally emits a Perfetto flow pair (``ph: "s"`` at the parent,
+    ``ph: "f"`` at the child), so clicking an HTTP request span in
+    https://ui.perfetto.dev draws arrows down through the job, its
+    tasks, and the remote executions that served them — across hosts,
+    when the batch came from ``python -m repro trace merge``.
+    """
+    rows = list(rows)
+    events: List[Dict[str, Any]] = [lane_metadata_event("service", pid=pid)]
+    for kind, tid in sorted(_TRACE_KIND_ROWS.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{kind} spans"},
+            }
+        )
+    layout = _trace_layout(rows, t0=t0)
+    by_span_id = {
+        str(row.get("span_id")): (row, ts, dur, tid)
+        for row, ts, dur, tid in layout
+        if row.get("span_id")
+    }
+    for row, ts, dur, tid in layout:
+        events.append(
+            {
+                "name": str(row.get("name", "?")),
+                "cat": f"trace.{row.get('kind', 'internal')}",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "trace_id": row.get("trace_id"),
+                    "span_id": row.get("span_id"),
+                    "parent_span_id": row.get("parent_span_id"),
+                    "kind": row.get("kind"),
+                    "status": row.get("status"),
+                    "host": row.get("host"),
+                    "attrs": dict(row.get("attrs") or {}),
+                },
+            }
+        )
+        parent = by_span_id.get(str(row.get("parent_span_id") or ""))
+        if parent is not None:
+            p_row, p_ts, p_dur, p_tid = parent
+            flow = _flow_id(str(row.get("span_id")))
+            common = {"cat": "trace.flow", "name": "parent", "id": flow, "pid": pid}
+            # The flow-start timestamp must land inside the parent slice;
+            # clamp to its end for children that start after it closed
+            # (a job span outliving its request span, e.g.).
+            events.append(
+                dict(common, ph="s", ts=min(max(p_ts, ts), p_ts + p_dur), tid=p_tid)
+            )
+            events.append(dict(common, ph="f", bp="e", ts=ts, tid=tid))
+    return events
 
 
 def scheduler_trace_events(
@@ -383,19 +498,25 @@ def combined_trace_events(
     spans: Iterable[Dict[str, Any]] = (),
     snapshots: Iterable[Any] = (),
     phase_lanes: Sequence[Tuple[str, Iterable[PhaseCostRecord]]] = (),
+    trace_spans: Iterable[Dict[str, Any]] = (),
 ) -> List[Dict[str, Any]]:
-    """Merge scheduler spans, metrics snapshots and phase records into one
-    event list — the single-Perfetto-view export of a campaign run.
+    """Merge scheduler spans, metrics snapshots, phase records and
+    distributed-trace spans into one event list — the
+    single-Perfetto-view export of a campaign run.
 
     ``phase_lanes`` is a sequence of ``(label, records)`` pairs (typically
     one per campaign task that returned ``cost_records``); each pair gets
     its own ``tid`` row under the phase lane, labelled by a
-    ``thread_name`` metadata event.  The three lanes keep their pids from
-    :data:`TRACE_LANES`, so nothing collides.
+    ``thread_name`` metadata event.  ``trace_spans`` are ``repro.trace/1``
+    span dicts (:func:`trace_span_events`); when a phase record carries a
+    ``trace`` stamp whose span is in the batch, a Perfetto flow pair
+    links the exec span down to that phase row, completing the HTTP
+    request -> job -> task -> exec -> phase chain.  The four lanes keep
+    their pids from :data:`TRACE_LANES`, so nothing collides.
 
-    Note the clocks differ by design: scheduler spans and metrics
-    counters share the campaign's wall clock, while each phase row runs
-    on its task's *simulated* cost clock (1 cost unit = 1 us).
+    Note the clocks differ by design: scheduler spans, metrics counters
+    and trace spans share the wall clock, while each phase row runs on
+    its task's *simulated* cost clock (1 cost unit = 1 us).
     """
     events: List[Dict[str, Any]] = []
     span_list = list(spans)
@@ -404,9 +525,19 @@ def combined_trace_events(
     snap_list = list(snapshots)
     if snap_list:
         events.extend(metrics_counter_events(snap_list))
+    trace_list = list(trace_spans)
+    trace_locs: Dict[str, Tuple[float, float, int]] = {}
+    if trace_list:
+        events.extend(trace_span_events(trace_list))
+        trace_locs = {
+            str(row.get("span_id")): (ts, dur, tid)
+            for row, ts, dur, tid in _trace_layout(trace_list)
+            if row.get("span_id")
+        }
     phase_pid = lane_pid("phase")
     if phase_lanes:
         events.append(lane_metadata_event("phase"))
+        flow_seq = 0
         for tid, (label, records) in enumerate(phase_lanes):
             events.append(
                 {
@@ -417,7 +548,33 @@ def combined_trace_events(
                     "args": {"name": str(label)},
                 }
             )
-            events.extend(chrome_trace_events(records, pid=phase_pid, tid=tid))
+            record_list = list(records)
+            events.extend(chrome_trace_events(record_list, pid=phase_pid, tid=tid))
+            # chrome_trace_events lays phases end to end from t=0; walk
+            # the same clock here to aim each flow at its phase slice.
+            clock = 0.0
+            for rec in record_list:
+                dur = rec.cost * _US_PER_COST_UNIT
+                stamp = getattr(rec, "trace", None)
+                src = trace_locs.get(str((stamp or {}).get("span_id")))
+                if src is not None:
+                    s_ts, s_dur, s_tid = src
+                    flow_seq += 1
+                    flow = _flow_id(f"{stamp['span_id']}:phase:{flow_seq}")
+                    common = {
+                        "cat": "trace.flow",
+                        "name": "phase",
+                        "id": flow,
+                    }
+                    events.append(
+                        dict(common, ph="s", ts=s_ts + s_dur / 2,
+                             pid=SERVICE_PID, tid=s_tid)
+                    )
+                    events.append(
+                        dict(common, ph="f", bp="e", ts=clock,
+                             pid=phase_pid, tid=tid)
+                    )
+                clock += dur
     return events
 
 
@@ -426,17 +583,20 @@ def write_combined_trace(
     spans: Iterable[Dict[str, Any]] = (),
     snapshots: Iterable[Any] = (),
     phase_lanes: Sequence[Tuple[str, Iterable[PhaseCostRecord]]] = (),
+    trace_spans: Iterable[Dict[str, Any]] = (),
 ) -> int:
-    """Write the merged campaign trace (spans + counters + phase rows).
+    """Write the merged campaign trace (spans + counters + phase rows +
+    distributed-trace spans with flow links).
 
     Same container format as :func:`write_chrome_trace`; load the file at
     https://ui.perfetto.dev and a single demo-campaign run shows its
-    scheduling timeline, its metrics counter lanes and the per-task
-    simulated phase timelines stacked in one view.  Returns the event
-    count.
+    scheduling timeline, its metrics counter lanes, the per-task
+    simulated phase timelines and (on traced runs) the distributed span
+    tree stacked in one view.  Returns the event count.
     """
     events = combined_trace_events(
-        spans=spans, snapshots=snapshots, phase_lanes=phase_lanes
+        spans=spans, snapshots=snapshots, phase_lanes=phase_lanes,
+        trace_spans=trace_spans,
     )
     payload = {
         "traceEvents": events,

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import tracing as _tracing
+
 __all__ = [
     "PhaseCostRecord",
     "RunCostSummary",
@@ -30,6 +32,18 @@ __all__ = [
     "dominant_fractions",
     "machine_cost_records",
 ]
+
+
+def _active_trace() -> Optional[Dict[str, str]]:
+    """The live span stamp for a record built right now, or ``None``.
+
+    One predicate test when tracing is off — the builders stay zero-cost
+    on untraced runs, like every other ``TRACER.enabled`` site.
+    """
+    if not _tracing.TRACER.enabled:
+        return None
+    ctx = _tracing.TRACER.current()
+    return None if ctx is None else ctx.to_dict()
 
 
 def dominant_of(terms: Mapping[str, float]) -> str:
@@ -80,6 +94,12 @@ class PhaseCostRecord:
         :meth:`repro.faults.plan.FaultEvent.to_dict` — empty on clean
         runs.  Faults ride the same records as costs so a Perfetto trace
         of a chaos run shows *where* the injection hit.
+    trace:
+        Distributed-trace stamp: the ``{"trace_id", "span_id"}`` of the
+        span active when the phase committed (the worker's ``exec`` span
+        on a traced campaign run), or ``None``.  Stamped only when
+        :data:`repro.obs.tracing.TRACER` is enabled; lets the Perfetto
+        merge draw flow arrows from the task span onto the phase rows.
     """
 
     index: int
@@ -91,10 +111,11 @@ class PhaseCostRecord:
     ops_per_proc: Mapping[int, int] = field(default_factory=dict)
     wall_time: float = 0.0
     faults: Tuple[Mapping[str, Any], ...] = ()
+    trace: Optional[Mapping[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict; :meth:`from_dict` inverts it exactly."""
-        return {
+        row: Dict[str, Any] = {
             "index": self.index,
             "model": self.model,
             "terms": dict(self.terms),
@@ -105,9 +126,13 @@ class PhaseCostRecord:
             "wall_time": self.wall_time,
             "faults": [dict(f) for f in self.faults],
         }
+        if self.trace is not None:
+            row["trace"] = dict(self.trace)
+        return row
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PhaseCostRecord":
+        trace = data.get("trace")
         return cls(
             index=int(data["index"]),
             model=str(data["model"]),
@@ -118,6 +143,7 @@ class PhaseCostRecord:
             ops_per_proc={int(k): int(v) for k, v in data.get("ops_per_proc", {}).items()},
             wall_time=float(data.get("wall_time", 0.0)),
             faults=tuple(dict(f) for f in data.get("faults", ())),
+            trace=None if trace is None else {str(k): str(v) for k, v in trace.items()},
         )
 
 
@@ -149,6 +175,7 @@ def build_phase_cost_record(
         ),
         wall_time=wall_time,
         faults=tuple(faults),
+        trace=_active_trace(),
     )
 
 
@@ -183,6 +210,7 @@ def build_superstep_cost_record(
         ),
         wall_time=wall_time,
         faults=tuple(faults),
+        trace=_active_trace(),
     )
 
 

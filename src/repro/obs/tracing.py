@@ -1,0 +1,604 @@
+"""Distributed tracing: spans, trace-context propagation, and SLO math.
+
+The correlation layer the other observability pieces hang off: one
+**trace** is one causal story (an HTTP submit, a campaign run), made of
+**spans** — named intervals with a ``trace_id`` shared across every hop
+and a ``span_id``/``parent_span_id`` chain giving the tree.  The design
+follows the W3C Trace Context shape (``traceparent`` headers are parsed
+and emitted, see :func:`parse_traceparent`) but stays stdlib-only and
+schema-versioned like everything else here: finished spans stream to a
+``repro.trace/1`` JSONL sink, one object per line::
+
+    {"schema": "repro.trace/1", "name": "task", "kind": "task",
+     "trace_id": "4bf9...", "span_id": "00f0...", "parent_span_id": "...",
+     "start": 1723110000.120, "end": 1723110000.480,
+     "status": "ok", "attrs": {"key": "job-0001/p0", "worker": "w1"}}
+
+Propagation is explicit where it must be and ambient where it can be:
+
+* within a thread, :meth:`Tracer.span` keeps a thread-local stack so
+  nested spans parent automatically;
+* across queues, pickled task frames, and processes, the
+  :class:`SpanContext` travels as a plain ``{"trace_id", "span_id"}``
+  dict (see ``trace=`` on the worker-pool ``submit``), and the receiving
+  side re-attaches it with :meth:`Tracer.activate` — the explicit
+  handoff that makes remote-worker and requeued-task spans parent
+  correctly across hosts.
+
+Like ``record_costs=`` and ``REPRO_METRICS``, tracing is a zero-cost
+no-op unless switched on: every instrumented site pays exactly one
+predicate test of ``TRACER.enabled`` (initialised from ``$REPRO_TRACE``)
+and touches nothing else when it is false.
+
+On top of the same span durations, :meth:`Tracer.slo` computes **exact**
+(nearest-rank, not interpolated) p50/p95/p99 latencies for task spans
+and end-to-end job spans — the numbers ``GET /v1/slo`` serves and the
+dashboard renders.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.util.clock import wallclock
+
+__all__ = [
+    "SCHEMA",
+    "TRACE_ENV",
+    "TRACE_PATH_ENV",
+    "SpanContext",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "enable_tracing",
+    "disable_tracing",
+    "parse_traceparent",
+    "format_traceparent",
+    "percentile",
+    "slo_summary",
+    "read_trace_file",
+    "merge_trace_files",
+]
+
+#: Version tag stamped on every exported span line.
+SCHEMA = "repro.trace/1"
+
+#: Environment switch: ``1`` / ``true`` / ``on`` / ``yes`` enable tracing.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Optional environment sink: a JSONL path finished spans append to.
+#: Worker processes spawned with this set write their own span files,
+#: which ``python -m repro trace merge`` folds into one Perfetto trace.
+TRACE_PATH_ENV = "REPRO_TRACE_PATH"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+#: ``traceparent`` version field — only ``00`` exists today.
+_TP_VERSION = "00"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """The propagated half of a span: ``(trace_id, span_id)``.
+
+    This is what crosses process and host boundaries — as a
+    ``traceparent`` header over HTTP and as a small dict inside pickled
+    task frames.  It is deliberately value-like and immutable.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        object.__setattr__(self, "trace_id", trace_id)
+        object.__setattr__(self, "span_id", span_id)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("SpanContext is immutable")
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:
+        return f"SpanContext({self.trace_id!r}, {self.span_id!r})"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> Optional["SpanContext"]:
+        if not data:
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        return cls(str(trace_id), str(span_id))
+
+
+def format_traceparent(ctx: SpanContext, sampled: bool = True) -> str:
+    """``00-<trace_id>-<span_id>-<flags>`` per the W3C Trace Context ABNF."""
+    return f"{_TP_VERSION}-{ctx.trace_id}-{ctx.span_id}-{'01' if sampled else '00'}"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[SpanContext]:
+    """Decode an inbound ``traceparent`` header; ``None`` when malformed.
+
+    Tolerant by design (a bad header must never fail a request): the
+    version field is ignored beyond its width, and the all-zero
+    trace/span ids the spec declares invalid are rejected.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    _, trace_id, span_id = parts[0], parts[1].lower(), parts[2].lower()
+    if len(parts[0]) != 2 or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class Span:
+    """One named interval of one trace.
+
+    ``kind`` is the coarse role the SLO math and the Perfetto exporter
+    group by: ``"request"`` (HTTP handling), ``"job"`` (submit to
+    terminal state — the end-to-end latency), ``"task"`` (one task from
+    dispatch to resolution, surviving requeues), ``"exec"`` (one
+    delivery attempt actually running on a worker), or ``"internal"``.
+    """
+
+    __slots__ = (
+        "name", "kind", "trace_id", "span_id", "parent_span_id",
+        "start", "end", "status", "attrs", "host",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "internal",
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
+        start: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        host: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.trace_id = trace_id or _new_trace_id()
+        self.span_id = span_id or _new_span_id()
+        self.parent_span_id = parent_span_id
+        self.start = wallclock() if start is None else start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.host = host
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end; 0.0 while the span is open."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            row["attrs"] = dict(self.attrs)
+        if self.host:
+            row["host"] = self.host
+        return row
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        span = cls(
+            name=str(data.get("name", "")),
+            kind=str(data.get("kind", "internal")),
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_span_id=data.get("parent_span_id"),
+            start=float(data.get("start", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+            host=data.get("host"),
+        )
+        end = data.get("end")
+        span.end = None if end is None else float(end)
+        span.status = str(data.get("status", "ok"))
+        return span
+
+
+class _SpanHandle:
+    """Context manager yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Optional[Span]:
+        if self.span is not None:
+            self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.span is not None:
+            self._tracer._pop(self.span)
+            if exc_type is not None and self.span.status == "ok":
+                self.span.status = "error"
+                self.span.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+            self._tracer.finish(self.span)
+
+
+class Tracer:
+    """The process-wide span factory, thread-local context, and sink.
+
+    ``enabled`` is the single predicate every instrumented call site
+    tests; when false, no ids are generated, no clock is read, and no
+    state is touched.  Finished spans go two places: a bounded in-memory
+    deque (``finished`` — what :meth:`slo` reads) and, when configured,
+    an append-only JSONL file flushed per line so a SIGKILLed process
+    loses at most the line being written.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None, keep: int = 4096) -> None:
+        self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self.finished: "deque[Span]" = deque(maxlen=keep)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._sink: Optional[IO[str]] = None
+        self._sink_path: Optional[str] = None
+        self.host = f"pid-{os.getpid()}"
+        path = os.environ.get(TRACE_PATH_ENV, "").strip()
+        if self.enabled and path:
+            self.configure(path=path)
+
+    # -- configuration -------------------------------------------------------
+
+    def configure(
+        self,
+        path: Optional[str] = None,
+        enabled: Optional[bool] = None,
+        host: Optional[str] = None,
+    ) -> None:
+        """(Re)wire the tracer: flip ``enabled``, point the JSONL sink."""
+        with self._lock:
+            if enabled is not None:
+                self.enabled = bool(enabled)
+            if host is not None:
+                self.host = host
+            if path is not None and path != self._sink_path:
+                if self._sink is not None:
+                    try:
+                        self._sink.close()
+                    except OSError:
+                        pass
+                self._sink = open(path, "a", buffering=1)
+                self._sink_path = path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                try:
+                    self._sink.close()
+                except OSError:
+                    pass
+                self._sink = None
+                self._sink_path = None
+
+    def detach_sink(self) -> None:
+        """Forget an inherited sink without closing it (forked children).
+
+        A forked pool worker inherits the parent's open sink file
+        object; writing there would record every exec span twice, since
+        the span also ships home in the result reply for scheduler-side
+        :meth:`ingest`.  The reference is dropped without ``close()`` —
+        the file description is shared with the parent, which keeps
+        writing — leaving the child recording in memory only.
+        """
+        with self._lock:
+            self._sink = None
+            self._sink_path = None
+
+    def reset(self) -> None:
+        """Drop accumulated spans and thread-local state (test hook)."""
+        self.close()
+        self.finished.clear()
+        self._local = threading.local()
+
+    # -- thread-local context ------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit; heal rather than corrupt
+            stack.remove(span)
+
+    def current(self) -> Optional[SpanContext]:
+        """The context new spans on this thread would parent under."""
+        if not self.enabled:
+            return None
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1].context
+        return getattr(self._local, "ambient", None)
+
+    def activate(self, ctx: Optional[SpanContext]) -> Optional[SpanContext]:
+        """Explicit handoff: adopt ``ctx`` as this thread's ambient parent.
+
+        Returns the previous ambient context so callers can restore it
+        (``prev = t.activate(ctx) ... t.activate(prev)``).  This is how
+        a worker thread picks up the context that rode in on a pickled
+        task frame.
+        """
+        prev = getattr(self._local, "ambient", None)
+        self._local.ambient = ctx
+        return prev
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: Optional[Union[Span, SpanContext]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Span]:
+        """Open a span (``None`` when tracing is off).
+
+        Parent resolution: an explicit ``parent`` wins; otherwise the
+        thread's current context; otherwise the span roots a new trace.
+        """
+        if not self.enabled:
+            return None
+        if isinstance(parent, Span):
+            parent = parent.context
+        if parent is None:
+            parent = self.current()
+        if parent is None:
+            return Span(name, kind=kind, attrs=attrs, host=self.host)
+        return Span(
+            name,
+            kind=kind,
+            trace_id=parent.trace_id,
+            parent_span_id=parent.span_id,
+            attrs=attrs,
+            host=self.host,
+        )
+
+    def span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: Optional[Union[Span, SpanContext]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> _SpanHandle:
+        """``with TRACER.span("phase"):`` — start, activate, finish."""
+        return _SpanHandle(self, self.start_span(name, kind=kind, parent=parent, attrs=attrs))
+
+    def finish(self, span: Optional[Span], status: Optional[str] = None) -> None:
+        """Close ``span``: stamp the end time, record, export."""
+        if span is None or not self.enabled:
+            return
+        if status is not None:
+            span.status = status
+        if span.end is None:
+            span.end = wallclock()
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.finished.append(span)
+            if self._sink is not None:
+                try:
+                    self._sink.write(json.dumps(span.to_dict()) + "\n")
+                except (OSError, ValueError):
+                    pass
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Adopt finished spans shipped from another process.
+
+        Worker replies carry their execution spans as dicts; the
+        scheduler-side tracer folds them into its own record stream so a
+        single-host run produces a single trace file.  Returns the
+        number of spans adopted.
+        """
+        if not self.enabled:
+            return 0
+        count = 0
+        for row in rows:
+            try:
+                span = Span.from_dict(row)
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._record(span)
+            count += 1
+        return count
+
+    # -- SLO ------------------------------------------------------------------
+
+    def slo(self) -> Dict[str, Any]:
+        """Exact percentile latencies over the retained finished spans."""
+        with self._lock:
+            spans = list(self.finished)
+        return slo_summary(spans, enabled=self.enabled)
+
+
+def percentile(durations: Sequence[float], pct: float) -> float:
+    """Exact nearest-rank percentile (no interpolation) of ``durations``.
+
+    ``percentile(xs, 50)`` is the smallest x such that at least 50% of
+    the samples are <= x — the classical definition, so the returned
+    value is always one of the observed samples.
+    """
+    if not durations:
+        return 0.0
+    ordered = sorted(durations)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def _bucket(durations: Sequence[float]) -> Dict[str, Any]:
+    return {
+        "count": len(durations),
+        "p50": round(percentile(durations, 50), 6),
+        "p95": round(percentile(durations, 95), 6),
+        "p99": round(percentile(durations, 99), 6),
+        "max": round(max(durations), 6) if durations else 0.0,
+    }
+
+
+def slo_summary(
+    spans: Iterable[Union[Span, Mapping[str, Any]]],
+    enabled: bool = True,
+) -> Dict[str, Any]:
+    """The ``GET /v1/slo`` payload body: task + end-to-end percentiles.
+
+    ``task`` aggregates ``kind == "task"`` spans (dispatch to
+    resolution, requeues included); ``end_to_end`` aggregates ``kind ==
+    "job"`` spans (submit accepted to terminal state — what a tenant
+    actually waits).  Percentiles are exact nearest-rank over the
+    retained window, in seconds.
+    """
+    tasks: List[float] = []
+    jobs: List[float] = []
+    for span in spans:
+        if isinstance(span, Mapping):
+            kind = span.get("kind")
+            start, end = span.get("start"), span.get("end")
+            duration = max(0.0, float(end) - float(start)) if end is not None else None
+        else:
+            kind = span.kind
+            duration = span.duration if span.end is not None else None
+        if duration is None:
+            continue
+        if kind == "task":
+            tasks.append(duration)
+        elif kind == "job":
+            jobs.append(duration)
+    return {
+        "enabled": bool(enabled),
+        "window": len(tasks) + len(jobs),
+        "task": _bucket(tasks),
+        "end_to_end": _bucket(jobs),
+    }
+
+
+def read_trace_file(path: str) -> List[Dict[str, Any]]:
+    """Load a ``repro.trace/1`` JSONL file, tolerating a torn tail line.
+
+    Lines that fail to parse (a process SIGKILLed mid-write) are
+    skipped, matching :func:`repro.obs.snapshot.read_snapshots`.
+    """
+    spans: List[Dict[str, Any]] = []
+    try:
+        handle = open(path, "r")
+    except OSError:
+        return spans
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(row, dict) and row.get("schema") == SCHEMA:
+                spans.append(row)
+    return spans
+
+
+def merge_trace_files(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """Fold several ``repro.trace/1`` files into one deduplicated batch.
+
+    The multi-host story: the scheduler writes one file (its own spans
+    plus the exec spans replies shipped home), and workers started with
+    ``REPRO_TRACE_PATH`` write their own — so the same exec span can
+    legitimately appear in two files.  Spans are deduplicated by
+    ``(trace_id, span_id)`` (first occurrence wins) and returned sorted
+    by start time, ready for
+    :func:`repro.obs.exporters.trace_span_events`.
+    """
+    seen = set()
+    merged: List[Dict[str, Any]] = []
+    for path in paths:
+        for row in read_trace_file(path):
+            key = (row.get("trace_id"), row.get("span_id"))
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(row)
+    merged.sort(key=lambda r: float(r.get("start") or 0.0))
+    return merged
+
+
+#: The process-wide tracer every instrumented site consults.
+TRACER = Tracer()
+
+
+def enable_tracing(path: Optional[str] = None, host: Optional[str] = None) -> Tracer:
+    """Switch :data:`TRACER` on (and optionally point its JSONL sink)."""
+    TRACER.configure(path=path, enabled=True, host=host)
+    return TRACER
+
+
+def disable_tracing() -> None:
+    """Switch :data:`TRACER` off and detach its sink."""
+    TRACER.configure(enabled=False)
+    TRACER.close()

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.sched.pool import PoolEvent, WorkerPool
 from repro.sched.store import ResultStore, task_spec
 
@@ -182,6 +183,9 @@ class CampaignReport:
     wall_time: float
     store_root: str
     pool_stats: Mapping[str, int]
+    #: 32-hex distributed-trace id of the run's root span on traced runs
+    #: ($REPRO_TRACE, docs/OBSERVABILITY.md); None when tracing is off.
+    trace_id: Optional[str] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -284,6 +288,9 @@ class CampaignExecution:
         self._counter = 0
         self._ready: List[Tuple[int, int, str]] = []  # (-priority, seq, name)
         self._finished_spans: Optional[Tuple[TaskSpan, ...]] = None
+        # Distributed-trace correlation key, set by the driver when tracing
+        # is on (run_campaign's root span / the multiplexer's job span).
+        self.trace_id: Optional[str] = None
 
         # Resume pass: anything already in the store is complete, regardless
         # of what happened to its deps in this or any previous run.
@@ -605,9 +612,32 @@ def run_campaign(
     execution = CampaignExecution(campaign, store, clock=now, progress=progress)
     cancelled = False
 
+    # Distributed tracing (zero-cost when $REPRO_TRACE is off): the run
+    # gets a root "job" span and each task a child "task" span whose context
+    # rides to the workers inside the task frames, so remote-side exec
+    # spans and PhaseCostRecord stamps all share one trace_id.
+    root_span = None
+    task_spans: Dict[str, Any] = {}
+    if _tracing.TRACER.enabled:
+        root_span = _tracing.TRACER.start_span(
+            f"campaign:{campaign.name}", kind="job",
+            attrs={"campaign": campaign.name, "tasks": len(campaign.tasks)},
+        )
+        execution.trace_id = root_span.trace_id
+
     def dispatch(name: str) -> None:
         spec = execution.start(name)
-        pool.submit(name, spec.fn, spec.kwargs, timeout=spec.timeout)
+        trace = None
+        if root_span is not None:
+            span = task_spans.get(name)
+            if span is None:
+                span = _tracing.TRACER.start_span(
+                    name, kind="task", parent=root_span, attrs={"task": name}
+                )
+                task_spans[name] = span
+            span.attrs["attempts"] = execution.attempts[name]
+            trace = span.context.to_dict()
+        pool.submit(name, spec.fn, spec.kwargs, timeout=spec.timeout, trace=trace)
 
     restore_sigint = None
     try:
@@ -627,7 +657,14 @@ def run_campaign(
                 if name is None:
                     break
                 if execution.tasks[name].inline:
-                    execution.run_inline(name)
+                    if root_span is not None:
+                        with _tracing.TRACER.span(
+                            name, kind="task", parent=root_span,
+                            attrs={"task": name, "inline": True},
+                        ):
+                            execution.run_inline(name)
+                    else:
+                        execution.run_inline(name)
                 else:
                     dispatch(name)
             if not execution.in_flight:
@@ -640,8 +677,15 @@ def run_campaign(
             for event in pool.events(wait=0.5):
                 if event.key not in execution.tasks:
                     continue  # a shared pool's stale leftovers
-                if execution.record_event(event) == "retry":
+                verdict = execution.record_event(event)
+                if verdict == "retry":
                     dispatch(event.key)
+                elif root_span is not None:
+                    span = task_spans.pop(event.key, None)
+                    if span is not None:
+                        _tracing.TRACER.finish(
+                            span, status="ok" if verdict == "done" else "error"
+                        )
     except KeyboardInterrupt:
         cancelled = True
         # `timeout -s INT` (and an impatient Ctrl-C Ctrl-C) delivers SIGINT
@@ -663,6 +707,22 @@ def run_campaign(
         finally:
             if restore_sigint is not None:
                 signal.signal(signal.SIGINT, restore_sigint)
+            # The final snapshot must survive *every* exit path — a task
+            # function raising out of the event loop used to skip the
+            # close() below and lose it (and leave the registry enabled).
+            if writer is not None:
+                if registry.enabled:
+                    registry.gauge("repro_campaign_frontier_size").set(0)
+                    registry.gauge("repro_campaign_in_flight").set(0)
+                writer.close()
+                if not was_enabled:
+                    registry.disable()
+            if root_span is not None:
+                for span in task_spans.values():
+                    _tracing.TRACER.finish(span, status="cancelled")
+                _tracing.TRACER.finish(
+                    root_span, status="cancelled" if cancelled else "ok"
+                )
 
     ordered = execution.finish(cancelled=cancelled)
     report = CampaignReport(
@@ -672,17 +732,12 @@ def run_campaign(
         wall_time=now(),
         store_root=store.root,
         pool_stats=dict(pool.stats),
+        trace_id=execution.trace_id,
     )
 
     snapshots: Sequence[Any] = ()
     if writer is not None:
-        if registry.enabled:
-            registry.gauge("repro_campaign_frontier_size").set(0)
-            registry.gauge("repro_campaign_in_flight").set(0)
-        writer.close()
         snapshots = writer.snapshots
-        if not was_enabled:
-            registry.disable()
 
     if trace_path is not None:
         from repro.obs.exporters import write_combined_trace
@@ -703,11 +758,23 @@ def run_campaign(
                 except (KeyError, TypeError, ValueError):
                     continue  # a foreign/legacy outcome shape; not a trace row
                 phase_lanes.append((task.name, records))
+        # On traced runs the tracer's retained window holds this
+        # campaign's finished job/task/exec spans (exec spans shipped
+        # home in worker replies); exporting them alongside the phase
+        # lanes draws the flow arrows from each exec span down to its
+        # stamped phase-cost rows.
+        trace_spans = []
+        if _tracing.TRACER.enabled and execution.trace_id is not None:
+            trace_spans = [
+                s.to_dict() for s in list(_tracing.TRACER.finished)
+                if s.trace_id == execution.trace_id
+            ]
         write_combined_trace(
             trace_path,
             spans=[s.to_dict() for s in ordered],
             snapshots=snapshots,
             phase_lanes=phase_lanes,
+            trace_spans=trace_spans,
         )
     return report
 

@@ -14,9 +14,15 @@ frame       direction  payload
 ``welcome`` s -> w     ``("welcome", worker_id, generation)``
 ``evict``   s -> w     ``("evict", reason)`` — a newer registration with
                        the same name superseded this connection
-``task``    s -> w     ``("task", key, fn, kwargs)`` — the pipe schema
-``ok``      w -> s     ``("ok", key, value, wall)`` — the pipe schema
-``error``   w -> s     ``("error", key, "Type: message", wall)``
+``task``    s -> w     ``("task", key, fn, kwargs[, trace])`` — the pipe
+                       schema; ``trace`` (optional 5th field) is the
+                       dispatching span's ``{"trace_id", "span_id"}``
+                       context, present only on traced runs
+``ok``      w -> s     ``("ok", key, value, wall[, spans])`` — the pipe
+                       schema; ``spans`` (optional 5th field) carries
+                       the worker's finished ``repro.trace/1`` span
+                       dicts back for the scheduler-side sink
+``error``   w -> s     ``("error", key, "Type: message", wall[, spans])``
 ``ping``    s -> w     ``("ping", seq, t_mono)`` — scheduler heartbeat
 ``pong``    w -> s     ``("pong", seq, t_mono)`` — echo of the ping
 ``stop``    s -> w     ``("stop",)`` — drain and exit

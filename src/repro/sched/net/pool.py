@@ -48,6 +48,7 @@ import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.sched.net.frames import (
     ConnectionClosed,
     FrameError,
@@ -78,10 +79,13 @@ DEFAULT_MAX_DELIVERIES = 3
 
 
 class _NetTask:
-    __slots__ = ("key", "fn", "kwargs", "timeout", "deliveries", "not_before")
+    __slots__ = (
+        "key", "fn", "kwargs", "timeout", "deliveries", "not_before", "trace",
+    )
 
     def __init__(self, key: str, fn: Callable[..., Any],
-                 kwargs: Mapping[str, Any], timeout: Optional[float]) -> None:
+                 kwargs: Mapping[str, Any], timeout: Optional[float],
+                 trace: Optional[Mapping[str, str]] = None) -> None:
         self.key = key
         self.fn = fn
         self.kwargs = dict(kwargs)
@@ -89,6 +93,10 @@ class _NetTask:
         self.deliveries = 0
         #: Monotonic time before which a requeued task must not redispatch.
         self.not_before = 0.0
+        #: Span context carried on every delivery of this task — requeues
+        #: reuse the same object, so a task that survives a lost worker
+        #: keeps its trace_id across redeliveries.
+        self.trace = None if trace is None else dict(trace)
 
 
 class RemoteWorkerPool:
@@ -219,13 +227,20 @@ class RemoteWorkerPool:
         fn: Callable[..., Any],
         kwargs: Optional[Mapping[str, Any]] = None,
         timeout: Optional[float] = None,
+        trace: Optional[Mapping[str, str]] = None,
     ) -> None:
-        """Enqueue ``fn(**kwargs)`` under ``key``; FIFO within the pool."""
+        """Enqueue ``fn(**kwargs)`` under ``key``; FIFO within the pool.
+
+        ``trace`` (a ``{"trace_id", "span_id"}`` dict) rides inside every
+        delivery's task frame — including redeliveries after a lost
+        worker — so remote execution spans parent under the same task
+        span across requeues and hosts.
+        """
         if self._closed:
             raise RuntimeError("pool is shut down")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
-        self._queue.append(_NetTask(key, fn, kwargs or {}, timeout))
+        self._queue.append(_NetTask(key, fn, kwargs or {}, timeout, trace))
         if _metrics.REGISTRY.enabled:
             _metrics.REGISTRY.counter(
                 "repro_pool_tasks_dispatched_total", "tasks submitted to the pool"
@@ -349,7 +364,10 @@ class RemoteWorkerPool:
             return
         kind = frame[0]
         if kind in ("ok", "error"):
-            _, key, payload, wall = frame
+            key, payload, wall = frame[1], frame[2], frame[3]
+            if len(frame) > 4 and _tracing.TRACER.enabled:
+                # Worker-side exec spans ride home on the result frame.
+                _tracing.TRACER.ingest(frame[4])
             task = worker.current
             if task is None or task.key != key:
                 # A duplicate frame, or a result for a task the watchdog
@@ -418,8 +436,12 @@ class RemoteWorkerPool:
             worker.deadline = (
                 now + task.timeout if task.timeout is not None else float("inf")
             )
+            if task.trace is not None:
+                frame = ("task", task.key, task.fn, task.kwargs, task.trace)
+            else:
+                frame = ("task", task.key, task.fn, task.kwargs)
             try:
-                send_frame(worker.conn, ("task", task.key, task.fn, task.kwargs))
+                send_frame(worker.conn, frame)
             except (OSError, FrameError) as exc:
                 self._lose(worker, f"connection lost (task send failed: {exc})")
 

@@ -30,6 +30,7 @@ blackholed too).
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
@@ -106,7 +107,13 @@ class ChaosProxy:
         self.upstream = (upstream[0], int(upstream[1]))
         self.plan = plan if plan is not None else NetFaultPlan()
         self.log_label = log_label
-        self._log: Optional[IO[str]] = open(log_path, "a") if log_path else None
+        # Line-buffered: every fault verdict reaches the OS as soon as
+        # its line is complete, so a SIGKILLed chaos run (the CI leg
+        # kills the whole process tree) keeps its log tail instead of
+        # losing whatever sat in a default-sized stdio buffer.
+        self._log: Optional[IO[str]] = (
+            open(log_path, "a", buffering=1) if log_path else None
+        )
         self._log_lock = threading.Lock()
         self._log_seq = 0
         self._links: List[_Link] = []
@@ -153,6 +160,12 @@ class ChaosProxy:
     def partition(self, duration_s: float) -> None:
         """Open a partition window on the plan right now (CLI/CI hook)."""
         self.plan.partition(duration_s)
+
+    @property
+    def log_lines(self) -> int:
+        """Frame-verdict lines written so far (the harness's tail check)."""
+        with self._log_lock:
+            return self._log_seq
 
     @property
     def live_links(self) -> int:
@@ -228,15 +241,11 @@ class ChaosProxy:
     ) -> None:
         if self._log is None:
             return
-        with self._log_lock:
-            self._log_seq += 1
-            seq = self._log_seq
         row: Dict[str, Any] = {
             "t": round(wallclock(), 6),
             "link": link.id,
             "dir": direction,
             "frame": frame_kind,
-            "seq": seq,
             "action": action,
         }
         if fault is not None:
@@ -245,7 +254,19 @@ class ChaosProxy:
             row["fault"] = "partition"
         if self.log_label:
             row["case"] = self.log_label
+        # One lock window covers sequence allocation AND the write:
+        # splitting them (the old shape) let two pump threads allocate
+        # seq N and N+1 and then write in the opposite order, so "seq"
+        # no longer matched file order.  fsync per line pushes the frame
+        # verdict to disk before the fault it describes can kill
+        # anything — the harness asserts the tail survives a SIGKILL.
         with self._log_lock:
             if self._log is not None:
+                self._log_seq += 1
+                row["seq"] = self._log_seq
                 self._log.write(json.dumps(row) + "\n")
                 self._log.flush()
+                try:
+                    os.fsync(self._log.fileno())
+                except (OSError, ValueError):
+                    pass  # closed mid-write or a non-file sink

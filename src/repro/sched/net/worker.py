@@ -6,7 +6,11 @@ frames with the same ``fn(**kwargs)`` -> ``("ok"|"error", key, payload,
 wall)`` contract the pipe workers honour.  Tasks execute on a side
 thread so the serve loop keeps answering ``ping`` frames while a task
 runs — a busy worker must still prove liveness, otherwise every long
-task would read as a partition.
+task would read as a partition.  On traced runs
+(:mod:`repro.obs.tracing`), the task frame's optional 5th field carries
+the dispatching span's context; the runner opens an ``exec`` span under
+it and ships the finished span back on the result frame, so one
+``trace_id`` survives the hop — and any requeue — across hosts.
 
 Connection loss triggers reconnect with bounded exponential backoff
 under the *same name*: the scheduler's registry recognises the name and
@@ -36,6 +40,7 @@ import threading
 import time
 from typing import Any, List, Optional, Tuple
 
+from repro.obs import tracing as _tracing
 from repro.sched.net.frames import (
     ConnectionClosed,
     FrameError,
@@ -62,15 +67,29 @@ class _Runner(threading.Thread):
     """
 
     def __init__(self, key: str, fn: Any, kwargs: dict,
-                 wake: Optional[socket.socket] = None) -> None:
+                 wake: Optional[socket.socket] = None,
+                 trace: Optional[dict] = None) -> None:
         super().__init__(daemon=True, name=f"repro-net-task-{key}")
         self.key = key
         self.fn = fn
         self.kwargs = kwargs
+        self.trace = trace
         self.frame: Optional[Tuple[Any, ...]] = None
         self._wake = wake
 
     def run(self) -> None:
+        # Trace context rode in on the task frame: open an "exec" span
+        # under it and activate it on *this* thread (explicit handoff —
+        # the serve loop's context must not leak across tasks), so
+        # PhaseCostRecords built by the task stamp the right span.
+        span = None
+        if self.trace is not None and _tracing.TRACER.enabled:
+            span = _tracing.TRACER.start_span(
+                self.key, kind="exec",
+                parent=_tracing.SpanContext.from_dict(self.trace),
+                attrs={"key": self.key, "transport": "tcp"},
+            )
+            _tracing.TRACER.activate(None if span is None else span.context)
         start = time.monotonic()
         try:
             value = self.fn(**self.kwargs)
@@ -82,6 +101,13 @@ class _Runner(threading.Thread):
                 time.monotonic() - start,
             )
         finally:
+            if span is not None:
+                _tracing.TRACER.activate(None)
+                _tracing.TRACER.finish(
+                    span,
+                    status="ok" if self.frame and self.frame[0] == "ok" else "error",
+                )
+                self.frame = self.frame + ([span.to_dict()],)
             if self._wake is not None:
                 try:
                     self._wake.send(b"\0")
@@ -112,8 +138,11 @@ def _serve(sock: socket.socket) -> int:
                     send_frame(sock, runner.frame)
                 runner = None
             if runner is None and inbox:
-                _, key, fn, kwargs = inbox.pop(0)
-                runner = _Runner(key, fn, dict(kwargs), wake=wake_w)
+                queued = inbox.pop(0)
+                runner = _Runner(
+                    queued[1], queued[2], dict(queued[3]), wake=wake_w,
+                    trace=queued[4] if len(queued) > 4 else None,
+                )
                 runner.start()
             readable, _, _ = select.select([sock, wake_r], [], [], 0.05)
             if wake_r in readable:
@@ -124,8 +153,10 @@ def _serve(sock: socket.socket) -> int:
             kind = frame[0]
             if kind == "task":
                 if runner is None:
-                    _, key, fn, kwargs = frame
-                    runner = _Runner(key, fn, dict(kwargs), wake=wake_w)
+                    runner = _Runner(
+                        frame[1], frame[2], dict(frame[3]), wake=wake_w,
+                        trace=frame[4] if len(frame) > 4 else None,
+                    )
                     runner.start()
                 else:
                     inbox.append(frame)

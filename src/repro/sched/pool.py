@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 
 __all__ = ["WorkerPool", "PoolEvent", "DEFAULT_MAX_TASKS_PER_WORKER"]
 
@@ -109,6 +110,9 @@ def _worker_main(conn, warmup: Optional[Callable[[], None]]) -> None:
     import repro  # noqa: F401 - the warm import the pool exists to amortise
 
     _close_inherited_sockets(conn.fileno())
+    # A forked worker inherits the scheduler's trace sink; exec spans
+    # already ship home in replies, so writing here would double them.
+    _tracing.TRACER.detach_sink()
     if warmup is not None:
         warmup()
     while True:
@@ -118,7 +122,20 @@ def _worker_main(conn, warmup: Optional[Callable[[], None]]) -> None:
             break
         if message[0] == "stop":
             break
-        _, key, fn, kwargs = message
+        # Task messages are ("task", key, fn, kwargs[, trace]) — the
+        # optional 5th element is the dispatching span's context dict
+        # (docs/DISTRIBUTED.md, "Trace context on the wire").
+        key, fn, kwargs = message[1], message[2], message[3]
+        trace = message[4] if len(message) > 4 else None
+        span = None
+        if trace is not None and _tracing.TRACER.enabled:
+            span = _tracing.TRACER.start_span(
+                key, kind="exec",
+                parent=_tracing.SpanContext.from_dict(trace),
+                attrs={"key": key, "transport": "pipe"},
+            )
+            # Activate so PhaseCostRecords built by the task stamp this span.
+            _tracing.TRACER.activate(None if span is None else span.context)
         start = time.perf_counter()
         try:
             value = fn(**kwargs)
@@ -128,6 +145,14 @@ def _worker_main(conn, warmup: Optional[Callable[[], None]]) -> None:
                 "error", key, f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
             )
+        if span is not None:
+            _tracing.TRACER.activate(None)
+            _tracing.TRACER.finish(
+                span, status="ok" if reply[0] == "ok" else "error"
+            )
+            # Ship the finished exec span home in the reply so the
+            # scheduler-side tracer owns the single merged trace file.
+            reply = reply + ([span.to_dict()],)
         try:
             conn.send(reply)
         except Exception as exc:
@@ -141,14 +166,16 @@ def _worker_main(conn, warmup: Optional[Callable[[], None]]) -> None:
 
 
 class _Task:
-    __slots__ = ("key", "fn", "kwargs", "timeout")
+    __slots__ = ("key", "fn", "kwargs", "timeout", "trace")
 
     def __init__(self, key: str, fn: Callable[..., Any],
-                 kwargs: Mapping[str, Any], timeout: Optional[float]) -> None:
+                 kwargs: Mapping[str, Any], timeout: Optional[float],
+                 trace: Optional[Mapping[str, str]] = None) -> None:
         self.key = key
         self.fn = fn
         self.kwargs = dict(kwargs)
         self.timeout = timeout
+        self.trace = None if trace is None else dict(trace)
 
 
 class _Worker:
@@ -344,18 +371,22 @@ class WorkerPool:
         fn: Callable[..., Any],
         kwargs: Optional[Mapping[str, Any]] = None,
         timeout: Optional[float] = None,
+        trace: Optional[Mapping[str, str]] = None,
     ) -> None:
         """Enqueue ``fn(**kwargs)`` under ``key``; FIFO within the pool.
 
         The completion arrives as a :class:`PoolEvent` from :meth:`events`.
         Keys are the caller's correlation handle and should be unique among
-        in-flight tasks.
+        in-flight tasks.  ``trace`` is an optional span-context dict
+        (``{"trace_id", "span_id"}``) carried to the worker inside the
+        task message, so worker-side execution spans parent under the
+        dispatching task span.
         """
         if self._closed:
             raise RuntimeError("pool is shut down")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
-        self._queue.append(_Task(key, fn, kwargs or {}, timeout))
+        self._queue.append(_Task(key, fn, kwargs or {}, timeout, trace))
         if _metrics.REGISTRY.enabled:
             _metrics.REGISTRY.counter(
                 "repro_pool_tasks_dispatched_total", "tasks submitted to the pool"
@@ -386,7 +417,12 @@ class WorkerPool:
         worker.started = now
         worker.deadline = now + task.timeout if task.timeout is not None else float("inf")
         try:
-            worker.conn.send(("task", task.key, task.fn, task.kwargs))
+            if task.trace is not None:
+                worker.conn.send(
+                    ("task", task.key, task.fn, task.kwargs, task.trace)
+                )
+            else:
+                worker.conn.send(("task", task.key, task.fn, task.kwargs))
         except (OSError, BrokenPipeError):
             # The worker died between tasks; treat as a crash of this task's
             # attempt so the caller's retry policy sees it.
@@ -465,10 +501,13 @@ class WorkerPool:
                 continue
             if worker.conn in ready or (not worker.proc.is_alive() and worker.conn.poll()):
                 try:
-                    status, key, payload, wall = worker.conn.recv()
+                    reply = worker.conn.recv()
                 except (EOFError, OSError):
                     events.append(self._crash(worker, task, now))
                     continue
+                status, key, payload, wall = reply[:4]
+                if len(reply) > 4 and _tracing.TRACER.enabled:
+                    _tracing.TRACER.ingest(reply[4])
                 worker.current = None
                 worker.tasks_done += 1
                 self.stats["tasks_completed"] += 1

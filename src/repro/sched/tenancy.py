@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.sched.campaign import Campaign, CampaignExecution, PoolEvent, TaskSpan
 from repro.sched.pool import WorkerPool
 from repro.sched.store import ResultStore
@@ -136,6 +137,9 @@ class JobRecord:
     started: float = 0.0
     finished: float = 0.0
     error: Optional[str] = None
+    #: Distributed-trace id linking this job's spans (None when tracing
+    #: is off).  Parented on the HTTP request span when one was active.
+    trace_id: Optional[str] = None
     spans: Tuple[TaskSpan, ...] = ()
     #: Pool task names currently executing (or parked on a dedup wait).
     waiting_on: Dict[str, str] = field(default_factory=dict)  # task -> owner key
@@ -217,6 +221,11 @@ class FairShareMultiplexer:
         self._tenant_inflight: Dict[str, int] = {}
         #: Jobs that reached a terminal state since the last step() drain.
         self._newly_finished: List[JobRecord] = []
+        #: job id -> live "job" span; (job id, task) -> live "task" span.
+        #: Task spans survive retries (one span per task, attempts noted
+        #: as an attribute) and are finished in _collect/_finish.
+        self._job_spans: Dict[str, Any] = {}
+        self._task_spans: Dict[Tuple[str, str], Any] = {}
         self._closed = False
 
     # -- submission side (any thread) ---------------------------------------
@@ -226,11 +235,15 @@ class FairShareMultiplexer:
         tenant: str,
         campaign: Campaign,
         job_id: Optional[str] = None,
+        parent: Optional["_tracing.SpanContext"] = None,
     ) -> JobRecord:
         """Admit ``campaign`` for ``tenant``; raises :class:`QuotaExceeded`.
 
         The job starts ``queued``; the scheduler loop activates it (which
-        runs the store resume pass) on its next :meth:`step`.
+        runs the store resume pass) on its next :meth:`step`.  On traced
+        runs a ``job`` span opens here — parented on ``parent`` (the HTTP
+        request span, typically) — and closes when the job goes terminal;
+        its duration is the end-to-end SLO sample.
         """
         if len(campaign.tasks) > self.quota.max_tasks_per_job:
             raise QuotaExceeded(
@@ -262,6 +275,20 @@ class FairShareMultiplexer:
                 labels={"tenant": tenant},
             )
             job = JobRecord(job_id, tenant, campaign, execution)
+            if _tracing.TRACER.enabled:
+                span = _tracing.TRACER.start_span(
+                    f"job:{job_id}", kind="job", parent=parent,
+                    attrs={
+                        "job": job_id,
+                        "tenant": tenant,
+                        "campaign": campaign.name,
+                        "tasks": len(campaign.tasks),
+                    },
+                )
+                if span is not None:
+                    self._job_spans[job_id] = span
+                    job.trace_id = span.trace_id
+                    execution.trace_id = span.trace_id
             self._jobs[job_id] = job
             if _metrics.REGISTRY.enabled:
                 _metrics.REGISTRY.counter(
@@ -411,7 +438,9 @@ class FairShareMultiplexer:
                     self._finish(job, None)
                 continue
             if ex.tasks[name].inline:
-                ex.run_inline(name)
+                self._open_task_span(job, name, inline=True)
+                ok = ex.run_inline(name)
+                self._close_task_span(job, name, "ok" if ok else "error")
                 if not ex.has_pending:
                     self._finish(job, None)
                 return True
@@ -441,7 +470,8 @@ class FairShareMultiplexer:
             spec = ex.start(name)
             self._inflight_keys[key] = (job.id, name)
             self.pool.submit(
-                f"{job.id}/{name}", spec.fn, spec.kwargs, timeout=spec.timeout
+                f"{job.id}/{name}", spec.fn, spec.kwargs, timeout=spec.timeout,
+                trace=self._task_trace(job, name),
             )
             self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
             return True
@@ -469,6 +499,7 @@ class FairShareMultiplexer:
                 else:
                     self._requeue_waiters(key)
                 job.execution.abandon(name)
+                self._close_task_span(job, name, "cancelled")
                 self._inflight_keys.pop(key, None)
                 if not job.execution.in_flight:
                     self._finish(job, "cancelled")
@@ -480,13 +511,15 @@ class FairShareMultiplexer:
             if action == "retry":
                 spec = job.execution.start(name)
                 self.pool.submit(
-                    f"{job.id}/{name}", spec.fn, spec.kwargs, timeout=spec.timeout
+                    f"{job.id}/{name}", spec.fn, spec.kwargs, timeout=spec.timeout,
+                    trace=self._task_trace(job, name),
                 )
                 self._tenant_inflight[job.tenant] = (
                     self._tenant_inflight.get(job.tenant, 0) + 1
                 )
                 continue  # key stays in flight with the same owner
             self._inflight_keys.pop(key, None)
+            self._close_task_span(job, name, "ok" if action == "done" else "error")
             if action == "done":
                 self._resolve_waiters(key, job.execution.outcomes[name])
             else:
@@ -522,6 +555,39 @@ class FairShareMultiplexer:
             else:
                 waiter.execution.requeue(waiter_name)
 
+    def _open_task_span(
+        self, job: JobRecord, name: str, inline: bool = False
+    ) -> Optional[Any]:
+        """Create (or reuse, on retry) the ``task`` span for ``name``."""
+        if not _tracing.TRACER.enabled:
+            return None
+        span = self._task_spans.get((job.id, name))
+        if span is None:
+            parent_span = self._job_spans.get(job.id)
+            span = _tracing.TRACER.start_span(
+                f"{job.id}/{name}", kind="task",
+                parent=None if parent_span is None else parent_span.context,
+                attrs={"job": job.id, "task": name, "tenant": job.tenant},
+            )
+            if span is None:
+                return None
+            self._task_spans[(job.id, name)] = span
+        span.attrs["attempts"] = job.execution.attempts[name]
+        if inline:
+            span.attrs["inline"] = True
+        return span
+
+    def _task_trace(self, job: JobRecord, name: str) -> Optional[Dict[str, str]]:
+        """The trace context dict to ship with a pool dispatch (or None)."""
+        span = self._open_task_span(job, name)
+        return None if span is None else span.context.to_dict()
+
+    def _close_task_span(self, job: JobRecord, name: str, status: str) -> None:
+        span = self._task_spans.pop((job.id, name), None)
+        if span is not None:
+            span.attrs["attempts"] = job.execution.attempts.get(name, 0)
+            _tracing.TRACER.finish(span, status=status)
+
     def _finish(self, job: JobRecord, state: Optional[str]) -> None:
         """Move ``job`` to a terminal state and freeze its spans."""
         cancelled = state == "cancelled"
@@ -536,6 +602,15 @@ class FairShareMultiplexer:
                 ) or f"{len(bad)} task(s) failed"
         job.state = state
         job.finished = wallclock()
+        if _tracing.TRACER.enabled:
+            for (jid, name) in [k for k in self._task_spans if k[0] == job.id]:
+                self._close_task_span(job, name, "cancelled")
+            job_span = self._job_spans.pop(job.id, None)
+            if job_span is not None:
+                job_span.attrs["state"] = state
+                _tracing.TRACER.finish(
+                    job_span, status="ok" if state == "done" else "error"
+                )
         self._newly_finished.append(job)
         if _metrics.REGISTRY.enabled:
             _metrics.REGISTRY.counter(

@@ -11,6 +11,7 @@ status from the error envelope.
 
 from __future__ import annotations
 
+import codecs
 import json
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 from urllib import error as urlerror
@@ -113,6 +114,14 @@ class ServeClient:
         """``GET /v1/workers``; the full fleet envelope (rows + listen)."""
         return self._json("/v1/workers")
 
+    def slo(self) -> Dict[str, Any]:
+        """``GET /v1/slo``; the percentile-latency ``slo`` object.
+
+        Empty buckets (``enabled: false``) when the service runs
+        without ``REPRO_TRACE``.
+        """
+        return self._json("/v1/slo")["slo"]
+
     def healthy(self) -> bool:
         try:
             with self._request("/healthz") as resp:
@@ -137,12 +146,23 @@ class ServeClient:
         resp = self._request(f"/v1/jobs/{job_id}/events{suffix}", timeout=timeout)
 
         def chunks() -> Iterator[str]:
+            # Incremental decode: read1() returns whatever bytes are on
+            # the wire, which can tear a multi-byte UTF-8 rune across
+            # blocks — per-block decode(errors="replace") would corrupt
+            # it into U+FFFD.  The incremental decoder buffers the
+            # partial rune until its continuation bytes arrive.
+            decoder = codecs.getincrementaldecoder("utf-8")(errors="replace")
             with resp:
                 while True:
                     block = resp.read1(4096)
                     if not block:
+                        tail = decoder.decode(b"", final=True)
+                        if tail:
+                            yield tail
                         return
-                    yield block.decode("utf-8", errors="replace")
+                    text = decoder.decode(block)
+                    if text:
+                        yield text
 
         for event in iter_sse(chunks()):
             if event["event"] == "job":

@@ -29,6 +29,7 @@ __all__ = [
     "job_view",
     "jobs_view",
     "fleet_view",
+    "slo_view",
     "error_view",
     "DEFAULT_TENANT",
     "TENANT_HEADER",
@@ -128,6 +129,11 @@ def job_view(job: JobRecord, campaign: Optional[str] = None) -> Dict[str, Any]:
     frozen from its spans once terminal.  A resubmission fully served by
     the store shows every task ``cached``: that is the dedup contract in
     ISSUE terms ("the second tenant's tasks report cached").
+
+    ``trace_id`` is the job's distributed-trace id (``null`` unless the
+    service runs with ``REPRO_TRACE`` on) — grep it across the merged
+    ``repro.trace/1`` file to see the job's whole span tree, HTTP
+    request through remote workers to per-phase cost records.
     """
     return {
         "schema": SCHEMA,
@@ -142,6 +148,7 @@ def job_view(job: JobRecord, campaign: Optional[str] = None) -> Dict[str, Any]:
             "tasks": len(job.campaign.tasks),
             "counts": job.counts(),
             "error": job.error,
+            "trace_id": job.trace_id,
         },
     }
 
@@ -152,6 +159,19 @@ def jobs_view(jobs: Any) -> Dict[str, Any]:
         "schema": SCHEMA,
         "jobs": [job_view(j)["job"] for j in jobs],
     }
+
+
+def slo_view(summary: Mapping[str, Any]) -> Dict[str, Any]:
+    """The SLO response envelope (``GET /v1/slo``).
+
+    ``summary`` is :func:`repro.obs.tracing.slo_summary` output: exact
+    nearest-rank p50/p95/p99 over finished span durations, bucketed into
+    ``task`` (one dispatch → resolution) and ``end_to_end`` (job submit →
+    terminal state).  ``enabled: false`` means the service runs without
+    ``REPRO_TRACE`` and the buckets are empty — the endpoint still
+    answers 200 so dashboards need no feature detection.
+    """
+    return {"schema": SCHEMA, "slo": dict(summary)}
 
 
 def fleet_view(pool: Any) -> Dict[str, Any]:

@@ -14,9 +14,16 @@ GET     ``/v1/jobs``                    this tenant's jobs (``?all=1``: every)
 GET     ``/v1/jobs/<id>``               one job envelope
 DELETE  ``/v1/jobs/<id>``               cancel (tenant-checked)
 GET     ``/v1/workers``                 the worker-fleet envelope
+GET     ``/v1/slo``                     percentile latency SLOs (tracing)
 GET     ``/v1/events``                  global SSE: ``job``/``snapshot``/``workers``
 GET     ``/v1/jobs/<id>/events``        one job's SSE; closes on terminal
 ======  ==============================  =======================================
+
+On traced runs (``REPRO_TRACE``, :mod:`repro.obs.tracing`) every
+``POST /v1/jobs`` opens a ``request`` span — joining an inbound W3C
+``traceparent`` header's trace when one is present — and the job
+admitted under it inherits the trace, so the response envelope's
+``trace_id`` names the whole tree down to per-phase cost records.
 
 The tenant is the ``X-Repro-Tenant`` header (default ``anonymous``).  A
 per-job stream accepts ``?cancel_on_disconnect=1``: if the watching
@@ -34,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import tracing as _tracing
 from repro.serve.contracts import (
     DEFAULT_TENANT,
     TENANT_HEADER,
@@ -132,6 +140,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                 self._send_json(jobs_view(self.service.jobs(tenant)))
             elif path == "/v1/workers":
                 self._send_json(self.service.workers())
+            elif path == "/v1/slo":
+                self._send_json(self.service.slo())
             elif path == "/v1/events":
                 self._stream_events(job_id=None, query=query)
             elif path.startswith("/v1/jobs/"):
@@ -153,8 +163,38 @@ class ServeHandler(BaseHTTPRequestHandler):
             if path != "/v1/jobs":
                 raise ContractError("not_found", f"no route {path!r}", status=404)
             request = SubmitRequest.from_dict(self._read_json())
-            job = self.service.submit(self._tenant(), request)
-            self._send_json(job_view(job), status=201)
+            # The root of the distributed trace: a submit under an
+            # inbound W3C ``traceparent`` joins the caller's trace,
+            # otherwise this request span starts a fresh one.
+            span = None
+            if _tracing.TRACER.enabled:
+                span = _tracing.TRACER.start_span(
+                    "POST /v1/jobs", kind="request",
+                    parent=_tracing.parse_traceparent(
+                        self.headers.get("traceparent")
+                    ),
+                    attrs={
+                        "method": "POST",
+                        "path": path,
+                        "tenant": self._tenant(),
+                        "campaign": request.campaign,
+                    },
+                )
+            status = "ok"
+            try:
+                job = self.service.submit(
+                    self._tenant(), request,
+                    parent=None if span is None else span.context,
+                )
+                if span is not None:
+                    span.attrs["job"] = job.id
+                self._send_json(job_view(job), status=201)
+            except ContractError:
+                status = "error"
+                raise
+            finally:
+                if span is not None:
+                    _tracing.TRACER.finish(span, status=status)
         except ContractError as exc:
             self._send_error(exc)
 

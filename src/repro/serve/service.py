@@ -36,6 +36,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.obs.snapshot import MetricsSnapshot, default_interval
 from repro.sched.store import ResultStore
 from repro.sched.tenancy import (
@@ -44,7 +45,13 @@ from repro.sched.tenancy import (
     QuotaExceeded,
     TenantQuota,
 )
-from repro.serve.contracts import ContractError, SubmitRequest, fleet_view, job_view
+from repro.serve.contracts import (
+    ContractError,
+    SubmitRequest,
+    fleet_view,
+    job_view,
+    slo_view,
+)
 from repro.serve.registry import CampaignEntry, default_registry
 
 __all__ = ["CampaignService", "Subscription"]
@@ -176,9 +183,17 @@ class CampaignService:
 
     # -- request side (any thread) -------------------------------------------
 
-    def submit(self, tenant: str, request: SubmitRequest) -> JobRecord:
+    def submit(
+        self,
+        tenant: str,
+        request: SubmitRequest,
+        parent: Optional["_tracing.SpanContext"] = None,
+    ) -> JobRecord:
         """Validate, build, and admit a submission; returns the new job.
 
+        ``parent`` is the HTTP request span's context on traced runs —
+        the job span (and every task/exec/phase span under it) joins
+        that trace, so one ``trace_id`` covers submit to terminal state.
         Raises :class:`ContractError`: ``unknown_campaign`` (404),
         ``bad_option`` (400), or the quota codes (429).
         """
@@ -192,7 +207,7 @@ class CampaignService:
             )
         campaign = entry.build(request.options)
         try:
-            job = self.mux.submit(tenant, campaign)
+            job = self.mux.submit(tenant, campaign, parent=parent)
         except QuotaExceeded as exc:
             raise ContractError(exc.code, str(exc), status=429)
         self._broadcast_job(job)
@@ -231,6 +246,16 @@ class CampaignService:
         to call from handler threads while the scheduler polls.
         """
         return fleet_view(self.mux.pool)
+
+    def slo(self) -> Dict[str, Any]:
+        """The percentile SLO envelope for ``GET /v1/slo``.
+
+        Computed from the tracer's bounded window of finished spans —
+        exact nearest-rank percentiles, not sketch estimates.  Cheap
+        enough for a dashboard poll; answers with empty buckets when
+        tracing is off.
+        """
+        return slo_view(_tracing.TRACER.slo())
 
     def campaigns(self) -> Dict[str, Any]:
         """The campaign catalogue envelope for ``GET /v1/campaigns``."""

@@ -6,8 +6,12 @@ Served at ``GET /``.  The page opens an ``EventSource`` on
 (``repro.metrics/1``) update the counters strip — done/cached/failed
 task totals, store hit-rate, pool in-flight — the same numbers
 ``python -m repro campaign status --follow`` prints, just in a browser.
-Everything inline (CSS and JS), zero external requests, so the page
-works from a curl-saved file as well as from the server.
+A second strip polls ``GET /v1/slo`` every few seconds for the
+percentile latencies (task p50/p95/p99 and end-to-end p95) computed
+from trace spans; it stays dashed when the service runs without
+``REPRO_TRACE``.  Everything inline (CSS and JS), zero external
+requests, so the page works from a curl-saved file as well as from the
+server.
 """
 
 from __future__ import annotations
@@ -47,6 +51,12 @@ DASHBOARD_HTML = """\
   <div class="stat"><b id="failed">0</b><span>tasks failed</span></div>
   <div class="stat"><b id="hitrate">-</b><span>store hit-rate</span></div>
   <div class="stat"><b id="inflight">0</b><span>pool in-flight</span></div>
+</div>
+<div class="strip" id="slo-strip" title="from trace spans (REPRO_TRACE)">
+  <div class="stat"><b id="slo-task-p50">-</b><span>task p50 (s)</span></div>
+  <div class="stat"><b id="slo-task-p95">-</b><span>task p95 (s)</span></div>
+  <div class="stat"><b id="slo-task-p99">-</b><span>task p99 (s)</span></div>
+  <div class="stat"><b id="slo-e2e-p95">-</b><span>end-to-end p95 (s)</span></div>
 </div>
 <table>
   <thead><tr>
@@ -105,6 +115,22 @@ DASHBOARD_HTML = """\
     document.getElementById("inflight").textContent =
       metricValue(m, "repro_serve_pool_in_flight");
   });
+  function fmtSeconds(v) {
+    return (v === undefined || v === null) ? "-" : v.toFixed(3);
+  }
+  async function pollSlo() {
+    try {
+      const resp = await fetch("/v1/slo");
+      const slo = (await resp.json()).slo || {};
+      const task = slo.task || {}, e2e = slo.end_to_end || {};
+      document.getElementById("slo-task-p50").textContent = fmtSeconds(task.p50);
+      document.getElementById("slo-task-p95").textContent = fmtSeconds(task.p95);
+      document.getElementById("slo-task-p99").textContent = fmtSeconds(task.p99);
+      document.getElementById("slo-e2e-p95").textContent = fmtSeconds(e2e.p95);
+    } catch (err) { /* service restarting; keep the last numbers */ }
+  }
+  pollSlo();
+  setInterval(pollSlo, 5000);
 </script>
 </body>
 </html>

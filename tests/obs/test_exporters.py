@@ -237,12 +237,18 @@ class TestCombinedTrace:
             payload = json.load(fh)
         events = payload["traceEvents"]
         assert count == len(events)
-        assert {e["pid"] for e in events} == {pid for pid, _ in TRACE_LANES.values()}
+        # The "service" lane only materialises on traced runs; an
+        # untraced export populates exactly the other three.
+        expected = {
+            (pid, name) for key, (pid, name) in TRACE_LANES.items()
+            if key != "service"
+        }
+        assert {e["pid"] for e in events} == {pid for pid, _ in expected}
         process_names = {
             e["args"]["name"] for e in events
             if e["ph"] == "M" and e["name"] == "process_name"
         }
-        assert process_names == {name for _, name in TRACE_LANES.values()}
+        assert process_names == {name for _, name in expected}
 
     def test_phase_rows_get_distinct_tids_with_names(self):
         from repro.obs.exporters import PHASE_PID, combined_trace_events
@@ -261,3 +267,69 @@ class TestCombinedTrace:
         from repro.obs.exporters import combined_trace_events
 
         assert combined_trace_events() == []
+
+
+class TestTraceSpanEvents:
+    def _spans(self):
+        from repro.obs.tracing import Span
+
+        root = Span("job:demo", kind="job", start=100.0)
+        root.end = 100.5
+        child = Span(
+            "p0", kind="task",
+            trace_id=root.trace_id, parent_span_id=root.span_id, start=100.1,
+        )
+        child.end = 100.3
+        return [root.to_dict(), child.to_dict()]
+
+    def test_spans_become_service_lane_slices(self):
+        from repro.obs.exporters import SERVICE_PID, trace_span_events
+
+        events = trace_span_events(self._spans())
+        slices = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in slices] == ["job:demo", "p0"]
+        assert all(e["pid"] == SERVICE_PID for e in events)
+        # Kinds land on distinct thread rows; durations are in us.
+        assert len({e["tid"] for e in slices}) == 2
+        assert slices[0]["dur"] == pytest.approx(500_000)
+        assert slices[0]["args"]["kind"] == "job"
+
+    def test_parent_edges_emit_flow_pairs(self):
+        from repro.obs.exporters import trace_span_events
+
+        events = trace_span_events(self._spans())
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        # The arrow starts inside the parent slice and binds enclosing.
+        assert finishes[0]["bp"] == "e"
+
+    def test_orphan_parent_edge_draws_no_flow(self):
+        from repro.obs.exporters import trace_span_events
+        from repro.obs.tracing import Span
+
+        orphan = Span("lost", kind="exec", parent_span_id="ab" * 8, start=1.0)
+        orphan.end = 2.0
+        events = trace_span_events([orphan.to_dict()])
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_combined_trace_links_exec_span_to_phase_rows(self):
+        from repro.obs.exporters import SERVICE_PID, combined_trace_events
+        from repro.obs.tracing import Span
+
+        span = Span("p0", kind="exec", start=10.0)
+        span.end = 10.2
+        stamp = {"trace_id": span.trace_id, "span_id": span.span_id}
+        records = [
+            PhaseCostRecord.from_dict(dict(rec.to_dict(), trace=stamp))
+            for rec in sample_records()
+        ]
+        events = combined_trace_events(
+            phase_lanes=[("p0", records)], trace_spans=[span.to_dict()]
+        )
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert starts and len(starts) == len(finishes)
+        assert any(e["pid"] == SERVICE_PID for e in starts)
+        assert all(e["pid"] != SERVICE_PID for e in finishes)

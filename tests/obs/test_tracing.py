@@ -1,0 +1,263 @@
+"""The tracing layer's contract: ids, propagation, no-op cost, SLO math.
+
+These are the unit-level guarantees the distributed e2e test
+(`tests/integration/test_tracing_e2e.py`) builds on: traceparent
+round-trips, thread-local nesting, explicit cross-thread handoff,
+strict no-op behaviour when disabled, torn-tail tolerance on the JSONL
+sink, multi-file merge dedup, and exact nearest-rank percentiles.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    SCHEMA,
+    Span,
+    SpanContext,
+    Tracer,
+    format_traceparent,
+    merge_trace_files,
+    parse_traceparent,
+    percentile,
+    read_trace_file,
+    slo_summary,
+)
+
+
+def make_tracer(**kwargs):
+    kwargs.setdefault("enabled", True)
+    return Tracer(**kwargs)
+
+
+# -- traceparent --------------------------------------------------------------
+
+
+def test_traceparent_round_trip():
+    ctx = SpanContext("ab" * 16, "cd" * 8)
+    header = format_traceparent(ctx)
+    assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+    assert parse_traceparent(header) == ctx
+
+
+def test_traceparent_unsampled_flag():
+    ctx = SpanContext("ab" * 16, "cd" * 8)
+    assert format_traceparent(ctx, sampled=False).endswith("-00")
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        None,
+        "",
+        "garbage",
+        "00-short-traceid-01",
+        "00-" + "g" * 32 + "-" + "cd" * 8 + "-01",  # non-hex
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # all-zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span id
+    ],
+)
+def test_traceparent_malformed_rejected(header):
+    assert parse_traceparent(header) is None
+
+
+def test_traceparent_future_version_tolerated():
+    header = "cc-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extrafield"
+    ctx = parse_traceparent(header)
+    assert ctx is not None and ctx.trace_id == "ab" * 16
+
+
+def test_span_context_immutable():
+    ctx = SpanContext("ab" * 16, "cd" * 8)
+    with pytest.raises(AttributeError):
+        ctx.trace_id = "ff" * 16
+    assert ctx.to_dict() == {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+    assert SpanContext.from_dict(ctx.to_dict()) == ctx
+    assert SpanContext.from_dict(None) is None
+    assert SpanContext.from_dict({"trace_id": "ab"}) is None
+
+
+# -- span lifecycle and nesting ----------------------------------------------
+
+
+def test_root_span_mints_fresh_trace():
+    tracer = make_tracer()
+    span = tracer.start_span("root", kind="request")
+    assert len(span.trace_id) == 32 and len(span.span_id) == 16
+    assert span.parent_span_id is None
+    tracer.finish(span)
+    assert list(tracer.finished) == [span]
+    assert span.end is not None and span.duration >= 0.0
+
+
+def test_nested_spans_parent_automatically():
+    tracer = make_tracer()
+    with tracer.span("outer", kind="job") as outer:
+        with tracer.span("inner", kind="task") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_span_id == outer.span_id
+        # inner popped: the thread's current context is outer again
+        assert tracer.current() == outer.context
+    assert tracer.current() is None
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+
+def test_exception_marks_span_error():
+    tracer = make_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    (span,) = tracer.finished
+    assert span.status == "error"
+    assert "ValueError" in span.attrs["error"]
+
+
+def test_explicit_parent_beats_ambient():
+    tracer = make_tracer()
+    remote = SpanContext("ef" * 16, "ab" * 8)
+    with tracer.span("local"):
+        span = tracer.start_span("child", parent=remote)
+    assert span.trace_id == remote.trace_id
+    assert span.parent_span_id == remote.span_id
+
+
+def test_activate_hands_context_across_threads():
+    """The queue/pickle handoff: a worker thread adopts a shipped context."""
+    tracer = make_tracer()
+    root = tracer.start_span("root", kind="job")
+    shipped = SpanContext.from_dict(root.context.to_dict())  # the wire form
+    seen = {}
+
+    def worker():
+        prev = tracer.activate(shipped)
+        try:
+            span = tracer.start_span("exec", kind="exec")
+            tracer.finish(span)
+            seen["span"] = span
+        finally:
+            tracer.activate(prev)
+        seen["restored"] = tracer.current()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert seen["span"].trace_id == root.trace_id
+    assert seen["span"].parent_span_id == root.span_id
+    assert seen["restored"] is None
+
+
+def test_thread_stacks_are_isolated():
+    tracer = make_tracer()
+    with tracer.span("main-root"):
+        contexts = []
+
+        def other():
+            contexts.append(tracer.current())
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+    assert contexts == [None]  # the other thread saw no ambient parent
+
+
+# -- disabled: strict no-op ---------------------------------------------------
+
+
+def test_disabled_tracer_is_a_no_op():
+    tracer = Tracer(enabled=False)
+    assert tracer.start_span("x") is None
+    with tracer.span("y") as span:
+        assert span is None
+    assert tracer.current() is None
+    tracer.finish(None)
+    assert tracer.ingest([{"trace_id": "a", "span_id": "b"}]) == 0
+    assert len(tracer.finished) == 0
+    slo = tracer.slo()
+    assert slo["enabled"] is False and slo["window"] == 0
+
+
+# -- sink, ingest, merge ------------------------------------------------------
+
+
+def test_sink_writes_schema_lines_and_survives_torn_tail(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = make_tracer()
+    tracer.configure(path=path)
+    tracer.finish(tracer.start_span("a", kind="task"))
+    tracer.finish(tracer.start_span("b", kind="task"))
+    tracer.close()
+    with open(path, "a") as fh:
+        fh.write('{"schema": "repro.trace/1", "name": "torn')  # SIGKILL mid-line
+    rows = read_trace_file(path)
+    assert [r["name"] for r in rows] == ["a", "b"]
+    assert all(r["schema"] == SCHEMA for r in rows)
+
+
+def test_ingest_adopts_remote_spans():
+    tracer = make_tracer()
+    remote = Span("exec", kind="exec", trace_id="ab" * 16)
+    remote.end = remote.start + 0.25
+    assert tracer.ingest([remote.to_dict(), {"bogus": True}]) == 1
+    (adopted,) = tracer.finished
+    assert adopted.trace_id == "ab" * 16
+    assert adopted.duration == pytest.approx(0.25)
+
+
+def test_merge_trace_files_dedups_and_sorts(tmp_path):
+    def write(name, spans):
+        path = tmp_path / name
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return str(path)
+
+    late = Span("late", kind="exec", trace_id="aa" * 16, span_id="11" * 8, start=10.0)
+    early = Span("early", kind="task", trace_id="aa" * 16, span_id="22" * 8, start=1.0)
+    dup = Span.from_dict(late.to_dict())  # same ids: a worker-side copy
+    dup.name = "late-worker-copy"
+    scheduler = write("scheduler.jsonl", [late, early])
+    worker = write("worker.jsonl", [dup])
+    merged = merge_trace_files([scheduler, worker])
+    assert [r["name"] for r in merged] == ["early", "late"]  # dedup, first wins
+    assert merge_trace_files([str(tmp_path / "missing.jsonl")]) == []
+
+
+# -- percentiles and SLO summary ----------------------------------------------
+
+
+def test_percentile_nearest_rank_exact():
+    xs = [float(i) for i in range(1, 101)]  # 1..100
+    assert percentile(xs, 50) == 50.0
+    assert percentile(xs, 95) == 95.0
+    assert percentile(xs, 99) == 99.0
+    assert percentile(xs, 100) == 100.0
+    assert percentile([7.0], 99) == 7.0  # always an observed sample
+    assert percentile([], 50) == 0.0
+
+
+def test_slo_summary_buckets_by_kind():
+    spans = []
+    for i, duration in enumerate([0.1, 0.2, 0.3, 0.4]):
+        span = Span(f"t{i}", kind="task", start=0.0)
+        span.end = duration
+        spans.append(span)
+    job = Span("job", kind="job", start=0.0)
+    job.end = 1.0
+    open_span = Span("open", kind="task")  # never finished: excluded
+    summary = slo_summary(spans + [job, open_span])
+    assert summary["enabled"] is True
+    assert summary["window"] == 5
+    assert summary["task"]["count"] == 4
+    assert summary["task"]["p50"] == pytest.approx(0.2)
+    assert summary["task"]["max"] == pytest.approx(0.4)
+    assert summary["end_to_end"] == {
+        "count": 1, "p50": 1.0, "p95": 1.0, "p99": 1.0, "max": 1.0,
+    }
+
+
+def test_slo_summary_accepts_raw_dicts():
+    rows = [{"kind": "task", "start": 0.0, "end": 0.5}]
+    summary = slo_summary(rows)
+    assert summary["task"]["count"] == 1
+    assert summary["task"]["p99"] == pytest.approx(0.5)

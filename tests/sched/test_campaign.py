@@ -228,6 +228,34 @@ class TestCancel:
         assert resumed.ok
         assert resumed.counts["cached"] >= 1
 
+    def test_exception_exit_still_writes_final_snapshot(self, tmp_path):
+        """Regression: a callback raising out of the event loop used to
+        skip ``SnapshotWriter.close()``, losing the final snapshot and
+        leaving the metrics registry enabled for the next caller."""
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.snapshot import read_snapshots
+
+        camp = Campaign("c", [
+            TaskSpec("a", emit, {"value": 1}),
+            TaskSpec("b", emit, {"value": 2}, deps=("a",)),
+        ])
+        store = ResultStore(str(tmp_path / "store"))
+        metrics = tmp_path / "metrics.jsonl"
+
+        def explode(line):
+            raise RuntimeError("observer crashed")
+
+        was_enabled = REGISTRY.enabled
+        with pytest.raises(RuntimeError, match="observer crashed"):
+            run_campaign(
+                camp, store, jobs=1, progress=explode,
+                metrics_path=str(metrics), metrics_interval=60.0,
+            )
+        snapshots = read_snapshots(str(metrics))
+        assert snapshots, "final snapshot lost on the exception exit path"
+        assert snapshots[-1].final
+        assert REGISTRY.enabled == was_enabled
+
 
 class TestTraceExport:
     def test_trace_file_has_scheduler_lane_events(self, tmp_path):
@@ -247,6 +275,43 @@ class TestTraceExport:
         from repro.obs.exporters import SCHEDULER_PID
 
         assert all(e["pid"] == SCHEDULER_PID for e in events)
+
+    def test_traced_run_spans_share_one_trace_id(self, tmp_path):
+        # Regression: the standalone run_campaign dispatch path used to
+        # read execution.spans[name] (only populated at completion) for
+        # the attempts attribute and crashed on every traced dispatch.
+        from repro.obs import tracing
+
+        sink = str(tmp_path / "spans.jsonl")
+        tracing.TRACER.reset()
+        tracing.TRACER.configure(enabled=True, path=sink)
+        try:
+            camp = Campaign("traced", [
+                TaskSpec("a", emit, {"value": 1}),
+                TaskSpec("flaky", flaky,
+                         {"marker_dir": str(tmp_path)}, retries=1),
+            ])
+            store = ResultStore(str(tmp_path / "store"))
+            report = run_campaign(camp, store, jobs=2)
+        finally:
+            tracing.TRACER.configure(enabled=False)
+            tracing.TRACER.reset()
+        assert report.ok
+        assert report.trace_id
+        spans = tracing.read_trace_file(sink)
+        assert {s["trace_id"] for s in spans} == {report.trace_id}
+        by_kind = {}
+        for span in spans:
+            by_kind.setdefault(span["kind"], []).append(span)
+        [job] = by_kind["job"]
+        tasks = {s["name"]: s for s in by_kind["task"]}
+        assert set(tasks) == {"a", "flaky"}
+        assert all(s["parent_span_id"] == job["span_id"] for s in tasks.values())
+        # The retried task keeps ONE span across both deliveries.
+        assert tasks["flaky"]["attrs"]["attempts"] == 2
+        assert tasks["flaky"]["status"] == "ok"
+        exec_parents = {s["parent_span_id"] for s in by_kind["exec"]}
+        assert exec_parents <= {s["span_id"] for s in tasks.values()}
 
     def test_shared_pool_is_not_shut_down(self, tmp_path):
         from repro.sched.pool import WorkerPool

@@ -226,3 +226,25 @@ def test_disconnect_with_cancel_on_disconnect_cancels_job(server):
     again = client.submit("demo", {"points": 8, "delay": 0.3})
     final = client.wait(again["id"], timeout=60)
     assert final["state"] == "done"
+
+
+def test_slo_route_reports_disabled_without_tracing(server):
+    """GET /v1/slo answers 200 with enabled=false when $REPRO_TRACE is off."""
+    from repro.obs.tracing import TRACER
+
+    if TRACER.enabled:
+        pytest.skip("REPRO_TRACE is on in this environment")
+    slo = client_for(server).slo()
+    assert slo["enabled"] is False
+    assert set(slo) == {"enabled", "window", "task", "end_to_end"}
+    assert slo["task"]["count"] == 0
+
+
+def test_job_view_trace_id_null_without_tracing(server):
+    from repro.obs.tracing import TRACER
+
+    if TRACER.enabled:
+        pytest.skip("REPRO_TRACE is on in this environment")
+    client = client_for(server, tenant="alice")
+    job = client.submit("demo", {"points": 2, "delay": 0.0})
+    assert "trace_id" in job and job["trace_id"] is None

@@ -79,6 +79,70 @@ def test_space_after_colon_stripped_once():
     assert events(["data:  padded\n\n"]) == [{"event": "message", "data": " padded"}]
 
 
+# -- ServeClient.watch: byte-level tearing ----------------------------------
+
+
+class _FakeStream:
+    """A canned HTTP response body: read1() returns pre-cut byte blocks."""
+
+    def __init__(self, blocks):
+        self._blocks = list(blocks)
+
+    def read1(self, _size=4096):
+        return self._blocks.pop(0) if self._blocks else b""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def _watch_with_blocks(monkeypatch, blocks):
+    from repro.serve.client import ServeClient
+
+    client = ServeClient()
+    monkeypatch.setattr(
+        client, "_request", lambda *a, **kw: _FakeStream(blocks)
+    )
+    return list(client.watch("job-0001"))
+
+
+def test_client_watch_survives_mid_rune_tear(monkeypatch):
+    """A network read can cut a multi-byte UTF-8 rune between blocks.
+
+    Naive per-block ``decode(errors="replace")`` turns the torn rune
+    into U+FFFD and the payload no longer parses back to the original;
+    the client's incremental decoder must buffer the partial rune until
+    its continuation bytes arrive.
+    """
+    payload = {"job": {"id": "job-0001", "note": "ünïcode — ✓"}}
+    frame = format_sse_event(
+        json.dumps(payload, ensure_ascii=False), event="job"
+    ).encode("utf-8")
+    # Split at EVERY byte offset: some cut inside "ü"/"—"/"✓".
+    for cut in range(1, len(frame)):
+        got = _watch_with_blocks(monkeypatch, [frame[:cut], frame[cut:]])
+        assert got == [payload], f"payload corrupted at byte offset {cut}"
+
+
+def test_client_watch_one_byte_blocks(monkeypatch):
+    payload = {"job": {"id": "job-0001", "state": "done", "emoji": "🎉"}}
+    frame = format_sse_event(
+        json.dumps(payload, ensure_ascii=False), event="job"
+    ).encode("utf-8")
+    blocks = [frame[i:i + 1] for i in range(len(frame))]
+    assert _watch_with_blocks(monkeypatch, blocks) == [payload]
+
+
+def test_client_watch_truncated_rune_at_eof(monkeypatch):
+    """A stream dying inside a rune must not raise or invent an event."""
+    good = format_sse_event('{"job": {"id": "j"}}', event="job").encode("utf-8")
+    torn = "event: job\ndata: ✓".encode("utf-8")[:-1]  # rune missing a byte
+    got = _watch_with_blocks(monkeypatch, [good, torn])
+    assert got == [{"job": {"id": "j"}}]
+
+
 def test_unknown_fields_ignored():
     stream = "retry: 100\nevent: job\ndata: x\n\n"
     assert events([stream]) == [{"event": "job", "data": "x"}]
